@@ -1,0 +1,36 @@
+//! Fig. 7 — static skyline: query cost vs. data cardinality, TSS vs. SDC+,
+//! both distributions. (Criterion times the CPU of the query phase on
+//! prebuilt indexes; the IO-charged totals of the figure come from
+//! `harness fig7`.)
+
+mod common;
+
+use criterion::{criterion_main, Criterion};
+use datagen::Distribution;
+use sdc::Variant;
+use tss_core::StssConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_static_cardinality");
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        for n in [5_000usize, 10_000, 20_000] {
+            let mut p = common::static_params(dist);
+            p.n = n;
+            let stss = common::build_stss(&p, StssConfig::default());
+            g.bench_function(format!("tss/{}/{n}", dist.short()), |b| {
+                b.iter(|| stss.run().skyline.len())
+            });
+            let sdc = common::build_sdc(&p, Variant::SdcPlus);
+            g.bench_function(format!("sdc+/{}/{n}", dist.short()), |b| {
+                b.iter(|| sdc.run().skyline.len())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::config();
+    bench(&mut c);
+}
+criterion_main!(benches);

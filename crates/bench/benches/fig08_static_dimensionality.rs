@@ -1,0 +1,32 @@
+//! Fig. 8 — static skyline: query cost vs. dimensionality (|TO|, |PO|).
+
+mod common;
+
+use criterion::{criterion_main, Criterion};
+use datagen::Distribution;
+use sdc::Variant;
+use tss_core::StssConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_static_dimensionality");
+    for (to_d, po_d) in [(2usize, 1usize), (3, 1), (2, 2), (3, 2)] {
+        let mut p = common::static_params(Distribution::Independent);
+        p.to_dims = to_d;
+        p.po_dims = po_d;
+        let stss = common::build_stss(&p, StssConfig::default());
+        g.bench_function(format!("tss/to{to_d}_po{po_d}"), |b| {
+            b.iter(|| stss.run().skyline.len())
+        });
+        let sdc = common::build_sdc(&p, Variant::SdcPlus);
+        g.bench_function(format!("sdc+/to{to_d}_po{po_d}"), |b| {
+            b.iter(|| sdc.run().skyline.len())
+        });
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::config();
+    bench(&mut c);
+}
+criterion_main!(benches);

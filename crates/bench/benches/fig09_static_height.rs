@@ -1,0 +1,27 @@
+//! Fig. 9 — static skyline: query cost vs. DAG height h.
+
+mod common;
+
+use criterion::{criterion_main, Criterion};
+use datagen::Distribution;
+use sdc::Variant;
+use tss_core::StssConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_static_height");
+    for h in [2u32, 6, 10] {
+        let mut p = common::static_params(Distribution::Independent);
+        p.dag_height = h;
+        let stss = common::build_stss(&p, StssConfig::default());
+        g.bench_function(format!("tss/h{h}"), |b| b.iter(|| stss.run().skyline.len()));
+        let sdc = common::build_sdc(&p, Variant::SdcPlus);
+        g.bench_function(format!("sdc+/h{h}"), |b| b.iter(|| sdc.run().skyline.len()));
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::config();
+    bench(&mut c);
+}
+criterion_main!(benches);

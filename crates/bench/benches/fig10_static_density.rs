@@ -1,0 +1,28 @@
+//! Fig. 10 — static skyline: query cost vs. DAG density d.
+
+mod common;
+
+use criterion::{criterion_main, Criterion};
+use datagen::Distribution;
+use sdc::Variant;
+use tss_core::StssConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_static_density");
+    for d10 in [2u32, 6, 10] {
+        let d = d10 as f64 / 10.0;
+        let mut p = common::static_params(Distribution::Independent);
+        p.dag_density = d;
+        let stss = common::build_stss(&p, StssConfig::default());
+        g.bench_function(format!("tss/d0{d10}"), |b| b.iter(|| stss.run().skyline.len()));
+        let sdc = common::build_sdc(&p, Variant::SdcPlus);
+        g.bench_function(format!("sdc+/d0{d10}"), |b| b.iter(|| sdc.run().skyline.len()));
+    }
+    g.finish();
+}
+
+fn benches() {
+    let mut c = common::config();
+    bench(&mut c);
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Paper-style text reporting: one table per figure, with the series the
+//! paper plots (total simulated time per algorithm, CPU shares, ratios).
+
+use crate::runner::AlgoResult;
+use tss_core::CostModel;
+
+/// A rendered table: header + rows of cells.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width");
+        self.rows.push(cells);
+    }
+
+    /// Renders with right-aligned, width-fitted columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The standard comparison row for a (baseline, TSS) pair at one sweep
+/// point: simulated totals, CPU shares, the speedup ratio and the skyline
+/// size.
+pub fn comparison_cells(
+    sweep_value: String,
+    baseline: &AlgoResult,
+    tss: &AlgoResult,
+    model: CostModel,
+) -> Vec<String> {
+    let bt = baseline.total_secs(model);
+    let tt = tss.total_secs(model);
+    vec![
+        sweep_value,
+        format!("{bt:.3}"),
+        format!("{:.0}%", baseline.cpu_share(model) * 100.0),
+        format!("{tt:.3}"),
+        format!("{:.0}%", tss.cpu_share(model) * 100.0),
+        format!("{:.2}x", bt / tt.max(1e-9)),
+        format!("{}", tss.skyline),
+    ]
+}
+
+/// Header matching [`comparison_cells`].
+pub fn comparison_header(sweep_name: &str) -> Vec<&str> {
+    // Lifetimes: sweep_name is only used by callers with 'static literals.
+    let _ = sweep_name;
+    vec!["sweep", "SDC+ (s)", "SDC+ cpu", "TSS (s)", "TSS cpu", "speedup", "|skyline|"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tss_core::Metrics;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbbb"));
+        assert!(lines[2].ends_with("   2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn comparison_row_computes_ratio() {
+        let model = CostModel::default();
+        let mk = |io: u64| AlgoResult {
+            name: "x",
+            metrics: Metrics { io_reads: io, ..Default::default() },
+            skyline: 5,
+        };
+        let cells = comparison_cells("N".into(), &mk(200), &mk(100), model);
+        assert_eq!(cells[0], "N");
+        assert_eq!(cells[5], "2.00x");
+        assert_eq!(cells[6], "5");
+    }
+}

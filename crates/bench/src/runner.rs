@@ -1,0 +1,187 @@
+//! Workload construction and algorithm runners shared by the harness binary
+//! and the Criterion benches.
+
+use datagen::ExperimentParams;
+use poset::Dag;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sdc::{DynamicSdc, SdcConfig, SdcIndex, Variant};
+use tss_core::{
+    CostModel, Dtss, DtssConfig, Metrics, PoQuery, ProgressSample, Stss, StssConfig, Table,
+};
+
+/// A generated workload: the table plus its PO domains.
+pub struct Workload {
+    pub table: Table,
+    pub dags: Vec<Dag>,
+    pub params: ExperimentParams,
+}
+
+/// Generates the workload for one parameter setting.
+pub fn generate(params: &ExperimentParams) -> Workload {
+    let dags = params.build_dags();
+    let to = params.gen_to();
+    let po = params.gen_po(&dags);
+    let table = Table::from_parts(params.to_dims, params.po_dims, to, po)
+        .expect("generator emits well-shaped matrices");
+    Workload { table, dags, params: *params }
+}
+
+/// One algorithm's measured run.
+#[derive(Debug, Clone)]
+pub struct AlgoResult {
+    pub name: &'static str,
+    pub metrics: Metrics,
+    pub skyline: usize,
+}
+
+impl AlgoResult {
+    /// Simulated total seconds under the paper's cost model.
+    pub fn total_secs(&self, model: CostModel) -> f64 {
+        model.total_time(&self.metrics).as_secs_f64()
+    }
+
+    /// CPU share of the simulated total.
+    pub fn cpu_share(&self, model: CostModel) -> f64 {
+        model.cpu_fraction(&self.metrics)
+    }
+}
+
+/// Builds the sTSS index (untimed — both systems index offline in the
+/// static experiments) and measures one run.
+pub fn run_stss(w: &Workload, cfg: StssConfig) -> AlgoResult {
+    let stss = Stss::build(w.table.clone(), w.dags.clone(), cfg).expect("valid workload");
+    let run = stss.run();
+    AlgoResult { name: "TSS", metrics: run.metrics, skyline: run.skyline.len() }
+}
+
+/// Builds the SDC+ strata (untimed) and measures one run.
+pub fn run_sdc_plus(w: &Workload) -> AlgoResult {
+    let idx = SdcIndex::build(w.table.clone(), w.dags.clone(), Variant::SdcPlus, SdcConfig::default())
+        .expect("valid workload");
+    let run = idx.run();
+    AlgoResult { name: "SDC+", metrics: run.metrics, skyline: run.skyline.len() }
+}
+
+/// Progressiveness timelines for Fig. 11: `(samples, final metrics)`.
+pub fn progressive_stss(w: &Workload) -> (Vec<ProgressSample>, Metrics) {
+    let stss = Stss::build(w.table.clone(), w.dags.clone(), StssConfig::default())
+        .expect("valid workload");
+    let (run, log) = stss.run_progressive();
+    (log.samples, run.metrics)
+}
+
+/// Progressiveness timeline of SDC+.
+pub fn progressive_sdc_plus(w: &Workload) -> (Vec<ProgressSample>, Metrics) {
+    let idx = SdcIndex::build(w.table.clone(), w.dags.clone(), Variant::SdcPlus, SdcConfig::default())
+        .expect("valid workload");
+    let mut samples = Vec::new();
+    let run = idx.run_with(&mut |_, s| samples.push(s));
+    (samples, run.metrics)
+}
+
+/// A *dynamic* query order over the same domain: the data DAG with its
+/// node identities permuted. This preserves the DAG's shape (height,
+/// density — the sweep variables) while changing every preference, which is
+/// exactly what a user-specified order does in §VI-C.
+pub fn permuted_order(dag: &Dag, seed: u64) -> Dag {
+    let n = dag.len() as u32;
+    let mut perm: Vec<u32> = (0..n).collect();
+    perm.shuffle(&mut StdRng::seed_from_u64(seed));
+    let edges: Vec<(u32, u32)> = dag
+        .edges()
+        .map(|(u, v)| (perm[u.idx()], perm[v.idx()]))
+        .collect();
+    let labels = (0..n).map(|i| format!("q{i}")).collect();
+    Dag::from_labeled(labels, &edges).expect("permutation preserves acyclicity")
+}
+
+/// Builds the dTSS groups (untimed, order-independent) and measures one
+/// dynamic query.
+pub fn run_dtss(w: &Workload, query_seed: u64, cfg: DtssConfig) -> AlgoResult {
+    let sizes: Vec<u32> = w.dags.iter().map(|d| d.len() as u32).collect();
+    let dtss = Dtss::build(w.table.clone(), sizes, cfg).expect("valid workload");
+    let query = PoQuery::new(w.dags.iter().map(|d| permuted_order(d, query_seed)).collect());
+    let run = dtss.query(&query).expect("valid query");
+    AlgoResult { name: "TSS", metrics: run.metrics, skyline: run.skyline.len() }
+}
+
+/// Measures one dynamic query of the SDC+ baseline, rebuild included.
+pub fn run_dynamic_sdc(w: &Workload, query_seed: u64) -> AlgoResult {
+    let dsdc = DynamicSdc::new(w.table.clone(), SdcConfig::default());
+    let query: Vec<Dag> = w.dags.iter().map(|d| permuted_order(d, query_seed)).collect();
+    let run = dsdc.query(&query).expect("valid query");
+    AlgoResult { name: "SDC+", metrics: run.metrics, skyline: run.skyline.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::Distribution;
+    use poset::Reachability;
+
+    fn tiny_params() -> ExperimentParams {
+        let mut p = ExperimentParams::paper_static_default(Distribution::Independent, 7);
+        p.n = 2000;
+        p.dag_height = 4;
+        p
+    }
+
+    #[test]
+    fn generate_produces_consistent_workload() {
+        let w = generate(&tiny_params());
+        assert_eq!(w.table.len(), 2000);
+        assert_eq!(w.dags.len(), 2);
+    }
+
+    #[test]
+    fn static_runners_agree() {
+        let w = generate(&tiny_params());
+        let a = run_stss(&w, StssConfig::default());
+        let b = run_sdc_plus(&w);
+        assert_eq!(a.skyline, b.skyline, "same skyline cardinality");
+        assert!(a.metrics.io_reads > 0 && b.metrics.io_reads > 0);
+    }
+
+    #[test]
+    fn dynamic_runners_agree() {
+        let mut p = ExperimentParams::paper_dynamic_default(Distribution::Independent, 7);
+        p.n = 2000;
+        p.dag_height = 4;
+        let w = generate(&p);
+        let a = run_dtss(&w, 5, DtssConfig::default());
+        let b = run_dynamic_sdc(&w, 5);
+        assert_eq!(a.skyline, b.skyline);
+        assert!(b.metrics.io_writes > 0, "baseline rebuild charged");
+        assert_eq!(a.metrics.io_writes, 0, "dTSS never rebuilds");
+    }
+
+    #[test]
+    fn permuted_order_preserves_shape() {
+        let w = generate(&tiny_params());
+        let q = permuted_order(&w.dags[0], 3);
+        assert_eq!(q.len(), w.dags[0].len());
+        assert_eq!(q.num_edges(), w.dags[0].num_edges());
+        assert_eq!(q.height(), w.dags[0].height());
+        // But the preferences differ (overwhelmingly likely).
+        let r0 = Reachability::build(&w.dags[0]);
+        let rq = Reachability::build(&q);
+        let diff = w.dags[0]
+            .values()
+            .flat_map(|x| w.dags[0].values().map(move |y| (x, y)))
+            .filter(|&(x, y)| r0.preferred(x, y) != rq.preferred(x, y))
+            .count();
+        assert!(diff > 0);
+    }
+
+    #[test]
+    fn progressive_runners_sample_every_result() {
+        let w = generate(&tiny_params());
+        let (ts, tm) = progressive_stss(&w);
+        let (ss, sm) = progressive_sdc_plus(&w);
+        assert_eq!(ts.len() as u64, tm.results);
+        assert_eq!(ss.len() as u64, sm.results);
+        assert_eq!(tm.results, sm.results);
+    }
+}

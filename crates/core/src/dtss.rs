@@ -1,0 +1,857 @@
+//! **dTSS** — dynamic skylines for partially ordered domains (§V).
+//!
+//! A dynamic skyline query *explicitly* specifies the partial order of every
+//! PO attribute, so dominance relationships change per query. Rebuilding the
+//! transformed index per query (as sTSS or the SDC baselines would need to)
+//! costs passes over the whole data set; dTSS avoids that entirely:
+//!
+//! * **Build once:** tuples are partitioned into *groups* by their PO value
+//!   combination; each group gets its own R-tree over the TO attributes.
+//!   Groups and trees are *independent of any partial order*.
+//! * **Per query:** the supplied DAGs are topologically sorted and labeled
+//!   (cheap — the domains are small). Groups are visited in ascending sum of
+//!   their values' topological ordinals, which guarantees precedence across
+//!   groups: a dominating group's values are all preferred-or-equal, hence
+//!   have ordinal-sum strictly below (distinct keys). Inside a group, BBS
+//!   over the TO tree gives precedence as usual, so every surviving point is
+//!   emitted immediately.
+//! * **Group skipping:** before touching a group's tree, its root MBB corner
+//!   is checked against the global skyline; a dominated corner dismisses the
+//!   whole group without reading a single page (the Fig. 5 `Gc` moment).
+//! * **Optimizations (§V-B):** precomputed per-group *local skylines* (order
+//!   independent!) shrink each group to the only points that can possibly
+//!   qualify; a query-digest cache reuses full results of repeated orders.
+
+use crate::dominance::t_dominates;
+use crate::stss::SkylinePoint;
+use crate::{CoreError, Metrics, PoDomain, Table, VirtualPointIndex};
+use poset::{Dag, ValueId};
+use rtree::{PageConfig, Popped, RTree};
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// A dynamic skyline query: one partial order per PO attribute, over the
+/// same value ids the data was loaded with.
+#[derive(Debug, Clone)]
+pub struct PoQuery {
+    dags: Vec<Dag>,
+}
+
+impl PoQuery {
+    /// Wraps the per-attribute partial orders.
+    pub fn new(dags: Vec<Dag>) -> Self {
+        PoQuery { dags }
+    }
+
+    /// The partial orders.
+    pub fn dags(&self) -> &[Dag] {
+        &self.dags
+    }
+
+    /// A canonical digest of the query (domain sizes + edge sets), used as
+    /// the cache key.
+    pub fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for dag in &self.dags {
+            dag.len().hash(&mut h);
+            for (u, v) in dag.edges() {
+                (u.0, v.0).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Tuning knobs for [`Dtss`]. Defaults reproduce the paper's benchmark
+/// configuration (§VI-C: "no buffers, global main memory R-tree,
+/// pre-processing or caching mechanisms are used").
+#[derive(Debug, Clone, Copy)]
+pub struct DtssConfig {
+    /// Page model for node capacities and local-skyline page charging.
+    pub page: PageConfig,
+    /// Explicit node capacity override.
+    pub node_capacity: Option<usize>,
+    /// Use the global main-memory virtual-point R-tree (§V-A).
+    pub fast_check: bool,
+    /// Precompute per-group local skylines at build time (§V-B).
+    pub precompute_local: bool,
+    /// Cache query results by digest (§V-B).
+    pub cache: bool,
+    /// Pre-filter the global skyline once per group to the entries whose PO
+    /// values can dominate the group's key, turning per-point checks into
+    /// TO-only comparisons. Exact; off by default (paper-plain checks).
+    pub filter_dominators: bool,
+}
+
+impl Default for DtssConfig {
+    fn default() -> Self {
+        DtssConfig {
+            page: PageConfig::default(),
+            node_capacity: None,
+            fast_check: false,
+            precompute_local: false,
+            cache: false,
+            filter_dominators: false,
+        }
+    }
+}
+
+/// One PO-value group: key, members, TO R-tree, optional local skyline.
+#[derive(Debug)]
+struct Group {
+    key: Vec<u32>,
+    tree: RTree,
+    /// Local skyline record ids sorted by ascending TO coordinate sum, if
+    /// precomputed.
+    local_skyline: Option<Vec<u32>>,
+}
+
+/// The dTSS operator: built once over a table, queried many times with
+/// different partial orders.
+#[derive(Debug)]
+pub struct Dtss {
+    table: Table,
+    domain_sizes: Vec<u32>,
+    groups: Vec<Group>,
+    cfg: DtssConfig,
+    cache: RefCell<HashMap<u64, Vec<u32>>>,
+}
+
+/// Result of one [`Dtss::query`].
+#[derive(Debug, Clone)]
+pub struct DtssRun {
+    /// Skyline points in emission order.
+    pub skyline: Vec<SkylinePoint>,
+    /// Execution metrics for this query.
+    pub metrics: Metrics,
+    /// Groups dismissed by the root-corner check.
+    pub groups_skipped: u64,
+    /// Total number of groups.
+    pub groups_total: u64,
+    /// True iff served from the query cache.
+    pub from_cache: bool,
+}
+
+impl DtssRun {
+    /// Record indices of the skyline, in emission order.
+    pub fn skyline_records(&self) -> Vec<u32> {
+        self.skyline.iter().map(|p| p.record).collect()
+    }
+}
+
+impl Dtss {
+    /// Partitions the table into groups and bulk-loads the per-group trees.
+    /// `domain_sizes[d]` is the cardinality of PO domain `d` (queries must
+    /// supply DAGs of exactly these sizes).
+    pub fn build(table: Table, domain_sizes: Vec<u32>, cfg: DtssConfig) -> Result<Self, CoreError> {
+        if table.to_dims() == 0 {
+            return Err(CoreError::NoDimensions);
+        }
+        table.check_domains(&domain_sizes)?;
+        let mut by_key: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for i in 0..table.len() {
+            by_key.entry(table.po_row(i).to_vec()).or_default().push(i as u32);
+        }
+        let cap = cfg.node_capacity.unwrap_or_else(|| cfg.page.capacity(table.to_dims()));
+        let mut keys: Vec<Vec<u32>> = by_key.keys().cloned().collect();
+        keys.sort_unstable(); // deterministic group layout
+        let groups = keys
+            .into_iter()
+            .map(|key| {
+                let records = by_key.remove(&key).unwrap();
+                let pts: Vec<(Vec<u32>, u32)> = records
+                    .iter()
+                    .map(|&r| (table.to_row(r as usize).to_vec(), r))
+                    .collect();
+                let tree = RTree::bulk_load(table.to_dims(), cap, pts);
+                let local_skyline = cfg.precompute_local.then(|| {
+                    let (mut sky, _) = skyline::bbs(&tree);
+                    sky.sort_by_key(|&r| {
+                        (skyline::monotone_sum(table.to_row(r as usize)), r)
+                    });
+                    tree.reset_io();
+                    sky
+                });
+                tree.reset_io();
+                Group { key, tree, local_skyline }
+            })
+            .collect();
+        Ok(Dtss { table, domain_sizes, groups, cfg, cache: RefCell::new(HashMap::new()) })
+    }
+
+    /// The input table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Number of PO-value groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Evaluates a dynamic skyline query.
+    pub fn query(&self, q: &PoQuery) -> Result<DtssRun, CoreError> {
+        self.query_inner(q, None)
+    }
+
+    /// Evaluates a **fully dynamic** skyline query (§V-B): besides the
+    /// partial orders, the query names the *ideal value* of every TO
+    /// attribute; TO dominance is taken on the folded coordinates
+    /// `|x − reference|`. The precomputed local skylines are invalid under
+    /// folding (the paper's observation), so this path always scans the
+    /// group trees — best-first around the reference point.
+    ///
+    /// Reported skyline points carry their **original** TO coordinates.
+    pub fn query_fully_dynamic(
+        &self,
+        q: &PoQuery,
+        reference: &[u32],
+    ) -> Result<DtssRun, CoreError> {
+        assert_eq!(
+            reference.len(),
+            self.table.to_dims(),
+            "reference must name one ideal value per TO attribute"
+        );
+        self.query_inner(q, Some(reference))
+    }
+
+    fn query_inner(&self, q: &PoQuery, reference: Option<&[u32]>) -> Result<DtssRun, CoreError> {
+        if q.dags.len() != self.domain_sizes.len() {
+            return Err(CoreError::DomainCountMismatch {
+                dags: q.dags.len(),
+                po_dims: self.domain_sizes.len(),
+            });
+        }
+        for (d, dag) in q.dags.iter().enumerate() {
+            if dag.len() != self.domain_sizes[d] as usize {
+                return Err(CoreError::QueryDomainMismatch {
+                    dim: d,
+                    expected: self.domain_sizes[d] as usize,
+                    got: dag.len(),
+                });
+            }
+        }
+        let mut digest = q.digest();
+        if let Some(r) = reference {
+            use std::hash::Hasher as _;
+            let mut h = DefaultHasher::new();
+            digest.hash(&mut h);
+            r.hash(&mut h);
+            digest = h.finish();
+        }
+        if self.cfg.cache {
+            if let Some(records) = self.cache.borrow().get(&digest) {
+                let skyline = records
+                    .iter()
+                    .map(|&r| SkylinePoint {
+                        record: r,
+                        to: self.table.to_row(r as usize).to_vec(),
+                        po: self.table.po_row(r as usize).to_vec(),
+                    })
+                    .collect::<Vec<_>>();
+                return Ok(DtssRun {
+                    metrics: Metrics { results: skyline.len() as u64, ..Default::default() },
+                    skyline,
+                    groups_skipped: 0,
+                    groups_total: self.groups.len() as u64,
+                    from_cache: true,
+                });
+            }
+        }
+        let run = self.query_uncached(q, reference);
+        if self.cfg.cache {
+            self.cache
+                .borrow_mut()
+                .insert(digest, run.skyline.iter().map(|p| p.record).collect());
+        }
+        Ok(run)
+    }
+
+    fn query_uncached(&self, q: &PoQuery, reference: Option<&[u32]>) -> DtssRun {
+        let start = Instant::now();
+        let mut m = Metrics::default();
+        let to_dims = self.table.to_dims();
+        // Folded view of TO coordinates: |x - reference| (identity when no
+        // reference is given). All dominance checks and the working skyline
+        // list operate on folded coordinates.
+        let fold = |to: &[u32]| -> Vec<u32> {
+            match reference {
+                None => to.to_vec(),
+                Some(r) => to.iter().zip(r.iter()).map(|(&a, &b)| a.abs_diff(b)).collect(),
+            }
+        };
+        // Per-query labeling: cheap relative to the data (§V-A).
+        let domains: Vec<PoDomain> = q.dags.iter().cloned().map(PoDomain::new).collect();
+
+        // Reading the group directory (each group's key + root MBB) costs
+        // sequential page IOs — the paper's §VI-C remark that many group
+        // roots should be "stored in contiguous disk pages and retrieved
+        // multiple at a time". One directory record ≈ key + 2·|TO| corner
+        // coordinates.
+        m.io_reads += self
+            .cfg
+            .page
+            .data_pages(self.groups.len(), self.domain_sizes.len() + 2 * to_dims);
+
+        // Visit groups by ascending sum of ordinals: precedence across groups.
+        let mut order: Vec<usize> = (0..self.groups.len()).collect();
+        let key_rank = |g: &Group| -> u64 {
+            g.key.iter().enumerate().map(|(d, &v)| domains[d].ordinal(v) as u64).sum()
+        };
+        order.sort_by_key(|&gi| (key_rank(&self.groups[gi]), gi));
+
+        let mut skyline: Vec<SkylinePoint> = Vec::new();
+        let mut vpi = self.cfg.fast_check.then(|| {
+            VirtualPointIndex::new(
+                to_dims,
+                &domains,
+                self.cfg.page.capacity(to_dims + 2 * domains.len()),
+            )
+        });
+        let mut keys: HashSet<(Vec<u32>, Vec<u32>)> = HashSet::new();
+        let mut groups_skipped = 0u64;
+
+        for gi in order {
+            let group = &self.groups[gi];
+            let key = &group.key;
+            let posts: Vec<u32> = key
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| domains[d].labeling().post(ValueId(v)))
+                .collect();
+
+            // --- Group dismissal: check the root MBB corner. -------------
+            let root = group.tree.root().expect("groups are non-empty");
+            let corner = match reference {
+                None => group.tree.mbb(root).lo().to_vec(),
+                Some(r) => group.tree.mbb(root).folded_corner(r),
+            };
+            let dominated = if let Some(vpi) = vpi.as_ref() {
+                let (hit, queries) = vpi.covers_value(&corner, &posts);
+                m.dominance_checks += queries;
+                hit
+            } else {
+                skyline.iter().any(|s| {
+                    m.dominance_checks += 1;
+                    s.to.iter().zip(corner.iter()).all(|(sv, cv)| sv <= cv)
+                        && key
+                            .iter()
+                            .enumerate()
+                            .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv))
+                })
+            };
+            if dominated {
+                groups_skipped += 1;
+                continue;
+            }
+
+            // Optional per-group dominator prefilter: global entries whose
+            // PO values can dominate this key, with their PO strictness.
+            let filtered: Option<Vec<(usize, bool)>> = self.cfg.filter_dominators.then(|| {
+                skyline
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(ix, s)| {
+                        m.dominance_checks += 1;
+                        let ok = key
+                            .iter()
+                            .enumerate()
+                            .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv));
+                        ok.then(|| (ix, s.po != *key))
+                    })
+                    .collect()
+            });
+            let mut filtered = filtered;
+
+            // --- Process the group's points in TO mindist order. ---------
+            // Local skylines are computed under origin-anchored dominance
+            // and are invalid for folded queries (§V-B).
+            if let (Some(local), None) = (group.local_skyline.as_ref(), reference) {
+                // §V-B: only local skyline points can be global results.
+                // Charge the pages of the stored local-skyline file.
+                m.io_reads += self
+                    .cfg
+                    .page
+                    .data_pages(local.len(), to_dims + key.len());
+                for &r in local {
+                    let to = self.table.to_row(r as usize);
+                    if !self.point_dominated(
+                        to, key, &posts, &domains, &skyline, vpi.as_ref(), &keys,
+                        filtered.as_deref(), &mut m,
+                    ) {
+                        self.emit(
+                            r, to, key, &domains, &mut skyline, vpi.as_mut(), &mut keys,
+                            filtered.as_mut(), &mut m,
+                        );
+                    }
+                }
+                continue;
+            }
+
+            group.tree.reset_io();
+            let mut bf = group.tree.best_first_from(reference);
+            while let Some(popped) = bf.pop() {
+                m.heap_pops += 1;
+                match popped {
+                    Popped::Node { id, mbb, .. } => {
+                        let corner = match reference {
+                            None => mbb.lo().to_vec(),
+                            Some(r) => mbb.folded_corner(r),
+                        };
+                        if !self.node_dominated(
+                            &corner, key, &posts, &domains, &skyline, vpi.as_ref(),
+                            filtered.as_deref(), &mut m,
+                        ) {
+                            bf.expand(id);
+                        }
+                    }
+                    Popped::Record { point, record, .. } => {
+                        let folded = fold(point);
+                        if !self.point_dominated(
+                            &folded, key, &posts, &domains, &skyline, vpi.as_ref(), &keys,
+                            filtered.as_deref(), &mut m,
+                        ) {
+                            self.emit(
+                                record, &folded, key, &domains, &mut skyline, vpi.as_mut(),
+                                &mut keys, filtered.as_mut(), &mut m,
+                            );
+                        }
+                    }
+                }
+            }
+            m.io_reads += group.tree.io_count();
+        }
+
+        // Duplicate completion, as in sTSS (see `Stss::run_with`): closed
+        // Boolean bounds in the fast path can coalesce exact duplicates of
+        // skyline points inside pruned subtrees. Tuples identical in folded
+        // coordinates and PO values are skyline iff their representative is.
+        {
+            let mut emitted = vec![false; self.table.len()];
+            for p in &skyline {
+                emitted[p.record as usize] = true;
+            }
+            let key_of = |i: usize| (fold(self.table.to_row(i)), self.table.po_row(i).to_vec());
+            let present: HashSet<(Vec<u32>, Vec<u32>)> =
+                skyline.iter().map(|p| (p.to.clone(), p.po.clone())).collect();
+            for i in 0..self.table.len() {
+                if !emitted[i] && present.contains(&key_of(i)) {
+                    let (to, po) = key_of(i);
+                    skyline.push(SkylinePoint { record: i as u32, to, po });
+                    m.results += 1;
+                }
+            }
+        }
+        if reference.is_some() {
+            // The working list holds folded coordinates; report originals.
+            for p in &mut skyline {
+                p.to = self.table.to_row(p.record as usize).to_vec();
+            }
+        }
+        m.results = skyline.len() as u64;
+        m.cpu = start.elapsed();
+        DtssRun {
+            skyline,
+            metrics: m,
+            groups_skipped,
+            groups_total: self.groups.len() as u64,
+            from_cache: false,
+        }
+    }
+
+    /// Emits a confirmed skyline point, updating all side structures.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &self,
+        record: u32,
+        to: &[u32],
+        key: &[u32],
+        domains: &[PoDomain],
+        skyline: &mut Vec<SkylinePoint>,
+        vpi: Option<&mut VirtualPointIndex>,
+        keys: &mut HashSet<(Vec<u32>, Vec<u32>)>,
+        filtered: Option<&mut Vec<(usize, bool)>>,
+        m: &mut Metrics,
+    ) {
+        let sp = SkylinePoint { record, to: to.to_vec(), po: key.to_vec() };
+        if let Some(vpi) = vpi {
+            let sets: Vec<&poset::IntervalSet> = key
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| domains[d].intervals(v))
+                .collect();
+            vpi.insert(to, &sets, record);
+        }
+        if let Some(filtered) = filtered {
+            // Same-key entry: can dominate later points of this group via TO.
+            filtered.push((skyline.len(), false));
+        }
+        keys.insert((sp.to.clone(), sp.po.clone()));
+        skyline.push(sp);
+        m.results += 1;
+    }
+
+    /// Exact point check against the global skyline.
+    #[allow(clippy::too_many_arguments)]
+    fn point_dominated(
+        &self,
+        to: &[u32],
+        key: &[u32],
+        posts: &[u32],
+        domains: &[PoDomain],
+        skyline: &[SkylinePoint],
+        vpi: Option<&VirtualPointIndex>,
+        keys: &HashSet<(Vec<u32>, Vec<u32>)>,
+        filtered: Option<&[(usize, bool)]>,
+        m: &mut Metrics,
+    ) -> bool {
+        if let Some(vpi) = vpi {
+            if keys.contains(&(to.to_vec(), key.to_vec())) {
+                return false; // exact duplicate of a skyline point
+            }
+            let (hit, queries) = vpi.covers_value(to, posts);
+            m.dominance_checks += queries;
+            return hit;
+        }
+        if let Some(filtered) = filtered {
+            return filtered.iter().any(|&(ix, po_strict)| {
+                m.dominance_checks += 1;
+                let s = &skyline[ix];
+                s.to.iter().zip(to.iter()).all(|(sv, tv)| sv <= tv)
+                    && (po_strict || s.to != to)
+            });
+        }
+        skyline.iter().any(|s| {
+            m.dominance_checks += 1;
+            t_dominates(domains, &s.to, &s.po, to, key)
+        })
+    }
+
+    /// Sound subtree check: the group's PO values are fixed, so only the TO
+    /// corner varies. A global entry `s` prunes the subtree iff `s.to` is at
+    /// most the corner on every dimension and either `s` is PO-strictly
+    /// better or `s.to` differs from the corner (the corner-equality
+    /// argument of `skyline::bbs`, extended with PO strictness).
+    #[allow(clippy::too_many_arguments)]
+    fn node_dominated(
+        &self,
+        corner: &[u32],
+        key: &[u32],
+        posts: &[u32],
+        domains: &[PoDomain],
+        skyline: &[SkylinePoint],
+        vpi: Option<&VirtualPointIndex>,
+        filtered: Option<&[(usize, bool)]>,
+        m: &mut Metrics,
+    ) -> bool {
+        if let Some(vpi) = vpi {
+            let (hit, queries) = vpi.covers_value(corner, posts);
+            m.dominance_checks += queries;
+            return hit;
+        }
+        if let Some(filtered) = filtered {
+            return filtered.iter().any(|&(ix, po_strict)| {
+                m.dominance_checks += 1;
+                let s = &skyline[ix];
+                s.to.iter().zip(corner.iter()).all(|(sv, cv)| sv <= cv)
+                    && (po_strict || s.to != corner)
+            });
+        }
+        skyline.iter().any(|s| {
+            m.dominance_checks += 1;
+            s.to.iter().zip(corner.iter()).all(|(sv, cv)| sv <= cv)
+                && key
+                    .iter()
+                    .enumerate()
+                    .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv))
+                && (s.po != key || s.to != corner)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::brute_force_po_skyline;
+    use poset::PartialOrderBuilder;
+    use proptest::prelude::*;
+
+    /// The data set of Fig. 5(a): (A1, A2, A3) with A3 ∈ {a=0, b=1, c=2}.
+    fn fig5_table() -> Table {
+        let mut t = Table::new(2, 1);
+        for (a1, a2, a3) in [
+            (1, 2, 0), // p1 a
+            (3, 1, 0), // p2 a
+            (3, 4, 0), // p3 a
+            (4, 5, 0), // p4 a
+            (2, 2, 1), // p5 b
+            (1, 5, 1), // p6 b
+            (2, 5, 2), // p7 c
+            (3, 4, 2), // p8 c
+            (4, 4, 2), // p9 c
+            (5, 2, 2), // p10 c
+        ] {
+            t.push(&[a1, a2], &[a3]);
+        }
+        t
+    }
+
+    fn order_b_over_c() -> Dag {
+        // First query of §V-A: "b is better than c, no other preference".
+        let mut b = PartialOrderBuilder::new();
+        b.values(["a", "b", "c"]);
+        b.prefer("b", "c").unwrap();
+        b.build().unwrap()
+    }
+
+    fn order_a_c_over_b() -> Dag {
+        // Second query (Fig. 6(a)): a and c both better than b.
+        let mut b = PartialOrderBuilder::new();
+        b.values(["a", "b", "c"]);
+        b.prefer("a", "b").unwrap();
+        b.prefer("c", "b").unwrap();
+        b.build().unwrap()
+    }
+
+    fn configs() -> Vec<DtssConfig> {
+        vec![
+            DtssConfig::default(),
+            DtssConfig { fast_check: true, ..Default::default() },
+            DtssConfig { precompute_local: true, ..Default::default() },
+            DtssConfig { filter_dominators: true, ..Default::default() },
+            DtssConfig { fast_check: true, precompute_local: true, ..Default::default() },
+        ]
+    }
+
+    #[test]
+    fn fig5_first_query() {
+        // §V-A: skyline = {p1, p2} from Ga, {p5, p6} from Gb; Gc dismissed.
+        for cfg in configs() {
+            let dtss = Dtss::build(fig5_table(), vec![3], cfg).unwrap();
+            let run = dtss.query(&PoQuery::new(vec![order_b_over_c()])).unwrap();
+            let mut got = run.skyline_records();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 4, 5], "{cfg:?}");
+            assert_eq!(run.groups_total, 3);
+            assert_eq!(run.groups_skipped, 1, "Gc must be dismissed: {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn fig6_second_query() {
+        // §V-A: skyline = {p7, p8, p10} from Gc then {p1, p2} from Ga; Gb
+        // dismissed without reading its tree.
+        for cfg in configs() {
+            let dtss = Dtss::build(fig5_table(), vec![3], cfg).unwrap();
+            let run = dtss.query(&PoQuery::new(vec![order_a_c_over_b()])).unwrap();
+            let mut got = run.skyline_records();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 6, 7, 9], "{cfg:?}");
+            assert_eq!(run.groups_skipped, 1, "Gb must be dismissed: {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn emission_respects_group_order() {
+        // Second query: a and c are both roots; our deterministic
+        // topological sort assigns a ordinal 1 and c ordinal 2 (the paper
+        // draws the equally admissible order c, a, b — the skyline is
+        // identical). Ga must therefore be fully emitted before Gc.
+        let dtss = Dtss::build(fig5_table(), vec![3], DtssConfig::default()).unwrap();
+        let run = dtss.query(&PoQuery::new(vec![order_a_c_over_b()])).unwrap();
+        let recs = run.skyline_records();
+        let pos = |r: u32| recs.iter().position(|&x| x == r).unwrap();
+        for a_rec in [0u32, 1] {
+            for c_rec in [6u32, 7, 9] {
+                assert!(pos(a_rec) < pos(c_rec), "Ga before Gc: {recs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let cfg = DtssConfig { cache: true, ..Default::default() };
+        let dtss = Dtss::build(fig5_table(), vec![3], cfg).unwrap();
+        let q = PoQuery::new(vec![order_b_over_c()]);
+        let first = dtss.query(&q).unwrap();
+        assert!(!first.from_cache);
+        let second = dtss.query(&q).unwrap();
+        assert!(second.from_cache);
+        assert_eq!(first.skyline_records(), second.skyline_records());
+        assert_eq!(second.metrics.io_reads, 0);
+        // A different order is a cache miss.
+        let third = dtss.query(&PoQuery::new(vec![order_a_c_over_b()])).unwrap();
+        assert!(!third.from_cache);
+    }
+
+    #[test]
+    fn rejects_mismatched_queries() {
+        let dtss = Dtss::build(fig5_table(), vec![3], DtssConfig::default()).unwrap();
+        assert!(matches!(
+            dtss.query(&PoQuery::new(vec![])),
+            Err(CoreError::DomainCountMismatch { .. })
+        ));
+        let wrong = poset::Dag::from_edges(5, &[]).unwrap();
+        assert!(matches!(
+            dtss.query(&PoQuery::new(vec![wrong])),
+            Err(CoreError::QueryDomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_order_keeps_per_group_skylines() {
+        // With no preferences at all, every group contributes its local
+        // skyline (groups are mutually incomparable).
+        let empty = poset::Dag::from_edges(3, &[]).unwrap();
+        let dtss = Dtss::build(fig5_table(), vec![3], DtssConfig::default()).unwrap();
+        let run = dtss.query(&PoQuery::new(vec![empty.clone()])).unwrap();
+        let domains = vec![PoDomain::new(empty)];
+        let mut expect = brute_force_po_skyline(&domains, &fig5_table());
+        expect.sort_unstable();
+        let mut got = run.skyline_records();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(run.groups_skipped, 0);
+    }
+
+    #[test]
+    fn duplicates_within_group_survive() {
+        let mut t = fig5_table();
+        t.push(&[1, 2], &[0]); // duplicate of p1
+        for cfg in configs() {
+            let dtss = Dtss::build(t.clone(), vec![3], cfg).unwrap();
+            let run = dtss.query(&PoQuery::new(vec![order_b_over_c()])).unwrap();
+            let mut got = run.skyline_records();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 4, 5, 10], "{cfg:?}");
+        }
+    }
+
+
+    /// Oracle for fully dynamic queries: Pareto dominance on folded TO
+    /// coordinates plus the query partial order.
+    fn folded_oracle(t: &Table, dag: &poset::Dag, reference: &[u32]) -> Vec<u32> {
+        let doms = vec![PoDomain::new(dag.clone())];
+        let fold = |row: &[u32]| -> Vec<u32> {
+            row.iter().zip(reference.iter()).map(|(&a, &b)| a.abs_diff(b)).collect()
+        };
+        (0..t.len())
+            .filter(|&i| {
+                !(0..t.len()).any(|j| {
+                    j != i
+                        && crate::dominance::t_dominates(
+                            &doms,
+                            &fold(t.to_row(j)),
+                            t.po_row(j),
+                            &fold(t.to_row(i)),
+                            t.po_row(i),
+                        )
+                })
+            })
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn fully_dynamic_matches_folded_oracle() {
+        let references: [[u32; 2]; 4] = [[0, 0], [3, 3], [5, 1], [2, 4]];
+        for cfg in configs() {
+            let dtss = Dtss::build(fig5_table(), vec![3], cfg).unwrap();
+            for dag_fn in [order_b_over_c as fn() -> poset::Dag, order_a_c_over_b] {
+                for r in &references {
+                    let dag = dag_fn();
+                    let run = dtss
+                        .query_fully_dynamic(&PoQuery::new(vec![dag.clone()]), r)
+                        .unwrap();
+                    let mut got = run.skyline_records();
+                    got.sort_unstable();
+                    let mut expect = folded_oracle(&fig5_table(), &dag, r);
+                    expect.sort_unstable();
+                    assert_eq!(got, expect, "cfg={cfg:?} ref={r:?}");
+                    // Reported coordinates are the originals.
+                    for p in &run.skyline {
+                        assert_eq!(p.to, fig5_table().to_row(p.record as usize));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_dynamic_at_origin_equals_plain_query() {
+        let dtss = Dtss::build(fig5_table(), vec![3], DtssConfig::default()).unwrap();
+        let q = PoQuery::new(vec![order_b_over_c()]);
+        let plain = dtss.query(&q).unwrap();
+        let folded = dtss.query_fully_dynamic(&q, &[0, 0]).unwrap();
+        assert_eq!(plain.skyline_records(), folded.skyline_records());
+    }
+
+    #[test]
+    fn fully_dynamic_cache_keys_include_reference() {
+        let cfg = DtssConfig { cache: true, ..Default::default() };
+        let dtss = Dtss::build(fig5_table(), vec![3], cfg).unwrap();
+        let q = PoQuery::new(vec![order_b_over_c()]);
+        let a = dtss.query_fully_dynamic(&q, &[3, 3]).unwrap();
+        assert!(!a.from_cache);
+        let b = dtss.query_fully_dynamic(&q, &[3, 3]).unwrap();
+        assert!(b.from_cache);
+        assert_eq!(a.skyline_records(), b.skyline_records());
+        // Same order, different reference: a miss.
+        let c = dtss.query_fully_dynamic(&q, &[4, 4]).unwrap();
+        assert!(!c.from_cache);
+        // And the plain query is yet another key.
+        let d = dtss.query(&q).unwrap();
+        assert!(!d.from_cache);
+    }
+
+    #[test]
+    #[should_panic(expected = "one ideal value per TO attribute")]
+    fn fully_dynamic_rejects_bad_reference() {
+        let dtss = Dtss::build(fig5_table(), vec![3], DtssConfig::default()).unwrap();
+        let _ = dtss.query_fully_dynamic(&PoQuery::new(vec![order_b_over_c()]), &[1]);
+    }
+
+    proptest! {
+
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// dTSS equals the oracle for random tables and random query orders,
+        /// across configurations.
+        #[test]
+        fn equals_oracle(
+            rows in proptest::collection::vec((0u32..10, 0u32..10, 0u32..5), 1..60),
+            edge_mask in 0u32..1024,
+            cfg_ix in 0usize..5,
+        ) {
+            let mut t = Table::new(2, 1);
+            for &(a, b, v) in &rows {
+                t.push(&[a, b], &[v]);
+            }
+            // Random partial order over 5 values from the mask (forward
+            // edges only -> acyclic).
+            let mut edges = Vec::new();
+            let mut bit = 0;
+            for i in 0..5u32 {
+                for j in (i + 1)..5u32 {
+                    if edge_mask >> bit & 1 == 1 {
+                        edges.push((i, j));
+                    }
+                    bit += 1;
+                }
+            }
+            let dag = poset::Dag::from_edges(5, &edges).unwrap();
+            let domains = vec![PoDomain::new(dag.clone())];
+            let mut expect = brute_force_po_skyline(&domains, &t);
+            expect.sort_unstable();
+            let cfg = configs()[cfg_ix];
+            let dtss = Dtss::build(t, vec![5], cfg).unwrap();
+            let run = dtss.query(&PoQuery::new(vec![dag])).unwrap();
+            let mut got = run.skyline_records();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

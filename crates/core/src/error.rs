@@ -1,0 +1,41 @@
+use std::fmt;
+
+/// Errors raised when assembling skyline inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Flattened matrix length is not `n × dims`.
+    RaggedMatrix { what: &'static str, len: usize, n: usize, dims: usize },
+    /// A PO value id exceeds its domain cardinality.
+    PoValueOutOfRange { row: usize, dim: usize, value: u32, domain: u32 },
+    /// Number of DAGs supplied does not match the table's PO dimensionality.
+    DomainCountMismatch { dags: usize, po_dims: usize },
+    /// A query supplied a partial order over a domain of the wrong size.
+    QueryDomainMismatch { dim: usize, expected: usize, got: usize },
+    /// The table needs at least one TO or PO dimension.
+    NoDimensions,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::RaggedMatrix { what, len, n, dims } => write!(
+                f,
+                "{what} matrix has {len} entries, expected n×dims = {n}×{dims}"
+            ),
+            CoreError::PoValueOutOfRange { row, dim, value, domain } => write!(
+                f,
+                "tuple {row}, PO dim {dim}: value id {value} outside domain of {domain} values"
+            ),
+            CoreError::DomainCountMismatch { dags, po_dims } => {
+                write!(f, "{dags} DAG(s) supplied for {po_dims} PO dimension(s)")
+            }
+            CoreError::QueryDomainMismatch { dim, expected, got } => write!(
+                f,
+                "query partial order for PO dim {dim} has {got} values, data uses {expected}"
+            ),
+            CoreError::NoDimensions => write!(f, "table must have at least one dimension"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,270 @@
+//! The main-memory R-tree fast t-dominance check of §IV-B / §V-A.
+//!
+//! Every discovered skyline point is expanded into *virtual points* in the
+//! space `TO × (I1, I2)^|PO|`: one per combination of its interval-label
+//! runs across the PO dimensions. A candidate is then checked with Boolean
+//! range queries — "is there any virtual point at least as good as this
+//! corner that covers this interval?" — which the R-tree answers with early
+//! exit, without scanning the skyline list.
+//!
+//! # Why the point check is exact
+//!
+//! For a *candidate point* with PO values `v_d`, domination by the skyline
+//! is equivalent to one Boolean query on the degenerate runs
+//! `[post(v_d), post(v_d)]`: a virtual point matching
+//! `I1 <= post(v_d) <= I2` carries an interval containing `post(v_d)`,
+//! i.e. its owner reaches `v_d`, hence t-prefers `v_d` outright (its
+//! interval set covers the whole reachable set of `v_d`). Conversely a
+//! dominating skyline point obviously matches. One query per candidate,
+//! instead of the paper's one per candidate interval — strictly cheaper and
+//! still exact.
+//!
+//! For an *MBB* with merged run set `R_d` per PO dimension, we issue one
+//! query per combination of runs in `∏ R_d`. If every combination is
+//! covered, each value combination `(v_1 … v_k)` inside the MBB's ordinal
+//! ranges is dominated: the combination of runs containing the own posts
+//! `post(v_d)` is covered by some single virtual point whose owner then
+//! reaches every `v_d`. Pruning is therefore sound; it errs (conservatively)
+//! only by demanding a single owner per combination.
+//!
+//! # Duplicates
+//!
+//! A Boolean query with closed bounds also matches a virtual point of an
+//! *identical* tuple, which must not count as a dominator under
+//! duplicates-survive semantics. [`Stss`](crate::Stss) guards point checks
+//! with an exact-key set; MBB pruning keeps the closed bound (coalescing
+//! exact duplicates of skyline points, like every published BBS variant —
+//! DESIGN.md §1.2).
+
+use crate::PoDomain;
+use poset::IntervalSet;
+use rtree::RTree;
+
+/// Index of skyline virtual points supporting Boolean-range t-dominance
+/// checks (the `Tm` tree of the paper).
+#[derive(Debug)]
+pub struct VirtualPointIndex {
+    to_dims: usize,
+    po_dims: usize,
+    /// Per PO dimension: the largest post number (= domain cardinality).
+    max_post: Vec<u32>,
+    tree: RTree,
+    virtual_points: usize,
+}
+
+impl VirtualPointIndex {
+    /// An empty index over `to_dims` TO dimensions and the given PO domains.
+    pub fn new(to_dims: usize, domains: &[PoDomain], node_capacity: usize) -> Self {
+        let po_dims = domains.len();
+        let dims = to_dims + 2 * po_dims;
+        VirtualPointIndex {
+            to_dims,
+            po_dims,
+            max_post: domains.iter().map(|d| d.len() as u32).collect(),
+            tree: RTree::new(dims.max(1), node_capacity),
+            virtual_points: 0,
+        }
+    }
+
+    /// Number of virtual points stored.
+    #[inline]
+    pub fn virtual_count(&self) -> usize {
+        self.virtual_points
+    }
+
+    /// Inserts a skyline point: its TO coordinates plus one interval set per
+    /// PO dimension (the labels of its values). Generates the cross-product
+    /// of runs as virtual points.
+    pub fn insert(&mut self, to: &[u32], interval_sets: &[&IntervalSet], record: u32) {
+        debug_assert_eq!(to.len(), self.to_dims);
+        debug_assert_eq!(interval_sets.len(), self.po_dims);
+        let mut coords = vec![0u32; self.to_dims + 2 * self.po_dims];
+        coords[..self.to_dims].copy_from_slice(to);
+        let mut combo = vec![0usize; self.po_dims];
+        loop {
+            for (d, &set) in interval_sets.iter().enumerate() {
+                let iv = set.intervals()[combo[d]];
+                coords[self.to_dims + 2 * d] = iv.lo;
+                coords[self.to_dims + 2 * d + 1] = iv.hi;
+            }
+            self.tree.insert(&coords, record);
+            self.virtual_points += 1;
+            // Advance the mixed-radix combination counter.
+            let mut d = 0;
+            loop {
+                if d == self.po_dims {
+                    return;
+                }
+                combo[d] += 1;
+                if combo[d] < interval_sets[d].len() {
+                    break;
+                }
+                combo[d] = 0;
+                d += 1;
+            }
+        }
+    }
+
+    /// Exact point check: is a candidate with TO coordinates `to` and PO
+    /// values whose posts are `posts` dominated-or-equalled by some stored
+    /// skyline point? One Boolean query. Returns `(answer, queries_issued)`.
+    ///
+    /// "Equalled" matters: an exact duplicate of a skyline point also
+    /// matches; the caller must screen duplicates first (see module docs).
+    pub fn covers_value(&self, to: &[u32], posts: &[u32]) -> (bool, u64) {
+        let (lo, hi) = self.query_box(to, posts.iter().map(|&p| (p, p)));
+        (self.tree.range_nonempty(&lo, &hi), 1)
+    }
+
+    /// Sound MBB check: `run_sets[d]` is the merged interval set of the
+    /// MBB's ordinal range on PO dimension `d`; `to` is the MBB's lower
+    /// corner on the TO dimensions. Returns `(prunable, queries_issued)`.
+    pub fn covers_runs(&self, to: &[u32], run_sets: &[&IntervalSet]) -> (bool, u64) {
+        debug_assert_eq!(run_sets.len(), self.po_dims);
+        if run_sets.iter().any(|s| s.is_empty()) {
+            return (false, 0);
+        }
+        let mut combo = vec![0usize; self.po_dims];
+        let mut queries = 0u64;
+        loop {
+            let runs = combo
+                .iter()
+                .zip(run_sets.iter())
+                .map(|(&i, set)| {
+                    let iv = set.intervals()[i];
+                    (iv.lo, iv.hi)
+                })
+                .collect::<Vec<_>>();
+            let (lo, hi) = self.query_box(to, runs.into_iter());
+            queries += 1;
+            if !self.tree.range_nonempty(&lo, &hi) {
+                return (false, queries);
+            }
+            let mut d = 0;
+            loop {
+                if d == self.po_dims {
+                    return (true, queries);
+                }
+                combo[d] += 1;
+                if combo[d] < run_sets[d].len() {
+                    break;
+                }
+                combo[d] = 0;
+                d += 1;
+            }
+        }
+    }
+
+    /// Builds the Boolean query box: TO dims `[0, to_d]`; per PO dim
+    /// `I1 ∈ [0, run.lo]`, `I2 ∈ [run.hi, max_post]`.
+    fn query_box(
+        &self,
+        to: &[u32],
+        runs: impl Iterator<Item = (u32, u32)>,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let dims = self.to_dims + 2 * self.po_dims;
+        let mut lo = vec![0u32; dims];
+        let mut hi = vec![0u32; dims];
+        hi[..self.to_dims].copy_from_slice(to);
+        for (d, (run_lo, run_hi)) in runs.enumerate() {
+            // I1 <= run.lo
+            hi[self.to_dims + 2 * d] = run_lo;
+            // run.hi <= I2 <= max_post
+            lo[self.to_dims + 2 * d + 1] = run_hi;
+            hi[self.to_dims + 2 * d + 1] = self.max_post[d];
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poset::{Dag, SpanningTree, TssLabeling};
+
+    fn paper_setup() -> (Dag, Vec<PoDomain>, TssLabeling) {
+        // Use the paper's hand-drawn spanning tree so the Fig. 2(d)/Fig. 4
+        // interval values come out verbatim.
+        let dag = Dag::paper_example();
+        let lab = TssLabeling::build(&dag, SpanningTree::paper_example(&dag));
+        let dom = PoDomain::with_tree(dag.clone(), SpanningTree::paper_example(&dag));
+        (dag, vec![dom], lab)
+    }
+
+    #[test]
+    fn fig4_walkthrough() {
+        // §IV-B: skyline p1 = (2, c) with interval [1,5]; MBB N4 spans f..g
+        // with merged runs {[1,1],[3,5]}; both queries hit p1 -> prune.
+        let (dag, doms, _) = paper_setup();
+        let mut vpi = VirtualPointIndex::new(1, &doms, 8);
+        let c = dag.id_of("c").unwrap().0;
+        vpi.insert(&[2], &[doms[0].intervals(c)], 1);
+        assert_eq!(vpi.virtual_count(), 1);
+
+        let lo_f = doms[0].ordinal(dag.id_of("f").unwrap().0);
+        let hi_g = doms[0].ordinal(dag.id_of("g").unwrap().0);
+        let runs = doms[0].range_intervals(lo_f, hi_g);
+        assert_eq!(runs.to_string(), "{[1,1] [3,5]}");
+        let (pruned, queries) = vpi.covers_runs(&[2], &[&runs]);
+        assert!(pruned, "N4 must be t-dominated by p1");
+        assert_eq!(queries, 2, "one Boolean query per run");
+        // With a smaller A1 bound than p1's, no pruning.
+        let (pruned, _) = vpi.covers_runs(&[1], &[&runs]);
+        assert!(!pruned);
+    }
+
+    #[test]
+    fn point_check_single_query_is_exact() {
+        let (dag, doms, lab) = paper_setup();
+        // Build the skyline {p1=(2,c), p2=(3,d)} as in Table II.
+        let mut vpi = VirtualPointIndex::new(1, &doms, 8);
+        for (to, label, rec) in [(2u32, "c", 1u32), (3, "d", 2)] {
+            let v = dag.id_of(label).unwrap().0;
+            vpi.insert(&[to], &[doms[0].intervals(v)], rec);
+        }
+        // Every pair (to, value): the query must equal the list-based truth.
+        for to in 0u32..6 {
+            for v in dag.values() {
+                let posts = [lab.post(v)];
+                let (got, q) = vpi.covers_value(&[to], &posts);
+                assert_eq!(q, 1);
+                let c = dag.id_of("c").unwrap();
+                let d = dag.id_of("d").unwrap();
+                let expect = (2 <= to && lab.t_pref_or_equal(c, v))
+                    || (3 <= to && lab.t_pref_or_equal(d, v));
+                assert_eq!(got, expect, "to={to}, v={}", dag.label(v));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_po_dimension_cross_product() {
+        // Two copies of the paper domain; a skyline point with value f on
+        // both dims has 2x2 = 4 virtual points ({[1,1],[3,3]} each).
+        let dag = Dag::paper_example();
+        let doms = vec![PoDomain::new(dag.clone()), PoDomain::new(dag.clone())];
+        let f = dag.id_of("f").unwrap().0;
+        let h = dag.id_of("h").unwrap().0;
+        let a = dag.id_of("a").unwrap().0;
+        let mut vpi = VirtualPointIndex::new(1, &doms, 8);
+        vpi.insert(&[5], &[doms[0].intervals(f), doms[1].intervals(f)], 0);
+        assert_eq!(vpi.virtual_count(), 4);
+        let lab = doms[0].labeling();
+        let post = |raw: u32| lab.post(poset::ValueId(raw));
+        // (h, h) is reached by (f, f): dominated.
+        assert!(vpi.covers_value(&[5], &[post(h), post(h)]).0);
+        // (h, a): second dim not reached by f: not dominated.
+        assert!(!vpi.covers_value(&[5], &[post(h), post(a)]).0);
+        // Better TO bound excludes the skyline point.
+        assert!(!vpi.covers_value(&[4], &[post(h), post(h)]).0);
+    }
+
+    #[test]
+    fn empty_index_covers_nothing() {
+        let (_, doms, _) = paper_setup();
+        let vpi = VirtualPointIndex::new(2, &doms, 8);
+        assert!(!vpi.covers_value(&[9, 9], &[3]).0);
+        let set = doms[0].range_intervals(1, 9);
+        assert!(!vpi.covers_runs(&[9, 9], &[&set]).0);
+    }
+}

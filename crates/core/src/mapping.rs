@@ -1,0 +1,128 @@
+use poset::{Dag, DyadicIndex, IntervalSet, Reachability, TssLabeling, ValueId};
+
+/// Everything TSS precomputes about one partially ordered domain: the DAG,
+/// its exact interval labeling (topological ordinals + propagated interval
+/// sets), the dyadic range index over the topologically sorted domain, and
+/// the bitset transitive closure (ground truth, used by oracles and by the
+/// baselines' exact cross-checks).
+#[derive(Debug, Clone)]
+pub struct PoDomain {
+    dag: Dag,
+    labeling: TssLabeling,
+    dyadic: DyadicIndex,
+    reach: Reachability,
+}
+
+impl PoDomain {
+    /// Precomputes all structures for `dag` (default DFS spanning tree).
+    pub fn new(dag: Dag) -> Self {
+        let labeling = TssLabeling::build_default(&dag);
+        Self::from_labeling(dag, labeling)
+    }
+
+    /// Precomputes all structures with an explicit spanning tree (tests
+    /// reproducing the paper's Fig. 2 labels use its hand-drawn tree).
+    pub fn with_tree(dag: Dag, tree: poset::SpanningTree) -> Self {
+        let labeling = TssLabeling::build(&dag, tree);
+        Self::from_labeling(dag, labeling)
+    }
+
+    fn from_labeling(dag: Dag, labeling: TssLabeling) -> Self {
+        let dyadic = DyadicIndex::build(&labeling);
+        let reach = Reachability::build(&dag);
+        PoDomain { dag, labeling, dyadic, reach }
+    }
+
+    /// The domain DAG.
+    #[inline]
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The exact TSS labeling.
+    #[inline]
+    pub fn labeling(&self) -> &TssLabeling {
+        &self.labeling
+    }
+
+    /// The dyadic range index.
+    #[inline]
+    pub fn dyadic(&self) -> &DyadicIndex {
+        &self.dyadic
+    }
+
+    /// The transitive closure.
+    #[inline]
+    pub fn reach(&self) -> &Reachability {
+        &self.reach
+    }
+
+    /// Domain cardinality.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dag.len()
+    }
+
+    /// True iff the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dag.is_empty()
+    }
+
+    /// The topological ordinal (1-based) of a raw value id — the value's
+    /// coordinate in the constructed `A_TO` dimension.
+    #[inline]
+    pub fn ordinal(&self, raw: u32) -> u32 {
+        self.labeling.ordinal(ValueId(raw))
+    }
+
+    /// The interval set of a raw value id.
+    #[inline]
+    pub fn intervals(&self, raw: u32) -> &IntervalSet {
+        self.labeling.intervals(ValueId(raw))
+    }
+
+    /// Merged interval set for an ordinal range, via the dyadic index.
+    #[inline]
+    pub fn range_intervals(&self, lo: u32, hi: u32) -> IntervalSet {
+        self.dyadic.range(lo, hi)
+    }
+
+    /// "At least as good": equal values or exact preference.
+    #[inline]
+    pub fn pref_or_equal(&self, a: u32, b: u32) -> bool {
+        self.labeling.t_pref_or_equal(ValueId(a), ValueId(b))
+    }
+
+    /// Strict exact preference.
+    #[inline]
+    pub fn pref(&self, a: u32, b: u32) -> bool {
+        self.labeling.t_pref(ValueId(a), ValueId(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundles_consistent_structures() {
+        let dag = Dag::paper_example();
+        let dom = PoDomain::new(dag);
+        assert_eq!(dom.len(), 9);
+        // Ordinals: deterministic topo sort is alphabetical here.
+        assert_eq!(dom.ordinal(0), 1); // a
+        assert_eq!(dom.ordinal(8), 9); // i
+        // pref agrees with the closure.
+        for x in 0..9u32 {
+            for y in 0..9u32 {
+                assert_eq!(
+                    dom.pref(x, y),
+                    dom.reach().preferred(ValueId(x), ValueId(y))
+                );
+            }
+        }
+        // Dyadic range equals labeling range.
+        assert_eq!(dom.range_intervals(2, 7), dom.labeling().range_intervals(2, 7));
+    }
+}

@@ -1,0 +1,107 @@
+use std::time::Duration;
+
+/// Execution metrics common to all paper algorithms: the efficiency measures
+/// of §III-A plus wall-clock CPU time, combined by the paper's IO charging
+/// model (§VI-B "after charging 5 msec for each IO").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Pairwise dominance / containment checks.
+    pub dominance_checks: u64,
+    /// Disk-page reads (R-tree node accesses plus, for rebuild-style
+    /// baselines, sequential data passes).
+    pub io_reads: u64,
+    /// Disk-page writes (index rebuilds of the dynamic baselines).
+    pub io_writes: u64,
+    /// Heap pops performed by best-first traversals.
+    pub heap_pops: u64,
+    /// Skyline points emitted.
+    pub results: u64,
+    /// Measured CPU time (single-threaded wall clock of the run).
+    pub cpu: Duration,
+}
+
+impl Metrics {
+    /// Total IOs, reads plus writes.
+    pub fn io_total(&self) -> u64 {
+        self.io_reads + self.io_writes
+    }
+
+    /// Componentwise sum.
+    pub fn merge(&self, other: &Metrics) -> Metrics {
+        Metrics {
+            dominance_checks: self.dominance_checks + other.dominance_checks,
+            io_reads: self.io_reads + other.io_reads,
+            io_writes: self.io_writes + other.io_writes,
+            heap_pops: self.heap_pops + other.heap_pops,
+            results: self.results + other.results,
+            cpu: self.cpu + other.cpu,
+        }
+    }
+}
+
+/// The paper's cost model: total time = CPU + `io_cost` per page IO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Charged cost of one page IO (the paper uses 5 ms).
+    pub io_cost: Duration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { io_cost: Duration::from_millis(5) }
+    }
+}
+
+impl CostModel {
+    /// Simulated total time of a run under this model.
+    pub fn total_time(&self, m: &Metrics) -> Duration {
+        m.cpu + self.io_cost * (m.io_total() as u32)
+    }
+
+    /// CPU share of the simulated total (the percentages annotated on
+    /// Fig. 7).
+    pub fn cpu_fraction(&self, m: &Metrics) -> f64 {
+        let total = self.total_time(m).as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            m.cpu.as_secs_f64() / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = Metrics {
+            dominance_checks: 1,
+            io_reads: 2,
+            io_writes: 3,
+            heap_pops: 4,
+            results: 5,
+            cpu: Duration::from_millis(10),
+        };
+        let b = a;
+        let m = a.merge(&b);
+        assert_eq!(m.dominance_checks, 2);
+        assert_eq!(m.io_total(), 10);
+        assert_eq!(m.cpu, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn cost_model_charges_ios() {
+        let m = Metrics { io_reads: 100, cpu: Duration::from_millis(500), ..Default::default() };
+        let model = CostModel::default();
+        assert_eq!(model.total_time(&m), Duration::from_millis(1000));
+        assert!((model.cpu_fraction(&m) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_run_has_zero_fraction() {
+        let model = CostModel::default();
+        assert_eq!(model.cpu_fraction(&Metrics::default()), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+use crate::{CostModel, Metrics};
+use std::time::Duration;
+
+/// State of a run at the moment one skyline point was emitted — the raw
+/// material of the paper's progressiveness study (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSample {
+    /// Results emitted so far (including this one).
+    pub results: u64,
+    /// CPU time elapsed since the run started.
+    pub elapsed_cpu: Duration,
+    /// Page reads so far.
+    pub io_reads: u64,
+    /// Dominance checks so far.
+    pub dominance_checks: u64,
+}
+
+impl ProgressSample {
+    /// Simulated elapsed time under the IO-charging model.
+    pub fn elapsed_total(&self, model: CostModel) -> Duration {
+        self.elapsed_cpu + model.io_cost * (self.io_reads as u32)
+    }
+}
+
+/// The full emission timeline of a run.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressLog {
+    /// One sample per emitted skyline point, in emission order.
+    pub samples: Vec<ProgressSample>,
+    /// Metrics at termination.
+    pub final_metrics: Metrics,
+}
+
+impl ProgressLog {
+    /// Simulated time needed to retrieve `frac` (0–1] of the final result
+    /// set — the y-axis of Fig. 11. Returns the full-run time for an empty
+    /// skyline or `frac = 1`.
+    pub fn time_to_fraction(&self, frac: f64, model: CostModel) -> Duration {
+        assert!((0.0..=1.0).contains(&frac));
+        if self.samples.is_empty() {
+            return model.total_time(&self.final_metrics);
+        }
+        let needed = ((self.samples.len() as f64 * frac).ceil() as usize).clamp(1, self.samples.len());
+        if needed == self.samples.len() && frac >= 1.0 {
+            return model.total_time(&self.final_metrics);
+        }
+        self.samples[needed - 1].elapsed_total(model)
+    }
+
+    /// Results emitted within the first `frac` of the run's simulated time —
+    /// an inverse view of the same curve.
+    pub fn results_within(&self, time: Duration, model: CostModel) -> u64 {
+        self.samples
+            .iter()
+            .rev()
+            .find(|s| s.elapsed_total(model) <= time)
+            .map_or(0, |s| s.results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> ProgressLog {
+        let mk = |results, ms, io| ProgressSample {
+            results,
+            elapsed_cpu: Duration::from_millis(ms),
+            io_reads: io,
+            dominance_checks: results * 3,
+        };
+        ProgressLog {
+            samples: vec![mk(1, 10, 1), mk(2, 20, 2), mk(3, 30, 3), mk(4, 100, 20)],
+            final_metrics: Metrics {
+                results: 4,
+                io_reads: 25,
+                cpu: Duration::from_millis(120),
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn fraction_lookup() {
+        let model = CostModel { io_cost: Duration::from_millis(5) };
+        let l = log();
+        // 25% -> first sample: 10ms + 1*5ms.
+        assert_eq!(l.time_to_fraction(0.25, model), Duration::from_millis(15));
+        // 50% -> second sample: 20 + 10.
+        assert_eq!(l.time_to_fraction(0.5, model), Duration::from_millis(30));
+        // 100% -> full run: 120 + 125.
+        assert_eq!(l.time_to_fraction(1.0, model), Duration::from_millis(245));
+    }
+
+    #[test]
+    fn inverse_lookup() {
+        let model = CostModel { io_cost: Duration::from_millis(5) };
+        let l = log();
+        assert_eq!(l.results_within(Duration::from_millis(14), model), 0);
+        assert_eq!(l.results_within(Duration::from_millis(31), model), 2);
+        assert_eq!(l.results_within(Duration::from_secs(10), model), 4);
+    }
+
+    #[test]
+    fn empty_log_falls_back_to_final() {
+        let model = CostModel::default();
+        let l = ProgressLog {
+            samples: vec![],
+            final_metrics: Metrics { cpu: Duration::from_millis(7), ..Default::default() },
+        };
+        assert_eq!(l.time_to_fraction(0.5, model), Duration::from_millis(7));
+    }
+}

@@ -1,0 +1,157 @@
+use crate::CoreError;
+
+/// A skyline input relation: `n` tuples with `to_dims` totally ordered
+/// integer attributes (smaller is better) and `po_dims` partially ordered
+/// attributes stored as value ids into their domain DAGs.
+///
+/// Storage is flattened row-major, so multi-million-tuple workloads cost two
+/// allocations total.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    n: usize,
+    to_dims: usize,
+    po_dims: usize,
+    to: Vec<u32>,
+    po: Vec<u32>,
+}
+
+impl Table {
+    /// An empty table with the given dimensionality.
+    pub fn new(to_dims: usize, po_dims: usize) -> Self {
+        Table { n: 0, to_dims, po_dims, to: Vec::new(), po: Vec::new() }
+    }
+
+    /// Wraps pre-generated flattened matrices (e.g. from `datagen`).
+    pub fn from_parts(
+        to_dims: usize,
+        po_dims: usize,
+        to: Vec<u32>,
+        po: Vec<u32>,
+    ) -> Result<Self, CoreError> {
+        if to_dims == 0 && po_dims == 0 {
+            return Err(CoreError::NoDimensions);
+        }
+        let n = if to_dims > 0 { to.len() / to_dims } else { po.len() / po_dims.max(1) };
+        if to_dims > 0 && to.len() != n * to_dims {
+            return Err(CoreError::RaggedMatrix { what: "TO", len: to.len(), n, dims: to_dims });
+        }
+        if po.len() != n * po_dims {
+            return Err(CoreError::RaggedMatrix { what: "PO", len: po.len(), n, dims: po_dims });
+        }
+        Ok(Table { n, to_dims, po_dims, to, po })
+    }
+
+    /// Appends one tuple.
+    pub fn push(&mut self, to_row: &[u32], po_row: &[u32]) {
+        assert_eq!(to_row.len(), self.to_dims, "TO row width");
+        assert_eq!(po_row.len(), self.po_dims, "PO row width");
+        self.to.extend_from_slice(to_row);
+        self.po.extend_from_slice(po_row);
+        self.n += 1;
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the table holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of totally ordered attributes.
+    #[inline]
+    pub fn to_dims(&self) -> usize {
+        self.to_dims
+    }
+
+    /// Number of partially ordered attributes.
+    #[inline]
+    pub fn po_dims(&self) -> usize {
+        self.po_dims
+    }
+
+    /// The TO coordinates of tuple `i`.
+    #[inline]
+    pub fn to_row(&self, i: usize) -> &[u32] {
+        &self.to[i * self.to_dims..(i + 1) * self.to_dims]
+    }
+
+    /// The PO value ids of tuple `i`.
+    #[inline]
+    pub fn po_row(&self, i: usize) -> &[u32] {
+        &self.po[i * self.po_dims..(i + 1) * self.po_dims]
+    }
+
+    /// Validates every PO value id against per-dimension domain sizes.
+    pub fn check_domains(&self, sizes: &[u32]) -> Result<(), CoreError> {
+        if sizes.len() != self.po_dims {
+            return Err(CoreError::DomainCountMismatch { dags: sizes.len(), po_dims: self.po_dims });
+        }
+        for i in 0..self.n {
+            let row = self.po_row(i);
+            for (d, (&v, &s)) in row.iter().zip(sizes.iter()).enumerate() {
+                if v >= s {
+                    return Err(CoreError::PoValueOutOfRange { row: i, dim: d, value: v, domain: s });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut t = Table::new(2, 1);
+        t.push(&[1, 2], &[0]);
+        t.push(&[3, 4], &[5]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.to_row(0), &[1, 2]);
+        assert_eq!(t.to_row(1), &[3, 4]);
+        assert_eq!(t.po_row(1), &[5]);
+        assert_eq!((t.to_dims(), t.po_dims()), (2, 1));
+    }
+
+    #[test]
+    fn from_parts_validates_shape() {
+        assert!(Table::from_parts(2, 1, vec![1, 2, 3, 4], vec![0, 0]).is_ok());
+        assert!(matches!(
+            Table::from_parts(2, 1, vec![1, 2, 3], vec![0, 0]),
+            Err(CoreError::RaggedMatrix { .. })
+        ));
+        assert!(matches!(
+            Table::from_parts(2, 1, vec![1, 2, 3, 4], vec![0]),
+            Err(CoreError::RaggedMatrix { .. })
+        ));
+        assert!(matches!(Table::from_parts(0, 0, vec![], vec![]), Err(CoreError::NoDimensions)));
+    }
+
+    #[test]
+    fn po_only_table() {
+        let t = Table::from_parts(0, 2, vec![], vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.po_row(0), &[1, 2]);
+        assert!(t.to_row(0).is_empty());
+    }
+
+    #[test]
+    fn domain_check() {
+        let t = Table::from_parts(1, 2, vec![5, 6], vec![0, 3, 1, 2]).unwrap();
+        assert!(t.check_domains(&[2, 4]).is_ok());
+        assert!(matches!(
+            t.check_domains(&[2, 3]),
+            Err(CoreError::PoValueOutOfRange { row: 0, dim: 1, value: 3, domain: 3 })
+        ));
+        assert!(matches!(
+            t.check_domains(&[2]),
+            Err(CoreError::DomainCountMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,714 @@
+//! **sTSS** — the static TSS skyline algorithm of §IV.
+//!
+//! Build phase: each PO attribute is topologically sorted; tuples are mapped
+//! into `TO × A_TO^|PO|` (original TO coordinates plus one ordinal per PO
+//! attribute) and STR-bulk-loaded into a disk-style R-tree.
+//!
+//! Query phase: a BBS-style best-first traversal by L1 mindist. Precedence
+//! holds because dominance implies a strictly smaller mindist (ordinals
+//! extend the partial orders; ties only between exact duplicates, which do
+//! not dominate). Every check uses the exact interval labels, so a point
+//! that survives is immediately — and permanently — a skyline point:
+//! optimal progressiveness.
+
+use crate::dominance::t_dominates;
+use crate::progressive::{ProgressLog, ProgressSample};
+use crate::{CoreError, Metrics, PoDomain, Table, VirtualPointIndex};
+use poset::{Dag, FullRangeIndex, IntervalSet};
+use rtree::{Mbb, PageConfig, Popped, RTree};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// How the merged interval set of an MBB's ordinal range is obtained —
+/// the space/time trade-off of §IV-B's first optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RangeStrategy {
+    /// Merge the per-value sets on the fly: `O(|range|)` time, no space.
+    Naive,
+    /// Precomputed dyadic ranges: `O(log |range|)` time, linear space — the
+    /// paper's recommended middle ground (default).
+    #[default]
+    Dyadic,
+    /// Precompute *every* range in a table: `O(1)` time, quadratic space —
+    /// the paper's first, discarded-for-space solution, kept for ablations.
+    Full,
+}
+
+/// Tuning knobs for [`Stss`]. The defaults reproduce the configuration the
+/// paper benchmarks ("for fairness we implement TSS without the main memory
+/// R-tree optimization"): dyadic range index on, fast check off,
+/// single-dominator MBB checks.
+#[derive(Debug, Clone, Copy)]
+pub struct StssConfig {
+    /// Page model used to derive the node capacity.
+    pub page: PageConfig,
+    /// Explicit node capacity override (else derived from `page`).
+    pub node_capacity: Option<usize>,
+    /// Range-set lookup strategy for MBB checks (§IV-B first optimization).
+    pub range_strategy: RangeStrategy,
+    /// Use the main-memory virtual-point R-tree for dominance checks
+    /// (§IV-B second optimization). Off = scan the skyline list.
+    pub fast_check: bool,
+    /// MBB pruning flavor when `fast_check` is off: `false` = the paper's
+    /// single-dominator check (one skyline point must cover every run);
+    /// `true` = allow different skyline points to cover different run
+    /// combinations (strictly more pruning, still sound).
+    pub multi_cover_mbb: bool,
+    /// Optional LRU page buffer (in pages) on the disk R-tree — the paper's
+    /// "IO cost can be mitigated using buffers" remark; `None` (default)
+    /// matches the paper's no-buffer benchmark setting.
+    pub buffer_pages: Option<usize>,
+}
+
+impl Default for StssConfig {
+    fn default() -> Self {
+        StssConfig {
+            page: PageConfig::default(),
+            node_capacity: None,
+            range_strategy: RangeStrategy::Dyadic,
+            fast_check: false,
+            multi_cover_mbb: false,
+            buffer_pages: None,
+        }
+    }
+}
+
+/// One skyline result: the record index plus its attribute values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkylinePoint {
+    /// Row index into the input [`Table`].
+    pub record: u32,
+    /// TO coordinates.
+    pub to: Vec<u32>,
+    /// PO value ids.
+    pub po: Vec<u32>,
+}
+
+/// The sTSS operator: an immutable index over a table, runnable any number
+/// of times.
+#[derive(Debug)]
+pub struct Stss {
+    table: Table,
+    domains: Vec<PoDomain>,
+    tree: RTree,
+    cfg: StssConfig,
+    /// Quadratic-space range tables, built only under
+    /// [`RangeStrategy::Full`].
+    full_ranges: Option<Vec<FullRangeIndex>>,
+}
+
+/// Result of a full [`Stss::run`].
+#[derive(Debug, Clone)]
+pub struct StssRun {
+    /// Skyline points in emission (mindist) order.
+    pub skyline: Vec<SkylinePoint>,
+    /// Execution metrics.
+    pub metrics: Metrics,
+}
+
+impl StssRun {
+    /// Record indices of the skyline, in emission order.
+    pub fn skyline_records(&self) -> Vec<u32> {
+        self.skyline.iter().map(|p| p.record).collect()
+    }
+}
+
+impl Stss {
+    /// Builds the operator: validates the table against the DAGs, labels
+    /// every domain, maps tuples to the transformed space and bulk-loads the
+    /// R-tree.
+    pub fn build(table: Table, dags: Vec<Dag>, cfg: StssConfig) -> Result<Self, CoreError> {
+        if dags.len() != table.po_dims() {
+            return Err(CoreError::DomainCountMismatch { dags: dags.len(), po_dims: table.po_dims() });
+        }
+        let sizes: Vec<u32> = dags.iter().map(|d| d.len() as u32).collect();
+        table.check_domains(&sizes)?;
+        let domains: Vec<PoDomain> = dags.into_iter().map(PoDomain::new).collect();
+        let dims = table.to_dims() + table.po_dims();
+        if dims == 0 {
+            return Err(CoreError::NoDimensions);
+        }
+        let cap = cfg.node_capacity.unwrap_or_else(|| cfg.page.capacity(dims));
+        let mut pts = Vec::with_capacity(table.len());
+        for i in 0..table.len() {
+            pts.push((Self::transform(&table, &domains, i), i as u32));
+        }
+        let mut tree = RTree::bulk_load(dims, cap, pts);
+        if let Some(pages) = cfg.buffer_pages {
+            tree.enable_buffer(pages);
+        }
+        let full_ranges = Self::build_full_ranges(&domains, cfg);
+        Ok(Stss { table, domains, tree, cfg, full_ranges })
+    }
+
+    fn build_full_ranges(
+        domains: &[PoDomain],
+        cfg: StssConfig,
+    ) -> Option<Vec<FullRangeIndex>> {
+        (cfg.range_strategy == RangeStrategy::Full)
+            .then(|| domains.iter().map(|d| FullRangeIndex::build(d.labeling())).collect())
+    }
+
+    /// Builds over an explicitly structured tree (tests reproducing the
+    /// paper's hand-drawn Fig. 3 index).
+    pub fn with_tree(
+        table: Table,
+        dags: Vec<Dag>,
+        tree: RTree,
+        cfg: StssConfig,
+    ) -> Result<Self, CoreError> {
+        if dags.len() != table.po_dims() {
+            return Err(CoreError::DomainCountMismatch { dags: dags.len(), po_dims: table.po_dims() });
+        }
+        let sizes: Vec<u32> = dags.iter().map(|d| d.len() as u32).collect();
+        table.check_domains(&sizes)?;
+        let domains: Vec<PoDomain> = dags.into_iter().map(PoDomain::new).collect();
+        let full_ranges = Self::build_full_ranges(&domains, cfg);
+        Ok(Stss { table, domains, tree, cfg, full_ranges })
+    }
+
+    /// Transformed coordinates of row `i`: TO values then one topological
+    /// ordinal per PO attribute.
+    fn transform(table: &Table, domains: &[PoDomain], i: usize) -> Vec<u32> {
+        let mut c = Vec::with_capacity(table.to_dims() + table.po_dims());
+        c.extend_from_slice(table.to_row(i));
+        for (d, &v) in table.po_row(i).iter().enumerate() {
+            c.push(domains[d].ordinal(v));
+        }
+        c
+    }
+
+    /// The input table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The precomputed PO domains.
+    pub fn domains(&self) -> &[PoDomain] {
+        &self.domains
+    }
+
+    /// The disk R-tree in the transformed space.
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// Full run: collects the skyline and metrics.
+    pub fn run(&self) -> StssRun {
+        let mut skyline = Vec::new();
+        let metrics = self.run_with(|p, _| skyline.push(p.clone()));
+        StssRun { skyline, metrics }
+    }
+
+    /// Full run that also records the emission timeline for progressiveness
+    /// studies (Fig. 11).
+    pub fn run_progressive(&self) -> (StssRun, ProgressLog) {
+        let mut skyline = Vec::new();
+        let mut samples = Vec::new();
+        let metrics = self.run_with(|p, s| {
+            skyline.push(p.clone());
+            samples.push(s);
+        });
+        (
+            StssRun { skyline, metrics },
+            ProgressLog { samples, final_metrics: metrics },
+        )
+    }
+
+    /// Streaming run: `emit` fires the instant a skyline point is confirmed
+    /// (optimal progressiveness), with a snapshot of the run state.
+    pub fn run_with(&self, mut emit: impl FnMut(&SkylinePoint, ProgressSample)) -> Metrics {
+        let start = Instant::now();
+        let mut m = Metrics::default();
+        self.tree.reset_io();
+        let to_dims = self.table.to_dims();
+        // The confirmed skyline: (to, po values, interval sets are derived).
+        let mut skyline: Vec<SkylinePoint> = Vec::new();
+        let mut vpi = self.cfg.fast_check.then(|| {
+            VirtualPointIndex::new(to_dims, &self.domains, self.cfg.page.capacity(to_dims + 2 * self.domains.len()))
+        });
+        // Exact-key set: keeps duplicate handling exact under fast checks.
+        let mut keys: HashSet<(Vec<u32>, Vec<u32>)> = HashSet::new();
+
+        let mut bf = self.tree.best_first();
+        while let Some(popped) = bf.pop() {
+            m.heap_pops += 1;
+            match popped {
+                Popped::Node { id, mbb, .. } => {
+                    if !self.mbb_dominated(mbb, &skyline, vpi.as_ref(), &mut m) {
+                        bf.expand(id);
+                    }
+                }
+                Popped::Record { point, record, .. } => {
+                    let to = &point[..to_dims];
+                    let po = self.table.po_row(record as usize);
+                    if !self.point_dominated(to, po, &skyline, vpi.as_ref(), &keys, &mut m) {
+                        let sp = SkylinePoint { record, to: to.to_vec(), po: po.to_vec() };
+                        if let Some(vpi) = vpi.as_mut() {
+                            let sets: Vec<&IntervalSet> = po
+                                .iter()
+                                .enumerate()
+                                .map(|(d, &v)| self.domains[d].intervals(v))
+                                .collect();
+                            vpi.insert(to, &sets, record);
+                        }
+                        keys.insert((sp.to.clone(), sp.po.clone()));
+                        skyline.push(sp);
+                        m.results += 1;
+                        m.io_reads = self.tree.io_count();
+                        emit(
+                            skyline.last().unwrap(),
+                            ProgressSample {
+                                results: m.results,
+                                elapsed_cpu: start.elapsed(),
+                                io_reads: m.io_reads,
+                                dominance_checks: m.dominance_checks,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // Duplicate completion: MBB pruning with closed bounds can coalesce
+        // exact duplicates of skyline points (a pruned subtree may hold a
+        // tuple identical to the pruning point — DESIGN.md §1.2). Identical
+        // tuples are skyline iff their representative is: nothing dominating
+        // the copy could spare the original. One table scan emits the
+        // missing copies.
+        if m.results > 0 {
+            let mut emitted = vec![false; self.table.len()];
+            let mut by_hash: std::collections::HashMap<u64, Vec<u32>> =
+                std::collections::HashMap::new();
+            for sp in &skyline {
+                emitted[sp.record as usize] = true;
+                by_hash.entry(Self::row_hash(&sp.to, &sp.po)).or_default().push(sp.record);
+            }
+            let mut extra: Vec<SkylinePoint> = Vec::new();
+            for i in 0..self.table.len() {
+                if emitted[i] {
+                    continue;
+                }
+                let (to, po) = (self.table.to_row(i), self.table.po_row(i));
+                let Some(cands) = by_hash.get(&Self::row_hash(to, po)) else { continue };
+                let is_dup = cands.iter().any(|&r| {
+                    self.table.to_row(r as usize) == to && self.table.po_row(r as usize) == po
+                });
+                if is_dup {
+                    extra.push(SkylinePoint { record: i as u32, to: to.to_vec(), po: po.to_vec() });
+                }
+            }
+            for sp in extra {
+                m.results += 1;
+                skyline.push(sp);
+                emit(
+                    skyline.last().unwrap(),
+                    ProgressSample {
+                        results: m.results,
+                        elapsed_cpu: start.elapsed(),
+                        io_reads: self.tree.io_count(),
+                        dominance_checks: m.dominance_checks,
+                    },
+                );
+            }
+        }
+        m.io_reads = self.tree.io_count();
+        m.cpu = start.elapsed();
+        m
+    }
+
+    /// Hash of a tuple's attribute values (duplicate detection).
+    fn row_hash(to: &[u32], po: &[u32]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        to.hash(&mut h);
+        po.hash(&mut h);
+        h.finish()
+    }
+
+    /// Is the candidate point t-dominated by the current skyline?
+    fn point_dominated(
+        &self,
+        to: &[u32],
+        po: &[u32],
+        skyline: &[SkylinePoint],
+        vpi: Option<&VirtualPointIndex>,
+        keys: &HashSet<(Vec<u32>, Vec<u32>)>,
+        m: &mut Metrics,
+    ) -> bool {
+        if let Some(vpi) = vpi {
+            // Exact duplicates of skyline points are never dominated.
+            if keys.contains(&(to.to_vec(), po.to_vec())) {
+                return false;
+            }
+            let posts: Vec<u32> = po
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| self.domains[d].labeling().post(poset::ValueId(v)))
+                .collect();
+            let (hit, queries) = vpi.covers_value(to, &posts);
+            m.dominance_checks += queries;
+            return hit;
+        }
+        for s in skyline {
+            m.dominance_checks += 1;
+            if t_dominates(&self.domains, &s.to, &s.po, to, po) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Can the whole MBB be pruned?
+    fn mbb_dominated(
+        &self,
+        mbb: &Mbb,
+        skyline: &[SkylinePoint],
+        vpi: Option<&VirtualPointIndex>,
+        m: &mut Metrics,
+    ) -> bool {
+        if skyline.is_empty() && vpi.is_none() {
+            return false;
+        }
+        let to_dims = self.table.to_dims();
+        let to_min = &mbb.lo()[..to_dims];
+        // Merged interval sets of the MBB's ordinal ranges, per PO dim.
+        let run_sets: Vec<IntervalSet> = (0..self.domains.len())
+            .map(|d| {
+                let lo = mbb.lo()[to_dims + d];
+                let hi = mbb.hi()[to_dims + d];
+                match self.cfg.range_strategy {
+                    RangeStrategy::Naive => self.domains[d].labeling().range_intervals(lo, hi),
+                    RangeStrategy::Dyadic => self.domains[d].range_intervals(lo, hi),
+                    RangeStrategy::Full => self
+                        .full_ranges
+                        .as_ref()
+                        .expect("built under RangeStrategy::Full")[d]
+                        .range(lo, hi)
+                        .clone(),
+                }
+            })
+            .collect();
+        if let Some(vpi) = vpi {
+            let refs: Vec<&IntervalSet> = run_sets.iter().collect();
+            let (hit, queries) = vpi.covers_runs(to_min, &refs);
+            m.dominance_checks += queries;
+            return hit;
+        }
+        if self.cfg.multi_cover_mbb {
+            return self.mbb_multi_cover(to_min, &run_sets, skyline, m);
+        }
+        // Paper-faithful single-dominator check: one skyline point must be
+        // at least as good on every TO dim and cover every run on every PO
+        // dim (§IV-A step 7).
+        'outer: for s in skyline {
+            m.dominance_checks += 1;
+            if s.to.iter().zip(to_min.iter()).any(|(sv, mv)| sv > mv) {
+                continue;
+            }
+            for (d, runs) in run_sets.iter().enumerate() {
+                if !self.domains[d].intervals(s.po[d]).covers_set(runs) {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Multi-cover MBB check: every combination of runs must be covered by
+    /// *some* skyline point (different points may cover different
+    /// combinations). Sound by the own-post argument in `fastcheck.rs`.
+    fn mbb_multi_cover(
+        &self,
+        to_min: &[u32],
+        run_sets: &[IntervalSet],
+        skyline: &[SkylinePoint],
+        m: &mut Metrics,
+    ) -> bool {
+        if run_sets.iter().any(|s| s.is_empty()) {
+            return false;
+        }
+        let k = run_sets.len();
+        let mut combo = vec![0usize; k];
+        loop {
+            let covered = skyline.iter().any(|s| {
+                m.dominance_checks += 1;
+                if s.to.iter().zip(to_min.iter()).any(|(sv, mv)| sv > mv) {
+                    return false;
+                }
+                combo.iter().zip(run_sets.iter()).enumerate().all(|(d, (&i, runs))| {
+                    self.domains[d]
+                        .intervals(s.po[d])
+                        .covers_interval(&runs.intervals()[i])
+                })
+            });
+            if !covered {
+                return false;
+            }
+            let mut d = 0;
+            loop {
+                if d == k {
+                    return true;
+                }
+                combo[d] += 1;
+                if combo[d] < run_sets[d].len() {
+                    break;
+                }
+                combo[d] = 0;
+                d += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::brute_force_po_skyline;
+    use poset::Dag;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The Fig. 3 example: 13 points over (A1, A2) with the paper domain.
+    /// Ids: a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8.
+    fn fig3_table() -> Table {
+        let mut t = Table::new(1, 1);
+        for (a1, a2) in [
+            (2u32, 2u32), // p1  c
+            (3, 3),       // p2  d
+            (1, 7),       // p3  h
+            (8, 0),       // p4  a
+            (6, 4),       // p5  e
+            (7, 2),       // p6  c
+            (9, 1),       // p7  b
+            (4, 8),       // p8  i
+            (2, 5),       // p9  f
+            (3, 6),       // p10 g
+            (5, 6),       // p11 g
+            (7, 5),       // p12 f
+            (9, 7),       // p13 h
+        ] {
+            t.push(&[a1], &[a2]);
+        }
+        t
+    }
+
+    fn run_config(cfg: StssConfig) -> Vec<u32> {
+        let stss = Stss::build(fig3_table(), vec![Dag::paper_example()], cfg).unwrap();
+        let mut r = stss.run().skyline_records();
+        r.sort_unstable();
+        r
+    }
+
+    #[test]
+    fn fig3_skyline_all_configs() {
+        // Table II: final skyline = {p1..p5} = records 0..=4.
+        let expect: Vec<u32> = (0..5).collect();
+        for strategy in [RangeStrategy::Naive, RangeStrategy::Dyadic, RangeStrategy::Full] {
+            for fast_check in [false, true] {
+                for multi in [false, true] {
+                    let cfg = StssConfig {
+                        range_strategy: strategy,
+                        fast_check,
+                        multi_cover_mbb: multi,
+                        node_capacity: Some(3),
+                        ..Default::default()
+                    };
+                    assert_eq!(run_config(cfg), expect, "{strategy:?} fast={fast_check} multi={multi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emission_order_is_progressive() {
+        // Emission follows mindist order in the transformed space; for the
+        // Fig. 3 data that is exactly p1, p2, p3, p4, p5 (Table II).
+        let stss = Stss::build(
+            fig3_table(),
+            vec![Dag::paper_example()],
+            StssConfig { node_capacity: Some(3), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(stss.run().skyline_records(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn progress_log_is_monotone() {
+        let stss = Stss::build(fig3_table(), vec![Dag::paper_example()], StssConfig::default())
+            .unwrap();
+        let (run, log) = stss.run_progressive();
+        assert_eq!(log.samples.len(), run.skyline.len());
+        for w in log.samples.windows(2) {
+            assert!(w[0].results < w[1].results);
+            assert!(w[0].io_reads <= w[1].io_reads);
+            assert!(w[0].dominance_checks <= w[1].dominance_checks);
+        }
+    }
+
+
+    /// Regression (found by proptest): exact duplicates of a skyline point
+    /// sitting in a *different leaf* used to be coalesced by the
+    /// closed-bound MBB pruning; the duplicate-completion pass must restore
+    /// them under keep-all semantics — in every configuration.
+    #[test]
+    fn duplicates_across_pruned_leaves_are_completed() {
+        let mut t = Table::new(2, 1);
+        // Seven copies of (0,0,c) scattered across tiny (cap=2) leaves, plus
+        // fillers ensuring multiple nodes.
+        for _ in 0..7 {
+            t.push(&[0, 0], &[2]);
+        }
+        for (a, b, v) in [(0, 2, 0), (0, 1, 1), (10, 0, 3), (2, 8, 8), (8, 5, 8)] {
+            t.push(&[a, b], &[v]);
+        }
+        let dag = Dag::paper_example();
+        let domains = vec![PoDomain::new(dag.clone())];
+        let mut expect = brute_force_po_skyline(&domains, &t);
+        expect.sort_unstable();
+        for fast in [false, true] {
+            for multi in [false, true] {
+                let cfg = StssConfig {
+                    fast_check: fast,
+                    multi_cover_mbb: multi,
+                    node_capacity: Some(2),
+                    ..Default::default()
+                };
+                let stss = Stss::build(t.clone(), vec![dag.clone()], cfg).unwrap();
+                let mut got = stss.run().skyline_records();
+                got.sort_unstable();
+                assert_eq!(got, expect, "fast={fast} multi={multi}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_tuples_all_reported() {
+        let mut t = Table::new(1, 1);
+        t.push(&[5], &[2]);
+        t.push(&[5], &[2]); // exact duplicate
+        t.push(&[9], &[2]); // dominated
+        for fast_check in [false, true] {
+            let stss = Stss::build(
+                t.clone(),
+                vec![Dag::paper_example()],
+                StssConfig { fast_check, ..Default::default() },
+            )
+            .unwrap();
+            let mut r = stss.run().skyline_records();
+            r.sort_unstable();
+            assert_eq!(r, vec![0, 1], "fast_check={fast_check}");
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        let t = Table::from_parts(1, 1, vec![1, 2], vec![0, 99]).unwrap();
+        assert!(matches!(
+            Stss::build(t, vec![Dag::paper_example()], StssConfig::default()),
+            Err(CoreError::PoValueOutOfRange { .. })
+        ));
+        let t2 = Table::new(1, 2);
+        assert!(matches!(
+            Stss::build(t2, vec![Dag::paper_example()], StssConfig::default()),
+            Err(CoreError::DomainCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_table_runs() {
+        let stss =
+            Stss::build(Table::new(2, 1), vec![Dag::paper_example()], StssConfig::default())
+                .unwrap();
+        let run = stss.run();
+        assert!(run.skyline.is_empty());
+        assert_eq!(run.metrics.results, 0);
+    }
+
+    #[test]
+    fn po_only_table() {
+        // No TO attributes at all: the skyline is the set of maximal values.
+        let mut t = Table::new(0, 1);
+        for v in 0..9u32 {
+            t.push(&[], &[v]);
+        }
+        let stss = Stss::build(t, vec![Dag::paper_example()], StssConfig::default()).unwrap();
+        let mut r = stss.run().skyline_records();
+        r.sort_unstable();
+        // Only "a" (id 0) is maximal in the paper domain.
+        assert_eq!(r, vec![0]);
+    }
+
+    fn random_table(n: usize, to_dims: usize, po_dims: usize, domain: u32, v: u32, seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Table::new(to_dims, po_dims);
+        for _ in 0..n {
+            let to: Vec<u32> = (0..to_dims).map(|_| rng.gen_range(0..domain)).collect();
+            let po: Vec<u32> = (0..po_dims).map(|_| rng.gen_range(0..v)).collect();
+            t.push(&to, &po);
+        }
+        t
+    }
+
+    #[test]
+    fn matches_oracle_on_random_data_two_po_dims() {
+        let dag1 = Dag::paper_example();
+        let dag2 = poset::generator::subset_lattice(poset::generator::LatticeParams {
+            height: 4,
+            density: 0.8,
+            seed: 5,
+            mode: poset::generator::DensityMode::Literal,
+        })
+        .unwrap();
+        let v2 = dag2.len() as u32;
+        for seed in 0..3u64 {
+            let table = random_table(400, 2, 2, 30, 9.min(v2), seed);
+            let domains = vec![PoDomain::new(dag1.clone()), PoDomain::new(dag2.clone())];
+            let mut expect = brute_force_po_skyline(&domains, &table);
+            expect.sort_unstable();
+            for cfg in [
+                StssConfig::default(),
+                StssConfig { fast_check: true, ..Default::default() },
+                StssConfig {
+                    multi_cover_mbb: true,
+                    range_strategy: RangeStrategy::Naive,
+                    ..Default::default()
+                },
+                StssConfig { range_strategy: RangeStrategy::Full, ..Default::default() },
+            ] {
+                let stss =
+                    Stss::build(table.clone(), vec![dag1.clone(), dag2.clone()], cfg).unwrap();
+                let mut got = stss.run().skyline_records();
+                got.sort_unstable();
+                assert_eq!(got, expect, "seed={seed} cfg={cfg:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// sTSS equals the ground-truth oracle on random tables over the
+        /// paper domain, across configurations.
+        #[test]
+        fn equals_oracle(
+            rows in proptest::collection::vec((0u32..12, 0u32..12, 0u32..9), 1..80),
+            fast in proptest::bool::ANY,
+            cap in 2usize..8,
+        ) {
+            let mut t = Table::new(2, 1);
+            for &(a, b, v) in &rows {
+                t.push(&[a, b], &[v]);
+            }
+            let dag = Dag::paper_example();
+            let domains = vec![PoDomain::new(dag.clone())];
+            let mut expect = brute_force_po_skyline(&domains, &t);
+            expect.sort_unstable();
+            let cfg = StssConfig { fast_check: fast, node_capacity: Some(cap), ..Default::default() };
+            let stss = Stss::build(t, vec![dag], cfg).unwrap();
+            let mut got = stss.run().skyline_records();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+use rand::Rng;
+
+/// Tuple distribution over the unit hypercube, scaled to integer domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Every coordinate drawn independently and uniformly — the paper's
+    /// *Independent* workload.
+    Independent,
+    /// Coordinates cluster around the diagonal (a good value in one
+    /// dimension predicts good values in the others), giving tiny skylines.
+    Correlated,
+    /// Coordinates cluster around an anti-diagonal hyperplane ("tickets
+    /// with few stops are more expensive"), giving large skylines — the
+    /// paper's *Anti-correlated* workload.
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// Short name used in reports ("indep", "corr", "anti").
+    pub fn short(&self) -> &'static str {
+        match self {
+            Distribution::Independent => "indep",
+            Distribution::Correlated => "corr",
+            Distribution::AntiCorrelated => "anti",
+        }
+    }
+
+    /// Samples one point in `[0,1)^dims` into `out`.
+    pub(crate) fn sample(&self, rng: &mut impl Rng, out: &mut [f64]) {
+        match self {
+            Distribution::Independent => {
+                for x in out.iter_mut() {
+                    *x = rng.gen::<f64>();
+                }
+            }
+            Distribution::Correlated => {
+                // A common diagonal position plus small per-dimension noise.
+                let v: f64 = rng.gen();
+                for x in out.iter_mut() {
+                    *x = clamp01(v + normal(rng, 0.0, 0.05));
+                }
+            }
+            Distribution::AntiCorrelated => {
+                // Coordinate sum concentrated near d/2: draw a plane offset
+                // c ~ N(0.5, 0.05), spread the point uniformly, then project
+                // onto the hyperplane sum = d*c; rejection-sample into the
+                // cube (clamping after a bounded number of retries keeps the
+                // generator total).
+                let d = out.len() as f64;
+                for _attempt in 0..16 {
+                    let c = clamp01(normal(rng, 0.5, 0.05));
+                    let mut sum = 0.0;
+                    for x in out.iter_mut() {
+                        *x = rng.gen::<f64>();
+                        sum += *x;
+                    }
+                    let shift = (d * c - sum) / d;
+                    let mut ok = true;
+                    for x in out.iter_mut() {
+                        *x += shift;
+                        if !(0.0..1.0).contains(x) {
+                            ok = false;
+                        }
+                    }
+                    if ok {
+                        return;
+                    }
+                }
+                for x in out.iter_mut() {
+                    *x = clamp01(*x);
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn clamp01(x: f64) -> f64 {
+    // Keep strictly below 1.0 so integer scaling stays in-domain.
+    x.clamp(0.0, 1.0 - f64::EPSILON)
+}
+
+/// Box–Muller normal sample (avoids pulling in `rand_distr`).
+pub(crate) fn normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    mu + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_many(dist: Distribution, dims: usize, n: usize) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n)
+            .map(|_| {
+                let mut p = vec![0.0; dims];
+                dist.sample(&mut rng, &mut p);
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn samples_stay_in_unit_cube() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
+            for p in sample_many(dist, 4, 2000) {
+                assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)), "{dist:?}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn anti_correlated_sums_concentrate() {
+        let pts = sample_many(Distribution::AntiCorrelated, 2, 4000);
+        let sums: Vec<f64> = pts.iter().map(|p| p.iter().sum()).collect();
+        let mean = sums.iter().sum::<f64>() / sums.len() as f64;
+        let var = sums.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sums.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean sum {mean}");
+        // Independent 2-d sums have variance 1/6 ≈ 0.167; anti-correlated
+        // must be far tighter.
+        assert!(var < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn correlated_coordinates_track_each_other() {
+        let pts = sample_many(Distribution::Correlated, 2, 4000);
+        let diffs: Vec<f64> = pts.iter().map(|p| (p[0] - p[1]).abs()).collect();
+        let mean_diff = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        // Independent |x-y| has mean 1/3; correlated is far smaller.
+        assert!(mean_diff < 0.1, "mean |x-y| = {mean_diff}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20000).map(|_| normal(&mut rng, 2.0, 0.5)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(Distribution::Independent.short(), "indep");
+        assert_eq!(Distribution::Correlated.short(), "corr");
+        assert_eq!(Distribution::AntiCorrelated.short(), "anti");
+    }
+}

@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Errors raised while constructing or validating partial-order domains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PosetError {
+    /// An edge `x -> x` was supplied; preference is irreflexive.
+    SelfLoop { node: u32 },
+    /// An edge endpoint referenced a node id outside `0..n`.
+    NodeOutOfRange { node: u32, len: u32 },
+    /// The supplied edge set contains a directed cycle, so it is not a
+    /// partial order. Reports one node on the cycle.
+    Cycle { witness: u32 },
+    /// A label was used that the builder does not know about.
+    UnknownLabel { label: String },
+    /// The same label was registered twice.
+    DuplicateLabel { label: String },
+    /// A generator or builder was asked for a domain larger than supported.
+    TooLarge { requested: usize, max: usize },
+    /// `prefer(x, y)` together with earlier preferences would make `x` and
+    /// `y` mutually preferred (a cycle in the preference graph).
+    ContradictoryPreference { better: String, worse: String },
+}
+
+impl fmt::Display for PosetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosetError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node}: preference is irreflexive")
+            }
+            PosetError::NodeOutOfRange { node, len } => {
+                write!(f, "node id {node} out of range (domain has {len} values)")
+            }
+            PosetError::Cycle { witness } => write!(
+                f,
+                "edge set contains a directed cycle (through node {witness}); \
+                 not a partial order"
+            ),
+            PosetError::UnknownLabel { label } => write!(f, "unknown value label {label:?}"),
+            PosetError::DuplicateLabel { label } => {
+                write!(f, "value label {label:?} registered twice")
+            }
+            PosetError::TooLarge { requested, max } => {
+                write!(f, "requested domain of {requested} values exceeds maximum {max}")
+            }
+            PosetError::ContradictoryPreference { better, worse } => write!(
+                f,
+                "preference {better:?} < {worse:?} contradicts earlier preferences \
+                 (would create a cycle)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PosetError {}

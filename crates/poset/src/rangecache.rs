@@ -1,0 +1,165 @@
+use crate::{IntervalSet, TssLabeling};
+
+/// The paper's *first* solution to the MBB interval-lookup problem (§IV-B):
+/// precompute the merged interval set of **every** ordinal range
+/// `r ∈ A_TO × A_TO` and answer lookups in constant time from a table.
+///
+/// Space is quadratic in the domain size — the reason the paper moves on to
+/// the dyadic decomposition ([`crate::DyadicIndex`]) — but for the domain
+/// cardinalities of the evaluation (≤ ~1000 values) the table is perfectly
+/// affordable, so the library offers both and the ablation benches can
+/// compare all three strategies (naive / dyadic / full).
+#[derive(Debug, Clone)]
+pub struct FullRangeIndex {
+    domain: usize,
+    /// Row-major upper-triangular table: entry for `(lo, hi)`,
+    /// `1 <= lo <= hi <= domain`, at `index(lo, hi)`.
+    sets: Vec<IntervalSet>,
+}
+
+impl FullRangeIndex {
+    /// Precomputes all `domain·(domain+1)/2` range sets by dynamic
+    /// programming over range width (`O(domain²)` unions).
+    pub fn build(labeling: &TssLabeling) -> Self {
+        let n = labeling.len();
+        let mut sets = vec![IntervalSet::empty(); n * (n + 1) / 2];
+        if n == 0 {
+            return FullRangeIndex { domain: 0, sets };
+        }
+        let index = |lo: usize, hi: usize| -> usize {
+            // Offset of 0-based row `r` in upper-triangular storage is
+            // r·(2n − r + 1)/2 (row r holds n − r entries), then the column.
+            let row = lo - 1;
+            row * (2 * n - row + 1) / 2 + (hi - lo)
+        };
+        // Width 1: the per-value sets.
+        for lo in 1..=n {
+            sets[index(lo, lo)] = labeling.intervals(labeling.topo().value_at(lo as u32)).clone();
+        }
+        // Wider ranges extend narrower ones by one value.
+        for width in 2..=n {
+            for lo in 1..=(n - width + 1) {
+                let hi = lo + width - 1;
+                let prev = sets[index(lo, hi - 1)].clone();
+                let last = &sets[index(hi, hi)];
+                sets[index(lo, hi)] = prev.union(last);
+            }
+        }
+        FullRangeIndex { domain: n, sets }
+    }
+
+    /// Cardinality of the underlying domain.
+    #[inline]
+    pub fn domain_len(&self) -> usize {
+        self.domain
+    }
+
+    /// The merged interval set of ordinal range `[lo, hi]` (1-based,
+    /// inclusive) — a table lookup.
+    pub fn range(&self, lo: u32, hi: u32) -> &IntervalSet {
+        assert!(
+            lo >= 1 && lo <= hi && hi as usize <= self.domain,
+            "ordinal range [{lo},{hi}] out of domain 1..={}",
+            self.domain
+        );
+        let (lo, hi) = (lo as usize, hi as usize);
+        let row = lo - 1;
+        &self.sets[row * (2 * self.domain - row + 1) / 2 + (hi - lo)]
+    }
+
+    /// Total number of stored intervals — the quadratic space cost the paper
+    /// trades away.
+    pub fn stored_intervals(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dag, DyadicIndex, SpanningTree};
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_naive_and_dyadic_on_paper_example() {
+        let dag = Dag::paper_example();
+        let lab = TssLabeling::build(&dag, SpanningTree::paper_example(&dag));
+        let full = FullRangeIndex::build(&lab);
+        let dyadic = DyadicIndex::build(&lab);
+        for lo in 1..=9u32 {
+            for hi in lo..=9u32 {
+                assert_eq!(*full.range(lo, hi), lab.range_intervals(lo, hi), "[{lo},{hi}]");
+                assert_eq!(*full.range(lo, hi), dyadic.range(lo, hi), "[{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn space_exceeds_dyadic() {
+        // The trade-off the paper describes: quadratic vs. linear storage.
+        let dag = crate::generator::subset_lattice(crate::generator::LatticeParams {
+            height: 6,
+            density: 0.8,
+            seed: 1,
+            mode: crate::generator::DensityMode::Literal,
+        })
+        .unwrap();
+        let lab = TssLabeling::build_default(&dag);
+        let full = FullRangeIndex::build(&lab);
+        let dyadic = DyadicIndex::build(&lab);
+        assert!(full.stored_intervals() > 4 * dyadic.stored_intervals());
+    }
+
+    #[test]
+    fn empty_and_singleton_domains() {
+        let empty = Dag::from_edges(0, &[]).unwrap();
+        let lab = TssLabeling::build_default(&empty);
+        let idx = FullRangeIndex::build(&lab);
+        assert_eq!(idx.domain_len(), 0);
+
+        let single = Dag::from_edges(1, &[]).unwrap();
+        let lab = TssLabeling::build_default(&single);
+        let idx = FullRangeIndex::build(&lab);
+        assert_eq!(idx.range(1, 1), lab.intervals(crate::ValueId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn out_of_range_panics() {
+        let dag = Dag::paper_example();
+        let lab = TssLabeling::build_default(&dag);
+        let idx = FullRangeIndex::build(&lab);
+        let _ = idx.range(3, 10);
+    }
+
+    fn arb_dag(max_n: usize) -> impl Strategy<Value = Dag> {
+        (2..=max_n).prop_flat_map(|n| {
+            let pairs: Vec<(u32, u32)> = (0..n as u32)
+                .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+                .collect();
+            let len = pairs.len();
+            proptest::collection::vec(proptest::bool::weighted(0.25), len).prop_map(move |mask| {
+                let edges: Vec<(u32, u32)> = pairs
+                    .iter()
+                    .zip(mask)
+                    .filter_map(|(&e, keep)| keep.then_some(e))
+                    .collect();
+                Dag::from_edges(n as u32, &edges).unwrap()
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn full_equals_naive(dag in arb_dag(12)) {
+            let lab = TssLabeling::build_default(&dag);
+            let idx = FullRangeIndex::build(&lab);
+            let n = lab.len() as u32;
+            for lo in 1..=n {
+                for hi in lo..=n {
+                    prop_assert_eq!(idx.range(lo, hi), &lab.range_intervals(lo, hi));
+                }
+            }
+        }
+    }
+}

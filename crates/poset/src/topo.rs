@@ -1,0 +1,128 @@
+use crate::{Dag, ValueId};
+
+/// A topological sort of a [`Dag`], mapping each value to an *ordinal* in the
+/// artificial totally ordered domain the paper calls `A_TO` (§III-B).
+///
+/// The mapping preserves every preference relationship — if `x` is preferred
+/// over `y` then `ordinal(x) < ordinal(y)` — and artificially orders
+/// incomparable values. Any monotone preference function over the ordinals is
+/// therefore monotone over the original partial order, which is exactly what
+/// gives TSS the *precedence* property (Property 1).
+///
+/// Ordinals are 1-based, matching the paper ("1 is assigned to a, 2 to b, …").
+#[derive(Debug, Clone)]
+pub struct TopoOrder {
+    /// `ordinal[v] = position of v in the sort, 1-based`.
+    ordinal: Vec<u32>,
+    /// `by_ordinal[i] = the value with ordinal i+1`.
+    by_ordinal: Vec<ValueId>,
+}
+
+impl TopoOrder {
+    /// Computes a deterministic topological sort (Kahn's algorithm, smallest
+    /// id first among ready nodes, so equal inputs give equal orders).
+    pub fn build(dag: &Dag) -> Self {
+        let order = dag.topo_node_order();
+        debug_assert_eq!(order.len(), dag.len(), "Dag invariant: acyclic");
+        let mut ordinal = vec![0u32; dag.len()];
+        for (i, &v) in order.iter().enumerate() {
+            ordinal[v.idx()] = i as u32 + 1;
+        }
+        TopoOrder { ordinal, by_ordinal: order }
+    }
+
+    /// Number of values in the underlying domain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.by_ordinal.len()
+    }
+
+    /// True iff the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.by_ordinal.is_empty()
+    }
+
+    /// The 1-based ordinal of value `v` in the sort — its coordinate in the
+    /// constructed `A_TO` domain.
+    #[inline]
+    pub fn ordinal(&self, v: ValueId) -> u32 {
+        self.ordinal[v.idx()]
+    }
+
+    /// The value holding 1-based ordinal `ord`.
+    #[inline]
+    pub fn value_at(&self, ord: u32) -> ValueId {
+        self.by_ordinal[(ord - 1) as usize]
+    }
+
+    /// Values in topological order (ordinal 1 first).
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.by_ordinal.iter().copied()
+    }
+
+    /// Values in *reverse* topological order — every value is visited after
+    /// all values it is preferred over (used by the labeling DPs).
+    #[inline]
+    pub fn iter_rev(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.by_ordinal.iter().rev().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinals_respect_preferences() {
+        let d = Dag::paper_example();
+        let t = TopoOrder::build(&d);
+        for (u, v) in d.edges() {
+            assert!(t.ordinal(u) < t.ordinal(v));
+        }
+    }
+
+    #[test]
+    fn paper_example_is_alphabetical() {
+        // Fig. 2(c): "one admissible topological sort … a < b < c < ··· < i".
+        // Our deterministic tie-break (smallest id first) reproduces it.
+        let d = Dag::paper_example();
+        let t = TopoOrder::build(&d);
+        for (i, label) in ["a", "b", "c", "d", "e", "f", "g", "h", "i"].iter().enumerate() {
+            let v = d.id_of(label).unwrap();
+            assert_eq!(t.ordinal(v), i as u32 + 1, "ordinal of {label}");
+            assert_eq!(t.value_at(i as u32 + 1), v);
+        }
+    }
+
+    #[test]
+    fn ordinals_are_a_permutation() {
+        let d = Dag::from_edges(6, &[(5, 0), (3, 1), (0, 1)]).unwrap();
+        let t = TopoOrder::build(&d);
+        let mut seen: Vec<_> = d.values().map(|v| t.ordinal(v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn iter_rev_visits_successors_first() {
+        let d = Dag::paper_example();
+        let t = TopoOrder::build(&d);
+        let mut visited = vec![false; d.len()];
+        for v in t.iter_rev() {
+            for &c in d.children(v) {
+                assert!(visited[c.idx()], "child visited before parent in rev order");
+            }
+            visited[v.idx()] = true;
+        }
+    }
+
+    #[test]
+    fn empty_domain() {
+        let d = Dag::from_edges(0, &[]).unwrap();
+        let t = TopoOrder::build(&d);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

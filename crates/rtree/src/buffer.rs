@@ -1,0 +1,83 @@
+//! An LRU page buffer for IO simulation.
+//!
+//! The paper's cost analysis notes that query-time IO "can be mitigated (to
+//! some extent) using buffers", while rebuild-style IO (the dynamic SDC+
+//! baseline) cannot. Enabling a buffer on a tree makes repeated node
+//! accesses free up to the buffer capacity, so experiments can quantify
+//! that remark.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A simple exact-LRU buffer of node ids. Capacities are small (hundreds of
+/// pages), so eviction scans are fine for simulation purposes.
+#[derive(Debug, Clone)]
+pub(crate) struct LruBuffer {
+    cap: usize,
+    /// node id -> last-use stamp.
+    state: RefCell<(u64, HashMap<u32, u64>)>,
+}
+
+impl LruBuffer {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "buffer needs at least one page");
+        LruBuffer { cap, state: RefCell::new((0, HashMap::with_capacity(cap + 1))) }
+    }
+
+    /// Records an access; returns `true` on a buffer hit (no IO charged).
+    pub fn touch(&self, node: u32) -> bool {
+        let mut guard = self.state.borrow_mut();
+        let (ref mut clock, ref mut map) = *guard;
+        *clock += 1;
+        let stamp = *clock;
+        if let Some(s) = map.get_mut(&node) {
+            *s = stamp;
+            return true;
+        }
+        if map.len() == self.cap {
+            // Evict the least recently used page.
+            let (&victim, _) = map.iter().min_by_key(|(_, &s)| s).expect("non-empty");
+            map.remove(&victim);
+        }
+        map.insert(node, stamp);
+        false
+    }
+
+    /// Drops all buffered pages.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn clear(&self) {
+        let mut guard = self.state.borrow_mut();
+        guard.1.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction() {
+        let b = LruBuffer::new(2);
+        assert!(!b.touch(1)); // miss
+        assert!(!b.touch(2)); // miss
+        assert!(b.touch(1)); // hit
+        assert!(!b.touch(3)); // miss, evicts 2 (LRU)
+        assert!(b.touch(1)); // still buffered
+        assert!(!b.touch(2)); // was evicted
+    }
+
+    #[test]
+    fn clear_empties() {
+        let b = LruBuffer::new(4);
+        b.touch(7);
+        assert!(b.touch(7));
+        b.clear();
+        assert!(!b.touch(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_rejected() {
+        let _ = LruBuffer::new(0);
+    }
+}

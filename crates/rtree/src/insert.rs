@@ -1,0 +1,251 @@
+//! Guttman-style insertion with quadratic node splitting — used for the
+//! incrementally grown main-memory tree `Tm` that holds the virtual points
+//! of discovered skyline points (§IV-B, §V-A).
+
+use crate::node::{LeafEntry, Node, NodeId, NodeKind};
+use crate::{Mbb, RTree};
+
+impl RTree {
+    /// Inserts a point with its record id.
+    pub fn insert(&mut self, point: &[u32], record: u32) {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        self.len += 1;
+        let Some(root) = self.root else {
+            let entry = LeafEntry { point: point.into(), record };
+            let mbb = Mbb::from_point(point);
+            let id = self.push_node(Node { mbb, kind: NodeKind::Leaf(vec![entry]) });
+            self.root = Some(id);
+            self.height = 1;
+            return;
+        };
+        if let Some(sibling) = self.insert_rec(root, point, record) {
+            // Root split: grow the tree by one level.
+            let mbb = self.nodes[root.idx()]
+                .mbb
+                .union(&self.nodes[sibling.idx()].mbb);
+            let new_root =
+                self.push_node(Node { mbb, kind: NodeKind::Inner(vec![root, sibling]) });
+            self.root = Some(new_root);
+            self.height += 1;
+        }
+    }
+
+    /// Recursive insert; returns a new sibling node id if `id` split.
+    fn insert_rec(&mut self, id: NodeId, point: &[u32], record: u32) -> Option<NodeId> {
+        match &self.nodes[id.idx()].kind {
+            NodeKind::Leaf(_) => {
+                let NodeKind::Leaf(entries) = &mut self.nodes[id.idx()].kind else {
+                    unreachable!()
+                };
+                entries.push(LeafEntry { point: point.into(), record });
+                if entries.len() <= self.cap {
+                    self.nodes[id.idx()].mbb.expand_point(point);
+                    None
+                } else {
+                    Some(self.split_leaf(id))
+                }
+            }
+            NodeKind::Inner(children) => {
+                let chosen = self.choose_subtree(children, point);
+                match self.insert_rec(chosen, point, record) {
+                    None => {
+                        self.nodes[id.idx()].mbb.expand_point(point);
+                        None
+                    }
+                    Some(new_child) => {
+                        let NodeKind::Inner(children) = &mut self.nodes[id.idx()].kind else {
+                            unreachable!()
+                        };
+                        children.push(new_child);
+                        if children.len() <= self.cap {
+                            let mbb = self.recompute_mbb(id);
+                            self.nodes[id.idx()].mbb = mbb;
+                            None
+                        } else {
+                            Some(self.split_inner(id))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// ChooseLeaf heuristic: least volume enlargement, ties by smallest
+    /// volume, then by id for determinism.
+    fn choose_subtree(&self, children: &[NodeId], point: &[u32]) -> NodeId {
+        let mut best = children[0];
+        let mut best_enl = f64::INFINITY;
+        let mut best_vol = f64::INFINITY;
+        for &c in children {
+            let mbb = &self.nodes[c.idx()].mbb;
+            let enl = mbb.enlargement(point);
+            let vol = mbb.volume();
+            if enl < best_enl || (enl == best_enl && vol < best_vol) {
+                best = c;
+                best_enl = enl;
+                best_vol = vol;
+            }
+        }
+        best
+    }
+
+    fn split_leaf(&mut self, id: NodeId) -> NodeId {
+        let NodeKind::Leaf(entries) = std::mem::replace(
+            &mut self.nodes[id.idx()].kind,
+            NodeKind::Leaf(Vec::new()),
+        ) else {
+            unreachable!()
+        };
+        let boxes: Vec<Mbb> = entries.iter().map(|e| Mbb::from_point(&e.point)).collect();
+        let (left_ix, right_ix) = quadratic_partition(&boxes, self.min_fill);
+        let pick = |ixs: &[usize]| -> Vec<LeafEntry> {
+            ixs.iter().map(|&i| entries[i].clone()).collect()
+        };
+        let left = pick(&left_ix);
+        let right = pick(&right_ix);
+        self.nodes[id.idx()].kind = NodeKind::Leaf(left);
+        self.nodes[id.idx()].mbb = self.recompute_mbb(id);
+        let sibling = self.push_node(Node {
+            mbb: Mbb::from_point(&right[0].point),
+            kind: NodeKind::Leaf(right),
+        });
+        self.nodes[sibling.idx()].mbb = self.recompute_mbb(sibling);
+        sibling
+    }
+
+    fn split_inner(&mut self, id: NodeId) -> NodeId {
+        let NodeKind::Inner(children) = std::mem::replace(
+            &mut self.nodes[id.idx()].kind,
+            NodeKind::Inner(Vec::new()),
+        ) else {
+            unreachable!()
+        };
+        let boxes: Vec<Mbb> = children.iter().map(|&c| self.nodes[c.idx()].mbb.clone()).collect();
+        let (left_ix, right_ix) = quadratic_partition(&boxes, self.min_fill);
+        let left: Vec<NodeId> = left_ix.iter().map(|&i| children[i]).collect();
+        let right: Vec<NodeId> = right_ix.iter().map(|&i| children[i]).collect();
+        self.nodes[id.idx()].kind = NodeKind::Inner(left);
+        self.nodes[id.idx()].mbb = self.recompute_mbb(id);
+        let first_mbb = self.nodes[right[0].idx()].mbb.clone();
+        let sibling = self.push_node(Node { mbb: first_mbb, kind: NodeKind::Inner(right) });
+        self.nodes[sibling.idx()].mbb = self.recompute_mbb(sibling);
+        sibling
+    }
+}
+
+/// Guttman's quadratic split: pick the two boxes wasting the most dead space
+/// as seeds, then greedily assign the rest by preference (largest difference
+/// in enlargement first), honoring the minimum fill.
+fn quadratic_partition(boxes: &[Mbb], min_fill: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = boxes.len();
+    debug_assert!(n >= 2);
+    // Seed selection: maximize union volume - vol(a) - vol(b).
+    let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dead = boxes[i].union(&boxes[j]).volume() - boxes[i].volume() - boxes[j].volume();
+            if dead > worst {
+                worst = dead;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let mut left = vec![seed_a];
+    let mut right = vec![seed_b];
+    let mut left_mbb = boxes[seed_a].clone();
+    let mut right_mbb = boxes[seed_b].clone();
+    let mut rest: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+    while !rest.is_empty() {
+        // Forced assignment to honor minimum fill.
+        if left.len() + rest.len() == min_fill {
+            for i in rest.drain(..) {
+                left_mbb.expand_mbb(&boxes[i]);
+                left.push(i);
+            }
+            break;
+        }
+        if right.len() + rest.len() == min_fill {
+            for i in rest.drain(..) {
+                right_mbb.expand_mbb(&boxes[i]);
+                right.push(i);
+            }
+            break;
+        }
+        // Pick the entry with the strongest preference.
+        let (pos, _) = rest
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let dl = left_mbb.union(&boxes[i]).volume() - left_mbb.volume();
+                let dr = right_mbb.union(&boxes[i]).volume() - right_mbb.volume();
+                (pos, (dl - dr).abs())
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let i = rest.swap_remove(pos);
+        let dl = left_mbb.union(&boxes[i]).volume() - left_mbb.volume();
+        let dr = right_mbb.union(&boxes[i]).volume() - right_mbb.volume();
+        let to_left = dl < dr
+            || (dl == dr && left_mbb.volume() < right_mbb.volume())
+            || (dl == dr && left_mbb.volume() == right_mbb.volume() && left.len() <= right.len());
+        if to_left {
+            left_mbb.expand_mbb(&boxes[i]);
+            left.push(i);
+        } else {
+            right_mbb.expand_mbb(&boxes[i]);
+            right.push(i);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_from_empty_and_stays_valid() {
+        let mut t = RTree::new(2, 4);
+        for i in 0..200u32 {
+            t.insert(&[i * 7 % 101, i * 13 % 97], i);
+            t.validate().unwrap_or_else(|e| panic!("after insert {i}: {e}"));
+        }
+        assert_eq!(t.len(), 200);
+        assert!(t.height() >= 3);
+    }
+
+    #[test]
+    fn duplicate_points_allowed() {
+        let mut t = RTree::new(2, 3);
+        for i in 0..10u32 {
+            t.insert(&[5, 5], i);
+        }
+        assert_eq!(t.len(), 10);
+        t.validate().unwrap();
+        let mut recs: Vec<u32> = t.iter_records().iter().map(|&(_, r)| r).collect();
+        recs.sort_unstable();
+        assert_eq!(recs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quadratic_partition_respects_min_fill() {
+        let boxes: Vec<Mbb> = (0..7u32).map(|i| Mbb::from_point(&[i, 0])).collect();
+        let (l, r) = quadratic_partition(&boxes, 3);
+        assert!(l.len() >= 3 && r.len() >= 3, "l={l:?}, r={r:?}");
+        assert_eq!(l.len() + r.len(), 7);
+        let mut all: Vec<usize> = l.iter().chain(r.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn four_dimensional_inserts() {
+        let mut t = RTree::new(4, 8);
+        for i in 0..300u32 {
+            t.insert(&[i % 5, i % 7, i % 11, i % 13], i);
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), 300);
+    }
+}

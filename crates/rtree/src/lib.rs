@@ -1,0 +1,36 @@
+//! An arena-based R-tree over unsigned integer coordinates, built for the
+//! skyline workloads of the TSS paper (ICDE 2009 reproduction):
+//!
+//! * **STR bulk loading** (`Sort-Tile-Recursive`) for the static disk-style
+//!   indexes the paper's algorithms traverse,
+//! * **Guttman-style insertion** with quadratic splits for the incremental
+//!   main-memory tree `Tm` of §IV-B / §V-A,
+//! * **best-first traversal** ([`BestFirst`]) — the caller-driven heap walk
+//!   underlying BBS and all of its descendants (entries are popped in
+//!   ascending L1 *mindist* to the origin, the "most preferable point"),
+//! * **range and Boolean range queries** — the Boolean variant returns as
+//!   soon as any point falls in the box, which is how TSS implements its
+//!   fast t-dominance check,
+//! * **IO accounting** — every node access is counted, so experiments can
+//!   charge the paper's 5 ms per page IO.
+//!
+//! Coordinates are `u32` throughout: the paper's totally ordered domains are
+//! integers in `0..10_000`, topological ordinals are `1..=|V|`, and postorder
+//! interval endpoints are `1..=|V|`. Smaller values are always preferred —
+//! dimensions where larger is better (the `post` axis of interval labels)
+//! are flipped by the caller before indexing.
+
+mod buffer;
+mod bulk;
+mod geom;
+mod insert;
+mod node;
+mod query;
+mod stats;
+mod tree;
+
+pub use geom::Mbb;
+pub use node::{ChildEntry, NodeId};
+pub use query::{BestFirst, Popped};
+pub use stats::PageConfig;
+pub use tree::{BuildNode, RTree, DEFAULT_CAPACITY};

@@ -1,0 +1,322 @@
+//! The stratum-processing engine shared by BBS+, SDC and SDC+ (§II-C).
+//!
+//! Strata are processed in increasing uncovered level. Within a stratum, a
+//! BBS traversal of its R-tree (transformed space) maintains:
+//!
+//! * the **global list** — confirmed actual-skyline points from earlier
+//!   strata (later strata can never dominate them, by stratum
+//!   monotonicity), and
+//! * the **local list** — candidates of the current stratum, which may
+//!   contain *false hits* (m-dominance misses non-tree preferences).
+//!
+//! MBBs are pruned when m-dominated by any global or local entry (sound:
+//! m-dominance implies dominance, and being dominated by a false hit that
+//! is itself dominated still implies dominance by transitivity). A popped
+//! point is discarded if m-dominated; survivors are checked for *exact*
+//! dominance against both lists, evict local entries they exactly dominate
+//! (cross-examination), and join the local list. At stratum end the local
+//! list holds genuine skyline points and is appended to the global list.
+//!
+//! In *exact* strata (uncovered level 0) m-dominance equals dominance, so
+//! the cross-examination is skipped and points are emitted immediately —
+//! which is why SDC/SDC+ are progressive on stratum 0 and "jump" at
+//! stratum boundaries thereafter (Fig. 11).
+
+use crate::index::SdcIndex;
+use rtree::Popped;
+use std::time::Instant;
+use tss_core::{Metrics, ProgressSample};
+
+/// Result of one SDC-family run.
+#[derive(Debug, Clone)]
+pub struct SdcRun {
+    /// Skyline record ids in confirmation order.
+    pub skyline: Vec<u32>,
+    /// Execution metrics.
+    pub metrics: Metrics,
+    /// Number of points confirmed per processed stratum.
+    pub per_stratum: Vec<usize>,
+    /// False hits eliminated by cross-examination.
+    pub false_hits_removed: u64,
+}
+
+/// One confirmed or candidate entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    record: u32,
+    tcoords: Vec<u32>,
+}
+
+pub(crate) fn run_strata(
+    index: &SdcIndex,
+    emit: &mut dyn FnMut(u32, ProgressSample),
+) -> SdcRun {
+    let start = Instant::now();
+    let mut m = Metrics::default();
+    let mut per_stratum = Vec::new();
+    let mut false_hits_removed = 0u64;
+    let mut global: Vec<Entry> = Vec::new();
+    let mut skyline: Vec<u32> = Vec::new();
+    let table = &index.table;
+    let ctx = &index.ctx;
+
+    let sample = |m: &Metrics, results: u64, start: &Instant| ProgressSample {
+        results,
+        elapsed_cpu: start.elapsed(),
+        io_reads: m.io_reads,
+        dominance_checks: m.dominance_checks,
+    };
+
+    for stratum in &index.strata {
+        stratum.tree.reset_io();
+        let mut local: Vec<Entry> = Vec::new();
+        let mut bf = stratum.tree.best_first();
+        while let Some(popped) = bf.pop() {
+            m.heap_pops += 1;
+            match popped {
+                Popped::Node { id, mbb, .. } => {
+                    let corner = mbb.lo();
+                    // m-prune against both lists (strict-corner rule keeps
+                    // exact duplicates of list entries alive).
+                    let pruned = global.iter().chain(local.iter()).any(|e| {
+                        m.dominance_checks += 1;
+                        skyline::dominates_or_equal(&e.tcoords, corner)
+                            && e.tcoords.as_slice() != corner
+                    });
+                    if !pruned {
+                        bf.expand(id);
+                    }
+                }
+                Popped::Record { point, record, .. } => {
+                    // 1. m-dominance screen (cheap, sound).
+                    let m_dominated = global.iter().chain(local.iter()).any(|e| {
+                        m.dominance_checks += 1;
+                        ctx.m_dominates(&e.tcoords, point)
+                    });
+                    if m_dominated {
+                        continue;
+                    }
+                    let (to_p, po_p) =
+                        (table.to_row(record as usize), table.po_row(record as usize));
+                    if !stratum.exact {
+                        // 2. exact check against confirmed results.
+                        let dominated_g = global.iter().any(|e| {
+                            m.dominance_checks += 1;
+                            let (to_e, po_e) =
+                                (table.to_row(e.record as usize), table.po_row(e.record as usize));
+                            ctx.exact_dominates(to_e, po_e, to_p, po_p)
+                        });
+                        if dominated_g {
+                            continue;
+                        }
+                        // 3. exact check against local candidates.
+                        let dominated_l = local.iter().any(|e| {
+                            m.dominance_checks += 1;
+                            let (to_e, po_e) =
+                                (table.to_row(e.record as usize), table.po_row(e.record as usize));
+                            ctx.exact_dominates(to_e, po_e, to_p, po_p)
+                        });
+                        if dominated_l {
+                            continue;
+                        }
+                        // 4. cross-examination: evict local false hits that
+                        // the new point exactly dominates.
+                        let before = local.len();
+                        local.retain(|e| {
+                            m.dominance_checks += 1;
+                            let (to_e, po_e) =
+                                (table.to_row(e.record as usize), table.po_row(e.record as usize));
+                            !ctx.exact_dominates(to_p, po_p, to_e, po_e)
+                        });
+                        false_hits_removed += (before - local.len()) as u64;
+                    }
+                    local.push(Entry { record, tcoords: point.to_vec() });
+                    if stratum.exact {
+                        // Level-0 stratum: m-dominance is exact, the point
+                        // is final — stream it out now.
+                        m.results += 1;
+                        m.io_reads += stratum.tree.io_count();
+                        stratum.tree.reset_io();
+                        skyline.push(record);
+                        emit(record, sample(&m, m.results, &start));
+                    }
+                }
+            }
+        }
+        m.io_reads += stratum.tree.io_count();
+        if !stratum.exact {
+            // Stratum boundary: local candidates are now genuine results.
+            for e in &local {
+                m.results += 1;
+                skyline.push(e.record);
+                emit(e.record, sample(&m, m.results, &start));
+            }
+        }
+        per_stratum.push(local.len());
+        global.append(&mut local);
+    }
+    m.cpu = start.elapsed();
+    SdcRun { skyline, metrics: m, per_stratum, false_hits_removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SdcConfig, SdcIndex, Variant};
+    use poset::Dag;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tss_core::{brute_force_po_skyline, PoDomain, Table};
+
+    fn fig3_table() -> Table {
+        let mut t = Table::new(1, 1);
+        for (a1, a2) in [
+            (2u32, 2u32),
+            (3, 3),
+            (1, 7),
+            (8, 0),
+            (6, 4),
+            (7, 2),
+            (9, 1),
+            (4, 8),
+            (2, 5),
+            (3, 6),
+            (5, 6),
+            (7, 5),
+            (9, 7),
+        ] {
+            t.push(&[a1], &[a2]);
+        }
+        t
+    }
+
+    fn oracle(t: &Table, dag: &Dag) -> Vec<u32> {
+        let doms = vec![PoDomain::new(dag.clone())];
+        let mut r = brute_force_po_skyline(&doms, t);
+        r.sort_unstable();
+        r
+    }
+
+    #[test]
+    fn all_variants_match_oracle_on_fig3() {
+        let dag = Dag::paper_example();
+        let expect = oracle(&fig3_table(), &dag);
+        assert_eq!(expect, vec![0, 1, 2, 3, 4]);
+        for variant in [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus] {
+            let idx =
+                SdcIndex::build(fig3_table(), vec![dag.clone()], variant, SdcConfig::default())
+                    .unwrap();
+            let run = idx.run();
+            let mut got = run.skyline.clone();
+            got.sort_unstable();
+            assert_eq!(got, expect, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn sdc_plus_builds_multiple_strata() {
+        let dag = Dag::paper_example();
+        let idx = SdcIndex::build(fig3_table(), vec![dag.clone()], Variant::SdcPlus, SdcConfig::default())
+            .unwrap();
+        // Paper domain has uncovered levels 0, 1, 2 (all populated by fig3).
+        assert_eq!(idx.strata_count(), 3);
+        let sdc = SdcIndex::build(fig3_table(), vec![dag.clone()], Variant::Sdc, SdcConfig::default())
+            .unwrap();
+        assert_eq!(sdc.strata_count(), 2);
+        let bbs = SdcIndex::build(fig3_table(), vec![dag], Variant::BbsPlus, SdcConfig::default())
+            .unwrap();
+        assert_eq!(bbs.strata_count(), 1);
+    }
+
+    #[test]
+    fn false_hits_are_detected_and_removed() {
+        // f really dominates h via a non-tree edge; give h a point that only
+        // exact checking can kill, in the same stratum.
+        let dag = Dag::paper_example();
+        let f = dag.id_of("f").unwrap().0;
+        let h = dag.id_of("h").unwrap().0;
+        let mut t = Table::new(1, 1);
+        t.push(&[5], &[h]); // false hit candidate (h is level >= 1)
+        t.push(&[5], &[f]); // the real dominator (f is level >= 1 too)
+        let idx = SdcIndex::build(t.clone(), vec![dag.clone()], Variant::SdcPlus, SdcConfig::default())
+            .unwrap();
+        let run = idx.run();
+        let mut got = run.skyline.clone();
+        got.sort_unstable();
+        assert_eq!(got, oracle(&t, &dag));
+        assert_eq!(got, vec![1]);
+        // The h-point must have entered and left the local list (a false
+        // hit) or been exactly screened, depending on pop order.
+        assert!(run.false_hits_removed <= 1);
+    }
+
+    #[test]
+    fn progressiveness_shape() {
+        // SDC+ confirms level-0 points one by one and the rest in stratum
+        // bursts; totals must match.
+        let dag = Dag::paper_example();
+        let idx = SdcIndex::build(fig3_table(), vec![dag], Variant::SdcPlus, SdcConfig::default())
+            .unwrap();
+        let mut seen = Vec::new();
+        let run = idx.run_with(&mut |rec, s| {
+            seen.push((rec, s.results));
+        });
+        assert_eq!(seen.len(), run.skyline.len());
+        // results counter strictly increases.
+        for w in seen.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    fn random_table(n: usize, seed: u64, v: u32) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Table::new(2, 1);
+        for _ in 0..n {
+            t.push(&[rng.gen_range(0..15), rng.gen_range(0..15)], &[rng.gen_range(0..v)]);
+        }
+        t
+    }
+
+    #[test]
+    fn variants_match_oracle_on_lattice_domains() {
+        let dag = poset::generator::subset_lattice(poset::generator::LatticeParams {
+            height: 4,
+            density: 0.7,
+            seed: 2,
+            mode: poset::generator::DensityMode::Literal,
+        })
+        .unwrap();
+        for seed in 0..3 {
+            let t = random_table(300, seed, dag.len() as u32);
+            let expect = oracle(&t, &dag);
+            for variant in [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus] {
+                let idx = SdcIndex::build(t.clone(), vec![dag.clone()], variant, SdcConfig::default())
+                    .unwrap();
+                let mut got = idx.run().skyline;
+                got.sort_unstable();
+                assert_eq!(got, expect, "{variant:?} seed={seed}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn equals_oracle(
+            rows in proptest::collection::vec((0u32..10, 0u32..10, 0u32..9), 1..50),
+            variant_ix in 0usize..3,
+        ) {
+            let mut t = Table::new(2, 1);
+            for &(a, b, v) in &rows {
+                t.push(&[a, b], &[v]);
+            }
+            let dag = Dag::paper_example();
+            let expect = oracle(&t, &dag);
+            let variant = [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus][variant_ix];
+            let idx = SdcIndex::build(t, vec![dag], variant, SdcConfig::default()).unwrap();
+            let mut got = idx.run().skyline;
+            got.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

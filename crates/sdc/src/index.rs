@@ -1,0 +1,153 @@
+use crate::engine::{run_strata, SdcRun};
+use crate::MdContext;
+use poset::{Dag, SpanningStrategy};
+use rtree::{PageConfig, RTree};
+use tss_core::{CoreError, Table};
+
+/// Which baseline algorithm to run (§II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// One stratum, cross-examination on insertion, output at termination.
+    BbsPlus,
+    /// Two strata: completely covered (exact, progressive) vs. the rest.
+    Sdc,
+    /// One stratum per uncovered level, each in its own R-tree.
+    SdcPlus,
+}
+
+/// Configuration shared by the SDC family.
+#[derive(Debug, Clone, Copy)]
+pub struct SdcConfig {
+    /// Page model for node capacities.
+    pub page: PageConfig,
+    /// Explicit node capacity override.
+    pub node_capacity: Option<usize>,
+    /// Spanning-tree extraction strategy for the interval labels.
+    pub spanning: SpanningStrategy,
+    /// Optional LRU page buffer (pages *per stratum tree*); `None` matches
+    /// the paper's no-buffer setting.
+    pub buffer_pages: Option<usize>,
+}
+
+impl Default for SdcConfig {
+    fn default() -> Self {
+        SdcConfig {
+            page: PageConfig::default(),
+            node_capacity: None,
+            spanning: SpanningStrategy::Dfs,
+            buffer_pages: None,
+        }
+    }
+}
+
+/// One stratum: its records live in their own R-tree over the transformed
+/// space; `exact` marks strata where m-dominance is exact (level 0).
+#[derive(Debug)]
+pub(crate) struct Stratum {
+    pub tree: RTree,
+    pub exact: bool,
+}
+
+/// A built SDC-family index, runnable any number of times.
+#[derive(Debug)]
+pub struct SdcIndex {
+    pub(crate) table: Table,
+    pub(crate) ctx: MdContext,
+    pub(crate) strata: Vec<Stratum>,
+    variant: Variant,
+}
+
+impl SdcIndex {
+    /// Transforms, stratifies and bulk-loads the table.
+    pub fn build(
+        table: Table,
+        dags: Vec<Dag>,
+        variant: Variant,
+        cfg: SdcConfig,
+    ) -> Result<Self, CoreError> {
+        if dags.len() != table.po_dims() {
+            return Err(CoreError::DomainCountMismatch { dags: dags.len(), po_dims: table.po_dims() });
+        }
+        let sizes: Vec<u32> = dags.iter().map(|d| d.len() as u32).collect();
+        table.check_domains(&sizes)?;
+        let ctx = MdContext::new(&dags, table.to_dims(), cfg.spanning);
+        let dims = ctx.transformed_dims();
+        if dims == 0 {
+            return Err(CoreError::NoDimensions);
+        }
+        let cap = cfg.node_capacity.unwrap_or_else(|| cfg.page.capacity(dims));
+
+        // Partition records into strata per the variant.
+        let stratum_of = |po: &[u32]| -> usize {
+            match variant {
+                Variant::BbsPlus => 0,
+                Variant::Sdc => usize::from(!ctx.completely_covered(po)),
+                Variant::SdcPlus => ctx.stratum(po) as usize,
+            }
+        };
+        let n_strata = match variant {
+            Variant::BbsPlus => 1,
+            Variant::Sdc => 2,
+            Variant::SdcPlus => ctx.max_stratum() as usize + 1,
+        };
+        let mut buckets: Vec<Vec<(Vec<u32>, u32)>> = vec![Vec::new(); n_strata];
+        for i in 0..table.len() {
+            let s = stratum_of(table.po_row(i));
+            buckets[s].push((ctx.transform(table.to_row(i), table.po_row(i)), i as u32));
+        }
+        let strata = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(level, pts)| {
+                let mut tree = RTree::bulk_load(dims, cap, pts);
+                if let Some(pages) = cfg.buffer_pages {
+                    tree.enable_buffer(pages);
+                }
+                Stratum {
+                    tree,
+                    // m-dominance is exact among completely covered points;
+                    // for BBS+ a "stratum 0" mixes levels, so it is never
+                    // exact.
+                    exact: level == 0 && variant != Variant::BbsPlus,
+                }
+            })
+            .collect();
+        Ok(SdcIndex { table, ctx, strata, variant })
+    }
+
+    /// The algorithm variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Number of non-empty strata.
+    pub fn strata_count(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// The input table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Total R-tree pages across strata (for the rebuild IO model).
+    pub fn index_pages(&self) -> u64 {
+        self.strata.iter().map(|s| s.tree.node_count() as u64).sum()
+    }
+
+    /// Runs the algorithm, collecting the skyline and metrics.
+    pub fn run(&self) -> SdcRun {
+        run_strata(self, &mut |_, _| {})
+    }
+
+    /// Runs with a streaming callback `(record, sample)` fired whenever a
+    /// point is *confirmed* (immediately in exact strata; at stratum end
+    /// otherwise) — the progressiveness semantics of Fig. 11.
+    pub fn run_with(
+        &self,
+        emit: &mut dyn FnMut(u32, tss_core::ProgressSample),
+    ) -> SdcRun {
+        run_strata(self, emit)
+    }
+}

@@ -1,0 +1,36 @@
+//! The **m-dominance baselines** the TSS paper evaluates against (§II-C):
+//! Chan et al.'s stratified skyline algorithms for partially ordered
+//! domains, reimplemented from the paper's description.
+//!
+//! Each PO value carries only its spanning-tree interval `[minpost, post]`,
+//! so tuples embed into a totally ordered space of `|TO| + 2·|PO|`
+//! dimensions. Dominance there — **m-dominance** — is *stronger* than real
+//! dominance: every m-dominated point is truly dominated, but preferences
+//! running through non-tree DAG edges are missed, so the m-skyline contains
+//! *false hits* that must be eliminated by exact cross-examination.
+//!
+//! * [`Variant::BbsPlus`] — BBS over the transformed space, candidates
+//!   cross-examined on insertion, everything reported only at termination
+//!   (not progressive).
+//! * [`Variant::Sdc`] — two strata: the *completely covered* points (where
+//!   m-dominance is exact, so results stream out progressively) and the
+//!   rest (reported at the end).
+//! * [`Variant::SdcPlus`] — one stratum per *uncovered level*, each in its
+//!   own R-tree, processed in increasing level with a global list of
+//!   confirmed results and a per-stratum local list of candidates; results
+//!   stream out at every stratum boundary.
+//!
+//! [`DynamicSdc`] is the paper's §VI-C adaptation to dynamic queries: each
+//! query's partial order invalidates the intervals *and* the strata, so the
+//! index is rebuilt per query — an external sort plus bulk loads, charged as
+//! page IOs against the same cost model TSS uses.
+
+mod dynamic;
+mod engine;
+mod index;
+mod mdominance;
+
+pub use dynamic::DynamicSdc;
+pub use engine::SdcRun;
+pub use index::{SdcConfig, SdcIndex, Variant};
+pub use mdominance::MdContext;

@@ -1,0 +1,150 @@
+use crate::types::Stats;
+
+/// The **Bitmap** progressive skyline algorithm (Tan, Eng, Ooi — VLDB 2001;
+/// §II-A of the TSS paper).
+///
+/// Every dimension `d` keeps one bit-slice per distinct value `v`: slice
+/// `B_d(v)` has bit `j` set iff point `j` satisfies `p_j[d] <= v` (smaller
+/// is better). A point `p` is then dominated iff
+///
+/// ```text
+/// A = ⋂_d B_d(p[d])        — points at least as good as p everywhere
+/// B = ⋃_d B_d(p[d] − 1)    — points strictly better than p somewhere
+/// A ∩ B ≠ {p-ish}          — some point is both
+/// ```
+///
+/// using only bitwise operations — no pairwise comparisons at all. The
+/// check for one point is independent of the others, so results stream out
+/// immediately (Bitmap is progressive, the property the paper's §II-A
+/// credits it with).
+///
+/// Space is `O(n · Σ_d |distinct values in d|)` bits, which is why Bitmap
+/// suits small domains; this implementation compresses each dimension to
+/// its distinct-value rank first.
+pub fn bitmap(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
+    let n = data.len();
+    if n == 0 {
+        return (Vec::new(), Stats::default());
+    }
+    let dims = data[0].len();
+    let words = n.div_ceil(64);
+    let mut stats = Stats::default();
+
+    // Rank-compress every dimension and build cumulative bit slices:
+    // slices[d][r] = bitset of points with rank <= r in dimension d.
+    let mut slices: Vec<Vec<Vec<u64>>> = Vec::with_capacity(dims);
+    let mut ranks: Vec<Vec<usize>> = Vec::with_capacity(dims);
+    for d in 0..dims {
+        let mut values: Vec<u32> = data.iter().map(|p| p[d]).collect();
+        values.sort_unstable();
+        values.dedup();
+        let rank_of = |v: u32| values.binary_search(&v).expect("value present");
+        let point_ranks: Vec<usize> = data.iter().map(|p| rank_of(p[d])).collect();
+        // Exact (per-rank) membership first …
+        let mut per_rank = vec![vec![0u64; words]; values.len()];
+        for (j, &r) in point_ranks.iter().enumerate() {
+            per_rank[r][j / 64] |= 1u64 << (j % 64);
+        }
+        // … then prefix-OR to get the cumulative "at least as good" slices.
+        for r in 1..values.len() {
+            let (lo, hi) = per_rank.split_at_mut(r);
+            for (w, prev) in hi[0].iter_mut().zip(lo[r - 1].iter()) {
+                *w |= prev;
+            }
+        }
+        slices.push(per_rank);
+        ranks.push(point_ranks);
+    }
+
+    let mut skyline = Vec::new();
+    let mut a = vec![0u64; words];
+    let mut b = vec![0u64; words];
+    for j in 0..n {
+        // A := ⋂_d  cumulative slice at p's rank.
+        for (w, s) in a.iter_mut().zip(slices[0][ranks[0][j]].iter()) {
+            *w = *s;
+        }
+        for d in 1..dims {
+            for (w, s) in a.iter_mut().zip(slices[d][ranks[d][j]].iter()) {
+                *w &= *s;
+            }
+        }
+        // B := ⋃_d  cumulative slice strictly below p's rank.
+        for w in b.iter_mut() {
+            *w = 0;
+        }
+        for d in 0..dims {
+            if ranks[d][j] > 0 {
+                for (w, s) in b.iter_mut().zip(slices[d][ranks[d][j] - 1].iter()) {
+                    *w |= *s;
+                }
+            }
+        }
+        stats.dominance_checks += 1; // one bit-sliced check per point
+        let dominated = a.iter().zip(b.iter()).any(|(x, y)| x & y != 0);
+        if !dominated {
+            skyline.push(j as u32);
+        }
+    }
+    (skyline, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use proptest::prelude::*;
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_oracle_small() {
+        let data = vec![
+            vec![5, 1],
+            vec![1, 5],
+            vec![3, 3],
+            vec![4, 4],
+            vec![2, 4],
+            vec![3, 3],
+        ];
+        let (got, stats) = bitmap(&data);
+        assert_eq!(sorted(got), brute_force(&data));
+        assert_eq!(stats.dominance_checks, 6, "exactly one bit check per point");
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        // Two identical points: A∩B for each excludes the other (equal
+        // everywhere means never strictly better), so both stay.
+        let data = vec![vec![2, 2], vec![2, 2], vec![3, 3]];
+        let (got, _) = bitmap(&data);
+        assert_eq!(sorted(got), vec![0, 1]);
+    }
+
+    #[test]
+    fn handles_more_than_64_points() {
+        let data: Vec<Vec<u32>> = (0..200u32).map(|i| vec![i % 10, (i * 7) % 13]).collect();
+        let (got, _) = bitmap(&data);
+        assert_eq!(sorted(got), brute_force(&data));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(bitmap(&[]).0, Vec::<u32>::new());
+        assert_eq!(bitmap(&[vec![7, 7]]).0, vec![0]);
+    }
+
+    proptest! {
+        #[test]
+        fn equals_brute_force(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0u32..12, 3), 0..90),
+        ) {
+            let (got, _) = bitmap(&pts);
+            prop_assert_eq!(sorted(got), brute_force(&pts));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+use crate::types::{dominates, Stats};
+
+/// Block Nested Loops (Börzsönyi et al., §II-A) with a bounded window and
+/// multi-pass overflow handling.
+///
+/// Each pass streams its input against a window of at most `window`
+/// incomparable candidates; points that fit nowhere spill to an overflow
+/// buffer that seeds the next pass. A window point is *confirmed* (output)
+/// at the end of a pass iff it entered the window before the pass's first
+/// spill — only then has it provably met every surviving point. Unconfirmed
+/// survivors are re-examined in the next pass together with the overflow.
+///
+/// Returns skyline indices in confirmation order plus [`Stats`]. BNL is the
+/// canonical *non-progressive* baseline: nothing can be emitted until a pass
+/// completes, which the paper contrasts with precedence-based algorithms.
+pub fn bnl(data: &[Vec<u32>], window: usize) -> (Vec<u32>, Stats) {
+    assert!(window >= 1, "window must hold at least one point");
+    let mut stats = Stats::default();
+    let mut result: Vec<u32> = Vec::new();
+    // (index, window-entry timestamp)
+    let mut input: Vec<u32> = (0..data.len() as u32).collect();
+    while !input.is_empty() {
+        let mut win: Vec<(u32, usize)> = Vec::with_capacity(window);
+        let mut overflow: Vec<u32> = Vec::new();
+        let mut first_spill: Option<usize> = None;
+        for (pos, &cand) in input.iter().enumerate() {
+            let mut dominated = false;
+            let mut k = 0;
+            while k < win.len() {
+                let (w, _) = win[k];
+                stats.dominance_checks += 1;
+                if dominates(&data[w as usize], &data[cand as usize]) {
+                    dominated = true;
+                    break;
+                }
+                stats.dominance_checks += 1;
+                if dominates(&data[cand as usize], &data[w as usize]) {
+                    // Candidate evicts the window point.
+                    win.swap_remove(k);
+                    continue;
+                }
+                k += 1;
+            }
+            if dominated {
+                continue;
+            }
+            if win.len() < window {
+                win.push((cand, pos));
+            } else {
+                if first_spill.is_none() {
+                    first_spill = Some(pos);
+                }
+                overflow.push(cand);
+            }
+        }
+        let confirm_before = first_spill.unwrap_or(usize::MAX);
+        let mut carried: Vec<u32> = Vec::new();
+        for (w, ts) in win {
+            if ts < confirm_before {
+                result.push(w);
+            } else {
+                carried.push(w);
+            }
+        }
+        // Unconfirmed window points must still meet the overflow points.
+        carried.extend(overflow);
+        input = carried;
+    }
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use proptest::prelude::*;
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_oracle_on_small_input() {
+        let data = vec![
+            vec![1800, 0],
+            vec![2000, 0],
+            vec![1800, 0],
+            vec![1200, 1],
+            vec![1400, 1],
+            vec![1000, 1],
+            vec![1000, 1],
+            vec![1800, 1],
+            vec![500, 2],
+            vec![1200, 2],
+        ];
+        for window in [1, 2, 3, 100] {
+            let (got, stats) = bnl(&data, window);
+            assert_eq!(sorted(got), brute_force(&data), "window={window}");
+            assert!(stats.dominance_checks > 0);
+        }
+    }
+
+    #[test]
+    fn tiny_window_forces_multiple_passes() {
+        // 50 incomparable points with window 4: many overflow passes.
+        let data: Vec<Vec<u32>> = (0..50u32).map(|i| vec![i, 49 - i]).collect();
+        let (got, _) = bnl(&data, 4);
+        assert_eq!(sorted(got), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let data = vec![vec![3, 3], vec![3, 3], vec![3, 3]];
+        let (got, _) = bnl(&data, 2);
+        assert_eq!(sorted(got), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (got, stats) = bnl(&[], 8);
+        assert!(got.is_empty());
+        assert_eq!(stats, Stats::default());
+    }
+
+    proptest! {
+        #[test]
+        fn equals_brute_force(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0u32..16, 3), 0..60),
+            window in 1usize..8,
+        ) {
+            let (got, _) = bnl(&pts, window);
+            prop_assert_eq!(sorted(got), brute_force(&pts));
+        }
+    }
+}

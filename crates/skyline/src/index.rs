@@ -1,0 +1,158 @@
+use crate::types::{dominates, Stats};
+
+/// The **Index** progressive skyline algorithm (Tan, Eng, Ooi — VLDB 2001;
+/// §II-A of the TSS paper, one of the two algorithms the paper credits with
+/// the *precedence* property alongside BBS).
+///
+/// Points are partitioned into `d` lists: point `p` goes to the list of the
+/// dimension holding its minimum coordinate `minC(p)` (ties to the lowest
+/// dimension index), and each list is sorted by `minC`. Processing merges
+/// the lists in ascending `minC`. Precedence holds because a dominator `q`
+/// of `p` satisfies `minC(q) <= minC(p)` (coordinate-wise dominance bounds
+/// the minimum), and ties are broken by the coordinate sum, strictly smaller
+/// for a dominator — so every point can be confirmed against the running
+/// skyline list the moment it is scanned.
+///
+/// Early termination: once the smallest unprocessed `minC` across all lists
+/// strictly exceeds the smallest `max`-coordinate of any skyline point
+/// found so far, that skyline point strictly dominates everything left.
+///
+/// (The original's in-list pruning batches entries per distinct `minC`;
+/// this implementation keeps the one-at-a-time formulation, which has the
+/// same precedence and termination structure and is simpler to verify.)
+pub fn index_skyline(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
+    let mut stats = Stats::default();
+    if data.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let dims = data[0].len();
+    let min_c = |p: &[u32]| p.iter().copied().min().unwrap_or(0);
+    let max_c = |p: &[u32]| p.iter().copied().max().unwrap_or(0);
+    let sum = |p: &[u32]| p.iter().map(|&c| c as u64).sum::<u64>();
+
+    // Build the d lists.
+    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); dims];
+    for (j, p) in data.iter().enumerate() {
+        let (dim, _) = p
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &v)| v)
+            .expect("non-empty point");
+        lists[dim].push(j as u32);
+    }
+    for list in &mut lists {
+        list.sort_by_key(|&j| (min_c(&data[j as usize]), sum(&data[j as usize]), j));
+    }
+
+    // Merge the list heads in ascending (minC, sum).
+    let mut cursors = vec![0usize; dims];
+    let mut skyline: Vec<u32> = Vec::new();
+    let mut best_max: Option<u32> = None;
+    loop {
+        let mut next: Option<(u32, u64, usize)> = None; // (minC, sum, list)
+        for (d, list) in lists.iter().enumerate() {
+            if let Some(&j) = list.get(cursors[d]) {
+                let key = (min_c(&data[j as usize]), sum(&data[j as usize]), d);
+                if next.map_or(true, |(m, s, _)| (key.0, key.1) < (m, s)) {
+                    next = Some((key.0, key.1, d));
+                }
+            }
+        }
+        let Some((mc, _, d)) = next else { break };
+        if let Some(stop) = best_max {
+            if mc > stop {
+                break; // everything left is strictly dominated
+            }
+        }
+        let j = lists[d][cursors[d]];
+        cursors[d] += 1;
+        let p = &data[j as usize];
+        let mut dominated = false;
+        for &s in &skyline {
+            stats.dominance_checks += 1;
+            if dominates(&data[s as usize], p) {
+                dominated = true;
+                break;
+            }
+        }
+        if !dominated {
+            let m = max_c(p);
+            best_max = Some(best_max.map_or(m, |b| b.min(m)));
+            skyline.push(j);
+        }
+    }
+    (skyline, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use proptest::prelude::*;
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_oracle_small() {
+        let data = vec![
+            vec![5, 1],
+            vec![1, 5],
+            vec![3, 3],
+            vec![4, 4],
+            vec![0, 9],
+            vec![9, 0],
+        ];
+        let (got, _) = index_skyline(&data);
+        assert_eq!(sorted(got), brute_force(&data));
+    }
+
+    #[test]
+    fn early_termination_fires() {
+        let mut data = vec![vec![1u32, 1]];
+        for i in 0..400u32 {
+            data.push(vec![50 + i % 20, 50 + i % 31]);
+        }
+        let (got, stats) = index_skyline(&data);
+        assert_eq!(got, vec![0]);
+        // Without termination we would pay ~400 checks.
+        assert!(stats.dominance_checks < 10, "{}", stats.dominance_checks);
+    }
+
+    #[test]
+    fn emission_is_progressive_in_minc_order() {
+        let data: Vec<Vec<u32>> = (0..60u32).map(|i| vec![i, 59 - i]).collect();
+        let (got, _) = index_skyline(&data);
+        let mcs: Vec<u32> = got
+            .iter()
+            .map(|&j| *data[j as usize].iter().min().unwrap())
+            .collect();
+        assert!(mcs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sorted(got), brute_force(&data));
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let data = vec![vec![3, 3], vec![3, 3]];
+        let (got, _) = index_skyline(&data);
+        assert_eq!(sorted(got), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(index_skyline(&[]).0, Vec::<u32>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn equals_brute_force(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0u32..14, 3), 0..80),
+        ) {
+            let (got, _) = index_skyline(&pts);
+            prop_assert_eq!(sorted(got), brute_force(&pts));
+        }
+    }
+}

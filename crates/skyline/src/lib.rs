@@ -1,0 +1,46 @@
+//! Classic skyline algorithms over **totally ordered** integer domains
+//! (smaller is better in every dimension), reproducing the related-work
+//! algorithms of §II-A that TSS builds on and is compared against:
+//!
+//! * [`brute_force`] — the `O(n²)` oracle every other algorithm is tested
+//!   against,
+//! * [`bnl`] — Block Nested Loops with a bounded window and multi-pass
+//!   overflow handling (Börzsönyi et al.),
+//! * [`sfs`] — Sort-Filter-Skyline: presort by a monotone function, then a
+//!   single filtering pass with *precedence* (Chomicki et al.),
+//! * [`salsa`] — Sort and Limit Skyline algorithm: SFS plus an early-stop
+//!   condition (Bartolini et al.),
+//! * [`bbs`] — Branch-and-Bound Skyline over an R-tree (Papadias et al.),
+//!   the algorithm sTSS and dTSS instantiate,
+//! * [`bitmap`] / [`index_skyline`] — Tan et al.'s two progressive
+//!   techniques (bit-sliced dominance tests; min-coordinate lists with
+//!   early termination).
+//!
+//! # Semantics
+//!
+//! `p` dominates `q` iff `p[d] <= q[d]` on every dimension and `p[d] < q[d]`
+//! on at least one. Exact duplicates therefore do **not** dominate each
+//! other: all copies belong to the skyline. Every algorithm here, including
+//! BBS's MBB pruning rule, is exact under that convention (see
+//! `bbs.rs` for the corner-equality argument).
+//!
+//! All algorithms report [`Stats`]: pairwise dominance checks and page IOs
+//! (for BBS), the two efficiency measures of the paper's §III-A.
+
+mod bbs;
+mod bitmap;
+mod bnl;
+mod brute;
+mod index;
+mod salsa;
+mod sfs;
+mod types;
+
+pub use bbs::{bbs, bbs_visit};
+pub use bitmap::bitmap;
+pub use index::index_skyline;
+pub use bnl::bnl;
+pub use brute::brute_force;
+pub use salsa::salsa;
+pub use sfs::sfs;
+pub use types::{dominates, dominates_or_equal, monotone_sum, Stats};

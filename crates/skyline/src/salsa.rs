@@ -1,0 +1,114 @@
+use crate::types::{dominates, monotone_sum, Stats};
+
+/// SaLSa — *Sort and Limit Skyline algorithm* (Bartolini et al., §II-A):
+/// SFS with a different sort key (`minC`, the minimum coordinate) and an
+/// early-termination test that lets it stop before scanning all points.
+///
+/// Sorting by `minC` preserves precedence (if `p` dominates `q` then
+/// `min(p) <= min(q)`; ties are broken by the coordinate sum, which is
+/// strictly smaller for a dominator). The stop test maintains the skyline
+/// point `p*` minimizing `max(p*)`: once the next candidate `q` satisfies
+/// `min(q) > max(p*)`, `p*` is strictly smaller than `q` on every dimension,
+/// and likewise for all later candidates — the scan can stop.
+///
+/// (The original paper stops on `min(q) >= max(p*)` with a tie analysis; we
+/// use the strict form, which is unconditionally safe under
+/// duplicates-survive semantics at the cost of occasionally scanning a few
+/// extra points.)
+pub fn salsa(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
+    let mut stats = Stats::default();
+    let mut order: Vec<u32> = (0..data.len() as u32).collect();
+    let min_c = |p: &[u32]| p.iter().copied().min().unwrap_or(0);
+    let max_c = |p: &[u32]| p.iter().copied().max().unwrap_or(0);
+    order.sort_by_key(|&i| (min_c(&data[i as usize]), monotone_sum(&data[i as usize]), i));
+    let mut skyline: Vec<u32> = Vec::new();
+    let mut best_max: Option<u32> = None;
+    for cand in order {
+        let p = &data[cand as usize];
+        if let Some(stop) = best_max {
+            if min_c(p) > stop {
+                break; // p* dominates this and every later candidate
+            }
+        }
+        let mut dominated = false;
+        for &s in &skyline {
+            stats.dominance_checks += 1;
+            if dominates(&data[s as usize], p) {
+                dominated = true;
+                break;
+            }
+        }
+        if !dominated {
+            let m = max_c(p);
+            best_max = Some(best_max.map_or(m, |b| b.min(m)));
+            skyline.push(cand);
+        }
+    }
+    (skyline, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute_force, sfs};
+    use proptest::prelude::*;
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_oracle() {
+        let data = vec![
+            vec![5, 1],
+            vec![1, 5],
+            vec![3, 3],
+            vec![4, 4],
+            vec![0, 9],
+            vec![9, 0],
+        ];
+        let (got, _) = salsa(&data);
+        assert_eq!(sorted(got), brute_force(&data));
+    }
+
+    #[test]
+    fn early_stop_saves_checks() {
+        // One point near the origin dominates a large cloud far away: SaLSa
+        // must stop long before scanning the cloud.
+        let mut data = vec![vec![1u32, 1]];
+        for i in 0..500u32 {
+            data.push(vec![100 + i % 50, 100 + i % 37]);
+        }
+        let (got, stats) = salsa(&data);
+        assert_eq!(got, vec![0]);
+        // SFS would pay one check per point; SaLSa stops immediately.
+        let (_, sfs_stats) = sfs(&data);
+        assert!(stats.dominance_checks < sfs_stats.dominance_checks / 10);
+    }
+
+    #[test]
+    fn duplicates_survive_the_stop_test() {
+        // All-equal coordinates: min == max, so the strict stop test never
+        // fires between duplicates and all copies are kept.
+        let data = vec![vec![4, 4], vec![4, 4], vec![4, 4]];
+        let (got, _) = salsa(&data);
+        assert_eq!(sorted(got), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(salsa(&[]).0, Vec::<u32>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn equals_brute_force(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0u32..16, 3), 0..80),
+        ) {
+            let (got, _) = salsa(&pts);
+            prop_assert_eq!(sorted(got), brute_force(&pts));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! All seven totally ordered skyline algorithms (§II-A substrate) must agree
+//! on the paper's generated workloads — including the R-tree-based BBS — and
+//! exhibit their signature efficiency properties.
+
+use tss::datagen::{gen_to_matrix, Distribution, TupleConfig};
+use tss::rtree::RTree;
+use tss::skyline::{bbs, bitmap, bnl, brute_force, index_skyline, salsa, sfs};
+
+fn workload(n: usize, dims: usize, domain: u32, dist: Distribution, seed: u64) -> Vec<Vec<u32>> {
+    gen_to_matrix(TupleConfig { n, dims, domain, dist, seed })
+        .chunks(dims)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+fn tree_of(data: &[Vec<u32>]) -> RTree {
+    let pts: Vec<(Vec<u32>, u32)> =
+        data.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
+    RTree::bulk_load(data[0].len(), 16, pts)
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn all_algorithms_agree() {
+    for (dist, seed) in [
+        (Distribution::Independent, 1u64),
+        (Distribution::AntiCorrelated, 2),
+        (Distribution::Correlated, 3),
+    ] {
+        for dims in [2usize, 3, 4] {
+            let data = workload(800, dims, 50, dist, seed);
+            let expect = brute_force(&data);
+            assert_eq!(sorted(bnl(&data, 16).0), expect, "BNL {dist:?} d={dims}");
+            assert_eq!(sorted(sfs(&data).0), expect, "SFS {dist:?} d={dims}");
+            assert_eq!(sorted(salsa(&data).0), expect, "SaLSa {dist:?} d={dims}");
+            assert_eq!(sorted(bitmap(&data).0), expect, "Bitmap {dist:?} d={dims}");
+            assert_eq!(sorted(index_skyline(&data).0), expect, "Index {dist:?} d={dims}");
+            assert_eq!(sorted(bbs(&tree_of(&data)).0), expect, "BBS {dist:?} d={dims}");
+        }
+    }
+}
+
+#[test]
+fn sorted_algorithms_do_fewer_checks_than_bnl() {
+    // Precedence saves work: SFS never re-examines, BNL's window churns.
+    let data = workload(4000, 2, 1000, Distribution::AntiCorrelated, 7);
+    let (_, bnl_stats) = bnl(&data, 32);
+    let (_, sfs_stats) = sfs(&data);
+    assert!(
+        sfs_stats.dominance_checks < bnl_stats.dominance_checks,
+        "SFS {} vs BNL {}",
+        sfs_stats.dominance_checks,
+        bnl_stats.dominance_checks
+    );
+}
+
+#[test]
+fn bbs_is_io_frugal_on_clustered_data() {
+    // Correlated data: a tight skyline near the origin lets BBS prune
+    // nearly the whole tree.
+    let data = workload(5000, 2, 10_000, Distribution::Correlated, 11);
+    let tree = tree_of(&data);
+    let (sky, stats) = bbs(&tree);
+    assert!(!sky.is_empty());
+    assert!(
+        (stats.io_reads as usize) < tree.node_count() / 2,
+        "BBS read {} of {} pages",
+        stats.io_reads,
+        tree.node_count()
+    );
+}
+
+#[test]
+fn bitmap_uses_constant_checks_per_point() {
+    let data = workload(2000, 3, 20, Distribution::Independent, 13);
+    let (_, stats) = bitmap(&data);
+    assert_eq!(stats.dominance_checks, 2000);
+}
