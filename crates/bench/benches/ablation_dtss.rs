@@ -13,10 +13,34 @@ fn bench(c: &mut Criterion) {
     let p = common::dynamic_params(Distribution::Independent);
     for (name, cfg) in [
         ("plain", DtssConfig::default()),
-        ("local_skylines", DtssConfig { precompute_local: true, ..Default::default() }),
-        ("fast_check", DtssConfig { fast_check: true, ..Default::default() }),
-        ("prefilter", DtssConfig { filter_dominators: true, ..Default::default() }),
-        ("cache_warm", DtssConfig { cache: true, ..Default::default() }),
+        (
+            "local_skylines",
+            DtssConfig {
+                precompute_local: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "fast_check",
+            DtssConfig {
+                fast_check: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "prefilter",
+            DtssConfig {
+                filter_dominators: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "cache_warm",
+            DtssConfig {
+                cache: true,
+                ..Default::default()
+            },
+        ),
     ] {
         let (dtss, query) = common::build_dtss(&p, cfg);
         if name == "cache_warm" {

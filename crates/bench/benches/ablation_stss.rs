@@ -14,12 +14,32 @@ fn bench(c: &mut Criterion) {
     let p = common::static_params(Distribution::Independent);
     for (name, cfg) in [
         ("default", StssConfig::default()),
-        ("naive_ranges", StssConfig { range_strategy: RangeStrategy::Naive, ..Default::default() }),
-        ("full_ranges", StssConfig { range_strategy: RangeStrategy::Full, ..Default::default() }),
-        ("multi_cover", StssConfig { multi_cover_mbb: true, ..Default::default() }),
+        (
+            "naive_ranges",
+            StssConfig {
+                range_strategy: RangeStrategy::Naive,
+                ..Default::default()
+            },
+        ),
+        (
+            "full_ranges",
+            StssConfig {
+                range_strategy: RangeStrategy::Full,
+                ..Default::default()
+            },
+        ),
+        (
+            "multi_cover",
+            StssConfig {
+                multi_cover_mbb: true,
+                ..Default::default()
+            },
+        ),
     ] {
         let stss = common::build_stss(&p, cfg);
-        g.bench_function(format!("tss/{name}"), |b| b.iter(|| stss.run().skyline.len()));
+        g.bench_function(format!("tss/{name}"), |b| {
+            b.iter(|| stss.run().skyline.len())
+        });
     }
     for variant in [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus] {
         let idx = common::build_sdc(&p, variant);

@@ -53,7 +53,13 @@ pub fn build_dtss(p: &ExperimentParams, cfg: DtssConfig) -> (Dtss, PoQuery) {
     let w = bench::runner::generate(p);
     let sizes: Vec<u32> = w.dags.iter().map(|d| d.len() as u32).collect();
     let query = PoQuery::new(
-        w.dags.iter().map(|d| bench::runner::permuted_order(d, 11)).collect(),
+        w.dags
+            .iter()
+            .map(|d| bench::runner::permuted_order(d, 11))
+            .collect(),
     );
-    (Dtss::build(w.table, sizes, cfg).expect("valid workload"), query)
+    (
+        Dtss::build(w.table, sizes, cfg).expect("valid workload"),
+        query,
+    )
 }

@@ -14,9 +14,13 @@ fn bench(c: &mut Criterion) {
         let mut p = common::static_params(Distribution::Independent);
         p.dag_density = d;
         let stss = common::build_stss(&p, StssConfig::default());
-        g.bench_function(format!("tss/d0{d10}"), |b| b.iter(|| stss.run().skyline.len()));
+        g.bench_function(format!("tss/d0{d10}"), |b| {
+            b.iter(|| stss.run().skyline.len())
+        });
         let sdc = common::build_sdc(&p, Variant::SdcPlus);
-        g.bench_function(format!("sdc+/d0{d10}"), |b| b.iter(|| sdc.run().skyline.len()));
+        g.bench_function(format!("sdc+/d0{d10}"), |b| {
+            b.iter(|| sdc.run().skyline.len())
+        });
     }
     g.finish();
 }

@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| dtss.query(&query).unwrap().skyline.len())
         });
         let w = bench::runner::generate(&p);
-        let qdags: Vec<_> = w.dags.iter().map(|d| bench::runner::permuted_order(d, 11)).collect();
+        let qdags: Vec<_> = w
+            .dags
+            .iter()
+            .map(|d| bench::runner::permuted_order(d, 11))
+            .collect();
         let dsdc = DynamicSdc::new(w.table, SdcConfig::default());
         g.bench_function(format!("dyn-sdc+/h{h}"), |b| {
             b.iter(|| dsdc.query(&qdags).unwrap().skyline.len())

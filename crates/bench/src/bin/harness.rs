@@ -45,9 +45,7 @@ fn main() {
             ablations();
         }
         other => {
-            eprintln!(
-                "unknown figure {other:?}; expected fig7..fig14, ablations or all"
-            );
+            eprintln!("unknown figure {other:?}; expected fig7..fig14, ablations or all");
             std::process::exit(2);
         }
     }
@@ -68,7 +66,10 @@ fn banner(title: &str) {
 /// Fig. 7: static total time vs. data cardinality.
 fn fig7() {
     for dist in params::distributions() {
-        banner(&format!("Fig 7 — static: total time vs N ({})", dist.short()));
+        banner(&format!(
+            "Fig 7 — static: total time vs N ({})",
+            dist.short()
+        ));
         let mut t = TextTable::new(&comparison_header("N"));
         for n in params::cardinalities() {
             let mut p = params::static_params(dist, 42);
@@ -86,7 +87,10 @@ fn fig7() {
 /// Fig. 8: static total time vs. dimensionality.
 fn fig8() {
     for dist in params::distributions() {
-        banner(&format!("Fig 8 — static: total time vs (|TO|,|PO|) ({})", dist.short()));
+        banner(&format!(
+            "Fig 8 — static: total time vs (|TO|,|PO|) ({})",
+            dist.short()
+        ));
         let mut t = TextTable::new(&comparison_header("dims"));
         for (to_d, po_d) in params::dimensionalities() {
             let mut p = params::static_params(dist, 42);
@@ -96,7 +100,12 @@ fn fig8() {
             let sdc = run_sdc_plus(&w);
             let tss = run_stss(&w, StssConfig::default());
             assert_eq!(sdc.skyline, tss.skyline);
-            t.row(comparison_cells(format!("({to_d},{po_d})"), &sdc, &tss, model()));
+            t.row(comparison_cells(
+                format!("({to_d},{po_d})"),
+                &sdc,
+                &tss,
+                model(),
+            ));
         }
         print!("{}", t.render());
     }
@@ -105,7 +114,10 @@ fn fig8() {
 /// Fig. 9: static total time vs. DAG height.
 fn fig9() {
     for dist in params::distributions() {
-        banner(&format!("Fig 9 — static: total time vs DAG height ({})", dist.short()));
+        banner(&format!(
+            "Fig 9 — static: total time vs DAG height ({})",
+            dist.short()
+        ));
         let mut t = TextTable::new(&comparison_header("h"));
         for h in params::heights() {
             let mut p = params::static_params(dist, 42);
@@ -123,7 +135,10 @@ fn fig9() {
 /// Fig. 10: static total time vs. DAG density.
 fn fig10() {
     for dist in params::distributions() {
-        banner(&format!("Fig 10 — static: total time vs DAG density ({})", dist.short()));
+        banner(&format!(
+            "Fig 10 — static: total time vs DAG density ({})",
+            dist.short()
+        ));
         let mut t = TextTable::new(&comparison_header("d"));
         for d in params::densities() {
             let mut p = params::static_params(dist, 42);
@@ -141,7 +156,10 @@ fn fig10() {
 /// Fig. 11: progressiveness — simulated time to retrieve x% of the skyline.
 fn fig11() {
     for dist in params::distributions() {
-        banner(&format!("Fig 11 — static: progressiveness ({})", dist.short()));
+        banner(&format!(
+            "Fig 11 — static: progressiveness ({})",
+            dist.short()
+        ));
         let mut p = params::static_params(dist, 42);
         p.n = params::progressive_n();
         let w = generate(&p);
@@ -196,15 +214,26 @@ fn dynamic_point(p: &ExperimentParams) -> (bench::runner::AlgoResult, bench::run
         cpu: m.cpu / seeds.len() as u32,
     };
     (
-        bench::runner::AlgoResult { name: "SDC+", metrics: div(sdc_sum), skyline: sky },
-        bench::runner::AlgoResult { name: "TSS", metrics: div(tss_sum), skyline: sky },
+        bench::runner::AlgoResult {
+            name: "SDC+",
+            metrics: div(sdc_sum),
+            skyline: sky,
+        },
+        bench::runner::AlgoResult {
+            name: "TSS",
+            metrics: div(tss_sum),
+            skyline: sky,
+        },
     )
 }
 
 /// Fig. 12: dynamic total time vs. data cardinality.
 fn fig12() {
     for dist in params::distributions() {
-        banner(&format!("Fig 12 — dynamic: total time vs N ({})", dist.short()));
+        banner(&format!(
+            "Fig 12 — dynamic: total time vs N ({})",
+            dist.short()
+        ));
         let mut t = TextTable::new(&comparison_header("N"));
         for n in params::cardinalities() {
             let mut p = params::dynamic_params(dist, 42);
@@ -219,14 +248,22 @@ fn fig12() {
 /// Fig. 13: dynamic total time vs. dimensionality.
 fn fig13() {
     for dist in params::distributions() {
-        banner(&format!("Fig 13 — dynamic: total time vs (|TO|,|PO|) ({})", dist.short()));
+        banner(&format!(
+            "Fig 13 — dynamic: total time vs (|TO|,|PO|) ({})",
+            dist.short()
+        ));
         let mut t = TextTable::new(&comparison_header("dims"));
         for (to_d, po_d) in params::dimensionalities() {
             let mut p = params::dynamic_params(dist, 42);
             p.to_dims = to_d;
             p.po_dims = po_d;
             let (sdc, tss) = dynamic_point(&p);
-            t.row(comparison_cells(format!("({to_d},{po_d})"), &sdc, &tss, model()));
+            t.row(comparison_cells(
+                format!("({to_d},{po_d})"),
+                &sdc,
+                &tss,
+                model(),
+            ));
         }
         print!("{}", t.render());
     }
@@ -264,10 +301,34 @@ fn ablations() {
     let mut t = TextTable::new(&["configuration", "total (s)", "checks", "reads"]);
     for (name, cfg) in [
         ("paper default (dyadic, list checks)", StssConfig::default()),
-        ("naive range merging", StssConfig { range_strategy: RangeStrategy::Naive, ..Default::default() }),
-        ("full range table", StssConfig { range_strategy: RangeStrategy::Full, ..Default::default() }),
-        ("fast Tm check", StssConfig { fast_check: true, ..Default::default() }),
-        ("multi-cover MBB", StssConfig { multi_cover_mbb: true, ..Default::default() }),
+        (
+            "naive range merging",
+            StssConfig {
+                range_strategy: RangeStrategy::Naive,
+                ..Default::default()
+            },
+        ),
+        (
+            "full range table",
+            StssConfig {
+                range_strategy: RangeStrategy::Full,
+                ..Default::default()
+            },
+        ),
+        (
+            "fast Tm check",
+            StssConfig {
+                fast_check: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "multi-cover MBB",
+            StssConfig {
+                multi_cover_mbb: true,
+                ..Default::default()
+            },
+        ),
     ] {
         let r = run_stss(&w, cfg);
         t.row(vec![
@@ -285,9 +346,27 @@ fn ablations() {
     let mut t = TextTable::new(&["configuration", "total (s)", "checks", "reads"]);
     for (name, cfg) in [
         ("paper default (plain)", DtssConfig::default()),
-        ("local skylines", DtssConfig { precompute_local: true, ..Default::default() }),
-        ("fast Tm check", DtssConfig { fast_check: true, ..Default::default() }),
-        ("dominator prefilter", DtssConfig { filter_dominators: true, ..Default::default() }),
+        (
+            "local skylines",
+            DtssConfig {
+                precompute_local: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "fast Tm check",
+            DtssConfig {
+                fast_check: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "dominator prefilter",
+            DtssConfig {
+                filter_dominators: true,
+                ..Default::default()
+            },
+        ),
     ] {
         let r = run_dtss(&w, 11, cfg);
         t.row(vec![
@@ -306,12 +385,21 @@ fn ablations() {
     // query twice against a warm buffer sized to the tree.
     let p = params::static_params(Distribution::Independent, 42);
     let w = generate(&p);
-    let mut t = TextTable::new(&["algorithm", "cold reads", "warm reads", "cold (s)", "warm (s)"]);
+    let mut t = TextTable::new(&[
+        "algorithm",
+        "cold reads",
+        "warm reads",
+        "cold (s)",
+        "warm (s)",
+    ]);
     {
         let stss = tss_core::Stss::build(
             w.table.clone(),
             w.dags.clone(),
-            StssConfig { buffer_pages: Some(100_000), ..Default::default() },
+            StssConfig {
+                buffer_pages: Some(100_000),
+                ..Default::default()
+            },
         )
         .unwrap();
         let cold = stss.run();
@@ -327,7 +415,10 @@ fn ablations() {
             w.table.clone(),
             w.dags.clone(),
             sdc::Variant::SdcPlus,
-            sdc::SdcConfig { buffer_pages: Some(100_000), ..Default::default() },
+            sdc::SdcConfig {
+                buffer_pages: Some(100_000),
+                ..Default::default()
+            },
         )
         .unwrap();
         let cold = idx.run();
@@ -347,11 +438,17 @@ fn ablations() {
     let dtss = tss_core::Dtss::build(
         w.table.clone(),
         sizes,
-        DtssConfig { cache: true, ..Default::default() },
+        DtssConfig {
+            cache: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let q = tss_core::PoQuery::new(
-        w.dags.iter().map(|d| bench::runner::permuted_order(d, 11)).collect(),
+        w.dags
+            .iter()
+            .map(|d| bench::runner::permuted_order(d, 11))
+            .collect(),
     );
     let cold = dtss.query(&q).unwrap();
     let warm = dtss.query(&q).unwrap();

@@ -6,7 +6,7 @@ use datagen::{Distribution, ExperimentParams};
 /// True iff `TSS_FULL_SCALE=1` — restores the paper's exact Table III
 /// sweeps (hours of runtime, multi-GB resident data at N = 10M).
 pub fn full_scale() -> bool {
-    std::env::var("TSS_FULL_SCALE").map_or(false, |v| v == "1")
+    std::env::var("TSS_FULL_SCALE").is_ok_and(|v| v == "1")
 }
 
 /// Cardinality sweep (Fig. 7 / Fig. 12).

@@ -14,7 +14,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -78,7 +81,15 @@ pub fn comparison_cells(
 pub fn comparison_header(sweep_name: &str) -> Vec<&str> {
     // Lifetimes: sweep_name is only used by callers with 'static literals.
     let _ = sweep_name;
-    vec!["sweep", "SDC+ (s)", "SDC+ cpu", "TSS (s)", "TSS cpu", "speedup", "|skyline|"]
+    vec![
+        "sweep",
+        "SDC+ (s)",
+        "SDC+ cpu",
+        "TSS (s)",
+        "TSS cpu",
+        "speedup",
+        "|skyline|",
+    ]
 }
 
 #[cfg(test)]
@@ -110,7 +121,10 @@ mod tests {
         let model = CostModel::default();
         let mk = |io: u64| AlgoResult {
             name: "x",
-            metrics: Metrics { io_reads: io, ..Default::default() },
+            metrics: Metrics {
+                io_reads: io,
+                ..Default::default()
+            },
             skyline: 5,
         };
         let cells = comparison_cells("N".into(), &mk(200), &mk(100), model);

@@ -25,7 +25,11 @@ pub fn generate(params: &ExperimentParams) -> Workload {
     let po = params.gen_po(&dags);
     let table = Table::from_parts(params.to_dims, params.po_dims, to, po)
         .expect("generator emits well-shaped matrices");
-    Workload { table, dags, params: *params }
+    Workload {
+        table,
+        dags,
+        params: *params,
+    }
 }
 
 /// One algorithm's measured run.
@@ -53,15 +57,28 @@ impl AlgoResult {
 pub fn run_stss(w: &Workload, cfg: StssConfig) -> AlgoResult {
     let stss = Stss::build(w.table.clone(), w.dags.clone(), cfg).expect("valid workload");
     let run = stss.run();
-    AlgoResult { name: "TSS", metrics: run.metrics, skyline: run.skyline.len() }
+    AlgoResult {
+        name: "TSS",
+        metrics: run.metrics,
+        skyline: run.skyline.len(),
+    }
 }
 
 /// Builds the SDC+ strata (untimed) and measures one run.
 pub fn run_sdc_plus(w: &Workload) -> AlgoResult {
-    let idx = SdcIndex::build(w.table.clone(), w.dags.clone(), Variant::SdcPlus, SdcConfig::default())
-        .expect("valid workload");
+    let idx = SdcIndex::build(
+        w.table.clone(),
+        w.dags.clone(),
+        Variant::SdcPlus,
+        SdcConfig::default(),
+    )
+    .expect("valid workload");
     let run = idx.run();
-    AlgoResult { name: "SDC+", metrics: run.metrics, skyline: run.skyline.len() }
+    AlgoResult {
+        name: "SDC+",
+        metrics: run.metrics,
+        skyline: run.skyline.len(),
+    }
 }
 
 /// Progressiveness timelines for Fig. 11: `(samples, final metrics)`.
@@ -74,8 +91,13 @@ pub fn progressive_stss(w: &Workload) -> (Vec<ProgressSample>, Metrics) {
 
 /// Progressiveness timeline of SDC+.
 pub fn progressive_sdc_plus(w: &Workload) -> (Vec<ProgressSample>, Metrics) {
-    let idx = SdcIndex::build(w.table.clone(), w.dags.clone(), Variant::SdcPlus, SdcConfig::default())
-        .expect("valid workload");
+    let idx = SdcIndex::build(
+        w.table.clone(),
+        w.dags.clone(),
+        Variant::SdcPlus,
+        SdcConfig::default(),
+    )
+    .expect("valid workload");
     let mut samples = Vec::new();
     let run = idx.run_with(&mut |_, s| samples.push(s));
     (samples, run.metrics)
@@ -102,17 +124,34 @@ pub fn permuted_order(dag: &Dag, seed: u64) -> Dag {
 pub fn run_dtss(w: &Workload, query_seed: u64, cfg: DtssConfig) -> AlgoResult {
     let sizes: Vec<u32> = w.dags.iter().map(|d| d.len() as u32).collect();
     let dtss = Dtss::build(w.table.clone(), sizes, cfg).expect("valid workload");
-    let query = PoQuery::new(w.dags.iter().map(|d| permuted_order(d, query_seed)).collect());
+    let query = PoQuery::new(
+        w.dags
+            .iter()
+            .map(|d| permuted_order(d, query_seed))
+            .collect(),
+    );
     let run = dtss.query(&query).expect("valid query");
-    AlgoResult { name: "TSS", metrics: run.metrics, skyline: run.skyline.len() }
+    AlgoResult {
+        name: "TSS",
+        metrics: run.metrics,
+        skyline: run.skyline.len(),
+    }
 }
 
 /// Measures one dynamic query of the SDC+ baseline, rebuild included.
 pub fn run_dynamic_sdc(w: &Workload, query_seed: u64) -> AlgoResult {
     let dsdc = DynamicSdc::new(w.table.clone(), SdcConfig::default());
-    let query: Vec<Dag> = w.dags.iter().map(|d| permuted_order(d, query_seed)).collect();
+    let query: Vec<Dag> = w
+        .dags
+        .iter()
+        .map(|d| permuted_order(d, query_seed))
+        .collect();
     let run = dsdc.query(&query).expect("valid query");
-    AlgoResult { name: "SDC+", metrics: run.metrics, skyline: run.skyline.len() }
+    AlgoResult {
+        name: "SDC+",
+        metrics: run.metrics,
+        skyline: run.skyline.len(),
+    }
 }
 
 #[cfg(test)]

@@ -178,7 +178,7 @@ mod tests {
         assert!(!t_dominates(&doms, &[5], &[2], &[5], &[2]));
         // Equal TO, strictly better PO.
         assert!(t_dominates(&doms, &[5], &[0], &[5], &[2])); // a over c
-        // Equal PO, strictly better TO.
+                                                             // Equal PO, strictly better TO.
         assert!(t_dominates(&doms, &[4], &[2], &[5], &[2]));
     }
 

@@ -69,7 +69,7 @@ impl PoQuery {
 /// Tuning knobs for [`Dtss`]. Defaults reproduce the paper's benchmark
 /// configuration (§VI-C: "no buffers, global main memory R-tree,
 /// pre-processing or caching mechanisms are used").
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DtssConfig {
     /// Page model for node capacities and local-skyline page charging.
     pub page: PageConfig,
@@ -85,19 +85,6 @@ pub struct DtssConfig {
     /// values can dominate the group's key, turning per-point checks into
     /// TO-only comparisons. Exact; off by default (paper-plain checks).
     pub filter_dominators: bool,
-}
-
-impl Default for DtssConfig {
-    fn default() -> Self {
-        DtssConfig {
-            page: PageConfig::default(),
-            node_capacity: None,
-            fast_check: false,
-            precompute_local: false,
-            cache: false,
-            filter_dominators: false,
-        }
-    }
 }
 
 /// One PO-value group: key, members, TO R-tree, optional local skyline.
@@ -154,9 +141,14 @@ impl Dtss {
         table.check_domains(&domain_sizes)?;
         let mut by_key: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
         for i in 0..table.len() {
-            by_key.entry(table.po_row(i).to_vec()).or_default().push(i as u32);
+            by_key
+                .entry(table.po_row(i).to_vec())
+                .or_default()
+                .push(i as u32);
         }
-        let cap = cfg.node_capacity.unwrap_or_else(|| cfg.page.capacity(table.to_dims()));
+        let cap = cfg
+            .node_capacity
+            .unwrap_or_else(|| cfg.page.capacity(table.to_dims()));
         let mut keys: Vec<Vec<u32>> = by_key.keys().cloned().collect();
         keys.sort_unstable(); // deterministic group layout
         let groups = keys
@@ -170,17 +162,25 @@ impl Dtss {
                 let tree = RTree::bulk_load(table.to_dims(), cap, pts);
                 let local_skyline = cfg.precompute_local.then(|| {
                     let (mut sky, _) = skyline::bbs(&tree);
-                    sky.sort_by_key(|&r| {
-                        (skyline::monotone_sum(table.to_row(r as usize)), r)
-                    });
+                    sky.sort_by_key(|&r| (skyline::monotone_sum(table.to_row(r as usize)), r));
                     tree.reset_io();
                     sky
                 });
                 tree.reset_io();
-                Group { key, tree, local_skyline }
+                Group {
+                    key,
+                    tree,
+                    local_skyline,
+                }
             })
             .collect();
-        Ok(Dtss { table, domain_sizes, groups, cfg, cache: RefCell::new(HashMap::new()) })
+        Ok(Dtss {
+            table,
+            domain_sizes,
+            groups,
+            cfg,
+            cache: RefCell::new(HashMap::new()),
+        })
     }
 
     /// The input table.
@@ -254,7 +254,10 @@ impl Dtss {
                     })
                     .collect::<Vec<_>>();
                 return Ok(DtssRun {
-                    metrics: Metrics { results: skyline.len() as u64, ..Default::default() },
+                    metrics: Metrics {
+                        results: skyline.len() as u64,
+                        ..Default::default()
+                    },
                     skyline,
                     groups_skipped: 0,
                     groups_total: self.groups.len() as u64,
@@ -281,7 +284,11 @@ impl Dtss {
         let fold = |to: &[u32]| -> Vec<u32> {
             match reference {
                 None => to.to_vec(),
-                Some(r) => to.iter().zip(r.iter()).map(|(&a, &b)| a.abs_diff(b)).collect(),
+                Some(r) => to
+                    .iter()
+                    .zip(r.iter())
+                    .map(|(&a, &b)| a.abs_diff(b))
+                    .collect(),
             }
         };
         // Per-query labeling: cheap relative to the data (§V-A).
@@ -300,7 +307,11 @@ impl Dtss {
         // Visit groups by ascending sum of ordinals: precedence across groups.
         let mut order: Vec<usize> = (0..self.groups.len()).collect();
         let key_rank = |g: &Group| -> u64 {
-            g.key.iter().enumerate().map(|(d, &v)| domains[d].ordinal(v) as u64).sum()
+            g.key
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| domains[d].ordinal(v) as u64)
+                .sum()
         };
         order.sort_by_key(|&gi| (key_rank(&self.groups[gi]), gi));
 
@@ -373,19 +384,30 @@ impl Dtss {
             if let (Some(local), None) = (group.local_skyline.as_ref(), reference) {
                 // §V-B: only local skyline points can be global results.
                 // Charge the pages of the stored local-skyline file.
-                m.io_reads += self
-                    .cfg
-                    .page
-                    .data_pages(local.len(), to_dims + key.len());
+                m.io_reads += self.cfg.page.data_pages(local.len(), to_dims + key.len());
                 for &r in local {
                     let to = self.table.to_row(r as usize);
                     if !self.point_dominated(
-                        to, key, &posts, &domains, &skyline, vpi.as_ref(), &keys,
-                        filtered.as_deref(), &mut m,
+                        to,
+                        key,
+                        &posts,
+                        &domains,
+                        &skyline,
+                        vpi.as_ref(),
+                        &keys,
+                        filtered.as_deref(),
+                        &mut m,
                     ) {
                         self.emit(
-                            r, to, key, &domains, &mut skyline, vpi.as_mut(), &mut keys,
-                            filtered.as_mut(), &mut m,
+                            r,
+                            to,
+                            key,
+                            &domains,
+                            &mut skyline,
+                            vpi.as_mut(),
+                            &mut keys,
+                            filtered.as_mut(),
+                            &mut m,
                         );
                     }
                 }
@@ -403,8 +425,14 @@ impl Dtss {
                             Some(r) => mbb.folded_corner(r),
                         };
                         if !self.node_dominated(
-                            &corner, key, &posts, &domains, &skyline, vpi.as_ref(),
-                            filtered.as_deref(), &mut m,
+                            &corner,
+                            key,
+                            &posts,
+                            &domains,
+                            &skyline,
+                            vpi.as_ref(),
+                            filtered.as_deref(),
+                            &mut m,
                         ) {
                             bf.expand(id);
                         }
@@ -412,12 +440,26 @@ impl Dtss {
                     Popped::Record { point, record, .. } => {
                         let folded = fold(point);
                         if !self.point_dominated(
-                            &folded, key, &posts, &domains, &skyline, vpi.as_ref(), &keys,
-                            filtered.as_deref(), &mut m,
+                            &folded,
+                            key,
+                            &posts,
+                            &domains,
+                            &skyline,
+                            vpi.as_ref(),
+                            &keys,
+                            filtered.as_deref(),
+                            &mut m,
                         ) {
                             self.emit(
-                                record, &folded, key, &domains, &mut skyline, vpi.as_mut(),
-                                &mut keys, filtered.as_mut(), &mut m,
+                                record,
+                                &folded,
+                                key,
+                                &domains,
+                                &mut skyline,
+                                vpi.as_mut(),
+                                &mut keys,
+                                filtered.as_mut(),
+                                &mut m,
                             );
                         }
                     }
@@ -436,12 +478,18 @@ impl Dtss {
                 emitted[p.record as usize] = true;
             }
             let key_of = |i: usize| (fold(self.table.to_row(i)), self.table.po_row(i).to_vec());
-            let present: HashSet<(Vec<u32>, Vec<u32>)> =
-                skyline.iter().map(|p| (p.to.clone(), p.po.clone())).collect();
-            for i in 0..self.table.len() {
-                if !emitted[i] && present.contains(&key_of(i)) {
+            let present: HashSet<(Vec<u32>, Vec<u32>)> = skyline
+                .iter()
+                .map(|p| (p.to.clone(), p.po.clone()))
+                .collect();
+            for (i, done) in emitted.iter().enumerate() {
+                if !done && present.contains(&key_of(i)) {
                     let (to, po) = key_of(i);
-                    skyline.push(SkylinePoint { record: i as u32, to, po });
+                    skyline.push(SkylinePoint {
+                        record: i as u32,
+                        to,
+                        po,
+                    });
                     m.results += 1;
                 }
             }
@@ -477,7 +525,11 @@ impl Dtss {
         filtered: Option<&mut Vec<(usize, bool)>>,
         m: &mut Metrics,
     ) {
-        let sp = SkylinePoint { record, to: to.to_vec(), po: key.to_vec() };
+        let sp = SkylinePoint {
+            record,
+            to: to.to_vec(),
+            po: key.to_vec(),
+        };
         if let Some(vpi) = vpi {
             let sets: Vec<&poset::IntervalSet> = key
                 .iter()
@@ -521,8 +573,7 @@ impl Dtss {
             return filtered.iter().any(|&(ix, po_strict)| {
                 m.dominance_checks += 1;
                 let s = &skyline[ix];
-                s.to.iter().zip(to.iter()).all(|(sv, tv)| sv <= tv)
-                    && (po_strict || s.to != to)
+                s.to.iter().zip(to.iter()).all(|(sv, tv)| sv <= tv) && (po_strict || s.to != to)
             });
         }
         skyline.iter().any(|s| {
@@ -620,10 +671,23 @@ mod tests {
     fn configs() -> Vec<DtssConfig> {
         vec![
             DtssConfig::default(),
-            DtssConfig { fast_check: true, ..Default::default() },
-            DtssConfig { precompute_local: true, ..Default::default() },
-            DtssConfig { filter_dominators: true, ..Default::default() },
-            DtssConfig { fast_check: true, precompute_local: true, ..Default::default() },
+            DtssConfig {
+                fast_check: true,
+                ..Default::default()
+            },
+            DtssConfig {
+                precompute_local: true,
+                ..Default::default()
+            },
+            DtssConfig {
+                filter_dominators: true,
+                ..Default::default()
+            },
+            DtssConfig {
+                fast_check: true,
+                precompute_local: true,
+                ..Default::default()
+            },
         ]
     }
 
@@ -674,7 +738,10 @@ mod tests {
 
     #[test]
     fn cache_round_trip() {
-        let cfg = DtssConfig { cache: true, ..Default::default() };
+        let cfg = DtssConfig {
+            cache: true,
+            ..Default::default()
+        };
         let dtss = Dtss::build(fig5_table(), vec![3], cfg).unwrap();
         let q = PoQuery::new(vec![order_b_over_c()]);
         let first = dtss.query(&q).unwrap();
@@ -731,13 +798,15 @@ mod tests {
         }
     }
 
-
     /// Oracle for fully dynamic queries: Pareto dominance on folded TO
     /// coordinates plus the query partial order.
     fn folded_oracle(t: &Table, dag: &poset::Dag, reference: &[u32]) -> Vec<u32> {
         let doms = vec![PoDomain::new(dag.clone())];
         let fold = |row: &[u32]| -> Vec<u32> {
-            row.iter().zip(reference.iter()).map(|(&a, &b)| a.abs_diff(b)).collect()
+            row.iter()
+                .zip(reference.iter())
+                .map(|(&a, &b)| a.abs_diff(b))
+                .collect()
         };
         (0..t.len())
             .filter(|&i| {
@@ -792,7 +861,10 @@ mod tests {
 
     #[test]
     fn fully_dynamic_cache_keys_include_reference() {
-        let cfg = DtssConfig { cache: true, ..Default::default() };
+        let cfg = DtssConfig {
+            cache: true,
+            ..Default::default()
+        };
         let dtss = Dtss::build(fig5_table(), vec![3], cfg).unwrap();
         let q = PoQuery::new(vec![order_b_over_c()]);
         let a = dtss.query_fully_dynamic(&q, &[3, 3]).unwrap();

@@ -4,13 +4,27 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
     /// Flattened matrix length is not `n × dims`.
-    RaggedMatrix { what: &'static str, len: usize, n: usize, dims: usize },
+    RaggedMatrix {
+        what: &'static str,
+        len: usize,
+        n: usize,
+        dims: usize,
+    },
     /// A PO value id exceeds its domain cardinality.
-    PoValueOutOfRange { row: usize, dim: usize, value: u32, domain: u32 },
+    PoValueOutOfRange {
+        row: usize,
+        dim: usize,
+        value: u32,
+        domain: u32,
+    },
     /// Number of DAGs supplied does not match the table's PO dimensionality.
     DomainCountMismatch { dags: usize, po_dims: usize },
     /// A query supplied a partial order over a domain of the wrong size.
-    QueryDomainMismatch { dim: usize, expected: usize, got: usize },
+    QueryDomainMismatch {
+        dim: usize,
+        expected: usize,
+        got: usize,
+    },
     /// The table needs at least one TO or PO dimension.
     NoDimensions,
 }
@@ -22,7 +36,12 @@ impl fmt::Display for CoreError {
                 f,
                 "{what} matrix has {len} entries, expected n×dims = {n}×{dims}"
             ),
-            CoreError::PoValueOutOfRange { row, dim, value, domain } => write!(
+            CoreError::PoValueOutOfRange {
+                row,
+                dim,
+                value,
+                domain,
+            } => write!(
                 f,
                 "tuple {row}, PO dim {dim}: value id {value} outside domain of {domain} values"
             ),

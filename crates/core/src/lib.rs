@@ -63,9 +63,7 @@ mod progressive;
 mod schema;
 mod stss;
 
-pub use dominance::{
-    brute_force_po_skyline, t_dominates, t_dominates_weak_printed, Dominance,
-};
+pub use dominance::{brute_force_po_skyline, t_dominates, t_dominates_weak_printed, Dominance};
 pub use dtss::{Dtss, DtssConfig, DtssRun, PoQuery};
 pub use error::CoreError;
 pub use fastcheck::VirtualPointIndex;

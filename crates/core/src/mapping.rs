@@ -30,7 +30,12 @@ impl PoDomain {
     fn from_labeling(dag: Dag, labeling: TssLabeling) -> Self {
         let dyadic = DyadicIndex::build(&labeling);
         let reach = Reachability::build(&dag);
-        PoDomain { dag, labeling, dyadic, reach }
+        PoDomain {
+            dag,
+            labeling,
+            dyadic,
+            reach,
+        }
     }
 
     /// The domain DAG.
@@ -113,7 +118,7 @@ mod tests {
         // Ordinals: deterministic topo sort is alphabetical here.
         assert_eq!(dom.ordinal(0), 1); // a
         assert_eq!(dom.ordinal(8), 9); // i
-        // pref agrees with the closure.
+                                       // pref agrees with the closure.
         for x in 0..9u32 {
             for y in 0..9u32 {
                 assert_eq!(
@@ -123,6 +128,9 @@ mod tests {
             }
         }
         // Dyadic range equals labeling range.
-        assert_eq!(dom.range_intervals(2, 7), dom.labeling().range_intervals(2, 7));
+        assert_eq!(
+            dom.range_intervals(2, 7),
+            dom.labeling().range_intervals(2, 7)
+        );
     }
 }

@@ -48,7 +48,9 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { io_cost: Duration::from_millis(5) }
+        CostModel {
+            io_cost: Duration::from_millis(5),
+        }
     }
 }
 
@@ -93,7 +95,11 @@ mod tests {
 
     #[test]
     fn cost_model_charges_ios() {
-        let m = Metrics { io_reads: 100, cpu: Duration::from_millis(500), ..Default::default() };
+        let m = Metrics {
+            io_reads: 100,
+            cpu: Duration::from_millis(500),
+            ..Default::default()
+        };
         let model = CostModel::default();
         assert_eq!(model.total_time(&m), Duration::from_millis(1000));
         assert!((model.cpu_fraction(&m) - 0.5).abs() < 1e-9);

@@ -40,7 +40,8 @@ impl ProgressLog {
         if self.samples.is_empty() {
             return model.total_time(&self.final_metrics);
         }
-        let needed = ((self.samples.len() as f64 * frac).ceil() as usize).clamp(1, self.samples.len());
+        let needed =
+            ((self.samples.len() as f64 * frac).ceil() as usize).clamp(1, self.samples.len());
         if needed == self.samples.len() && frac >= 1.0 {
             return model.total_time(&self.final_metrics);
         }
@@ -82,7 +83,9 @@ mod tests {
 
     #[test]
     fn fraction_lookup() {
-        let model = CostModel { io_cost: Duration::from_millis(5) };
+        let model = CostModel {
+            io_cost: Duration::from_millis(5),
+        };
         let l = log();
         // 25% -> first sample: 10ms + 1*5ms.
         assert_eq!(l.time_to_fraction(0.25, model), Duration::from_millis(15));
@@ -94,7 +97,9 @@ mod tests {
 
     #[test]
     fn inverse_lookup() {
-        let model = CostModel { io_cost: Duration::from_millis(5) };
+        let model = CostModel {
+            io_cost: Duration::from_millis(5),
+        };
         let l = log();
         assert_eq!(l.results_within(Duration::from_millis(14), model), 0);
         assert_eq!(l.results_within(Duration::from_millis(31), model), 2);
@@ -106,7 +111,10 @@ mod tests {
         let model = CostModel::default();
         let l = ProgressLog {
             samples: vec![],
-            final_metrics: Metrics { cpu: Duration::from_millis(7), ..Default::default() },
+            final_metrics: Metrics {
+                cpu: Duration::from_millis(7),
+                ..Default::default()
+            },
         };
         assert_eq!(l.time_to_fraction(0.5, model), Duration::from_millis(7));
     }

@@ -18,7 +18,13 @@ pub struct Table {
 impl Table {
     /// An empty table with the given dimensionality.
     pub fn new(to_dims: usize, po_dims: usize) -> Self {
-        Table { n: 0, to_dims, po_dims, to: Vec::new(), po: Vec::new() }
+        Table {
+            n: 0,
+            to_dims,
+            po_dims,
+            to: Vec::new(),
+            po: Vec::new(),
+        }
     }
 
     /// Wraps pre-generated flattened matrices (e.g. from `datagen`).
@@ -31,14 +37,33 @@ impl Table {
         if to_dims == 0 && po_dims == 0 {
             return Err(CoreError::NoDimensions);
         }
-        let n = if to_dims > 0 { to.len() / to_dims } else { po.len() / po_dims.max(1) };
+        let n = to
+            .len()
+            .checked_div(to_dims)
+            .unwrap_or(po.len() / po_dims.max(1));
         if to_dims > 0 && to.len() != n * to_dims {
-            return Err(CoreError::RaggedMatrix { what: "TO", len: to.len(), n, dims: to_dims });
+            return Err(CoreError::RaggedMatrix {
+                what: "TO",
+                len: to.len(),
+                n,
+                dims: to_dims,
+            });
         }
         if po.len() != n * po_dims {
-            return Err(CoreError::RaggedMatrix { what: "PO", len: po.len(), n, dims: po_dims });
+            return Err(CoreError::RaggedMatrix {
+                what: "PO",
+                len: po.len(),
+                n,
+                dims: po_dims,
+            });
         }
-        Ok(Table { n, to_dims, po_dims, to, po })
+        Ok(Table {
+            n,
+            to_dims,
+            po_dims,
+            to,
+            po,
+        })
     }
 
     /// Appends one tuple.
@@ -89,13 +114,21 @@ impl Table {
     /// Validates every PO value id against per-dimension domain sizes.
     pub fn check_domains(&self, sizes: &[u32]) -> Result<(), CoreError> {
         if sizes.len() != self.po_dims {
-            return Err(CoreError::DomainCountMismatch { dags: sizes.len(), po_dims: self.po_dims });
+            return Err(CoreError::DomainCountMismatch {
+                dags: sizes.len(),
+                po_dims: self.po_dims,
+            });
         }
         for i in 0..self.n {
             let row = self.po_row(i);
             for (d, (&v, &s)) in row.iter().zip(sizes.iter()).enumerate() {
                 if v >= s {
-                    return Err(CoreError::PoValueOutOfRange { row: i, dim: d, value: v, domain: s });
+                    return Err(CoreError::PoValueOutOfRange {
+                        row: i,
+                        dim: d,
+                        value: v,
+                        domain: s,
+                    });
                 }
             }
         }
@@ -130,7 +163,10 @@ mod tests {
             Table::from_parts(2, 1, vec![1, 2, 3, 4], vec![0]),
             Err(CoreError::RaggedMatrix { .. })
         ));
-        assert!(matches!(Table::from_parts(0, 0, vec![], vec![]), Err(CoreError::NoDimensions)));
+        assert!(matches!(
+            Table::from_parts(0, 0, vec![], vec![]),
+            Err(CoreError::NoDimensions)
+        ));
     }
 
     #[test]
@@ -147,7 +183,12 @@ mod tests {
         assert!(t.check_domains(&[2, 4]).is_ok());
         assert!(matches!(
             t.check_domains(&[2, 3]),
-            Err(CoreError::PoValueOutOfRange { row: 0, dim: 1, value: 3, domain: 3 })
+            Err(CoreError::PoValueOutOfRange {
+                row: 0,
+                dim: 1,
+                value: 3,
+                domain: 3
+            })
         ));
         assert!(matches!(
             t.check_domains(&[2]),

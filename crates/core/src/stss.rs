@@ -119,7 +119,10 @@ impl Stss {
     /// R-tree.
     pub fn build(table: Table, dags: Vec<Dag>, cfg: StssConfig) -> Result<Self, CoreError> {
         if dags.len() != table.po_dims() {
-            return Err(CoreError::DomainCountMismatch { dags: dags.len(), po_dims: table.po_dims() });
+            return Err(CoreError::DomainCountMismatch {
+                dags: dags.len(),
+                po_dims: table.po_dims(),
+            });
         }
         let sizes: Vec<u32> = dags.iter().map(|d| d.len() as u32).collect();
         table.check_domains(&sizes)?;
@@ -138,15 +141,22 @@ impl Stss {
             tree.enable_buffer(pages);
         }
         let full_ranges = Self::build_full_ranges(&domains, cfg);
-        Ok(Stss { table, domains, tree, cfg, full_ranges })
+        Ok(Stss {
+            table,
+            domains,
+            tree,
+            cfg,
+            full_ranges,
+        })
     }
 
-    fn build_full_ranges(
-        domains: &[PoDomain],
-        cfg: StssConfig,
-    ) -> Option<Vec<FullRangeIndex>> {
-        (cfg.range_strategy == RangeStrategy::Full)
-            .then(|| domains.iter().map(|d| FullRangeIndex::build(d.labeling())).collect())
+    fn build_full_ranges(domains: &[PoDomain], cfg: StssConfig) -> Option<Vec<FullRangeIndex>> {
+        (cfg.range_strategy == RangeStrategy::Full).then(|| {
+            domains
+                .iter()
+                .map(|d| FullRangeIndex::build(d.labeling()))
+                .collect()
+        })
     }
 
     /// Builds over an explicitly structured tree (tests reproducing the
@@ -158,13 +168,22 @@ impl Stss {
         cfg: StssConfig,
     ) -> Result<Self, CoreError> {
         if dags.len() != table.po_dims() {
-            return Err(CoreError::DomainCountMismatch { dags: dags.len(), po_dims: table.po_dims() });
+            return Err(CoreError::DomainCountMismatch {
+                dags: dags.len(),
+                po_dims: table.po_dims(),
+            });
         }
         let sizes: Vec<u32> = dags.iter().map(|d| d.len() as u32).collect();
         table.check_domains(&sizes)?;
         let domains: Vec<PoDomain> = dags.into_iter().map(PoDomain::new).collect();
         let full_ranges = Self::build_full_ranges(&domains, cfg);
-        Ok(Stss { table, domains, tree, cfg, full_ranges })
+        Ok(Stss {
+            table,
+            domains,
+            tree,
+            cfg,
+            full_ranges,
+        })
     }
 
     /// Transformed coordinates of row `i`: TO values then one topological
@@ -211,7 +230,10 @@ impl Stss {
         });
         (
             StssRun { skyline, metrics },
-            ProgressLog { samples, final_metrics: metrics },
+            ProgressLog {
+                samples,
+                final_metrics: metrics,
+            },
         )
     }
 
@@ -225,7 +247,11 @@ impl Stss {
         // The confirmed skyline: (to, po values, interval sets are derived).
         let mut skyline: Vec<SkylinePoint> = Vec::new();
         let mut vpi = self.cfg.fast_check.then(|| {
-            VirtualPointIndex::new(to_dims, &self.domains, self.cfg.page.capacity(to_dims + 2 * self.domains.len()))
+            VirtualPointIndex::new(
+                to_dims,
+                &self.domains,
+                self.cfg.page.capacity(to_dims + 2 * self.domains.len()),
+            )
         });
         // Exact-key set: keeps duplicate handling exact under fast checks.
         let mut keys: HashSet<(Vec<u32>, Vec<u32>)> = HashSet::new();
@@ -243,7 +269,11 @@ impl Stss {
                     let to = &point[..to_dims];
                     let po = self.table.po_row(record as usize);
                     if !self.point_dominated(to, po, &skyline, vpi.as_ref(), &keys, &mut m) {
-                        let sp = SkylinePoint { record, to: to.to_vec(), po: po.to_vec() };
+                        let sp = SkylinePoint {
+                            record,
+                            to: to.to_vec(),
+                            po: po.to_vec(),
+                        };
                         if let Some(vpi) = vpi.as_mut() {
                             let sets: Vec<&IntervalSet> = po
                                 .iter()
@@ -281,20 +311,29 @@ impl Stss {
                 std::collections::HashMap::new();
             for sp in &skyline {
                 emitted[sp.record as usize] = true;
-                by_hash.entry(Self::row_hash(&sp.to, &sp.po)).or_default().push(sp.record);
+                by_hash
+                    .entry(Self::row_hash(&sp.to, &sp.po))
+                    .or_default()
+                    .push(sp.record);
             }
             let mut extra: Vec<SkylinePoint> = Vec::new();
-            for i in 0..self.table.len() {
-                if emitted[i] {
+            for (i, &done) in emitted.iter().enumerate() {
+                if done {
                     continue;
                 }
                 let (to, po) = (self.table.to_row(i), self.table.po_row(i));
-                let Some(cands) = by_hash.get(&Self::row_hash(to, po)) else { continue };
+                let Some(cands) = by_hash.get(&Self::row_hash(to, po)) else {
+                    continue;
+                };
                 let is_dup = cands.iter().any(|&r| {
                     self.table.to_row(r as usize) == to && self.table.po_row(r as usize) == po
                 });
                 if is_dup {
-                    extra.push(SkylinePoint { record: i as u32, to: to.to_vec(), po: po.to_vec() });
+                    extra.push(SkylinePoint {
+                        record: i as u32,
+                        to: to.to_vec(),
+                        po: po.to_vec(),
+                    });
                 }
             }
             for sp in extra {
@@ -436,11 +475,15 @@ impl Stss {
                 if s.to.iter().zip(to_min.iter()).any(|(sv, mv)| sv > mv) {
                     return false;
                 }
-                combo.iter().zip(run_sets.iter()).enumerate().all(|(d, (&i, runs))| {
-                    self.domains[d]
-                        .intervals(s.po[d])
-                        .covers_interval(&runs.intervals()[i])
-                })
+                combo
+                    .iter()
+                    .zip(run_sets.iter())
+                    .enumerate()
+                    .all(|(d, (&i, runs))| {
+                        self.domains[d]
+                            .intervals(s.po[d])
+                            .covers_interval(&runs.intervals()[i])
+                    })
             });
             if !covered {
                 return false;
@@ -505,7 +548,11 @@ mod tests {
     fn fig3_skyline_all_configs() {
         // Table II: final skyline = {p1..p5} = records 0..=4.
         let expect: Vec<u32> = (0..5).collect();
-        for strategy in [RangeStrategy::Naive, RangeStrategy::Dyadic, RangeStrategy::Full] {
+        for strategy in [
+            RangeStrategy::Naive,
+            RangeStrategy::Dyadic,
+            RangeStrategy::Full,
+        ] {
             for fast_check in [false, true] {
                 for multi in [false, true] {
                     let cfg = StssConfig {
@@ -515,7 +562,11 @@ mod tests {
                         node_capacity: Some(3),
                         ..Default::default()
                     };
-                    assert_eq!(run_config(cfg), expect, "{strategy:?} fast={fast_check} multi={multi}");
+                    assert_eq!(
+                        run_config(cfg),
+                        expect,
+                        "{strategy:?} fast={fast_check} multi={multi}"
+                    );
                 }
             }
         }
@@ -528,7 +579,10 @@ mod tests {
         let stss = Stss::build(
             fig3_table(),
             vec![Dag::paper_example()],
-            StssConfig { node_capacity: Some(3), ..Default::default() },
+            StssConfig {
+                node_capacity: Some(3),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(stss.run().skyline_records(), vec![0, 1, 2, 3, 4]);
@@ -536,8 +590,12 @@ mod tests {
 
     #[test]
     fn progress_log_is_monotone() {
-        let stss = Stss::build(fig3_table(), vec![Dag::paper_example()], StssConfig::default())
-            .unwrap();
+        let stss = Stss::build(
+            fig3_table(),
+            vec![Dag::paper_example()],
+            StssConfig::default(),
+        )
+        .unwrap();
         let (run, log) = stss.run_progressive();
         assert_eq!(log.samples.len(), run.skyline.len());
         for w in log.samples.windows(2) {
@@ -546,7 +604,6 @@ mod tests {
             assert!(w[0].dominance_checks <= w[1].dominance_checks);
         }
     }
-
 
     /// Regression (found by proptest): exact duplicates of a skyline point
     /// sitting in a *different leaf* used to be coalesced by the
@@ -593,7 +650,10 @@ mod tests {
             let stss = Stss::build(
                 t.clone(),
                 vec![Dag::paper_example()],
-                StssConfig { fast_check, ..Default::default() },
+                StssConfig {
+                    fast_check,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let mut r = stss.run().skyline_records();
@@ -618,9 +678,12 @@ mod tests {
 
     #[test]
     fn empty_table_runs() {
-        let stss =
-            Stss::build(Table::new(2, 1), vec![Dag::paper_example()], StssConfig::default())
-                .unwrap();
+        let stss = Stss::build(
+            Table::new(2, 1),
+            vec![Dag::paper_example()],
+            StssConfig::default(),
+        )
+        .unwrap();
         let run = stss.run();
         assert!(run.skyline.is_empty());
         assert_eq!(run.metrics.results, 0);
@@ -640,7 +703,14 @@ mod tests {
         assert_eq!(r, vec![0]);
     }
 
-    fn random_table(n: usize, to_dims: usize, po_dims: usize, domain: u32, v: u32, seed: u64) -> Table {
+    fn random_table(
+        n: usize,
+        to_dims: usize,
+        po_dims: usize,
+        domain: u32,
+        v: u32,
+        seed: u64,
+    ) -> Table {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut t = Table::new(to_dims, po_dims);
         for _ in 0..n {
@@ -669,13 +739,19 @@ mod tests {
             expect.sort_unstable();
             for cfg in [
                 StssConfig::default(),
-                StssConfig { fast_check: true, ..Default::default() },
+                StssConfig {
+                    fast_check: true,
+                    ..Default::default()
+                },
                 StssConfig {
                     multi_cover_mbb: true,
                     range_strategy: RangeStrategy::Naive,
                     ..Default::default()
                 },
-                StssConfig { range_strategy: RangeStrategy::Full, ..Default::default() },
+                StssConfig {
+                    range_strategy: RangeStrategy::Full,
+                    ..Default::default()
+                },
             ] {
                 let stss =
                     Stss::build(table.clone(), vec![dag1.clone(), dag2.clone()], cfg).unwrap();

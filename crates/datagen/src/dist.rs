@@ -42,13 +42,13 @@ impl Distribution {
             }
             Distribution::AntiCorrelated => {
                 // Coordinate sum concentrated near d/2: draw a plane offset
-                // c ~ N(0.5, 0.05), spread the point uniformly, then project
-                // onto the hyperplane sum = d*c; rejection-sample into the
-                // cube (clamping after a bounded number of retries keeps the
-                // generator total).
+                // c ~ N(0.5, ANTI_PLANE_SIGMA), spread the point uniformly,
+                // then project onto the hyperplane sum = d*c;
+                // rejection-sample into the cube (clamping after a bounded
+                // number of retries keeps the generator total).
                 let d = out.len() as f64;
                 for _attempt in 0..16 {
-                    let c = clamp01(normal(rng, 0.5, 0.05));
+                    let c = clamp01(normal(rng, 0.5, ANTI_PLANE_SIGMA));
                     let mut sum = 0.0;
                     for x in out.iter_mut() {
                         *x = rng.gen::<f64>();
@@ -73,6 +73,12 @@ impl Distribution {
         }
     }
 }
+
+/// Standard deviation of the anti-correlated plane offset `c`. Tight enough
+/// that anti-correlated skylines dwarf independent ones at every cardinality
+/// the experiments sweep (a loose plane lets low-plane points dominate most
+/// of the band, collapsing the skyline to near-independent sizes).
+const ANTI_PLANE_SIGMA: f64 = 0.04;
 
 #[inline]
 fn clamp01(x: f64) -> f64 {
@@ -112,7 +118,10 @@ mod tests {
             Distribution::AntiCorrelated,
         ] {
             for p in sample_many(dist, 4, 2000) {
-                assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)), "{dist:?}: {p:?}");
+                assert!(
+                    p.iter().all(|&x| (0.0..1.0).contains(&x)),
+                    "{dist:?}: {p:?}"
+                );
             }
         }
     }

@@ -106,7 +106,13 @@ mod tests {
     fn anti_correlated_has_bigger_skyline_than_independent() {
         // The structural property every figure of the paper relies on.
         let mk = |dist| {
-            let cfg = TupleConfig { n: 4000, dims: 2, domain: 10_000, dist, seed: 11 };
+            let cfg = TupleConfig {
+                n: 4000,
+                dims: 2,
+                domain: 10_000,
+                dist,
+                seed: 11,
+            };
             let m = gen_to_matrix(cfg);
             let pts: Vec<Vec<u32>> = m.chunks(2).map(|c| c.to_vec()).collect();
             skyline::brute_force(&pts).len()
@@ -121,7 +127,10 @@ mod tests {
         // Correlated skylines are smaller than anti-correlated ones (at this
         // scale they are comparable to independent, so only the ordering with
         // anti-correlated is asserted).
-        assert!(corr < anti, "correlated skyline ({corr}) must be below anti ({anti})");
+        assert!(
+            corr < anti,
+            "correlated skyline ({corr}) must be below anti ({anti})"
+        );
     }
 
     #[test]

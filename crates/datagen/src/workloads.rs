@@ -150,8 +150,14 @@ mod tests {
         let dags = p.build_dags();
         // Different derived seeds: overwhelmingly different node samples.
         assert_ne!(
-            dags[0].values().map(|v| dags[0].label(v).to_string()).collect::<Vec<_>>(),
-            dags[1].values().map(|v| dags[1].label(v).to_string()).collect::<Vec<_>>()
+            dags[0]
+                .values()
+                .map(|v| dags[0].label(v).to_string())
+                .collect::<Vec<_>>(),
+            dags[1]
+                .values()
+                .map(|v| dags[1].label(v).to_string())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -65,7 +65,10 @@ impl PartialOrderBuilder {
     }
 
     /// States a chain of preferences `labels[0] < labels[1] < …`.
-    pub fn chain<'a>(&mut self, labels: impl IntoIterator<Item = &'a str>) -> Result<(), PosetError> {
+    pub fn chain<'a>(
+        &mut self,
+        labels: impl IntoIterator<Item = &'a str>,
+    ) -> Result<(), PosetError> {
         let labels: Vec<&str> = labels.into_iter().collect();
         for pair in labels.windows(2) {
             self.prefer(pair[0], pair[1])?;

@@ -76,7 +76,12 @@ impl Dag {
         for list in children.iter_mut().chain(parents.iter_mut()) {
             list.sort_unstable();
         }
-        let dag = Dag { labels, children, parents, num_edges };
+        let dag = Dag {
+            labels,
+            children,
+            parents,
+            num_edges,
+        };
         if let Some(witness) = dag.find_cycle_witness() {
             return Err(PosetError::Cycle { witness: witness.0 });
         }

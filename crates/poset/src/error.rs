@@ -40,7 +40,10 @@ impl fmt::Display for PosetError {
                 write!(f, "value label {label:?} registered twice")
             }
             PosetError::TooLarge { requested, max } => {
-                write!(f, "requested domain of {requested} values exceeds maximum {max}")
+                write!(
+                    f,
+                    "requested domain of {requested} values exceeds maximum {max}"
+                )
             }
             PosetError::ContradictoryPreference { better, worse } => write!(
                 f,

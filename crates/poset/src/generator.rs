@@ -41,12 +41,22 @@ pub struct LatticeParams {
 impl LatticeParams {
     /// The paper's static-experiment defaults: `h = 8`, `d = 0.8`.
     pub fn paper_static_default(seed: u64) -> Self {
-        LatticeParams { height: 8, density: 0.8, seed, mode: DensityMode::Literal }
+        LatticeParams {
+            height: 8,
+            density: 0.8,
+            seed,
+            mode: DensityMode::Literal,
+        }
     }
 
     /// The paper's dynamic-experiment defaults: `h = 6`, `d = 0.8`.
     pub fn paper_dynamic_default(seed: u64) -> Self {
-        LatticeParams { height: 6, density: 0.8, seed, mode: DensityMode::Literal }
+        LatticeParams {
+            height: 6,
+            density: 0.8,
+            seed,
+            mode: DensityMode::Literal,
+        }
     }
 }
 
@@ -78,7 +88,9 @@ pub fn subset_lattice(params: LatticeParams) -> Result<Dag, PosetError> {
 
     // Retain each lattice node with probability d; always retain at least
     // one node so the domain is non-empty.
-    let mut retained: Vec<bool> = (0..total).map(|_| rng.gen::<f64>() < params.density).collect();
+    let mut retained: Vec<bool> = (0..total)
+        .map(|_| rng.gen::<f64>() < params.density)
+        .collect();
     if !retained.iter().any(|&r| r) {
         let idx = rng.gen_range(0..total);
         retained[idx] = true;
@@ -192,7 +204,12 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let p = LatticeParams { height: 6, density: 0.5, seed: 99, mode: DensityMode::Literal };
+        let p = LatticeParams {
+            height: 6,
+            density: 0.5,
+            seed: 99,
+            mode: DensityMode::Literal,
+        };
         let a = subset_lattice(p).unwrap();
         let b = subset_lattice(p).unwrap();
         assert_eq!(a.len(), b.len());

@@ -41,6 +41,13 @@ impl Interval {
     pub fn len(&self) -> u32 {
         self.hi - self.lo + 1
     }
+
+    /// Closed intervals cover at least one integer; present for API
+    /// completeness alongside [`Interval::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
 }
 
 impl fmt::Display for Interval {

@@ -183,7 +183,11 @@ mod tests {
     fn exactness_on_paper_example_all_strategies() {
         let dag = Dag::paper_example();
         let reach = Reachability::build(&dag);
-        for strat in [SpanningStrategy::Dfs, SpanningStrategy::MinParent, SpanningStrategy::MaxParent] {
+        for strat in [
+            SpanningStrategy::Dfs,
+            SpanningStrategy::MinParent,
+            SpanningStrategy::MaxParent,
+        ] {
             let lab = TssLabeling::build_with(&dag, strat);
             for x in dag.values() {
                 for y in dag.values() {
@@ -238,16 +242,14 @@ mod tests {
                 .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
                 .collect();
             let len = pairs.len();
-            proptest::collection::vec(proptest::bool::weighted(0.25), len).prop_map(
-                move |mask| {
-                    let edges: Vec<(u32, u32)> = pairs
-                        .iter()
-                        .zip(mask)
-                        .filter_map(|(&e, keep)| keep.then_some(e))
-                        .collect();
-                    Dag::from_edges(n as u32, &edges).expect("forward edges are acyclic")
-                },
-            )
+            proptest::collection::vec(proptest::bool::weighted(0.25), len).prop_map(move |mask| {
+                let edges: Vec<(u32, u32)> = pairs
+                    .iter()
+                    .zip(mask)
+                    .filter_map(|(&e, keep)| keep.then_some(e))
+                    .collect();
+                Dag::from_edges(n as u32, &edges).expect("forward edges are acyclic")
+            })
         })
     }
 

@@ -39,7 +39,12 @@ impl MLabeling {
             uncovered[v.idx()] = best;
             max_uncovered = max_uncovered.max(best);
         }
-        MLabeling { topo, tree, uncovered, max_uncovered }
+        MLabeling {
+            topo,
+            tree,
+            uncovered,
+            max_uncovered,
+        }
     }
 
     /// Builds with the default DFS spanning tree.

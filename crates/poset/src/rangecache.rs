@@ -34,7 +34,9 @@ impl FullRangeIndex {
         };
         // Width 1: the per-value sets.
         for lo in 1..=n {
-            sets[index(lo, lo)] = labeling.intervals(labeling.topo().value_at(lo as u32)).clone();
+            sets[index(lo, lo)] = labeling
+                .intervals(labeling.topo().value_at(lo as u32))
+                .clone();
         }
         // Wider ranges extend narrower ones by one value.
         for width in 2..=n {
@@ -88,7 +90,11 @@ mod tests {
         let dyadic = DyadicIndex::build(&lab);
         for lo in 1..=9u32 {
             for hi in lo..=9u32 {
-                assert_eq!(*full.range(lo, hi), lab.range_intervals(lo, hi), "[{lo},{hi}]");
+                assert_eq!(
+                    *full.range(lo, hi),
+                    lab.range_intervals(lo, hi),
+                    "[{lo},{hi}]"
+                );
                 assert_eq!(*full.range(lo, hi), dyadic.range(lo, hi), "[{lo},{hi}]");
             }
         }

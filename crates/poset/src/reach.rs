@@ -32,7 +32,10 @@ impl Reachability {
                 let (lo, hi) = (vi.min(ci), vi.max(ci));
                 let (head, tail) = bits.split_at_mut(hi * words_per_row);
                 let (dst, src) = if vi > ci {
-                    (&mut tail[..words_per_row], &head[ci * words_per_row..ci * words_per_row + words_per_row])
+                    (
+                        &mut tail[..words_per_row],
+                        &head[ci * words_per_row..ci * words_per_row + words_per_row],
+                    )
                 } else {
                     (&mut head[vi * words_per_row..], &tail[..words_per_row])
                 };
@@ -42,7 +45,11 @@ impl Reachability {
                 }
             }
         }
-        Reachability { words_per_row, bits, n }
+        Reachability {
+            words_per_row,
+            bits,
+            n,
+        }
     }
 
     /// True iff a path `x ⤳ y` exists (reflexive: `reaches(x, x)` is true).
@@ -118,7 +125,10 @@ mod tests {
         // R(c) = {c, f, g, h, i}
         assert_eq!(
             r.descendants(id("c")),
-            ["c", "f", "g", "h", "i"].iter().map(|s| id(s)).collect::<Vec<_>>()
+            ["c", "f", "g", "h", "i"]
+                .iter()
+                .map(|s| id(s))
+                .collect::<Vec<_>>()
         );
         // R(e) = {e, g, h, i}
         assert_eq!(r.descendant_count(id("e")), 4);

@@ -41,12 +41,14 @@ impl SpanningTree {
     pub fn build(dag: &Dag, strategy: SpanningStrategy) -> Self {
         let parent = match strategy {
             SpanningStrategy::Dfs => dfs_parents(dag),
-            SpanningStrategy::MinParent => {
-                dag.values().map(|v| dag.parents(v).first().copied()).collect()
-            }
-            SpanningStrategy::MaxParent => {
-                dag.values().map(|v| dag.parents(v).last().copied()).collect()
-            }
+            SpanningStrategy::MinParent => dag
+                .values()
+                .map(|v| dag.parents(v).first().copied())
+                .collect(),
+            SpanningStrategy::MaxParent => dag
+                .values()
+                .map(|v| dag.parents(v).last().copied())
+                .collect(),
         };
         Self::from_parent_array(dag, parent)
     }
@@ -56,15 +58,15 @@ impl SpanningTree {
     /// Validates that every assigned parent edge is a real DAG edge. Nodes
     /// with `None` become forest roots (mandatory for DAG roots, legal for
     /// any node — remaining in-edges are simply classified non-tree).
-    pub fn from_parents(
-        dag: &Dag,
-        parents: Vec<Option<ValueId>>,
-    ) -> Result<Self, PosetError> {
+    pub fn from_parents(dag: &Dag, parents: Vec<Option<ValueId>>) -> Result<Self, PosetError> {
         assert_eq!(parents.len(), dag.len(), "one parent slot per value");
         for (i, p) in parents.iter().enumerate() {
             if let Some(p) = p {
                 if p.idx() >= dag.len() {
-                    return Err(PosetError::NodeOutOfRange { node: p.0, len: dag.len() as u32 });
+                    return Err(PosetError::NodeOutOfRange {
+                        node: p.0,
+                        len: dag.len() as u32,
+                    });
                 }
                 if !dag.has_edge(*p, ValueId(i as u32)) {
                     return Err(PosetError::UnknownLabel {
@@ -92,7 +94,12 @@ impl SpanningTree {
             list.sort_unstable();
         }
         let (post, minpost) = postorder(n, &parent, &tree_children);
-        SpanningTree { parent, tree_children, post, minpost }
+        SpanningTree {
+            parent,
+            tree_children,
+            post,
+            minpost,
+        }
     }
 
     /// The tree parent of `v`, or `None` for forest roots.
@@ -207,8 +214,8 @@ fn postorder(
     let mut counter = 0u32;
     // Frame: (node, next child index to visit).
     let mut stack: Vec<(ValueId, usize)> = Vec::new();
-    for root_idx in 0..n {
-        if parent[root_idx].is_some() {
+    for (root_idx, par) in parent.iter().enumerate().take(n) {
+        if par.is_some() {
             continue;
         }
         stack.push((ValueId(root_idx as u32), 0));
@@ -259,7 +266,11 @@ mod tests {
     #[test]
     fn tree_edges_are_dag_edges_for_all_strategies() {
         let dag = Dag::paper_example();
-        for strat in [SpanningStrategy::Dfs, SpanningStrategy::MinParent, SpanningStrategy::MaxParent] {
+        for strat in [
+            SpanningStrategy::Dfs,
+            SpanningStrategy::MinParent,
+            SpanningStrategy::MaxParent,
+        ] {
             let st = SpanningTree::build(&dag, strat);
             for v in dag.values() {
                 if let Some(p) = st.parent(v) {
@@ -272,10 +283,18 @@ mod tests {
     #[test]
     fn every_non_root_gets_a_parent() {
         let dag = Dag::paper_example();
-        for strat in [SpanningStrategy::Dfs, SpanningStrategy::MinParent, SpanningStrategy::MaxParent] {
+        for strat in [
+            SpanningStrategy::Dfs,
+            SpanningStrategy::MinParent,
+            SpanningStrategy::MaxParent,
+        ] {
             let st = SpanningTree::build(&dag, strat);
             for v in dag.values() {
-                assert_eq!(st.parent(v).is_none(), dag.parents(v).is_empty(), "{strat:?}");
+                assert_eq!(
+                    st.parent(v).is_none(),
+                    dag.parents(v).is_empty(),
+                    "{strat:?}"
+                );
             }
         }
     }

@@ -28,7 +28,10 @@ impl TopoOrder {
         for (i, &v) in order.iter().enumerate() {
             ordinal[v.idx()] = i as u32 + 1;
         }
-        TopoOrder { ordinal, by_ordinal: order }
+        TopoOrder {
+            ordinal,
+            by_ordinal: order,
+        }
     }
 
     /// Number of values in the underlying domain.
@@ -89,7 +92,10 @@ mod tests {
         // Our deterministic tie-break (smallest id first) reproduces it.
         let d = Dag::paper_example();
         let t = TopoOrder::build(&d);
-        for (i, label) in ["a", "b", "c", "d", "e", "f", "g", "h", "i"].iter().enumerate() {
+        for (i, label) in ["a", "b", "c", "d", "e", "f", "g", "h", "i"]
+            .iter()
+            .enumerate()
+        {
             let v = d.id_of(label).unwrap();
             assert_eq!(t.ordinal(v), i as u32 + 1, "ordinal of {label}");
             assert_eq!(t.value_at(i as u32 + 1), v);

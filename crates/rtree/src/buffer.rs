@@ -21,7 +21,10 @@ pub(crate) struct LruBuffer {
 impl LruBuffer {
     pub fn new(cap: usize) -> Self {
         assert!(cap >= 1, "buffer needs at least one page");
-        LruBuffer { cap, state: RefCell::new((0, HashMap::with_capacity(cap + 1))) }
+        LruBuffer {
+            cap,
+            state: RefCell::new((0, HashMap::with_capacity(cap + 1))),
+        }
     }
 
     /// Records an access; returns `true` on a buffer hit (no IO charged).

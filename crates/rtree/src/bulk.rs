@@ -27,14 +27,20 @@ impl RTree {
             .map(|group| {
                 let entries: Vec<LeafEntry> = group
                     .into_iter()
-                    .map(|(p, r)| LeafEntry { point: p.into_boxed_slice(), record: r })
+                    .map(|(p, r)| LeafEntry {
+                        point: p.into_boxed_slice(),
+                        record: r,
+                    })
                     .collect();
                 tree.len += entries.len();
                 let mut mbb = Mbb::from_point(&entries[0].point);
                 for e in &entries[1..] {
                     mbb.expand_point(&e.point);
                 }
-                tree.push_node(Node { mbb, kind: NodeKind::Leaf(entries) })
+                tree.push_node(Node {
+                    mbb,
+                    kind: NodeKind::Leaf(entries),
+                })
             })
             .collect();
         let mut height = 1usize;
@@ -60,7 +66,10 @@ impl RTree {
                     for c in &children[1..] {
                         mbb.expand_mbb(&tree.nodes[c.idx()].mbb);
                     }
-                    tree.push_node(Node { mbb, kind: NodeKind::Inner(children) })
+                    tree.push_node(Node {
+                        mbb,
+                        kind: NodeKind::Inner(children),
+                    })
                 })
                 .collect();
             height += 1;

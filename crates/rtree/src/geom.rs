@@ -16,12 +16,18 @@ impl Mbb {
             lo.iter().zip(hi.iter()).all(|(l, h)| l <= h),
             "MBB lower corner must not exceed upper corner"
         );
-        Mbb { lo: lo.into_boxed_slice(), hi: hi.into_boxed_slice() }
+        Mbb {
+            lo: lo.into_boxed_slice(),
+            hi: hi.into_boxed_slice(),
+        }
     }
 
     /// A degenerate MBB covering exactly one point.
     pub fn from_point(p: &[u32]) -> Self {
-        Mbb { lo: p.into(), hi: p.into() }
+        Mbb {
+            lo: p.into(),
+            hi: p.into(),
+        }
     }
 
     /// Dimensionality.
@@ -54,12 +60,12 @@ impl Mbb {
     /// Grows the box to cover `p`.
     pub fn expand_point(&mut self, p: &[u32]) {
         debug_assert_eq!(p.len(), self.dims());
-        for d in 0..self.lo.len() {
-            if p[d] < self.lo[d] {
-                self.lo[d] = p[d];
+        for (d, &pv) in p.iter().enumerate() {
+            if pv < self.lo[d] {
+                self.lo[d] = pv;
             }
-            if p[d] > self.hi[d] {
-                self.hi[d] = p[d];
+            if pv > self.hi[d] {
+                self.hi[d] = pv;
             }
         }
     }
@@ -145,10 +151,8 @@ impl Mbb {
             .map(|d| {
                 if q[d] < self.lo[d] {
                     self.lo[d] - q[d]
-                } else if q[d] > self.hi[d] {
-                    q[d] - self.hi[d]
                 } else {
-                    0
+                    q[d].saturating_sub(self.hi[d])
                 }
             })
             .collect()
@@ -156,7 +160,9 @@ impl Mbb {
 
     /// Sum of side lengths (margin); tie-breaker in split heuristics.
     pub fn margin(&self) -> u64 {
-        (0..self.dims()).map(|d| (self.hi[d] - self.lo[d]) as u64).sum()
+        (0..self.dims())
+            .map(|d| (self.hi[d] - self.lo[d]) as u64)
+            .sum()
     }
 }
 
@@ -184,7 +190,10 @@ pub fn point_mindist_l1(p: &[u32]) -> u64 {
 #[inline]
 pub fn point_mindist_l1_from(p: &[u32], q: &[u32]) -> u64 {
     debug_assert_eq!(p.len(), q.len());
-    p.iter().zip(q.iter()).map(|(&a, &b)| a.abs_diff(b) as u64).sum()
+    p.iter()
+        .zip(q.iter())
+        .map(|(&a, &b)| a.abs_diff(b) as u64)
+        .sum()
 }
 
 #[cfg(test)]
@@ -247,6 +256,9 @@ mod tests {
     fn point_mindist() {
         assert_eq!(point_mindist_l1(&[2, 3]), 5);
         assert_eq!(point_mindist_l1(&[]), 0);
-        assert_eq!(point_mindist_l1(&[u32::MAX, u32::MAX]), 2 * (u32::MAX as u64));
+        assert_eq!(
+            point_mindist_l1(&[u32::MAX, u32::MAX]),
+            2 * (u32::MAX as u64)
+        );
     }
 }

@@ -11,9 +11,15 @@ impl RTree {
         assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
         self.len += 1;
         let Some(root) = self.root else {
-            let entry = LeafEntry { point: point.into(), record };
+            let entry = LeafEntry {
+                point: point.into(),
+                record,
+            };
             let mbb = Mbb::from_point(point);
-            let id = self.push_node(Node { mbb, kind: NodeKind::Leaf(vec![entry]) });
+            let id = self.push_node(Node {
+                mbb,
+                kind: NodeKind::Leaf(vec![entry]),
+            });
             self.root = Some(id);
             self.height = 1;
             return;
@@ -23,8 +29,10 @@ impl RTree {
             let mbb = self.nodes[root.idx()]
                 .mbb
                 .union(&self.nodes[sibling.idx()].mbb);
-            let new_root =
-                self.push_node(Node { mbb, kind: NodeKind::Inner(vec![root, sibling]) });
+            let new_root = self.push_node(Node {
+                mbb,
+                kind: NodeKind::Inner(vec![root, sibling]),
+            });
             self.root = Some(new_root);
             self.height += 1;
         }
@@ -37,7 +45,10 @@ impl RTree {
                 let NodeKind::Leaf(entries) = &mut self.nodes[id.idx()].kind else {
                     unreachable!()
                 };
-                entries.push(LeafEntry { point: point.into(), record });
+                entries.push(LeafEntry {
+                    point: point.into(),
+                    record,
+                });
                 if entries.len() <= self.cap {
                     self.nodes[id.idx()].mbb.expand_point(point);
                     None
@@ -90,17 +101,15 @@ impl RTree {
     }
 
     fn split_leaf(&mut self, id: NodeId) -> NodeId {
-        let NodeKind::Leaf(entries) = std::mem::replace(
-            &mut self.nodes[id.idx()].kind,
-            NodeKind::Leaf(Vec::new()),
-        ) else {
+        let NodeKind::Leaf(entries) =
+            std::mem::replace(&mut self.nodes[id.idx()].kind, NodeKind::Leaf(Vec::new()))
+        else {
             unreachable!()
         };
         let boxes: Vec<Mbb> = entries.iter().map(|e| Mbb::from_point(&e.point)).collect();
         let (left_ix, right_ix) = quadratic_partition(&boxes, self.min_fill);
-        let pick = |ixs: &[usize]| -> Vec<LeafEntry> {
-            ixs.iter().map(|&i| entries[i].clone()).collect()
-        };
+        let pick =
+            |ixs: &[usize]| -> Vec<LeafEntry> { ixs.iter().map(|&i| entries[i].clone()).collect() };
         let left = pick(&left_ix);
         let right = pick(&right_ix);
         self.nodes[id.idx()].kind = NodeKind::Leaf(left);
@@ -114,20 +123,25 @@ impl RTree {
     }
 
     fn split_inner(&mut self, id: NodeId) -> NodeId {
-        let NodeKind::Inner(children) = std::mem::replace(
-            &mut self.nodes[id.idx()].kind,
-            NodeKind::Inner(Vec::new()),
-        ) else {
+        let NodeKind::Inner(children) =
+            std::mem::replace(&mut self.nodes[id.idx()].kind, NodeKind::Inner(Vec::new()))
+        else {
             unreachable!()
         };
-        let boxes: Vec<Mbb> = children.iter().map(|&c| self.nodes[c.idx()].mbb.clone()).collect();
+        let boxes: Vec<Mbb> = children
+            .iter()
+            .map(|&c| self.nodes[c.idx()].mbb.clone())
+            .collect();
         let (left_ix, right_ix) = quadratic_partition(&boxes, self.min_fill);
         let left: Vec<NodeId> = left_ix.iter().map(|&i| children[i]).collect();
         let right: Vec<NodeId> = right_ix.iter().map(|&i| children[i]).collect();
         self.nodes[id.idx()].kind = NodeKind::Inner(left);
         self.nodes[id.idx()].mbb = self.recompute_mbb(id);
         let first_mbb = self.nodes[right[0].idx()].mbb.clone();
-        let sibling = self.push_node(Node { mbb: first_mbb, kind: NodeKind::Inner(right) });
+        let sibling = self.push_node(Node {
+            mbb: first_mbb,
+            kind: NodeKind::Inner(right),
+        });
         self.nodes[sibling.idx()].mbb = self.recompute_mbb(sibling);
         sibling
     }
@@ -209,7 +223,8 @@ mod tests {
         let mut t = RTree::new(2, 4);
         for i in 0..200u32 {
             t.insert(&[i * 7 % 101, i * 13 % 97], i);
-            t.validate().unwrap_or_else(|e| panic!("after insert {i}: {e}"));
+            t.validate()
+                .unwrap_or_else(|e| panic!("after insert {i}: {e}"));
         }
         assert_eq!(t.len(), 200);
         assert!(t.height() >= 3);

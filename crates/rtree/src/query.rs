@@ -88,10 +88,19 @@ impl RTree {
             assert_eq!(o.len(), self.dims, "reference dimensionality");
             o.to_vec()
         });
-        let mut bf = BestFirst { tree: self, heap: BinaryHeap::new(), seq: 1, origin };
+        let mut bf = BestFirst {
+            tree: self,
+            heap: BinaryHeap::new(),
+            seq: 1,
+            origin,
+        };
         if let Some(root) = self.root {
             let mindist = bf.node_mindist(root);
-            bf.heap.push(Reverse(HeapEntry { mindist, seq: 0, kind: HeapKind::Node(root) }));
+            bf.heap.push(Reverse(HeapEntry {
+                mindist,
+                seq: 0,
+                kind: HeapKind::Node(root),
+            }));
         }
         bf
     }
@@ -131,9 +140,17 @@ impl PartialOrd for HeapEntry {
 pub enum Popped<'a> {
     /// An internal or leaf *node* entry; expand it with
     /// [`BestFirst::expand`] or drop it to prune the subtree.
-    Node { id: NodeId, mbb: &'a Mbb, mindist: u64 },
+    Node {
+        id: NodeId,
+        mbb: &'a Mbb,
+        mindist: u64,
+    },
     /// A data point.
-    Record { point: &'a [u32], record: u32, mindist: u64 },
+    Record {
+        point: &'a [u32],
+        record: u32,
+        mindist: u64,
+    },
 }
 
 /// Caller-driven best-first traversal (see [`RTree::best_first`]).
@@ -177,7 +194,11 @@ impl<'a> BestFirst<'a> {
                     unreachable!("record entries always reference leaves")
                 };
                 let e = &entries[ix as usize];
-                Popped::Record { point: &e.point, record: e.record, mindist: entry.mindist }
+                Popped::Record {
+                    point: &e.point,
+                    record: e.record,
+                    mindist: entry.mindist,
+                }
             }
         })
     }
@@ -198,13 +219,21 @@ impl<'a> BestFirst<'a> {
                         None => point_mindist_l1(&e.point),
                         Some(o) => point_mindist_l1_from(&e.point, o),
                     };
-                    self.push(HeapEntry { mindist, seq: 0, kind: HeapKind::Record(id, ix as u32) });
+                    self.push(HeapEntry {
+                        mindist,
+                        seq: 0,
+                        kind: HeapKind::Record(id, ix as u32),
+                    });
                 }
             }
             NodeKind::Inner(children) => {
                 for &c in children {
                     let mindist = self.node_mindist(c);
-                    self.push(HeapEntry { mindist, seq: 0, kind: HeapKind::Node(c) });
+                    self.push(HeapEntry {
+                        mindist,
+                        seq: 0,
+                        kind: HeapKind::Node(c),
+                    });
                 }
             }
         }

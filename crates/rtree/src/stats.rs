@@ -20,7 +20,12 @@ pub struct PageConfig {
 
 impl Default for PageConfig {
     fn default() -> Self {
-        PageConfig { page_size: 4096, bytes_per_coord: 4, bytes_per_pointer: 4, header: 16 }
+        PageConfig {
+            page_size: 4096,
+            bytes_per_coord: 4,
+            bytes_per_pointer: 4,
+            header: 16,
+        }
     }
 }
 
@@ -60,7 +65,12 @@ mod tests {
 
     #[test]
     fn capacity_never_below_two() {
-        let tiny = PageConfig { page_size: 32, bytes_per_coord: 4, bytes_per_pointer: 4, header: 16 };
+        let tiny = PageConfig {
+            page_size: 32,
+            bytes_per_coord: 4,
+            bytes_per_pointer: 4,
+            header: 16,
+        };
         assert_eq!(tiny.capacity(8), 2);
     }
 

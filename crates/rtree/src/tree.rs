@@ -149,11 +149,17 @@ impl RTree {
         match &node.kind {
             NodeKind::Leaf(entries) => entries
                 .iter()
-                .map(|e| ChildEntry::Record { point: &e.point, record: e.record })
+                .map(|e| ChildEntry::Record {
+                    point: &e.point,
+                    record: e.record,
+                })
                 .collect(),
             NodeKind::Inner(children) => children
                 .iter()
-                .map(|&c| ChildEntry::Node { id: c, mbb: &self.nodes[c.idx()].mbb })
+                .map(|&c| ChildEntry::Node {
+                    id: c,
+                    mbb: &self.nodes[c.idx()].mbb,
+                })
                 .collect(),
         }
     }
@@ -205,7 +211,11 @@ impl RTree {
     /// containment, uniform leaf depth, capacity bounds.
     pub fn validate(&self) -> Result<(), String> {
         let Some(root) = self.root else {
-            return if self.len == 0 { Ok(()) } else { Err("len > 0 but no root".into()) };
+            return if self.len == 0 {
+                Ok(())
+            } else {
+                Err("len > 0 but no root".into())
+            };
         };
         let mut leaf_depths = Vec::new();
         let mut count = 0usize;
@@ -241,7 +251,10 @@ impl RTree {
         }
         let tight = self.recompute_mbb(id);
         if tight != node.mbb {
-            return Err(format!("node {id:?} MBB not tight: {} vs {}", node.mbb, tight));
+            return Err(format!(
+                "node {id:?} MBB not tight: {} vs {}",
+                node.mbb, tight
+            ));
         }
         match &node.kind {
             NodeKind::Leaf(entries) => {
@@ -296,7 +309,10 @@ impl RTree {
                     .iter()
                     .map(|(p, r)| {
                         assert_eq!(p.len(), self.dims, "point dimensionality");
-                        LeafEntry { point: p.clone().into_boxed_slice(), record: *r }
+                        LeafEntry {
+                            point: p.clone().into_boxed_slice(),
+                            record: *r,
+                        }
                     })
                     .collect();
                 self.len += points.len();
@@ -304,7 +320,13 @@ impl RTree {
                 for e in &entries[1..] {
                     mbb.expand_point(&e.point);
                 }
-                (self.push_node(Node { mbb, kind: NodeKind::Leaf(entries) }), depth)
+                (
+                    self.push_node(Node {
+                        mbb,
+                        kind: NodeKind::Leaf(entries),
+                    }),
+                    depth,
+                )
             }
             BuildNode::Inner(children) => {
                 assert!(!children.is_empty() && children.len() <= self.cap, "fanout");
@@ -323,7 +345,10 @@ impl RTree {
                     mbb.expand_mbb(&self.nodes[id.idx()].mbb);
                 }
                 (
-                    self.push_node(Node { mbb, kind: NodeKind::Inner(ids) }),
+                    self.push_node(Node {
+                        mbb,
+                        kind: NodeKind::Inner(ids),
+                    }),
                     child_depth.unwrap(),
                 )
             }

@@ -10,8 +10,11 @@ fn grid_tree(cap: usize) -> (RTree, Vec<Vec<u32>>) {
             pts.push(vec![x * 5, y * 5]);
         }
     }
-    let data: Vec<(Vec<u32>, u32)> =
-        pts.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
+    let data: Vec<(Vec<u32>, u32)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u32))
+        .collect();
     (RTree::bulk_load(2, cap, data), pts)
 }
 
@@ -28,7 +31,11 @@ fn best_first_from_reference_orders_by_folded_distance() {
                 assert_eq!(mindist, mbb.mindist_l1_from(&q));
                 bf.expand(id);
             }
-            Popped::Record { point, record, mindist } => {
+            Popped::Record {
+                point,
+                record,
+                mindist,
+            } => {
                 let expect: u64 = point
                     .iter()
                     .zip(q.iter())

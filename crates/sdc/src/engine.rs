@@ -47,10 +47,7 @@ struct Entry {
     tcoords: Vec<u32>,
 }
 
-pub(crate) fn run_strata(
-    index: &SdcIndex,
-    emit: &mut dyn FnMut(u32, ProgressSample),
-) -> SdcRun {
+pub(crate) fn run_strata(index: &SdcIndex, emit: &mut dyn FnMut(u32, ProgressSample)) -> SdcRun {
     let start = Instant::now();
     let mut m = Metrics::default();
     let mut per_stratum = Vec::new();
@@ -102,8 +99,10 @@ pub(crate) fn run_strata(
                         // 2. exact check against confirmed results.
                         let dominated_g = global.iter().any(|e| {
                             m.dominance_checks += 1;
-                            let (to_e, po_e) =
-                                (table.to_row(e.record as usize), table.po_row(e.record as usize));
+                            let (to_e, po_e) = (
+                                table.to_row(e.record as usize),
+                                table.po_row(e.record as usize),
+                            );
                             ctx.exact_dominates(to_e, po_e, to_p, po_p)
                         });
                         if dominated_g {
@@ -112,8 +111,10 @@ pub(crate) fn run_strata(
                         // 3. exact check against local candidates.
                         let dominated_l = local.iter().any(|e| {
                             m.dominance_checks += 1;
-                            let (to_e, po_e) =
-                                (table.to_row(e.record as usize), table.po_row(e.record as usize));
+                            let (to_e, po_e) = (
+                                table.to_row(e.record as usize),
+                                table.po_row(e.record as usize),
+                            );
                             ctx.exact_dominates(to_e, po_e, to_p, po_p)
                         });
                         if dominated_l {
@@ -124,13 +125,18 @@ pub(crate) fn run_strata(
                         let before = local.len();
                         local.retain(|e| {
                             m.dominance_checks += 1;
-                            let (to_e, po_e) =
-                                (table.to_row(e.record as usize), table.po_row(e.record as usize));
+                            let (to_e, po_e) = (
+                                table.to_row(e.record as usize),
+                                table.po_row(e.record as usize),
+                            );
                             !ctx.exact_dominates(to_p, po_p, to_e, po_e)
                         });
                         false_hits_removed += (before - local.len()) as u64;
                     }
-                    local.push(Entry { record, tcoords: point.to_vec() });
+                    local.push(Entry {
+                        record,
+                        tcoords: point.to_vec(),
+                    });
                     if stratum.exact {
                         // Level-0 stratum: m-dominance is exact, the point
                         // is final — stream it out now.
@@ -156,7 +162,12 @@ pub(crate) fn run_strata(
         global.append(&mut local);
     }
     m.cpu = start.elapsed();
-    SdcRun { skyline, metrics: m, per_stratum, false_hits_removed }
+    SdcRun {
+        skyline,
+        metrics: m,
+        per_stratum,
+        false_hits_removed,
+    }
 }
 
 #[cfg(test)]
@@ -203,9 +214,13 @@ mod tests {
         let expect = oracle(&fig3_table(), &dag);
         assert_eq!(expect, vec![0, 1, 2, 3, 4]);
         for variant in [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus] {
-            let idx =
-                SdcIndex::build(fig3_table(), vec![dag.clone()], variant, SdcConfig::default())
-                    .unwrap();
+            let idx = SdcIndex::build(
+                fig3_table(),
+                vec![dag.clone()],
+                variant,
+                SdcConfig::default(),
+            )
+            .unwrap();
             let run = idx.run();
             let mut got = run.skyline.clone();
             got.sort_unstable();
@@ -216,15 +231,30 @@ mod tests {
     #[test]
     fn sdc_plus_builds_multiple_strata() {
         let dag = Dag::paper_example();
-        let idx = SdcIndex::build(fig3_table(), vec![dag.clone()], Variant::SdcPlus, SdcConfig::default())
-            .unwrap();
+        let idx = SdcIndex::build(
+            fig3_table(),
+            vec![dag.clone()],
+            Variant::SdcPlus,
+            SdcConfig::default(),
+        )
+        .unwrap();
         // Paper domain has uncovered levels 0, 1, 2 (all populated by fig3).
         assert_eq!(idx.strata_count(), 3);
-        let sdc = SdcIndex::build(fig3_table(), vec![dag.clone()], Variant::Sdc, SdcConfig::default())
-            .unwrap();
+        let sdc = SdcIndex::build(
+            fig3_table(),
+            vec![dag.clone()],
+            Variant::Sdc,
+            SdcConfig::default(),
+        )
+        .unwrap();
         assert_eq!(sdc.strata_count(), 2);
-        let bbs = SdcIndex::build(fig3_table(), vec![dag], Variant::BbsPlus, SdcConfig::default())
-            .unwrap();
+        let bbs = SdcIndex::build(
+            fig3_table(),
+            vec![dag],
+            Variant::BbsPlus,
+            SdcConfig::default(),
+        )
+        .unwrap();
         assert_eq!(bbs.strata_count(), 1);
     }
 
@@ -238,8 +268,13 @@ mod tests {
         let mut t = Table::new(1, 1);
         t.push(&[5], &[h]); // false hit candidate (h is level >= 1)
         t.push(&[5], &[f]); // the real dominator (f is level >= 1 too)
-        let idx = SdcIndex::build(t.clone(), vec![dag.clone()], Variant::SdcPlus, SdcConfig::default())
-            .unwrap();
+        let idx = SdcIndex::build(
+            t.clone(),
+            vec![dag.clone()],
+            Variant::SdcPlus,
+            SdcConfig::default(),
+        )
+        .unwrap();
         let run = idx.run();
         let mut got = run.skyline.clone();
         got.sort_unstable();
@@ -255,8 +290,13 @@ mod tests {
         // SDC+ confirms level-0 points one by one and the rest in stratum
         // bursts; totals must match.
         let dag = Dag::paper_example();
-        let idx = SdcIndex::build(fig3_table(), vec![dag], Variant::SdcPlus, SdcConfig::default())
-            .unwrap();
+        let idx = SdcIndex::build(
+            fig3_table(),
+            vec![dag],
+            Variant::SdcPlus,
+            SdcConfig::default(),
+        )
+        .unwrap();
         let mut seen = Vec::new();
         let run = idx.run_with(&mut |rec, s| {
             seen.push((rec, s.results));
@@ -272,7 +312,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut t = Table::new(2, 1);
         for _ in 0..n {
-            t.push(&[rng.gen_range(0..15), rng.gen_range(0..15)], &[rng.gen_range(0..v)]);
+            t.push(
+                &[rng.gen_range(0..15), rng.gen_range(0..15)],
+                &[rng.gen_range(0..v)],
+            );
         }
         t
     }
@@ -290,8 +333,9 @@ mod tests {
             let t = random_table(300, seed, dag.len() as u32);
             let expect = oracle(&t, &dag);
             for variant in [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus] {
-                let idx = SdcIndex::build(t.clone(), vec![dag.clone()], variant, SdcConfig::default())
-                    .unwrap();
+                let idx =
+                    SdcIndex::build(t.clone(), vec![dag.clone()], variant, SdcConfig::default())
+                        .unwrap();
                 let mut got = idx.run().skyline;
                 got.sort_unstable();
                 assert_eq!(got, expect, "{variant:?} seed={seed}");

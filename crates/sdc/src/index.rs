@@ -66,7 +66,10 @@ impl SdcIndex {
         cfg: SdcConfig,
     ) -> Result<Self, CoreError> {
         if dags.len() != table.po_dims() {
-            return Err(CoreError::DomainCountMismatch { dags: dags.len(), po_dims: table.po_dims() });
+            return Err(CoreError::DomainCountMismatch {
+                dags: dags.len(),
+                po_dims: table.po_dims(),
+            });
         }
         let sizes: Vec<u32> = dags.iter().map(|d| d.len() as u32).collect();
         table.check_domains(&sizes)?;
@@ -113,7 +116,12 @@ impl SdcIndex {
                 }
             })
             .collect();
-        Ok(SdcIndex { table, ctx, strata, variant })
+        Ok(SdcIndex {
+            table,
+            ctx,
+            strata,
+            variant,
+        })
     }
 
     /// The algorithm variant.
@@ -144,10 +152,7 @@ impl SdcIndex {
     /// Runs with a streaming callback `(record, sample)` fired whenever a
     /// point is *confirmed* (immediately in exact strata; at stratum end
     /// otherwise) — the progressiveness semantics of Fig. 11.
-    pub fn run_with(
-        &self,
-        emit: &mut dyn FnMut(u32, tss_core::ProgressSample),
-    ) -> SdcRun {
+    pub fn run_with(&self, emit: &mut dyn FnMut(u32, tss_core::ProgressSample)) -> SdcRun {
         run_strata(self, emit)
     }
 }

@@ -20,7 +20,11 @@ impl MdContext {
             .map(|d| MLabeling::build(d, SpanningTree::build(d, strategy)))
             .collect();
         let reaches = dags.iter().map(Reachability::build).collect();
-        MdContext { mlabels, reaches, to_dims }
+        MdContext {
+            mlabels,
+            reaches,
+            to_dims,
+        }
     }
 
     /// Number of PO dimensions.
@@ -111,7 +115,11 @@ impl MdContext {
 
     /// Largest possible stratum for these domains.
     pub fn max_stratum(&self) -> u32 {
-        self.mlabels.iter().map(|ml| ml.max_uncovered_level()).max().unwrap_or(0)
+        self.mlabels
+            .iter()
+            .map(|ml| ml.max_uncovered_level())
+            .max()
+            .unwrap_or(0)
     }
 
     /// True iff the tuple is completely covered (stratum 0), where
@@ -136,7 +144,10 @@ mod tests {
 
     fn ctx() -> (Dag, MdContext) {
         let dag = Dag::paper_example();
-        (dag.clone(), MdContext::new(&[dag], 1, SpanningStrategy::Dfs))
+        (
+            dag.clone(),
+            MdContext::new(&[dag], 1, SpanningStrategy::Dfs),
+        )
     }
 
     #[test]

@@ -112,8 +112,14 @@ mod tests {
     fn progressive_output_in_mindist_order() {
         let data: Vec<Vec<u32>> = (0..64u32).map(|i| vec![i % 8 * 3, (i / 8) * 3]).collect();
         let (got, _) = bbs(&tree_of(&data, 4));
-        let dists: Vec<u64> = got.iter().map(|&i| monotone_sum(&data[i as usize])).collect();
-        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "emitted out of order: {dists:?}");
+        let dists: Vec<u64> = got
+            .iter()
+            .map(|&i| monotone_sum(&data[i as usize]))
+            .collect();
+        assert!(
+            dists.windows(2).all(|w| w[0] <= w[1]),
+            "emitted out of order: {dists:?}"
+        );
     }
 
     #[test]

@@ -5,7 +5,12 @@ use crate::types::dominates;
 /// this workspace is tested against it.
 pub fn brute_force(data: &[Vec<u32>]) -> Vec<u32> {
     (0..data.len())
-        .filter(|&i| !data.iter().enumerate().any(|(j, q)| j != i && dominates(q, &data[i])))
+        .filter(|&i| {
+            !data
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && dominates(q, &data[i]))
+        })
         .map(|i| i as u32)
         .collect()
 }

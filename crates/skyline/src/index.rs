@@ -53,7 +53,7 @@ pub fn index_skyline(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
         for (d, list) in lists.iter().enumerate() {
             if let Some(&j) = list.get(cursors[d]) {
                 let key = (min_c(&data[j as usize]), sum(&data[j as usize]), d);
-                if next.map_or(true, |(m, s, _)| (key.0, key.1) < (m, s)) {
+                if next.is_none_or(|(m, s, _)| (key.0, key.1) < (m, s)) {
                     next = Some((key.0, key.1, d));
                 }
             }

@@ -38,9 +38,9 @@ mod types;
 
 pub use bbs::{bbs, bbs_visit};
 pub use bitmap::bitmap;
-pub use index::index_skyline;
 pub use bnl::bnl;
 pub use brute::brute_force;
+pub use index::index_skyline;
 pub use salsa::salsa;
 pub use sfs::sfs;
 pub use types::{dominates, dominates_or_equal, monotone_sum, Stats};

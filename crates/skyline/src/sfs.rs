@@ -61,7 +61,10 @@ mod tests {
     fn output_is_in_ascending_sum_order() {
         let data = vec![vec![9, 0], vec![0, 1], vec![5, 3], vec![0, 0]];
         let (got, _) = sfs(&data);
-        let sums: Vec<u64> = got.iter().map(|&i| monotone_sum(&data[i as usize])).collect();
+        let sums: Vec<u64> = got
+            .iter()
+            .map(|&i| monotone_sum(&data[i as usize]))
+            .collect();
         assert!(sums.windows(2).all(|w| w[0] <= w[1]));
     }
 

@@ -84,8 +84,20 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let a = Stats { dominance_checks: 3, io_reads: 1 };
-        let b = Stats { dominance_checks: 4, io_reads: 2 };
-        assert_eq!(a.merge(b), Stats { dominance_checks: 7, io_reads: 3 });
+        let a = Stats {
+            dominance_checks: 3,
+            io_reads: 1,
+        };
+        let b = Stats {
+            dominance_checks: 4,
+            io_reads: 2,
+        };
+        assert_eq!(
+            a.merge(b),
+            Stats {
+                dominance_checks: 7,
+                io_reads: 3
+            }
+        );
     }
 }

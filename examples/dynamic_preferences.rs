@@ -49,7 +49,11 @@ fn show(name: &str, run: &DtssRun) {
         run.groups_skipped,
         run.groups_total,
         run.metrics.io_reads,
-        if run.from_cache { ", served from cache" } else { "" },
+        if run.from_cache {
+            ", served from cache"
+        } else {
+            ""
+        },
     );
 }
 
@@ -57,7 +61,10 @@ fn main() {
     let dtss = Dtss::build(
         data(),
         vec![3],
-        DtssConfig { cache: true, ..Default::default() },
+        DtssConfig {
+            cache: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     println!(

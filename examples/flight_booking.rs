@@ -67,7 +67,10 @@ fn main() {
     let mut b2 = PartialOrderBuilder::new();
     b2.values(["a", "b", "c", "d"]);
     b2.prefer("b", "a").unwrap();
-    report("User 2 only prefers b over a (Table I, row 2):", b2.build().unwrap());
+    report(
+        "User 2 only prefers b over a (Table I, row 2):",
+        b2.build().unwrap(),
+    );
 
     // No airline preference at all: the two PO-free dimensions plus an
     // antichain domain — every airline stands on its own.

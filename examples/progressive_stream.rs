@@ -45,7 +45,10 @@ fn main() {
 
     assert_eq!(run.skyline.len(), sdc_run.skyline.len());
     let total = run.skyline.len();
-    println!("skyline size: {total}  (SDC+ strata: {:?})\n", sdc_run.per_stratum);
+    println!(
+        "skyline size: {total}  (SDC+ strata: {:?})\n",
+        sdc_run.per_stratum
+    );
 
     let model = CostModel::default();
     let at = |samples: &[ProgressSample], frac: f64| {

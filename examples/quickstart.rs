@@ -42,11 +42,7 @@ fn main() {
         let name = laptops[point.record as usize].0;
         println!(
             "  #{:<2} {}  price={:<5} weight={:<5} brand={}",
-            sample.results,
-            name,
-            point.to[0],
-            point.to[1],
-            laptops[point.record as usize].3,
+            sample.results, name, point.to[0], point.to[1], laptops[point.record as usize].3,
         );
     });
 

@@ -31,7 +31,13 @@ fn workload(
             .unwrap()
         })
         .collect();
-    let to = gen_to_matrix(TupleConfig { n, dims: to_dims, domain: 100, dist, seed });
+    let to = gen_to_matrix(TupleConfig {
+        n,
+        dims: to_dims,
+        domain: 100,
+        dist,
+        seed,
+    });
     let sizes: Vec<u32> = dags.iter().map(|d| d.len() as u32).collect();
     let po = gen_po_matrix(n, &sizes, seed + 99);
     (Table::from_parts(to_dims, po_dims, to, po).unwrap(), dags)
@@ -48,16 +54,26 @@ fn check_all(table: &Table, dags: &[Dag], label: &str) {
 
     for cfg in [
         StssConfig::default(),
-        StssConfig { fast_check: true, ..Default::default() },
+        StssConfig {
+            fast_check: true,
+            ..Default::default()
+        },
         StssConfig {
             multi_cover_mbb: true,
             range_strategy: RangeStrategy::Naive,
             ..Default::default()
         },
-        StssConfig { range_strategy: RangeStrategy::Full, ..Default::default() },
+        StssConfig {
+            range_strategy: RangeStrategy::Full,
+            ..Default::default()
+        },
     ] {
         let stss = Stss::build(table.clone(), dags.to_vec(), cfg).unwrap();
-        assert_eq!(sorted(stss.run().skyline_records()), expect, "{label}: sTSS {cfg:?}");
+        assert_eq!(
+            sorted(stss.run().skyline_records()),
+            expect,
+            "{label}: sTSS {cfg:?}"
+        );
     }
 
     for variant in [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus] {
@@ -69,12 +85,23 @@ fn check_all(table: &Table, dags: &[Dag], label: &str) {
     let sizes: Vec<u32> = dags.iter().map(|d| d.len() as u32).collect();
     for cfg in [
         DtssConfig::default(),
-        DtssConfig { fast_check: true, precompute_local: true, ..Default::default() },
-        DtssConfig { filter_dominators: true, ..Default::default() },
+        DtssConfig {
+            fast_check: true,
+            precompute_local: true,
+            ..Default::default()
+        },
+        DtssConfig {
+            filter_dominators: true,
+            ..Default::default()
+        },
     ] {
         let dtss = Dtss::build(table.clone(), sizes.clone(), cfg).unwrap();
         let run = dtss.query(&PoQuery::new(dags.to_vec())).unwrap();
-        assert_eq!(sorted(run.skyline_records()), expect, "{label}: dTSS {cfg:?}");
+        assert_eq!(
+            sorted(run.skyline_records()),
+            expect,
+            "{label}: dTSS {cfg:?}"
+        );
     }
 }
 

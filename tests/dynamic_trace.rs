@@ -98,10 +98,22 @@ fn optimizations_do_not_change_results() {
     ];
     let plain = Dtss::build(fig5_table(), vec![3], DtssConfig::default()).unwrap();
     for cfg in [
-        DtssConfig { fast_check: true, ..Default::default() },
-        DtssConfig { precompute_local: true, ..Default::default() },
-        DtssConfig { filter_dominators: true, ..Default::default() },
-        DtssConfig { cache: true, ..Default::default() },
+        DtssConfig {
+            fast_check: true,
+            ..Default::default()
+        },
+        DtssConfig {
+            precompute_local: true,
+            ..Default::default()
+        },
+        DtssConfig {
+            filter_dominators: true,
+            ..Default::default()
+        },
+        DtssConfig {
+            cache: true,
+            ..Default::default()
+        },
         DtssConfig {
             fast_check: true,
             precompute_local: true,
@@ -136,7 +148,10 @@ fn local_skyline_optimization_reduces_work() {
     let local = Dtss::build(
         t,
         vec![3],
-        DtssConfig { precompute_local: true, ..Default::default() },
+        DtssConfig {
+            precompute_local: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let rp = plain.query(&q).unwrap();

@@ -2,7 +2,9 @@
 //! reservation data of Fig. 1 and the two airline partial orders of
 //! Table I, evaluated by every algorithm in the workspace.
 
-use tss::core::{brute_force_po_skyline, Dtss, DtssConfig, PoDomain, PoQuery, Stss, StssConfig, Table};
+use tss::core::{
+    brute_force_po_skyline, Dtss, DtssConfig, PoDomain, PoQuery, Stss, StssConfig, Table,
+};
 use tss::poset::{Dag, PartialOrderBuilder};
 use tss::sdc::{SdcConfig, SdcIndex, Variant};
 
@@ -72,8 +74,8 @@ fn table1_row1_all_algorithms() {
     assert_eq!(sorted(stss.run().skyline_records()), expect);
 
     for variant in [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus] {
-        let idx = SdcIndex::build(tickets(), vec![dag.clone()], variant, SdcConfig::default())
-            .unwrap();
+        let idx =
+            SdcIndex::build(tickets(), vec![dag.clone()], variant, SdcConfig::default()).unwrap();
         assert_eq!(sorted(idx.run().skyline), expect, "{variant:?}");
     }
 
@@ -95,8 +97,8 @@ fn table1_row2_all_algorithms() {
     assert_eq!(sorted(stss.run().skyline_records()), expect);
 
     for variant in [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus] {
-        let idx = SdcIndex::build(tickets(), vec![dag.clone()], variant, SdcConfig::default())
-            .unwrap();
+        let idx =
+            SdcIndex::build(tickets(), vec![dag.clone()], variant, SdcConfig::default()).unwrap();
         assert_eq!(sorted(idx.run().skyline), expect, "{variant:?}");
     }
 
@@ -109,8 +111,15 @@ fn table1_row2_all_algorithms() {
 fn changing_the_order_changes_the_skyline() {
     // The paper's point: p3, p7 leave and p5, p10 enter between "no
     // preference" (Fig. 1(b) + any-airline) and order one.
-    let dtss = Dtss::build(tickets(), vec![4], DtssConfig { cache: true, ..Default::default() })
-        .unwrap();
+    let dtss = Dtss::build(
+        tickets(),
+        vec![4],
+        DtssConfig {
+            cache: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let free = Dag::from_edges(4, &[]).unwrap();
     let r_free = dtss.query(&PoQuery::new(vec![free])).unwrap();
     let r_one = dtss.query(&PoQuery::new(vec![order_one()])).unwrap();

@@ -111,7 +111,10 @@ fn bulk_loaded_tree_gives_same_skyline() {
     let stss = Stss::build(
         fig3_table(),
         vec![Dag::paper_example()],
-        StssConfig { node_capacity: Some(3), ..Default::default() },
+        StssConfig {
+            node_capacity: Some(3),
+            ..Default::default()
+        },
     )
     .unwrap();
     let run = stss.run();
@@ -123,10 +126,22 @@ fn bulk_loaded_tree_gives_same_skyline() {
 #[test]
 fn fast_check_and_multi_cover_reproduce_the_trace_results() {
     for cfg in [
-        StssConfig { fast_check: true, ..Default::default() },
-        StssConfig { multi_cover_mbb: true, ..Default::default() },
-        StssConfig { range_strategy: RangeStrategy::Naive, ..Default::default() },
-        StssConfig { range_strategy: RangeStrategy::Full, ..Default::default() },
+        StssConfig {
+            fast_check: true,
+            ..Default::default()
+        },
+        StssConfig {
+            multi_cover_mbb: true,
+            ..Default::default()
+        },
+        StssConfig {
+            range_strategy: RangeStrategy::Naive,
+            ..Default::default()
+        },
+        StssConfig {
+            range_strategy: RangeStrategy::Full,
+            ..Default::default()
+        },
     ] {
         let stss =
             Stss::with_tree(fig3_table(), vec![Dag::paper_example()], fig3_tree(), cfg).unwrap();

@@ -7,15 +7,24 @@ use tss::rtree::RTree;
 use tss::skyline::{bbs, bitmap, bnl, brute_force, index_skyline, salsa, sfs};
 
 fn workload(n: usize, dims: usize, domain: u32, dist: Distribution, seed: u64) -> Vec<Vec<u32>> {
-    gen_to_matrix(TupleConfig { n, dims, domain, dist, seed })
-        .chunks(dims)
-        .map(|c| c.to_vec())
-        .collect()
+    gen_to_matrix(TupleConfig {
+        n,
+        dims,
+        domain,
+        dist,
+        seed,
+    })
+    .chunks(dims)
+    .map(|c| c.to_vec())
+    .collect()
 }
 
 fn tree_of(data: &[Vec<u32>]) -> RTree {
-    let pts: Vec<(Vec<u32>, u32)> =
-        data.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect();
+    let pts: Vec<(Vec<u32>, u32)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u32))
+        .collect();
     RTree::bulk_load(data[0].len(), 16, pts)
 }
 
@@ -38,8 +47,16 @@ fn all_algorithms_agree() {
             assert_eq!(sorted(sfs(&data).0), expect, "SFS {dist:?} d={dims}");
             assert_eq!(sorted(salsa(&data).0), expect, "SaLSa {dist:?} d={dims}");
             assert_eq!(sorted(bitmap(&data).0), expect, "Bitmap {dist:?} d={dims}");
-            assert_eq!(sorted(index_skyline(&data).0), expect, "Index {dist:?} d={dims}");
-            assert_eq!(sorted(bbs(&tree_of(&data)).0), expect, "BBS {dist:?} d={dims}");
+            assert_eq!(
+                sorted(index_skyline(&data).0),
+                expect,
+                "Index {dist:?} d={dims}"
+            );
+            assert_eq!(
+                sorted(bbs(&tree_of(&data)).0),
+                expect,
+                "BBS {dist:?} d={dims}"
+            );
         }
     }
 }

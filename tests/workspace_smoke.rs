@@ -1,0 +1,71 @@
+//! Workspace smoke test: one end-to-end sTSS and one dTSS query through the
+//! `tss` facade. Fast on purpose — if a manifest regression breaks the
+//! facade's re-exports or the crate wiring, this is the test that catches it
+//! before the heavier suites even build their workloads.
+
+use tss::core::{Dtss, DtssConfig, PoQuery, Stss, StssConfig, Table};
+use tss::poset::PartialOrderBuilder;
+
+/// Table I's airline preference: a over b and c, everything over d.
+fn airline_dag() -> tss::poset::Dag {
+    let mut b = PartialOrderBuilder::new();
+    for label in ["a", "b", "c", "d"] {
+        b.value(label);
+    }
+    b.prefer("a", "b").unwrap();
+    b.prefer("a", "c").unwrap();
+    b.prefer("b", "d").unwrap();
+    b.prefer("c", "d").unwrap();
+    b.build().unwrap()
+}
+
+fn tickets(dag: &tss::poset::Dag) -> Table {
+    let id = |s: &str| dag.id_of(s).unwrap().0;
+    let mut t = Table::new(1, 1);
+    t.push(&[300], &[id("d")]); // 0: cheap but worst airline
+    t.push(&[300], &[id("a")]); // 1: same price, best airline — dominates 0
+    t.push(&[250], &[id("b")]); // 2: cheaper, b
+    t.push(&[250], &[id("c")]); // 3: same price, c — incomparable with 2
+    t.push(&[400], &[id("c")]); // 4: dominated by 3
+    t
+}
+
+#[test]
+fn stss_end_to_end_through_facade() {
+    let dag = airline_dag();
+    let table = tickets(&dag);
+    let stss = Stss::build(table, vec![dag], StssConfig::default()).unwrap();
+    let mut sky = stss.run().skyline_records();
+    sky.sort_unstable();
+    assert_eq!(sky, vec![1, 2, 3]);
+}
+
+#[test]
+fn dtss_end_to_end_through_facade() {
+    let data_dag = airline_dag();
+    let table = tickets(&data_dag);
+    let sizes = vec![data_dag.len() as u32];
+    let dtss = Dtss::build(table, sizes, DtssConfig::default()).unwrap();
+
+    // Same preferences as the static run: identical skyline.
+    let run = dtss.query(&PoQuery::new(vec![airline_dag()])).unwrap();
+    let mut sky: Vec<u32> = run.skyline.iter().map(|p| p.record).collect();
+    sky.sort_unstable();
+    assert_eq!(sky, vec![1, 2, 3]);
+
+    // A query that inverts the airline order (d best, a worst): the cheap
+    // d-ticket now wins, and the expensive c-ticket stays dominated by the
+    // cheaper one.
+    let mut b = PartialOrderBuilder::new();
+    for label in ["a", "b", "c", "d"] {
+        b.value(label);
+    }
+    b.prefer("d", "b").unwrap();
+    b.prefer("d", "c").unwrap();
+    b.prefer("b", "a").unwrap();
+    b.prefer("c", "a").unwrap();
+    let run = dtss.query(&PoQuery::new(vec![b.build().unwrap()])).unwrap();
+    let mut sky: Vec<u32> = run.skyline.iter().map(|p| p.record).collect();
+    sky.sort_unstable();
+    assert_eq!(sky, vec![0, 2, 3]);
+}
