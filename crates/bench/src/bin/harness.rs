@@ -14,8 +14,8 @@
 use bench::params;
 use bench::report::{comparison_cells, comparison_header, TextTable};
 use bench::runner::{
-    generate, progressive_sdc_plus, progressive_stss, run_dtss, run_dynamic_sdc, run_sdc_plus,
-    run_stss,
+    dtss_time_to_k, generate, progressive_sdc_plus, progressive_stss, run_dtss, run_dynamic_sdc,
+    run_sdc_plus, run_stss, sdc_plus_time_to_k, stss_time_to_k,
 };
 use datagen::{Distribution, ExperimentParams};
 use tss_core::{CostModel, DtssConfig, RangeStrategy, StssConfig};
@@ -33,6 +33,8 @@ fn main() {
         "fig13" => fig13(),
         "fig14" => fig14(),
         "ablations" => ablations(),
+        "cursors" => cursors(),
+        "smoke" => smoke(),
         "all" => {
             fig7();
             fig8();
@@ -43,9 +45,12 @@ fn main() {
             fig13();
             fig14();
             ablations();
+            cursors();
         }
         other => {
-            eprintln!("unknown figure {other:?}; expected fig7..fig14, ablations or all");
+            eprintln!(
+                "unknown figure {other:?}; expected fig7..fig14, ablations, cursors, smoke or all"
+            );
             std::process::exit(2);
         }
     }
@@ -211,6 +216,8 @@ fn dynamic_point(p: &ExperimentParams) -> (bench::runner::AlgoResult, bench::run
         io_writes: m.io_writes / seeds.len() as u64,
         heap_pops: m.heap_pops / seeds.len() as u64,
         results: m.results / seeds.len() as u64,
+        label_cache_hits: m.label_cache_hits / seeds.len() as u64,
+        label_cache_misses: m.label_cache_misses / seeds.len() as u64,
         cpu: m.cpu / seeds.len() as u32,
     };
     (
@@ -291,6 +298,110 @@ fn fig14() {
         t.row(comparison_cells(format!("{d:.1}"), &sdc, &tss, model()));
     }
     print!("{}", t.render());
+}
+
+/// Pull-based consumption: time-to-first-result and time-to-k measured
+/// directly off live [`tss_core::SkylineCursor`]s — the serving-path view
+/// of Fig. 11's progressiveness claim. TSS confirms its prefix on a
+/// fraction of SDC+'s work because precedence lets it stop mid-traversal.
+fn cursors() {
+    let k = 10usize;
+    for dist in params::distributions() {
+        banner(&format!(
+            "Cursors — static: time to first / to k={k} ({})",
+            dist.short()
+        ));
+        let mut p = params::static_params(dist, 42);
+        p.n = params::progressive_n();
+        let w = generate(&p);
+        let mut t = TextTable::new(&[
+            "engine",
+            "first (s)",
+            &format!("k={k} (s)"),
+            "reads@first",
+            &format!("reads@{k}"),
+        ]);
+        for timings in [
+            sdc_plus_time_to_k(&w, k),
+            stss_time_to_k(&w, StssConfig::default(), k),
+        ] {
+            t.row(vec![
+                timings.name.to_string(),
+                format!("{:.3}", timings.time_to_first(model())),
+                format!("{:.3}", timings.time_to_k(model())),
+                timings.first.io_reads.to_string(),
+                timings.at_k.io_reads.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    banner(&format!(
+        "Cursors — dynamic: time to first / to k={k} (indep)"
+    ));
+    let p = params::dynamic_params(Distribution::Independent, 42);
+    let w = generate(&p);
+    let timings = dtss_time_to_k(&w, 11, DtssConfig::default(), k);
+    println!(
+        "dTSS: first {:.3}s ({} reads) -> k={} {:.3}s ({} reads)",
+        timings.time_to_first(model()),
+        timings.first.io_reads,
+        timings.pulled,
+        timings.time_to_k(model()),
+        timings.at_k.io_reads,
+    );
+}
+
+/// CI smoke: one tiny parameter point through every measurement path —
+/// static, dynamic, progressive and cursor — with the cross-engine
+/// agreement assertions on. Finishes in seconds.
+fn smoke() {
+    banner("Smoke — tiny grid across every path");
+    let mut p = ExperimentParams::paper_static_default(Distribution::Independent, 7);
+    p.n = 2000;
+    p.dag_height = 4;
+    let w = generate(&p);
+    let sdc = run_sdc_plus(&w);
+    let tss = run_stss(&w, StssConfig::default());
+    assert_eq!(sdc.skyline, tss.skyline, "static engines must agree");
+    println!(
+        "static n={}: skyline {} | SDC+ {:.3}s vs TSS {:.3}s",
+        p.n,
+        tss.skyline,
+        sdc.total_secs(model()),
+        tss.total_secs(model())
+    );
+    let (t_samples, _) = progressive_stss(&w);
+    assert_eq!(t_samples.len(), tss.skyline, "one sample per result");
+    let k = 5.min(tss.skyline);
+    let prefix = stss_time_to_k(&w, StssConfig::default(), k);
+    assert_eq!(prefix.pulled, k);
+    assert!(
+        prefix.at_k.io_reads <= tss.metrics.io_reads,
+        "a k-prefix must not read more than the full run"
+    );
+    println!(
+        "cursor: first result after {} reads, k={} after {} reads (full run {})",
+        prefix.first.io_reads, k, prefix.at_k.io_reads, tss.metrics.io_reads
+    );
+
+    let mut p = ExperimentParams::paper_dynamic_default(Distribution::Independent, 7);
+    p.n = 2000;
+    p.dag_height = 4;
+    let wd = generate(&p);
+    let a = run_dtss(&wd, 5, DtssConfig::default());
+    let b = run_dynamic_sdc(&wd, 5);
+    assert_eq!(a.skyline, b.skyline, "dynamic engines must agree");
+    let d_prefix = dtss_time_to_k(&wd, 5, DtssConfig::default(), 5);
+    assert!(d_prefix.pulled > 0, "dynamic cursor must stream");
+    println!(
+        "dynamic n={}: skyline {} | dTSS {:.3}s vs rebuild-SDC+ {:.3}s | cursor first after {} reads",
+        p.n,
+        a.skyline,
+        a.total_secs(model()),
+        b.total_secs(model()),
+        d_prefix.first.io_reads
+    );
+    println!("smoke OK");
 }
 
 /// Ablations over the design choices DESIGN.md calls out (§IV-B, §V-B).

@@ -8,7 +8,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sdc::{DynamicSdc, SdcConfig, SdcIndex, Variant};
 use tss_core::{
-    CostModel, Dtss, DtssConfig, Metrics, PoQuery, ProgressSample, Stss, StssConfig, Table,
+    CostModel, Dtss, DtssConfig, Metrics, PoQuery, ProgressSample, SkylineCursor, Stss, StssConfig,
+    Table,
 };
 
 /// A generated workload: the table plus its PO domains.
@@ -101,6 +102,88 @@ pub fn progressive_sdc_plus(w: &Workload) -> (Vec<ProgressSample>, Metrics) {
     let mut samples = Vec::new();
     let run = idx.run_with(&mut |_, s| samples.push(s));
     (samples, run.metrics)
+}
+
+/// Latency profile of a top-k prefix pulled off a live [`SkylineCursor`]:
+/// the snapshots at the first and the `k`-th confirmation, measured without
+/// materializing the rest of the skyline (index build excluded, as in the
+/// other runners).
+#[derive(Debug, Clone)]
+pub struct CursorTimings {
+    /// Engine label.
+    pub name: &'static str,
+    /// Snapshot at the first confirmation.
+    pub first: ProgressSample,
+    /// Snapshot at the `min(k, |skyline|)`-th confirmation.
+    pub at_k: ProgressSample,
+    /// Requested prefix length.
+    pub k: usize,
+    /// Results actually pulled (the skyline may be smaller than `k`).
+    pub pulled: usize,
+}
+
+impl CursorTimings {
+    /// Simulated time to the first result under the paper's cost model.
+    pub fn time_to_first(&self, model: CostModel) -> f64 {
+        self.first.elapsed_total(model).as_secs_f64()
+    }
+
+    /// Simulated time to the `k`-th result under the paper's cost model.
+    pub fn time_to_k(&self, model: CostModel) -> f64 {
+        self.at_k.elapsed_total(model).as_secs_f64()
+    }
+}
+
+/// Pulls a `k`-prefix off `cursor` and records the latency snapshots.
+pub fn pull_k(mut cursor: impl SkylineCursor, name: &'static str, k: usize) -> CursorTimings {
+    let mut t = CursorTimings {
+        name,
+        first: ProgressSample::default(),
+        at_k: ProgressSample::default(),
+        k,
+        pulled: 0,
+    };
+    while t.pulled < k && cursor.next().is_some() {
+        t.pulled += 1;
+        if t.pulled == 1 {
+            t.first = cursor.progress();
+        }
+        t.at_k = cursor.progress();
+    }
+    t
+}
+
+/// Builds the sTSS index (untimed) and pulls a `k`-prefix off its cursor.
+pub fn stss_time_to_k(w: &Workload, cfg: StssConfig, k: usize) -> CursorTimings {
+    let stss = Stss::build(w.table.clone(), w.dags.clone(), cfg).expect("valid workload");
+    pull_k(stss.cursor(), "TSS", k)
+}
+
+/// Builds the SDC+ strata (untimed) and pulls a `k`-prefix off its cursor.
+pub fn sdc_plus_time_to_k(w: &Workload, k: usize) -> CursorTimings {
+    let idx = SdcIndex::build(
+        w.table.clone(),
+        w.dags.clone(),
+        Variant::SdcPlus,
+        SdcConfig::default(),
+    )
+    .expect("valid workload");
+    pull_k(idx.cursor(), "SDC+", k)
+}
+
+/// Builds the dTSS groups (untimed) and pulls a `k`-prefix off one dynamic
+/// query's cursor.
+pub fn dtss_time_to_k(w: &Workload, query_seed: u64, cfg: DtssConfig, k: usize) -> CursorTimings {
+    let sizes: Vec<u32> = w.dags.iter().map(|d| d.len() as u32).collect();
+    let dtss = Dtss::build(w.table.clone(), sizes, cfg).expect("valid workload");
+    let query = PoQuery::new(
+        w.dags
+            .iter()
+            .map(|d| permuted_order(d, query_seed))
+            .collect(),
+    );
+    let cursor = dtss.query_cursor(&query).expect("valid query");
+    pull_k(cursor, "TSS", k)
 }
 
 /// A *dynamic* query order over the same domain: the data DAG with its
@@ -212,6 +295,31 @@ mod tests {
             .filter(|&(x, y)| r0.preferred(x, y) != rq.preferred(x, y))
             .count();
         assert!(diff > 0);
+    }
+
+    #[test]
+    fn cursor_prefix_costs_less_than_a_full_run() {
+        let w = generate(&tiny_params());
+        let full = run_stss(&w, StssConfig::default());
+        assert!(full.skyline > 10, "need a non-trivial skyline");
+        let prefix = stss_time_to_k(&w, StssConfig::default(), 10);
+        assert_eq!(prefix.pulled, 10);
+        assert!(
+            prefix.at_k.io_reads < full.metrics.io_reads,
+            "10-prefix reads {} vs full {}",
+            prefix.at_k.io_reads,
+            full.metrics.io_reads
+        );
+        assert!(prefix.first.io_reads <= prefix.at_k.io_reads);
+        // The dynamic path streams too.
+        let mut p = ExperimentParams::paper_dynamic_default(Distribution::Independent, 7);
+        p.n = 2000;
+        p.dag_height = 4;
+        let wd = generate(&p);
+        let d_full = run_dtss(&wd, 5, DtssConfig::default());
+        let d_prefix = dtss_time_to_k(&wd, 5, DtssConfig::default(), 5);
+        assert!(d_prefix.pulled > 0);
+        assert!(d_prefix.at_k.io_reads <= d_full.metrics.io_reads);
     }
 
     #[test]

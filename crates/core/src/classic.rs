@@ -1,0 +1,299 @@
+//! [`SkylineEngine`] adapters for the classic totally ordered algorithms of
+//! `crates/skyline` (§II-A): one engine per algorithm, all over the same
+//! owned data set.
+//!
+//! BNL, SFS, SaLSa and BBS stream through their genuinely incremental
+//! cursors (`skyline::BnlCursor` & co.); brute force, Bitmap and Index have
+//! no useful lazy structure and wrap an eager run behind the same cursor
+//! interface. Yielded [`SkylinePoint`]s carry the TO coordinates and an
+//! empty PO part — these algorithms predate partially ordered domains.
+//!
+//! ```
+//! use tss_core::{ClassicAlgo, ClassicEngine, SkylineEngine};
+//!
+//! let data = vec![vec![5, 1], vec![1, 5], vec![3, 3], vec![4, 4]];
+//! let engine = ClassicEngine::new(data, ClassicAlgo::Sfs);
+//! let (skyline, metrics) = engine.collect_skyline();
+//! let mut records: Vec<u32> = skyline.iter().map(|p| p.record).collect();
+//! records.sort_unstable();
+//! assert_eq!(records, vec![0, 1, 2]);
+//! assert!(metrics.dominance_checks > 0);
+//! ```
+
+use crate::cursor::{SkylineCursor, SkylineEngine};
+use crate::stss::SkylinePoint;
+use crate::{Metrics, ProgressSample};
+use rtree::RTree;
+use skyline::{BbsCursor, BnlCursor, SalsaCursor, SfsCursor, Stats};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Which classic algorithm a [`ClassicEngine`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassicAlgo {
+    /// The `O(n²)` oracle (eager; uninstrumented — reports zero
+    /// dominance-check stats).
+    Brute,
+    /// Block Nested Loops with the given window (lazy per pass).
+    Bnl {
+        /// Window capacity in points.
+        window: usize,
+    },
+    /// Sort-Filter-Skyline (incremental).
+    Sfs,
+    /// Sort and Limit Skyline algorithm (incremental, early-stopping).
+    Salsa,
+    /// Branch-and-Bound Skyline over an R-tree (incremental).
+    Bbs {
+        /// R-tree node capacity used when indexing the data.
+        node_capacity: usize,
+    },
+    /// Tan et al.'s bit-sliced algorithm (eager).
+    Bitmap,
+    /// Tan et al.'s min-coordinate-list algorithm (eager).
+    Index,
+}
+
+/// A classic totally ordered skyline algorithm over an owned data set,
+/// exposed through the workspace-wide [`SkylineEngine`] API.
+pub struct ClassicEngine {
+    data: Vec<Vec<u32>>,
+    algo: ClassicAlgo,
+    /// Built once at construction for [`ClassicAlgo::Bbs`].
+    tree: Option<RTree>,
+}
+
+impl ClassicEngine {
+    /// Wraps `data` (one row per record; uniform dimensionality) for the
+    /// chosen algorithm. For [`ClassicAlgo::Bbs`] the R-tree is bulk-loaded
+    /// here, mirroring the offline indexing of the tree-based engines.
+    pub fn new(data: Vec<Vec<u32>>, algo: ClassicAlgo) -> Self {
+        let tree = match algo {
+            ClassicAlgo::Bbs { node_capacity } => {
+                let dims = data.first().map_or(1, Vec::len);
+                let pts: Vec<(Vec<u32>, u32)> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.clone(), i as u32))
+                    .collect();
+                Some(RTree::bulk_load(dims, node_capacity, pts))
+            }
+            _ => None,
+        };
+        ClassicEngine { data, algo, tree }
+    }
+
+    /// The wrapped data set.
+    pub fn data(&self) -> &[Vec<u32>] {
+        &self.data
+    }
+
+    /// The configured algorithm.
+    pub fn algo(&self) -> ClassicAlgo {
+        self.algo
+    }
+}
+
+impl SkylineEngine for ClassicEngine {
+    fn name(&self) -> &str {
+        match self.algo {
+            ClassicAlgo::Brute => "brute-force",
+            ClassicAlgo::Bnl { .. } => "BNL",
+            ClassicAlgo::Sfs => "SFS",
+            ClassicAlgo::Salsa => "SaLSa",
+            ClassicAlgo::Bbs { .. } => "BBS",
+            ClassicAlgo::Bitmap => "Bitmap",
+            ClassicAlgo::Index => "Index",
+        }
+    }
+
+    fn open(&self) -> Box<dyn SkylineCursor + '_> {
+        // The clock starts before the eager algorithms run, so their
+        // up-front computation is part of the reported cpu time.
+        let start = Instant::now();
+        let source = match self.algo {
+            ClassicAlgo::Brute => {
+                Source::Eager(skyline::brute_force(&self.data).into(), Stats::default())
+            }
+            ClassicAlgo::Bnl { window } => Source::Bnl(BnlCursor::new(&self.data, window)),
+            ClassicAlgo::Sfs => Source::Sfs(SfsCursor::new(&self.data)),
+            ClassicAlgo::Salsa => Source::Salsa(SalsaCursor::new(&self.data)),
+            ClassicAlgo::Bbs { .. } => Source::Bbs(BbsCursor::new(
+                self.tree.as_ref().expect("built for ClassicAlgo::Bbs"),
+            )),
+            ClassicAlgo::Bitmap => {
+                let (records, stats) = skyline::bitmap(&self.data);
+                Source::Eager(records.into(), stats)
+            }
+            ClassicAlgo::Index => {
+                let (records, stats) = skyline::index_skyline(&self.data);
+                Source::Eager(records.into(), stats)
+            }
+        };
+        Box::new(ClassicCursor {
+            data: &self.data,
+            source,
+            start,
+            results: 0,
+            last_sample: ProgressSample::default(),
+            final_cpu: None,
+        })
+    }
+}
+
+/// Per-algorithm pull source.
+enum Source<'a> {
+    Bnl(BnlCursor<'a>),
+    Sfs(SfsCursor<'a>),
+    Salsa(SalsaCursor<'a>),
+    Bbs(BbsCursor<'a>),
+    /// Precomputed result queue (brute force / Bitmap / Index).
+    Eager(VecDeque<u32>, Stats),
+}
+
+/// The [`SkylineCursor`] over one [`ClassicEngine`] run.
+struct ClassicCursor<'a> {
+    data: &'a [Vec<u32>],
+    source: Source<'a>,
+    start: Instant,
+    results: u64,
+    last_sample: ProgressSample,
+    /// Frozen cpu total, set when the stream is exhausted.
+    final_cpu: Option<std::time::Duration>,
+}
+
+impl ClassicCursor<'_> {
+    fn stats(&self) -> Stats {
+        match &self.source {
+            Source::Bnl(c) => c.stats(),
+            Source::Sfs(c) => c.stats(),
+            Source::Salsa(c) => c.stats(),
+            Source::Bbs(c) => c.stats(),
+            Source::Eager(_, stats) => *stats,
+        }
+    }
+}
+
+impl SkylineCursor for ClassicCursor<'_> {
+    fn next(&mut self) -> Option<SkylinePoint> {
+        let next = match &mut self.source {
+            Source::Bnl(c) => c.next(),
+            Source::Sfs(c) => c.next(),
+            Source::Salsa(c) => c.next(),
+            Source::Bbs(c) => c.next().map(|(r, _)| r),
+            Source::Eager(queue, _) => queue.pop_front(),
+        };
+        let Some(record) = next else {
+            if self.final_cpu.is_none() {
+                self.final_cpu = Some(self.start.elapsed());
+            }
+            return None;
+        };
+        self.results += 1;
+        let stats = self.stats();
+        self.last_sample = ProgressSample {
+            results: self.results,
+            elapsed_cpu: self.start.elapsed(),
+            io_reads: stats.io_reads,
+            dominance_checks: stats.dominance_checks,
+        };
+        Some(SkylinePoint {
+            record,
+            to: self.data[record as usize].clone(),
+            po: Vec::new(),
+        })
+    }
+
+    fn metrics(&self) -> Metrics {
+        let stats = self.stats();
+        Metrics {
+            dominance_checks: stats.dominance_checks,
+            io_reads: stats.io_reads,
+            results: self.results,
+            cpu: self.final_cpu.unwrap_or_else(|| self.start.elapsed()),
+            ..Default::default()
+        }
+    }
+
+    fn progress(&self) -> ProgressSample {
+        self.last_sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 60 anti-correlated skyline points interleaved with 60 dominated
+    /// ones — a non-trivial skyline for every algorithm.
+    fn sample_data() -> Vec<Vec<u32>> {
+        (0..60u32)
+            .flat_map(|i| [vec![i, 59 - i], vec![i + 30, 89 - i]])
+            .collect()
+    }
+
+    fn all_algos() -> Vec<ClassicAlgo> {
+        vec![
+            ClassicAlgo::Brute,
+            ClassicAlgo::Bnl { window: 8 },
+            ClassicAlgo::Sfs,
+            ClassicAlgo::Salsa,
+            ClassicAlgo::Bbs { node_capacity: 4 },
+            ClassicAlgo::Bitmap,
+            ClassicAlgo::Index,
+        ]
+    }
+
+    #[test]
+    fn every_algorithm_matches_its_eager_run() {
+        let data = sample_data();
+        let expect = {
+            let mut e = skyline::brute_force(&data);
+            e.sort_unstable();
+            e
+        };
+        for algo in all_algos() {
+            let engine = ClassicEngine::new(data.clone(), algo);
+            let (pts, metrics) = engine.collect_skyline();
+            let mut got: Vec<u32> = pts.iter().map(|p| p.record).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect, "{algo:?}");
+            assert_eq!(metrics.results, expect.len() as u64, "{algo:?}");
+            // Yielded coordinates round-trip and the PO part is empty.
+            for p in &pts {
+                assert_eq!(p.to, data[p.record as usize], "{algo:?}");
+                assert!(p.po.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_prefix_matches_full_order() {
+        let data = sample_data();
+        for algo in [
+            ClassicAlgo::Bnl { window: 8 },
+            ClassicAlgo::Sfs,
+            ClassicAlgo::Salsa,
+            ClassicAlgo::Bbs { node_capacity: 4 },
+        ] {
+            let engine = ClassicEngine::new(data.clone(), algo);
+            let full: Vec<u32> = engine
+                .collect_skyline()
+                .0
+                .iter()
+                .map(|p| p.record)
+                .collect();
+            let mut c = engine.open();
+            let prefix: Vec<u32> = c.take_k(3).iter().map(|p| p.record).collect();
+            assert_eq!(prefix, full[..3], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn engines_are_reopenable() {
+        let engine = ClassicEngine::new(sample_data(), ClassicAlgo::Sfs);
+        let a = engine.collect_skyline().0;
+        let b = engine.collect_skyline().0;
+        assert_eq!(a, b);
+    }
+}

@@ -22,15 +22,17 @@
 //!   independent!) shrink each group to the only points that can possibly
 //!   qualify; a query-digest cache reuses full results of repeated orders.
 
+use crate::cursor::{SkylineCursor, SkylineEngine};
 use crate::dominance::t_dominates;
+use crate::progressive::ProgressSample;
 use crate::stss::SkylinePoint;
 use crate::{CoreError, Metrics, PoDomain, Table, VirtualPointIndex};
 use poset::{Dag, ValueId};
-use rtree::{PageConfig, Popped, RTree};
+use rtree::{BestFirst, PageConfig, Popped, RTree};
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
@@ -52,15 +54,13 @@ impl PoQuery {
         &self.dags
     }
 
-    /// A canonical digest of the query (domain sizes + edge sets), used as
-    /// the cache key.
+    /// A canonical digest of the query — the per-attribute
+    /// [`Dag::fingerprint`]s combined in order — used as the result-cache
+    /// key.
     pub fn digest(&self) -> u64 {
         let mut h = DefaultHasher::new();
         for dag in &self.dags {
-            dag.len().hash(&mut h);
-            for (u, v) in dag.edges() {
-                (u.0, v.0).hash(&mut h);
-            }
+            dag.fingerprint().hash(&mut h);
         }
         h.finish()
     }
@@ -193,9 +193,48 @@ impl Dtss {
         self.groups.len()
     }
 
+    /// Cardinality of each PO domain (what query DAGs must match).
+    pub fn domain_sizes(&self) -> &[u32] {
+        &self.domain_sizes
+    }
+
     /// Evaluates a dynamic skyline query.
     pub fn query(&self, q: &PoQuery) -> Result<DtssRun, CoreError> {
-        self.query_inner(q, None)
+        self.query_inner(q, None, None)
+    }
+
+    /// Opens a pull-based cursor over a dynamic skyline query: groups are
+    /// visited, dismissed and traversed lazily, one confirmation per
+    /// [`next`](SkylineCursor::next) call, so a top-k consumer never touches
+    /// groups ranked after its prefix.
+    ///
+    /// With [`DtssConfig::cache`] on, a digest hit replays the memoized
+    /// result; only fully materialized [`Dtss::query`] runs populate that
+    /// cache. The group trees' IO counters are shared, so open one cursor at
+    /// a time if per-run IO metrics matter.
+    pub fn query_cursor(&self, q: &PoQuery) -> Result<DtssCursor<'_>, CoreError> {
+        self.cursor_inner(q, None, None)
+    }
+
+    /// Cursor variant of [`Dtss::query_fully_dynamic`].
+    pub fn query_cursor_fully_dynamic(
+        &self,
+        q: &PoQuery,
+        reference: &[u32],
+    ) -> Result<DtssCursor<'_>, CoreError> {
+        assert_eq!(
+            reference.len(),
+            self.table.to_dims(),
+            "reference must name one ideal value per TO attribute"
+        );
+        self.cursor_inner(q, Some(reference), None)
+    }
+
+    /// Binds a query to this operator as a reusable [`SkylineEngine`]
+    /// (validation happens here, so [`SkylineEngine::open`] cannot fail).
+    pub fn engine(&self, query: PoQuery) -> Result<DtssQueryEngine<'_>, CoreError> {
+        self.validate(&query)?;
+        Ok(DtssQueryEngine { dtss: self, query })
     }
 
     /// Evaluates a **fully dynamic** skyline query (§V-B): besides the
@@ -216,10 +255,11 @@ impl Dtss {
             self.table.to_dims(),
             "reference must name one ideal value per TO attribute"
         );
-        self.query_inner(q, Some(reference))
+        self.query_inner(q, Some(reference), None)
     }
 
-    fn query_inner(&self, q: &PoQuery, reference: Option<&[u32]>) -> Result<DtssRun, CoreError> {
+    /// Validates a query's shape against the data-resident structures.
+    fn validate(&self, q: &PoQuery) -> Result<(), CoreError> {
         if q.dags.len() != self.domain_sizes.len() {
             return Err(CoreError::DomainCountMismatch {
                 dags: q.dags.len(),
@@ -235,14 +275,42 @@ impl Dtss {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Result-cache key: the query digest, salted with the reference point
+    /// for fully dynamic queries.
+    fn full_digest(q: &PoQuery, reference: Option<&[u32]>) -> u64 {
         let mut digest = q.digest();
         if let Some(r) = reference {
-            use std::hash::Hasher as _;
             let mut h = DefaultHasher::new();
             digest.hash(&mut h);
             r.hash(&mut h);
             digest = h.finish();
         }
+        digest
+    }
+
+    /// Labels every query DAG from scratch (no session cache).
+    fn prepare_fresh(&self, q: &PoQuery) -> PreparedDomains {
+        PreparedDomains {
+            domains: q.dags.iter().cloned().map(PoDomain::new).collect(),
+            hits: 0,
+            misses: q.dags.len() as u64,
+        }
+    }
+
+    /// Shared query entry point. `prepare` runs lazily — a result-digest
+    /// cache hit skips the labeling work entirely — and is `None` for plain
+    /// (sessionless) queries, which label from scratch.
+    pub(crate) fn query_inner(
+        &self,
+        q: &PoQuery,
+        reference: Option<&[u32]>,
+        prepare: Option<&mut dyn FnMut() -> PreparedDomains>,
+    ) -> Result<DtssRun, CoreError> {
+        self.validate(q)?;
+        let digest = Self::full_digest(q, reference);
         if self.cfg.cache {
             if let Some(records) = self.cache.borrow().get(&digest) {
                 let skyline = records
@@ -265,7 +333,22 @@ impl Dtss {
                 });
             }
         }
-        let run = self.query_uncached(q, reference);
+        let prepared = match prepare {
+            Some(f) => f(),
+            None => self.prepare_fresh(q),
+        };
+        let mut cursor = DtssCursor::new_live(self, prepared, reference.map(<[u32]>::to_vec));
+        let mut skyline = Vec::new();
+        while let Some(p) = cursor.next() {
+            skyline.push(p);
+        }
+        let run = DtssRun {
+            metrics: cursor.metrics(),
+            groups_skipped: cursor.groups_skipped(),
+            groups_total: self.groups.len() as u64,
+            from_cache: false,
+            skyline,
+        };
         if self.cfg.cache {
             self.cache
                 .borrow_mut()
@@ -274,241 +357,28 @@ impl Dtss {
         Ok(run)
     }
 
-    fn query_uncached(&self, q: &PoQuery, reference: Option<&[u32]>) -> DtssRun {
-        let start = Instant::now();
-        let mut m = Metrics::default();
-        let to_dims = self.table.to_dims();
-        // Folded view of TO coordinates: |x - reference| (identity when no
-        // reference is given). All dominance checks and the working skyline
-        // list operate on folded coordinates.
-        let fold = |to: &[u32]| -> Vec<u32> {
-            match reference {
-                None => to.to_vec(),
-                Some(r) => to
-                    .iter()
-                    .zip(r.iter())
-                    .map(|(&a, &b)| a.abs_diff(b))
-                    .collect(),
+    pub(crate) fn cursor_inner(
+        &self,
+        q: &PoQuery,
+        reference: Option<&[u32]>,
+        prepare: Option<&mut dyn FnMut() -> PreparedDomains>,
+    ) -> Result<DtssCursor<'_>, CoreError> {
+        self.validate(q)?;
+        let digest = Self::full_digest(q, reference);
+        if self.cfg.cache {
+            if let Some(records) = self.cache.borrow().get(&digest) {
+                return Ok(DtssCursor::new_replay(self, records.clone()));
             }
+        }
+        let prepared = match prepare {
+            Some(f) => f(),
+            None => self.prepare_fresh(q),
         };
-        // Per-query labeling: cheap relative to the data (§V-A).
-        let domains: Vec<PoDomain> = q.dags.iter().cloned().map(PoDomain::new).collect();
-
-        // Reading the group directory (each group's key + root MBB) costs
-        // sequential page IOs — the paper's §VI-C remark that many group
-        // roots should be "stored in contiguous disk pages and retrieved
-        // multiple at a time". One directory record ≈ key + 2·|TO| corner
-        // coordinates.
-        m.io_reads += self
-            .cfg
-            .page
-            .data_pages(self.groups.len(), self.domain_sizes.len() + 2 * to_dims);
-
-        // Visit groups by ascending sum of ordinals: precedence across groups.
-        let mut order: Vec<usize> = (0..self.groups.len()).collect();
-        let key_rank = |g: &Group| -> u64 {
-            g.key
-                .iter()
-                .enumerate()
-                .map(|(d, &v)| domains[d].ordinal(v) as u64)
-                .sum()
-        };
-        order.sort_by_key(|&gi| (key_rank(&self.groups[gi]), gi));
-
-        let mut skyline: Vec<SkylinePoint> = Vec::new();
-        let mut vpi = self.cfg.fast_check.then(|| {
-            VirtualPointIndex::new(
-                to_dims,
-                &domains,
-                self.cfg.page.capacity(to_dims + 2 * domains.len()),
-            )
-        });
-        let mut keys: HashSet<(Vec<u32>, Vec<u32>)> = HashSet::new();
-        let mut groups_skipped = 0u64;
-
-        for gi in order {
-            let group = &self.groups[gi];
-            let key = &group.key;
-            let posts: Vec<u32> = key
-                .iter()
-                .enumerate()
-                .map(|(d, &v)| domains[d].labeling().post(ValueId(v)))
-                .collect();
-
-            // --- Group dismissal: check the root MBB corner. -------------
-            let root = group.tree.root().expect("groups are non-empty");
-            let corner = match reference {
-                None => group.tree.mbb(root).lo().to_vec(),
-                Some(r) => group.tree.mbb(root).folded_corner(r),
-            };
-            let dominated = if let Some(vpi) = vpi.as_ref() {
-                let (hit, queries) = vpi.covers_value(&corner, &posts);
-                m.dominance_checks += queries;
-                hit
-            } else {
-                skyline.iter().any(|s| {
-                    m.dominance_checks += 1;
-                    s.to.iter().zip(corner.iter()).all(|(sv, cv)| sv <= cv)
-                        && key
-                            .iter()
-                            .enumerate()
-                            .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv))
-                })
-            };
-            if dominated {
-                groups_skipped += 1;
-                continue;
-            }
-
-            // Optional per-group dominator prefilter: global entries whose
-            // PO values can dominate this key, with their PO strictness.
-            let filtered: Option<Vec<(usize, bool)>> = self.cfg.filter_dominators.then(|| {
-                skyline
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(ix, s)| {
-                        m.dominance_checks += 1;
-                        let ok = key
-                            .iter()
-                            .enumerate()
-                            .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv));
-                        ok.then(|| (ix, s.po != *key))
-                    })
-                    .collect()
-            });
-            let mut filtered = filtered;
-
-            // --- Process the group's points in TO mindist order. ---------
-            // Local skylines are computed under origin-anchored dominance
-            // and are invalid for folded queries (§V-B).
-            if let (Some(local), None) = (group.local_skyline.as_ref(), reference) {
-                // §V-B: only local skyline points can be global results.
-                // Charge the pages of the stored local-skyline file.
-                m.io_reads += self.cfg.page.data_pages(local.len(), to_dims + key.len());
-                for &r in local {
-                    let to = self.table.to_row(r as usize);
-                    if !self.point_dominated(
-                        to,
-                        key,
-                        &posts,
-                        &domains,
-                        &skyline,
-                        vpi.as_ref(),
-                        &keys,
-                        filtered.as_deref(),
-                        &mut m,
-                    ) {
-                        self.emit(
-                            r,
-                            to,
-                            key,
-                            &domains,
-                            &mut skyline,
-                            vpi.as_mut(),
-                            &mut keys,
-                            filtered.as_mut(),
-                            &mut m,
-                        );
-                    }
-                }
-                continue;
-            }
-
-            group.tree.reset_io();
-            let mut bf = group.tree.best_first_from(reference);
-            while let Some(popped) = bf.pop() {
-                m.heap_pops += 1;
-                match popped {
-                    Popped::Node { id, mbb, .. } => {
-                        let corner = match reference {
-                            None => mbb.lo().to_vec(),
-                            Some(r) => mbb.folded_corner(r),
-                        };
-                        if !self.node_dominated(
-                            &corner,
-                            key,
-                            &posts,
-                            &domains,
-                            &skyline,
-                            vpi.as_ref(),
-                            filtered.as_deref(),
-                            &mut m,
-                        ) {
-                            bf.expand(id);
-                        }
-                    }
-                    Popped::Record { point, record, .. } => {
-                        let folded = fold(point);
-                        if !self.point_dominated(
-                            &folded,
-                            key,
-                            &posts,
-                            &domains,
-                            &skyline,
-                            vpi.as_ref(),
-                            &keys,
-                            filtered.as_deref(),
-                            &mut m,
-                        ) {
-                            self.emit(
-                                record,
-                                &folded,
-                                key,
-                                &domains,
-                                &mut skyline,
-                                vpi.as_mut(),
-                                &mut keys,
-                                filtered.as_mut(),
-                                &mut m,
-                            );
-                        }
-                    }
-                }
-            }
-            m.io_reads += group.tree.io_count();
-        }
-
-        // Duplicate completion, as in sTSS (see `Stss::run_with`): closed
-        // Boolean bounds in the fast path can coalesce exact duplicates of
-        // skyline points inside pruned subtrees. Tuples identical in folded
-        // coordinates and PO values are skyline iff their representative is.
-        {
-            let mut emitted = vec![false; self.table.len()];
-            for p in &skyline {
-                emitted[p.record as usize] = true;
-            }
-            let key_of = |i: usize| (fold(self.table.to_row(i)), self.table.po_row(i).to_vec());
-            let present: HashSet<(Vec<u32>, Vec<u32>)> = skyline
-                .iter()
-                .map(|p| (p.to.clone(), p.po.clone()))
-                .collect();
-            for (i, done) in emitted.iter().enumerate() {
-                if !done && present.contains(&key_of(i)) {
-                    let (to, po) = key_of(i);
-                    skyline.push(SkylinePoint {
-                        record: i as u32,
-                        to,
-                        po,
-                    });
-                    m.results += 1;
-                }
-            }
-        }
-        if reference.is_some() {
-            // The working list holds folded coordinates; report originals.
-            for p in &mut skyline {
-                p.to = self.table.to_row(p.record as usize).to_vec();
-            }
-        }
-        m.results = skyline.len() as u64;
-        m.cpu = start.elapsed();
-        DtssRun {
-            skyline,
-            metrics: m,
-            groups_skipped,
-            groups_total: self.groups.len() as u64,
-            from_cache: false,
-        }
+        Ok(DtssCursor::new_live(
+            self,
+            prepared,
+            reference.map(<[u32]>::to_vec),
+        ))
     }
 
     /// Emits a confirmed skyline point, updating all side structures.
@@ -621,6 +491,520 @@ impl Dtss {
                     .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv))
                 && (s.po != key || s.to != corner)
         })
+    }
+}
+
+/// Per-query labelings handed to the executor, with the session-cache
+/// accounting that produced them.
+pub(crate) struct PreparedDomains {
+    pub(crate) domains: Vec<PoDomain>,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+/// A [`Dtss`] operator bound to one [`PoQuery`] — the [`SkylineEngine`]
+/// view of a dynamic skyline query. Built by [`Dtss::engine`], which
+/// validates the query so [`open`](SkylineEngine::open) cannot fail.
+pub struct DtssQueryEngine<'a> {
+    dtss: &'a Dtss,
+    query: PoQuery,
+}
+
+impl DtssQueryEngine<'_> {
+    /// The bound query.
+    pub fn query(&self) -> &PoQuery {
+        &self.query
+    }
+}
+
+impl SkylineEngine for DtssQueryEngine<'_> {
+    fn name(&self) -> &str {
+        "dTSS"
+    }
+
+    fn open(&self) -> Box<dyn SkylineCursor + '_> {
+        Box::new(
+            self.dtss
+                .query_cursor(&self.query)
+                .expect("query validated at engine construction"),
+        )
+    }
+}
+
+/// Where the cursor currently stands in the group-at-a-time walk.
+enum DtssPhase<'a> {
+    /// Pick (and possibly dismiss) the next group in ordinal-rank order.
+    NextGroup,
+    /// Iterating a precomputed local skyline (§V-B).
+    Local {
+        gi: usize,
+        posts: Vec<u32>,
+        filtered: Option<Vec<(usize, bool)>>,
+        ix: usize,
+    },
+    /// Best-first traversal of a group's TO R-tree.
+    Tree {
+        gi: usize,
+        posts: Vec<u32>,
+        filtered: Option<Vec<(usize, bool)>>,
+        bf: BestFirst<'a>,
+    },
+    /// Draining the duplicate-completion queue.
+    Extras(VecDeque<SkylinePoint>),
+    /// Replaying a digest-cache hit.
+    Replay(VecDeque<SkylinePoint>),
+    Done,
+}
+
+/// Pull-based dTSS executor: the §V-A group walk as an explicit-state
+/// iterator. Groups are ranked, dismissed and traversed lazily — a consumer
+/// that stops after `k` results never reads the trees of later groups.
+///
+/// Yielded points always carry their **original** TO coordinates, also for
+/// fully dynamic (folded) queries.
+pub struct DtssCursor<'a> {
+    dtss: &'a Dtss,
+    /// Per-query labelings (owned: possibly cloned out of a session cache).
+    domains: Vec<PoDomain>,
+    reference: Option<Vec<u32>>,
+    /// Group visit order by ascending ordinal-sum rank.
+    order: Vec<usize>,
+    order_ix: usize,
+    start: Instant,
+    m: Metrics,
+    /// Working skyline in *folded* coordinates (the dominance space).
+    skyline: Vec<SkylinePoint>,
+    vpi: Option<VirtualPointIndex>,
+    keys: HashSet<(Vec<u32>, Vec<u32>)>,
+    groups_skipped: u64,
+    phase: DtssPhase<'a>,
+    last_sample: ProgressSample,
+    from_cache: bool,
+    finished: bool,
+}
+
+impl<'a> DtssCursor<'a> {
+    fn new_live(dtss: &'a Dtss, prepared: PreparedDomains, reference: Option<Vec<u32>>) -> Self {
+        let start = Instant::now();
+        let to_dims = dtss.table.to_dims();
+        let domains = prepared.domains;
+        let mut m = Metrics {
+            label_cache_hits: prepared.hits,
+            label_cache_misses: prepared.misses,
+            ..Default::default()
+        };
+        // Reading the group directory (each group's key + root MBB) costs
+        // sequential page IOs — the paper's §VI-C remark that many group
+        // roots should be "stored in contiguous disk pages and retrieved
+        // multiple at a time". One directory record ≈ key + 2·|TO| corner
+        // coordinates.
+        m.io_reads += dtss
+            .cfg
+            .page
+            .data_pages(dtss.groups.len(), dtss.domain_sizes.len() + 2 * to_dims);
+        // Visit groups by ascending sum of ordinals: precedence across
+        // groups.
+        let key_rank = |g: &Group| -> u64 {
+            g.key
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| domains[d].ordinal(v) as u64)
+                .sum()
+        };
+        let mut order: Vec<usize> = (0..dtss.groups.len()).collect();
+        order.sort_by_key(|&gi| (key_rank(&dtss.groups[gi]), gi));
+        let vpi = dtss.cfg.fast_check.then(|| {
+            VirtualPointIndex::new(
+                to_dims,
+                &domains,
+                dtss.cfg.page.capacity(to_dims + 2 * domains.len()),
+            )
+        });
+        DtssCursor {
+            dtss,
+            domains,
+            reference,
+            order,
+            order_ix: 0,
+            start,
+            m,
+            skyline: Vec::new(),
+            vpi,
+            keys: HashSet::new(),
+            groups_skipped: 0,
+            phase: DtssPhase::NextGroup,
+            last_sample: ProgressSample::default(),
+            from_cache: false,
+            finished: false,
+        }
+    }
+
+    fn new_replay(dtss: &'a Dtss, records: Vec<u32>) -> Self {
+        let queue = records
+            .into_iter()
+            .map(|r| SkylinePoint {
+                record: r,
+                to: dtss.table.to_row(r as usize).to_vec(),
+                po: dtss.table.po_row(r as usize).to_vec(),
+            })
+            .collect();
+        DtssCursor {
+            dtss,
+            domains: Vec::new(),
+            reference: None,
+            order: Vec::new(),
+            order_ix: 0,
+            start: Instant::now(),
+            m: Metrics::default(),
+            skyline: Vec::new(),
+            vpi: None,
+            keys: HashSet::new(),
+            groups_skipped: 0,
+            phase: DtssPhase::Replay(queue),
+            last_sample: ProgressSample::default(),
+            from_cache: true,
+            finished: true, // replay: metrics are final from the start
+        }
+    }
+
+    /// Groups dismissed by the root-corner check so far.
+    pub fn groups_skipped(&self) -> u64 {
+        self.groups_skipped
+    }
+
+    /// Total number of PO-value groups in the operator.
+    pub fn groups_total(&self) -> u64 {
+        self.dtss.groups.len() as u64
+    }
+
+    /// True iff this cursor replays a digest-cache hit.
+    pub fn from_cache(&self) -> bool {
+        self.from_cache
+    }
+
+    /// Folded view of TO coordinates: `|x − reference|` (identity when no
+    /// reference is given). All dominance checks and the working skyline
+    /// list operate on folded coordinates.
+    fn fold(&self, to: &[u32]) -> Vec<u32> {
+        match &self.reference {
+            None => to.to_vec(),
+            Some(r) => to
+                .iter()
+                .zip(r.iter())
+                .map(|(&a, &b)| a.abs_diff(b))
+                .collect(),
+        }
+    }
+
+    /// The owned point handed to the caller: original TO coordinates.
+    fn yielded(&self, record: u32) -> SkylinePoint {
+        SkylinePoint {
+            record,
+            to: self.dtss.table.to_row(record as usize).to_vec(),
+            po: self.dtss.table.po_row(record as usize).to_vec(),
+        }
+    }
+
+    /// Records the confirmation snapshot; `extra_io` charges the in-flight
+    /// group's tree reads, which move into `m.io_reads` at group end.
+    fn take_sample(&mut self, extra_io: u64) {
+        self.last_sample = ProgressSample {
+            results: self.m.results,
+            elapsed_cpu: self.start.elapsed(),
+            io_reads: self.m.io_reads + extra_io,
+            dominance_checks: self.m.dominance_checks,
+        };
+    }
+
+    /// Sets up the next group: dismissal check, prefilter, and the phase
+    /// that will stream its points. Returns the new phase, or `None` when
+    /// the group was dismissed.
+    fn enter_group(&mut self, gi: usize) -> Option<DtssPhase<'a>> {
+        let dtss = self.dtss;
+        let group = &dtss.groups[gi];
+        let key = &group.key;
+        let posts: Vec<u32> = key
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| self.domains[d].labeling().post(ValueId(v)))
+            .collect();
+
+        // --- Group dismissal: check the root MBB corner. -----------------
+        let root = group.tree.root().expect("groups are non-empty");
+        let corner = match &self.reference {
+            None => group.tree.mbb(root).lo().to_vec(),
+            Some(r) => group.tree.mbb(root).folded_corner(r),
+        };
+        let dominated = if let Some(vpi) = self.vpi.as_ref() {
+            let (hit, queries) = vpi.covers_value(&corner, &posts);
+            self.m.dominance_checks += queries;
+            hit
+        } else {
+            let domains = &self.domains;
+            let m = &mut self.m;
+            self.skyline.iter().any(|s| {
+                m.dominance_checks += 1;
+                s.to.iter().zip(corner.iter()).all(|(sv, cv)| sv <= cv)
+                    && key
+                        .iter()
+                        .enumerate()
+                        .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv))
+            })
+        };
+        if dominated {
+            self.groups_skipped += 1;
+            return None;
+        }
+
+        // Optional per-group dominator prefilter: global entries whose PO
+        // values can dominate this key, with their PO strictness.
+        let filtered: Option<Vec<(usize, bool)>> = dtss.cfg.filter_dominators.then(|| {
+            let domains = &self.domains;
+            let m = &mut self.m;
+            self.skyline
+                .iter()
+                .enumerate()
+                .filter_map(|(ix, s)| {
+                    m.dominance_checks += 1;
+                    let ok = key
+                        .iter()
+                        .enumerate()
+                        .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv));
+                    ok.then(|| (ix, s.po != *key))
+                })
+                .collect()
+        });
+
+        // Local skylines are computed under origin-anchored dominance and
+        // are invalid for folded queries (§V-B).
+        if let (Some(local), None) = (group.local_skyline.as_ref(), self.reference.as_ref()) {
+            // §V-B: only local skyline points can be global results.
+            // Charge the pages of the stored local-skyline file.
+            self.m.io_reads += dtss
+                .cfg
+                .page
+                .data_pages(local.len(), dtss.table.to_dims() + key.len());
+            return Some(DtssPhase::Local {
+                gi,
+                posts,
+                filtered,
+                ix: 0,
+            });
+        }
+        group.tree.reset_io();
+        let bf = group.tree.best_first_from(self.reference.as_deref());
+        Some(DtssPhase::Tree {
+            gi,
+            posts,
+            filtered,
+            bf,
+        })
+    }
+
+    /// Duplicate completion, as in sTSS (see `StssCursor`): closed Boolean
+    /// bounds in the fast path can coalesce exact duplicates of skyline
+    /// points inside pruned subtrees. Tuples identical in folded coordinates
+    /// and PO values are skyline iff their representative is.
+    fn compute_extras(&self) -> VecDeque<SkylinePoint> {
+        let table = &self.dtss.table;
+        let mut emitted = vec![false; table.len()];
+        for p in &self.skyline {
+            emitted[p.record as usize] = true;
+        }
+        let key_of = |i: usize| (self.fold(table.to_row(i)), table.po_row(i).to_vec());
+        let present: HashSet<(Vec<u32>, Vec<u32>)> = self
+            .skyline
+            .iter()
+            .map(|p| (p.to.clone(), p.po.clone()))
+            .collect();
+        let mut extras = VecDeque::new();
+        for (i, done) in emitted.iter().enumerate() {
+            if !done && present.contains(&key_of(i)) {
+                extras.push_back(self.yielded(i as u32));
+            }
+        }
+        extras
+    }
+
+    fn finish(&mut self) {
+        if !self.finished {
+            self.m.cpu = self.start.elapsed();
+            self.finished = true;
+        }
+        self.phase = DtssPhase::Done;
+    }
+}
+
+impl SkylineCursor for DtssCursor<'_> {
+    fn next(&mut self) -> Option<SkylinePoint> {
+        loop {
+            let phase = std::mem::replace(&mut self.phase, DtssPhase::Done);
+            match phase {
+                DtssPhase::Done => return None,
+                DtssPhase::Replay(mut queue) => {
+                    let sp = queue.pop_front()?;
+                    self.m.results += 1;
+                    self.take_sample(0);
+                    self.phase = DtssPhase::Replay(queue);
+                    return Some(sp);
+                }
+                DtssPhase::Extras(mut queue) => {
+                    let Some(sp) = queue.pop_front() else {
+                        self.finish();
+                        return None;
+                    };
+                    self.m.results += 1;
+                    self.take_sample(0);
+                    self.phase = DtssPhase::Extras(queue);
+                    return Some(sp);
+                }
+                DtssPhase::NextGroup => {
+                    let Some(&gi) = self.order.get(self.order_ix) else {
+                        self.phase = DtssPhase::Extras(self.compute_extras());
+                        continue;
+                    };
+                    self.order_ix += 1;
+                    if let Some(next) = self.enter_group(gi) {
+                        self.phase = next;
+                    } else {
+                        self.phase = DtssPhase::NextGroup;
+                    }
+                }
+                DtssPhase::Local {
+                    gi,
+                    posts,
+                    mut filtered,
+                    mut ix,
+                } => {
+                    let dtss = self.dtss;
+                    let group = &dtss.groups[gi];
+                    let local = group
+                        .local_skyline
+                        .as_ref()
+                        .expect("Local phase requires precomputed skylines");
+                    while let Some(&r) = local.get(ix) {
+                        ix += 1;
+                        let to = dtss.table.to_row(r as usize);
+                        if !dtss.point_dominated(
+                            to,
+                            &group.key,
+                            &posts,
+                            &self.domains,
+                            &self.skyline,
+                            self.vpi.as_ref(),
+                            &self.keys,
+                            filtered.as_deref(),
+                            &mut self.m,
+                        ) {
+                            dtss.emit(
+                                r,
+                                to,
+                                &group.key,
+                                &self.domains,
+                                &mut self.skyline,
+                                self.vpi.as_mut(),
+                                &mut self.keys,
+                                filtered.as_mut(),
+                                &mut self.m,
+                            );
+                            self.take_sample(0);
+                            self.phase = DtssPhase::Local {
+                                gi,
+                                posts,
+                                filtered,
+                                ix,
+                            };
+                            return Some(self.yielded(r));
+                        }
+                    }
+                    self.phase = DtssPhase::NextGroup;
+                }
+                DtssPhase::Tree {
+                    gi,
+                    posts,
+                    mut filtered,
+                    mut bf,
+                } => {
+                    let dtss = self.dtss;
+                    let group = &dtss.groups[gi];
+                    let key = &group.key;
+                    while let Some(popped) = bf.pop() {
+                        self.m.heap_pops += 1;
+                        match popped {
+                            Popped::Node { id, mbb, .. } => {
+                                let corner = match &self.reference {
+                                    None => mbb.lo().to_vec(),
+                                    Some(r) => mbb.folded_corner(r),
+                                };
+                                if !dtss.node_dominated(
+                                    &corner,
+                                    key,
+                                    &posts,
+                                    &self.domains,
+                                    &self.skyline,
+                                    self.vpi.as_ref(),
+                                    filtered.as_deref(),
+                                    &mut self.m,
+                                ) {
+                                    bf.expand(id);
+                                }
+                            }
+                            Popped::Record { point, record, .. } => {
+                                let folded = self.fold(point);
+                                if !dtss.point_dominated(
+                                    &folded,
+                                    key,
+                                    &posts,
+                                    &self.domains,
+                                    &self.skyline,
+                                    self.vpi.as_ref(),
+                                    &self.keys,
+                                    filtered.as_deref(),
+                                    &mut self.m,
+                                ) {
+                                    dtss.emit(
+                                        record,
+                                        &folded,
+                                        key,
+                                        &self.domains,
+                                        &mut self.skyline,
+                                        self.vpi.as_mut(),
+                                        &mut self.keys,
+                                        filtered.as_mut(),
+                                        &mut self.m,
+                                    );
+                                    self.take_sample(group.tree.io_count());
+                                    self.phase = DtssPhase::Tree {
+                                        gi,
+                                        posts,
+                                        filtered,
+                                        bf,
+                                    };
+                                    return Some(self.yielded(record));
+                                }
+                            }
+                        }
+                    }
+                    self.m.io_reads += group.tree.io_count();
+                    self.phase = DtssPhase::NextGroup;
+                }
+            }
+        }
+    }
+
+    fn metrics(&self) -> Metrics {
+        let mut m = self.m;
+        if !self.finished {
+            if let DtssPhase::Tree { gi, .. } = &self.phase {
+                m.io_reads += self.dtss.groups[*gi].tree.io_count();
+            }
+            m.cpu = self.start.elapsed();
+        }
+        m
+    }
+
+    fn progress(&self) -> ProgressSample {
+        self.last_sample
     }
 }
 

@@ -53,6 +53,8 @@
 //! assert_eq!(sky, vec![1, 2]);
 //! ```
 
+mod classic;
+mod cursor;
 mod dominance;
 mod dtss;
 mod error;
@@ -61,14 +63,18 @@ mod mapping;
 mod metrics;
 mod progressive;
 mod schema;
+mod session;
 mod stss;
 
+pub use classic::{ClassicAlgo, ClassicEngine};
+pub use cursor::{CursorIter, SkylineCursor, SkylineEngine};
 pub use dominance::{brute_force_po_skyline, t_dominates, t_dominates_weak_printed, Dominance};
-pub use dtss::{Dtss, DtssConfig, DtssRun, PoQuery};
+pub use dtss::{Dtss, DtssConfig, DtssCursor, DtssQueryEngine, DtssRun, PoQuery};
 pub use error::CoreError;
 pub use fastcheck::VirtualPointIndex;
 pub use mapping::PoDomain;
 pub use metrics::{CostModel, Metrics};
 pub use progressive::{ProgressLog, ProgressSample};
 pub use schema::Table;
-pub use stss::{RangeStrategy, SkylinePoint, Stss, StssConfig, StssRun};
+pub use session::{QuerySession, SessionStats};
+pub use stss::{RangeStrategy, SkylinePoint, Stss, StssConfig, StssCursor, StssRun};

@@ -16,6 +16,12 @@ pub struct Metrics {
     pub heap_pops: u64,
     /// Skyline points emitted.
     pub results: u64,
+    /// Per-attribute DAG labelings served from a query-session cache
+    /// instead of being recomputed (dTSS §V-A through
+    /// [`QuerySession`](crate::QuerySession)).
+    pub label_cache_hits: u64,
+    /// Per-attribute DAG labelings that had to be computed from scratch.
+    pub label_cache_misses: u64,
     /// Measured CPU time (single-threaded wall clock of the run).
     pub cpu: Duration,
 }
@@ -34,6 +40,8 @@ impl Metrics {
             io_writes: self.io_writes + other.io_writes,
             heap_pops: self.heap_pops + other.heap_pops,
             results: self.results + other.results,
+            label_cache_hits: self.label_cache_hits + other.label_cache_hits,
+            label_cache_misses: self.label_cache_misses + other.label_cache_misses,
             cpu: self.cpu + other.cpu,
         }
     }
@@ -84,12 +92,16 @@ mod tests {
             io_writes: 3,
             heap_pops: 4,
             results: 5,
+            label_cache_hits: 6,
+            label_cache_misses: 7,
             cpu: Duration::from_millis(10),
         };
         let b = a;
         let m = a.merge(&b);
         assert_eq!(m.dominance_checks, 2);
         assert_eq!(m.io_total(), 10);
+        assert_eq!(m.label_cache_hits, 12);
+        assert_eq!(m.label_cache_misses, 14);
         assert_eq!(m.cpu, Duration::from_millis(20));
     }
 

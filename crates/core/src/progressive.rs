@@ -3,7 +3,7 @@ use std::time::Duration;
 
 /// State of a run at the moment one skyline point was emitted — the raw
 /// material of the paper's progressiveness study (Fig. 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProgressSample {
     /// Results emitted so far (including this one).
     pub results: u64,
@@ -32,11 +32,15 @@ pub struct ProgressLog {
 }
 
 impl ProgressLog {
-    /// Simulated time needed to retrieve `frac` (0–1] of the final result
-    /// set — the y-axis of Fig. 11. Returns the full-run time for an empty
-    /// skyline or `frac = 1`.
+    /// Simulated time needed to retrieve `frac` (in `[0, 1]`) of the final
+    /// result set — the y-axis of Fig. 11. `frac = 0.0` asks for nothing and
+    /// costs [`Duration::ZERO`]; an empty skyline or `frac = 1` returns the
+    /// full-run time.
     pub fn time_to_fraction(&self, frac: f64, model: CostModel) -> Duration {
         assert!((0.0..=1.0).contains(&frac));
+        if frac == 0.0 {
+            return Duration::ZERO;
+        }
         if self.samples.is_empty() {
             return model.total_time(&self.final_metrics);
         }
@@ -104,6 +108,24 @@ mod tests {
         assert_eq!(l.results_within(Duration::from_millis(14), model), 0);
         assert_eq!(l.results_within(Duration::from_millis(31), model), 2);
         assert_eq!(l.results_within(Duration::from_secs(10), model), 4);
+    }
+
+    #[test]
+    fn zero_fraction_costs_nothing() {
+        let model = CostModel {
+            io_cost: Duration::from_millis(5),
+        };
+        // Retrieving 0% of the result set takes no time at all — even on an
+        // empty log, where the full-run fallback must not kick in.
+        assert_eq!(log().time_to_fraction(0.0, model), Duration::ZERO);
+        let empty = ProgressLog {
+            samples: vec![],
+            final_metrics: Metrics {
+                cpu: Duration::from_millis(9),
+                ..Default::default()
+            },
+        };
+        assert_eq!(empty.time_to_fraction(0.0, model), Duration::ZERO);
     }
 
     #[test]

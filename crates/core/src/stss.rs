@@ -11,12 +11,13 @@
 //! that survives is immediately — and permanently — a skyline point:
 //! optimal progressiveness.
 
+use crate::cursor::{SkylineCursor, SkylineEngine};
 use crate::dominance::t_dominates;
 use crate::progressive::{ProgressLog, ProgressSample};
 use crate::{CoreError, Metrics, PoDomain, Table, VirtualPointIndex};
 use poset::{Dag, FullRangeIndex, IntervalSet};
-use rtree::{Mbb, PageConfig, Popped, RTree};
-use std::collections::HashSet;
+use rtree::{BestFirst, Mbb, PageConfig, Popped, RTree};
+use std::collections::{HashSet, VecDeque};
 use std::time::Instant;
 
 /// How the merged interval set of an MBB's ordinal range is obtained —
@@ -212,22 +213,41 @@ impl Stss {
         &self.tree
     }
 
+    /// Opens a pull-based cursor over a fresh traversal: skyline points are
+    /// confirmed lazily, one [`StssCursor::next`] call at a time.
+    ///
+    /// Pulling a `k`-prefix and dropping the cursor leaves the unexpanded
+    /// subtrees unread, so top-k consumption performs strictly fewer page
+    /// accesses than a full run. The tree's IO counter is shared, so open
+    /// one cursor at a time if the per-run IO metrics matter.
+    pub fn cursor(&self) -> StssCursor<'_> {
+        StssCursor::new(self)
+    }
+
     /// Full run: collects the skyline and metrics.
     pub fn run(&self) -> StssRun {
+        let mut c = self.cursor();
         let mut skyline = Vec::new();
-        let metrics = self.run_with(|p, _| skyline.push(p.clone()));
-        StssRun { skyline, metrics }
+        while let Some(p) = c.next() {
+            skyline.push(p);
+        }
+        StssRun {
+            skyline,
+            metrics: c.metrics(),
+        }
     }
 
     /// Full run that also records the emission timeline for progressiveness
     /// studies (Fig. 11).
     pub fn run_progressive(&self) -> (StssRun, ProgressLog) {
+        let mut c = self.cursor();
         let mut skyline = Vec::new();
         let mut samples = Vec::new();
-        let metrics = self.run_with(|p, s| {
-            skyline.push(p.clone());
-            samples.push(s);
-        });
+        while let Some(p) = c.next() {
+            samples.push(c.progress());
+            skyline.push(p);
+        }
+        let metrics = c.metrics();
         (
             StssRun { skyline, metrics },
             ProgressLog {
@@ -240,119 +260,11 @@ impl Stss {
     /// Streaming run: `emit` fires the instant a skyline point is confirmed
     /// (optimal progressiveness), with a snapshot of the run state.
     pub fn run_with(&self, mut emit: impl FnMut(&SkylinePoint, ProgressSample)) -> Metrics {
-        let start = Instant::now();
-        let mut m = Metrics::default();
-        self.tree.reset_io();
-        let to_dims = self.table.to_dims();
-        // The confirmed skyline: (to, po values, interval sets are derived).
-        let mut skyline: Vec<SkylinePoint> = Vec::new();
-        let mut vpi = self.cfg.fast_check.then(|| {
-            VirtualPointIndex::new(
-                to_dims,
-                &self.domains,
-                self.cfg.page.capacity(to_dims + 2 * self.domains.len()),
-            )
-        });
-        // Exact-key set: keeps duplicate handling exact under fast checks.
-        let mut keys: HashSet<(Vec<u32>, Vec<u32>)> = HashSet::new();
-
-        let mut bf = self.tree.best_first();
-        while let Some(popped) = bf.pop() {
-            m.heap_pops += 1;
-            match popped {
-                Popped::Node { id, mbb, .. } => {
-                    if !self.mbb_dominated(mbb, &skyline, vpi.as_ref(), &mut m) {
-                        bf.expand(id);
-                    }
-                }
-                Popped::Record { point, record, .. } => {
-                    let to = &point[..to_dims];
-                    let po = self.table.po_row(record as usize);
-                    if !self.point_dominated(to, po, &skyline, vpi.as_ref(), &keys, &mut m) {
-                        let sp = SkylinePoint {
-                            record,
-                            to: to.to_vec(),
-                            po: po.to_vec(),
-                        };
-                        if let Some(vpi) = vpi.as_mut() {
-                            let sets: Vec<&IntervalSet> = po
-                                .iter()
-                                .enumerate()
-                                .map(|(d, &v)| self.domains[d].intervals(v))
-                                .collect();
-                            vpi.insert(to, &sets, record);
-                        }
-                        keys.insert((sp.to.clone(), sp.po.clone()));
-                        skyline.push(sp);
-                        m.results += 1;
-                        m.io_reads = self.tree.io_count();
-                        emit(
-                            skyline.last().unwrap(),
-                            ProgressSample {
-                                results: m.results,
-                                elapsed_cpu: start.elapsed(),
-                                io_reads: m.io_reads,
-                                dominance_checks: m.dominance_checks,
-                            },
-                        );
-                    }
-                }
-            }
+        let mut c = self.cursor();
+        while let Some(p) = c.next() {
+            emit(&p, c.progress());
         }
-        // Duplicate completion: MBB pruning with closed bounds can coalesce
-        // exact duplicates of skyline points (a pruned subtree may hold a
-        // tuple identical to the pruning point — DESIGN.md §1.2). Identical
-        // tuples are skyline iff their representative is: nothing dominating
-        // the copy could spare the original. One table scan emits the
-        // missing copies.
-        if m.results > 0 {
-            let mut emitted = vec![false; self.table.len()];
-            let mut by_hash: std::collections::HashMap<u64, Vec<u32>> =
-                std::collections::HashMap::new();
-            for sp in &skyline {
-                emitted[sp.record as usize] = true;
-                by_hash
-                    .entry(Self::row_hash(&sp.to, &sp.po))
-                    .or_default()
-                    .push(sp.record);
-            }
-            let mut extra: Vec<SkylinePoint> = Vec::new();
-            for (i, &done) in emitted.iter().enumerate() {
-                if done {
-                    continue;
-                }
-                let (to, po) = (self.table.to_row(i), self.table.po_row(i));
-                let Some(cands) = by_hash.get(&Self::row_hash(to, po)) else {
-                    continue;
-                };
-                let is_dup = cands.iter().any(|&r| {
-                    self.table.to_row(r as usize) == to && self.table.po_row(r as usize) == po
-                });
-                if is_dup {
-                    extra.push(SkylinePoint {
-                        record: i as u32,
-                        to: to.to_vec(),
-                        po: po.to_vec(),
-                    });
-                }
-            }
-            for sp in extra {
-                m.results += 1;
-                skyline.push(sp);
-                emit(
-                    skyline.last().unwrap(),
-                    ProgressSample {
-                        results: m.results,
-                        elapsed_cpu: start.elapsed(),
-                        io_reads: self.tree.io_count(),
-                        dominance_checks: m.dominance_checks,
-                    },
-                );
-            }
-        }
-        m.io_reads = self.tree.io_count();
-        m.cpu = start.elapsed();
-        m
+        c.metrics()
     }
 
     /// Hash of a tuple's attribute values (duplicate detection).
@@ -364,12 +276,13 @@ impl Stss {
         h.finish()
     }
 
-    /// Is the candidate point t-dominated by the current skyline?
+    /// Is the candidate point t-dominated by the current skyline (given as
+    /// record ids; attribute values are fetched from the table)?
     fn point_dominated(
         &self,
         to: &[u32],
         po: &[u32],
-        skyline: &[SkylinePoint],
+        skyline: &[u32],
         vpi: Option<&VirtualPointIndex>,
         keys: &HashSet<(Vec<u32>, Vec<u32>)>,
         m: &mut Metrics,
@@ -388,9 +301,15 @@ impl Stss {
             m.dominance_checks += queries;
             return hit;
         }
-        for s in skyline {
+        for &r in skyline {
             m.dominance_checks += 1;
-            if t_dominates(&self.domains, &s.to, &s.po, to, po) {
+            if t_dominates(
+                &self.domains,
+                self.table.to_row(r as usize),
+                self.table.po_row(r as usize),
+                to,
+                po,
+            ) {
                 return true;
             }
         }
@@ -401,7 +320,7 @@ impl Stss {
     fn mbb_dominated(
         &self,
         mbb: &Mbb,
-        skyline: &[SkylinePoint],
+        skyline: &[u32],
         vpi: Option<&VirtualPointIndex>,
         m: &mut Metrics,
     ) -> bool {
@@ -439,13 +358,15 @@ impl Stss {
         // Paper-faithful single-dominator check: one skyline point must be
         // at least as good on every TO dim and cover every run on every PO
         // dim (§IV-A step 7).
-        'outer: for s in skyline {
+        'outer: for &r in skyline {
             m.dominance_checks += 1;
-            if s.to.iter().zip(to_min.iter()).any(|(sv, mv)| sv > mv) {
+            let s_to = self.table.to_row(r as usize);
+            let s_po = self.table.po_row(r as usize);
+            if s_to.iter().zip(to_min.iter()).any(|(sv, mv)| sv > mv) {
                 continue;
             }
             for (d, runs) in run_sets.iter().enumerate() {
-                if !self.domains[d].intervals(s.po[d]).covers_set(runs) {
+                if !self.domains[d].intervals(s_po[d]).covers_set(runs) {
                     continue 'outer;
                 }
             }
@@ -461,7 +382,7 @@ impl Stss {
         &self,
         to_min: &[u32],
         run_sets: &[IntervalSet],
-        skyline: &[SkylinePoint],
+        skyline: &[u32],
         m: &mut Metrics,
     ) -> bool {
         if run_sets.iter().any(|s| s.is_empty()) {
@@ -470,9 +391,11 @@ impl Stss {
         let k = run_sets.len();
         let mut combo = vec![0usize; k];
         loop {
-            let covered = skyline.iter().any(|s| {
+            let covered = skyline.iter().any(|&r| {
                 m.dominance_checks += 1;
-                if s.to.iter().zip(to_min.iter()).any(|(sv, mv)| sv > mv) {
+                let s_to = self.table.to_row(r as usize);
+                let s_po = self.table.po_row(r as usize);
+                if s_to.iter().zip(to_min.iter()).any(|(sv, mv)| sv > mv) {
                     return false;
                 }
                 combo
@@ -481,7 +404,7 @@ impl Stss {
                     .enumerate()
                     .all(|(d, (&i, runs))| {
                         self.domains[d]
-                            .intervals(s.po[d])
+                            .intervals(s_po[d])
                             .covers_interval(&runs.intervals()[i])
                     })
             });
@@ -501,6 +424,208 @@ impl Stss {
                 d += 1;
             }
         }
+    }
+}
+
+impl SkylineEngine for Stss {
+    fn name(&self) -> &str {
+        "sTSS"
+    }
+
+    fn open(&self) -> Box<dyn SkylineCursor + '_> {
+        Box::new(self.cursor())
+    }
+}
+
+/// Pull-based sTSS executor: the best-first traversal of §IV-A as an
+/// explicit-state iterator. Each [`next`](SkylineCursor::next) call resumes
+/// the heap walk exactly where the previous confirmation left it, so
+/// consumers control how much of the skyline — and of the index — is ever
+/// touched.
+///
+/// Two phases: the live traversal, then the duplicate-completion scan (exact
+/// copies of skyline points coalesced by closed-bound MBB pruning are
+/// restored from one table pass — see DESIGN.md §1.2).
+pub struct StssCursor<'a> {
+    stss: &'a Stss,
+    bf: BestFirst<'a>,
+    start: Instant,
+    m: Metrics,
+    /// Confirmed skyline records in emission order; attribute values are
+    /// fetched from the table on demand, so confirmation allocates exactly
+    /// one owned [`SkylinePoint`] — the one handed to the caller.
+    skyline: Vec<u32>,
+    vpi: Option<VirtualPointIndex>,
+    /// Exact-key set: keeps duplicate handling exact under fast checks.
+    keys: HashSet<(Vec<u32>, Vec<u32>)>,
+    /// `Some` once the traversal is exhausted and the duplicate-completion
+    /// queue has been computed.
+    extras: Option<VecDeque<SkylinePoint>>,
+    last_sample: ProgressSample,
+    finished: bool,
+}
+
+impl<'a> StssCursor<'a> {
+    fn new(stss: &'a Stss) -> Self {
+        stss.tree.reset_io();
+        let to_dims = stss.table.to_dims();
+        let vpi = stss.cfg.fast_check.then(|| {
+            VirtualPointIndex::new(
+                to_dims,
+                &stss.domains,
+                stss.cfg.page.capacity(to_dims + 2 * stss.domains.len()),
+            )
+        });
+        StssCursor {
+            stss,
+            bf: stss.tree.best_first(),
+            start: Instant::now(),
+            m: Metrics::default(),
+            skyline: Vec::new(),
+            vpi,
+            keys: HashSet::new(),
+            extras: None,
+            last_sample: ProgressSample::default(),
+            finished: false,
+        }
+    }
+
+    /// Resumes the best-first traversal until the next confirmation.
+    fn advance_traversal(&mut self) -> Option<SkylinePoint> {
+        let stss = self.stss;
+        let to_dims = stss.table.to_dims();
+        while let Some(popped) = self.bf.pop() {
+            self.m.heap_pops += 1;
+            match popped {
+                Popped::Node { id, mbb, .. } => {
+                    if !stss.mbb_dominated(mbb, &self.skyline, self.vpi.as_ref(), &mut self.m) {
+                        self.bf.expand(id);
+                    }
+                }
+                Popped::Record { point, record, .. } => {
+                    let to = &point[..to_dims];
+                    let po = stss.table.po_row(record as usize);
+                    if !stss.point_dominated(
+                        to,
+                        po,
+                        &self.skyline,
+                        self.vpi.as_ref(),
+                        &self.keys,
+                        &mut self.m,
+                    ) {
+                        if let Some(vpi) = self.vpi.as_mut() {
+                            let sets: Vec<&IntervalSet> = po
+                                .iter()
+                                .enumerate()
+                                .map(|(d, &v)| stss.domains[d].intervals(v))
+                                .collect();
+                            vpi.insert(to, &sets, record);
+                            self.keys.insert((to.to_vec(), po.to_vec()));
+                        }
+                        self.skyline.push(record);
+                        self.m.results += 1;
+                        self.m.io_reads = stss.tree.io_count();
+                        self.last_sample = ProgressSample {
+                            results: self.m.results,
+                            elapsed_cpu: self.start.elapsed(),
+                            io_reads: self.m.io_reads,
+                            dominance_checks: self.m.dominance_checks,
+                        };
+                        return Some(SkylinePoint {
+                            record,
+                            to: to.to_vec(),
+                            po: po.to_vec(),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Duplicate completion: exact copies of skyline points whose leaves
+    /// were pruned are skyline iff their representative is. One table scan
+    /// finds the missing copies.
+    fn compute_extras(&self) -> VecDeque<SkylinePoint> {
+        let stss = self.stss;
+        let mut extras = VecDeque::new();
+        if self.m.results == 0 {
+            return extras;
+        }
+        let mut emitted = vec![false; stss.table.len()];
+        let mut by_hash: std::collections::HashMap<u64, Vec<u32>> =
+            std::collections::HashMap::new();
+        for &r in &self.skyline {
+            emitted[r as usize] = true;
+            by_hash
+                .entry(Stss::row_hash(
+                    stss.table.to_row(r as usize),
+                    stss.table.po_row(r as usize),
+                ))
+                .or_default()
+                .push(r);
+        }
+        for (i, &done) in emitted.iter().enumerate() {
+            if done {
+                continue;
+            }
+            let (to, po) = (stss.table.to_row(i), stss.table.po_row(i));
+            let Some(cands) = by_hash.get(&Stss::row_hash(to, po)) else {
+                continue;
+            };
+            let is_dup = cands.iter().any(|&r| {
+                stss.table.to_row(r as usize) == to && stss.table.po_row(r as usize) == po
+            });
+            if is_dup {
+                extras.push_back(SkylinePoint {
+                    record: i as u32,
+                    to: to.to_vec(),
+                    po: po.to_vec(),
+                });
+            }
+        }
+        extras
+    }
+}
+
+impl SkylineCursor for StssCursor<'_> {
+    fn next(&mut self) -> Option<SkylinePoint> {
+        if self.finished {
+            return None;
+        }
+        if self.extras.is_none() {
+            if let Some(p) = self.advance_traversal() {
+                return Some(p);
+            }
+            self.extras = Some(self.compute_extras());
+        }
+        if let Some(sp) = self.extras.as_mut().and_then(VecDeque::pop_front) {
+            self.m.results += 1;
+            self.last_sample = ProgressSample {
+                results: self.m.results,
+                elapsed_cpu: self.start.elapsed(),
+                io_reads: self.stss.tree.io_count(),
+                dominance_checks: self.m.dominance_checks,
+            };
+            return Some(sp);
+        }
+        self.m.io_reads = self.stss.tree.io_count();
+        self.m.cpu = self.start.elapsed();
+        self.finished = true;
+        None
+    }
+
+    fn metrics(&self) -> Metrics {
+        let mut m = self.m;
+        if !self.finished {
+            m.io_reads = self.stss.tree.io_count();
+            m.cpu = self.start.elapsed();
+        }
+        m
+    }
+
+    fn progress(&self) -> ProgressSample {
+        self.last_sample
     }
 }
 

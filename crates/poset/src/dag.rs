@@ -157,6 +157,28 @@ impl Dag {
             .flat_map(move |u| self.children(u).iter().map(move |&v| (u, v)))
     }
 
+    /// A structural fingerprint of the DAG: a hash over the domain
+    /// cardinality and the (deterministically ordered) edge set.
+    ///
+    /// Two DAGs share a fingerprint iff they have the same value count and
+    /// the same edges (labels are ignored — preferences, not names, decide
+    /// dominance). This is what query-session caches key their precomputed
+    /// labelings on. Note it is the *edge set*, not the preference
+    /// relation: an equivalent order written with redundant shortcut edges
+    /// hashes differently — canonicalize with
+    /// [`transitive_reduction`](Self::transitive_reduction) first when that
+    /// matters. Collisions are possible in principle (64-bit hash) but need
+    /// adversarial inputs.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.len().hash(&mut h);
+        for (u, v) in self.edges() {
+            (u.0, v.0).hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Length of the longest directed path, in edges (the paper's DAG
     /// *height* `h` is the diameter of the lattice this was sampled from;
     /// for a full lattice the two coincide).
@@ -358,6 +380,25 @@ mod tests {
         assert_eq!(d.roots().count(), 1);
         assert_eq!(d.label(ValueId(0)), "a");
         assert_eq!(d.id_of("i"), Some(ValueId(8)));
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_preference_relation() {
+        let a = Dag::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let same = Dag::from_edges(4, &[(1, 2), (0, 1), (0, 1)]).unwrap();
+        assert_eq!(a.fingerprint(), same.fingerprint(), "edge order/dups");
+        // Labels are ignored: only ids and edges matter.
+        let relabeled = Dag::from_labeled(
+            vec!["w".into(), "x".into(), "y".into(), "z".into()],
+            &[(0, 1), (1, 2)],
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), relabeled.fingerprint());
+        // Any structural change moves the fingerprint.
+        let more = Dag::from_edges(4, &[(0, 1), (1, 2), (0, 3)]).unwrap();
+        let bigger = Dag::from_edges(5, &[(0, 1), (1, 2)]).unwrap();
+        assert_ne!(a.fingerprint(), more.fingerprint());
+        assert_ne!(a.fingerprint(), bigger.fingerprint());
     }
 
     #[test]

@@ -24,8 +24,9 @@
 
 use crate::index::SdcIndex;
 use rtree::Popped;
+use std::collections::VecDeque;
 use std::time::Instant;
-use tss_core::{Metrics, ProgressSample};
+use tss_core::{Metrics, ProgressSample, SkylineCursor, SkylinePoint};
 
 /// Result of one SDC-family run.
 #[derive(Debug, Clone)]
@@ -48,23 +49,89 @@ struct Entry {
 }
 
 pub(crate) fn run_strata(index: &SdcIndex, emit: &mut dyn FnMut(u32, ProgressSample)) -> SdcRun {
-    let start = Instant::now();
-    let mut m = Metrics::default();
-    let mut per_stratum = Vec::new();
-    let mut false_hits_removed = 0u64;
-    let mut global: Vec<Entry> = Vec::new();
-    let mut skyline: Vec<u32> = Vec::new();
-    let table = &index.table;
-    let ctx = &index.ctx;
+    let mut cursor = SdcCursor::new(index);
+    let mut skyline = Vec::new();
+    while let Some(p) = cursor.next() {
+        skyline.push(p.record);
+        emit(p.record, cursor.progress());
+    }
+    SdcRun {
+        skyline,
+        metrics: cursor.metrics(),
+        per_stratum: cursor.per_stratum.clone(),
+        false_hits_removed: cursor.false_hits_removed,
+    }
+}
 
-    let sample = |m: &Metrics, results: u64, start: &Instant| ProgressSample {
-        results,
-        elapsed_cpu: start.elapsed(),
-        io_reads: m.io_reads,
-        dominance_checks: m.dominance_checks,
-    };
+/// Pull-based executor for the SDC family: a **stratum-at-a-time** cursor.
+///
+/// The engine's confirmation granularity is the stratum — exact strata
+/// confirm point by point during their traversal, non-exact strata only at
+/// their boundary (the Fig. 11 "jumps") — so the cursor materializes one
+/// stratum's confirmations at a time and streams them out; later strata run
+/// only when the stream reaches them. A consumer stopping after `k` results
+/// therefore never opens the R-trees of the remaining strata.
+///
+/// Each buffered confirmation carries the [`ProgressSample`] captured at
+/// the moment the engine confirmed it, so progressiveness timelines are
+/// identical to the push-based run.
+pub struct SdcCursor<'a> {
+    index: &'a SdcIndex,
+    start: Instant,
+    m: Metrics,
+    global: Vec<Entry>,
+    stratum_ix: usize,
+    /// Confirmations of the current stratum not yet pulled.
+    buffer: VecDeque<(u32, ProgressSample)>,
+    per_stratum: Vec<usize>,
+    false_hits_removed: u64,
+    last_sample: ProgressSample,
+    finished: bool,
+}
 
-    for stratum in &index.strata {
+impl<'a> SdcCursor<'a> {
+    pub(crate) fn new(index: &'a SdcIndex) -> Self {
+        SdcCursor {
+            index,
+            start: Instant::now(),
+            m: Metrics::default(),
+            global: Vec::new(),
+            stratum_ix: 0,
+            buffer: VecDeque::new(),
+            per_stratum: Vec::new(),
+            false_hits_removed: 0,
+            last_sample: ProgressSample::default(),
+            finished: false,
+        }
+    }
+
+    /// Points confirmed per processed stratum so far.
+    pub fn per_stratum(&self) -> &[usize] {
+        &self.per_stratum
+    }
+
+    /// False hits eliminated by cross-examination so far.
+    pub fn false_hits_removed(&self) -> u64 {
+        self.false_hits_removed
+    }
+
+    /// Runs one stratum to completion, pushing its confirmations (with
+    /// their moment-of-confirmation samples) into the buffer.
+    fn run_stratum(&mut self) {
+        let index = self.index;
+        let table = &index.table;
+        let ctx = &index.ctx;
+        let stratum = &index.strata[self.stratum_ix];
+        self.stratum_ix += 1;
+        let m = &mut self.m;
+
+        let sample = |m: &Metrics, start: &Instant| ProgressSample {
+            results: m.results,
+            elapsed_cpu: start.elapsed(),
+            io_reads: m.io_reads,
+            dominance_checks: m.dominance_checks,
+        };
+
         stratum.tree.reset_io();
         let mut local: Vec<Entry> = Vec::new();
         let mut bf = stratum.tree.best_first();
@@ -75,7 +142,7 @@ pub(crate) fn run_strata(index: &SdcIndex, emit: &mut dyn FnMut(u32, ProgressSam
                     let corner = mbb.lo();
                     // m-prune against both lists (strict-corner rule keeps
                     // exact duplicates of list entries alive).
-                    let pruned = global.iter().chain(local.iter()).any(|e| {
+                    let pruned = self.global.iter().chain(local.iter()).any(|e| {
                         m.dominance_checks += 1;
                         skyline::dominates_or_equal(&e.tcoords, corner)
                             && e.tcoords.as_slice() != corner
@@ -86,7 +153,7 @@ pub(crate) fn run_strata(index: &SdcIndex, emit: &mut dyn FnMut(u32, ProgressSam
                 }
                 Popped::Record { point, record, .. } => {
                     // 1. m-dominance screen (cheap, sound).
-                    let m_dominated = global.iter().chain(local.iter()).any(|e| {
+                    let m_dominated = self.global.iter().chain(local.iter()).any(|e| {
                         m.dominance_checks += 1;
                         ctx.m_dominates(&e.tcoords, point)
                     });
@@ -97,7 +164,7 @@ pub(crate) fn run_strata(index: &SdcIndex, emit: &mut dyn FnMut(u32, ProgressSam
                         (table.to_row(record as usize), table.po_row(record as usize));
                     if !stratum.exact {
                         // 2. exact check against confirmed results.
-                        let dominated_g = global.iter().any(|e| {
+                        let dominated_g = self.global.iter().any(|e| {
                             m.dominance_checks += 1;
                             let (to_e, po_e) = (
                                 table.to_row(e.record as usize),
@@ -131,7 +198,7 @@ pub(crate) fn run_strata(index: &SdcIndex, emit: &mut dyn FnMut(u32, ProgressSam
                             );
                             !ctx.exact_dominates(to_p, po_p, to_e, po_e)
                         });
-                        false_hits_removed += (before - local.len()) as u64;
+                        self.false_hits_removed += (before - local.len()) as u64;
                     }
                     local.push(Entry {
                         record,
@@ -143,8 +210,7 @@ pub(crate) fn run_strata(index: &SdcIndex, emit: &mut dyn FnMut(u32, ProgressSam
                         m.results += 1;
                         m.io_reads += stratum.tree.io_count();
                         stratum.tree.reset_io();
-                        skyline.push(record);
-                        emit(record, sample(&m, m.results, &start));
+                        self.buffer.push_back((record, sample(m, &self.start)));
                     }
                 }
             }
@@ -154,19 +220,44 @@ pub(crate) fn run_strata(index: &SdcIndex, emit: &mut dyn FnMut(u32, ProgressSam
             // Stratum boundary: local candidates are now genuine results.
             for e in &local {
                 m.results += 1;
-                skyline.push(e.record);
-                emit(e.record, sample(&m, m.results, &start));
+                self.buffer.push_back((e.record, sample(m, &self.start)));
             }
         }
-        per_stratum.push(local.len());
-        global.append(&mut local);
+        self.per_stratum.push(local.len());
+        self.global.append(&mut local);
     }
-    m.cpu = start.elapsed();
-    SdcRun {
-        skyline,
-        metrics: m,
-        per_stratum,
-        false_hits_removed,
+}
+
+impl SkylineCursor for SdcCursor<'_> {
+    fn next(&mut self) -> Option<SkylinePoint> {
+        while self.buffer.is_empty() && self.stratum_ix < self.index.strata.len() {
+            self.run_stratum();
+        }
+        let Some((record, sample)) = self.buffer.pop_front() else {
+            if !self.finished {
+                self.m.cpu = self.start.elapsed();
+                self.finished = true;
+            }
+            return None;
+        };
+        self.last_sample = sample;
+        Some(SkylinePoint {
+            record,
+            to: self.index.table.to_row(record as usize).to_vec(),
+            po: self.index.table.po_row(record as usize).to_vec(),
+        })
+    }
+
+    fn metrics(&self) -> Metrics {
+        let mut m = self.m;
+        if !self.finished {
+            m.cpu = self.start.elapsed();
+        }
+        m
+    }
+
+    fn progress(&self) -> ProgressSample {
+        self.last_sample
     }
 }
 
@@ -283,6 +374,37 @@ mod tests {
         // The h-point must have entered and left the local list (a false
         // hit) or been exactly screened, depending on pop order.
         assert!(run.false_hits_removed <= 1);
+    }
+
+    #[test]
+    fn cursor_matches_push_run_and_stops_lazily() {
+        use tss_core::SkylineCursor;
+        let dag = Dag::paper_example();
+        let idx = SdcIndex::build(
+            fig3_table(),
+            vec![dag],
+            Variant::SdcPlus,
+            SdcConfig::default(),
+        )
+        .unwrap();
+        let full = idx.run();
+        // Pull-collect equals the push-based confirmation order.
+        let mut c = idx.cursor();
+        let mut got = Vec::new();
+        while let Some(p) = c.next() {
+            got.push(p.record);
+        }
+        assert_eq!(got, full.skyline);
+        assert_eq!(c.metrics().results, full.metrics.results);
+        assert_eq!(c.per_stratum(), full.per_stratum.as_slice());
+        // A 1-prefix pull only materializes the first stratum.
+        let mut c = idx.cursor();
+        assert!(c.next().is_some());
+        assert!(
+            c.per_stratum().len() <= 1,
+            "later strata must not have run: {:?}",
+            c.per_stratum()
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
-use crate::engine::{run_strata, SdcRun};
+use crate::engine::{run_strata, SdcCursor, SdcRun};
 use crate::MdContext;
 use poset::{Dag, SpanningStrategy};
 use rtree::{PageConfig, RTree};
-use tss_core::{CoreError, Table};
+use tss_core::{CoreError, SkylineCursor, SkylineEngine, Table};
 
 /// Which baseline algorithm to run (§II-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,5 +154,26 @@ impl SdcIndex {
     /// otherwise) — the progressiveness semantics of Fig. 11.
     pub fn run_with(&self, emit: &mut dyn FnMut(u32, tss_core::ProgressSample)) -> SdcRun {
         run_strata(self, emit)
+    }
+
+    /// Opens a pull-based, stratum-at-a-time cursor (see [`SdcCursor`]):
+    /// strata are processed lazily as the stream reaches them, so stopping
+    /// after `k` results leaves the remaining strata's R-trees untouched.
+    pub fn cursor(&self) -> SdcCursor<'_> {
+        SdcCursor::new(self)
+    }
+}
+
+impl SkylineEngine for SdcIndex {
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::BbsPlus => "BBS+",
+            Variant::Sdc => "SDC",
+            Variant::SdcPlus => "SDC+",
+        }
+    }
+
+    fn open(&self) -> Box<dyn SkylineCursor + '_> {
+        Box::new(self.cursor())
     }
 }

@@ -31,6 +31,6 @@ mod index;
 mod mdominance;
 
 pub use dynamic::DynamicSdc;
-pub use engine::SdcRun;
+pub use engine::{SdcCursor, SdcRun};
 pub use index::{SdcConfig, SdcIndex, Variant};
 pub use mdominance::MdContext;

@@ -1,5 +1,5 @@
 use crate::types::{dominates, dominates_or_equal, Stats};
-use rtree::{Popped, RTree};
+use rtree::{BestFirst, Popped, RTree};
 
 /// Branch-and-Bound Skyline (Papadias et al., §II-A) over an [`RTree`]:
 /// entries are popped from a heap in ascending L1 mindist to the origin;
@@ -29,47 +29,93 @@ pub fn bbs(tree: &RTree) -> (Vec<u32>, Stats) {
 /// skyline point is confirmed, so callers can measure progressiveness or
 /// feed downstream structures (dTSS does both).
 pub fn bbs_visit(tree: &RTree, mut emit: impl FnMut(u32, &[u32])) -> Stats {
-    let mut stats = Stats::default();
-    tree.reset_io();
-    let mut skyline_pts: Vec<Vec<u32>> = Vec::new();
-    let mut bf = tree.best_first();
-    while let Some(popped) = bf.pop() {
-        match popped {
-            Popped::Node { id, mbb, .. } => {
-                let corner = mbb.lo();
-                let mut pruned = false;
-                for s in &skyline_pts {
-                    stats.dominance_checks += 1;
-                    if dominates_or_equal(s, corner) && s.as_slice() != corner {
-                        pruned = true;
-                        break;
+    let mut cursor = BbsCursor::new(tree);
+    for (record, point) in cursor.by_ref() {
+        emit(record, &point);
+    }
+    cursor.stats()
+}
+
+/// **Incremental BBS**: the best-first traversal as a pull-based iterator.
+/// Each [`next`](Iterator::next) call resumes the heap walk until the next
+/// confirmation, so consumers that stop after `k` results never expand the
+/// nodes ranked behind their prefix — top-k skylines at a fraction of the
+/// full run's page reads.
+///
+/// Yields `(record, point)` pairs in ascending-mindist confirmation order.
+/// `stats()` is observable mid-stream; `io_reads` uses the tree's shared
+/// counter (reset when the cursor is created), so drive one cursor at a
+/// time per tree if the per-run IO numbers matter.
+pub struct BbsCursor<'a> {
+    tree: &'a RTree,
+    bf: BestFirst<'a>,
+    skyline_pts: Vec<Vec<u32>>,
+    dominance_checks: u64,
+}
+
+impl<'a> BbsCursor<'a> {
+    /// Starts a fresh traversal (resets the tree's IO counter).
+    pub fn new(tree: &'a RTree) -> Self {
+        tree.reset_io();
+        BbsCursor {
+            tree,
+            bf: tree.best_first(),
+            skyline_pts: Vec::new(),
+            dominance_checks: 0,
+        }
+    }
+
+    /// Checks and IOs spent so far (final totals once exhausted).
+    pub fn stats(&self) -> Stats {
+        Stats {
+            dominance_checks: self.dominance_checks,
+            io_reads: self.tree.io_count(),
+        }
+    }
+}
+
+impl Iterator for BbsCursor<'_> {
+    type Item = (u32, Vec<u32>);
+
+    fn next(&mut self) -> Option<(u32, Vec<u32>)> {
+        while let Some(popped) = self.bf.pop() {
+            match popped {
+                Popped::Node { id, mbb, .. } => {
+                    let corner = mbb.lo();
+                    let mut pruned = false;
+                    for s in &self.skyline_pts {
+                        self.dominance_checks += 1;
+                        if dominates_or_equal(s, corner) && s.as_slice() != corner {
+                            pruned = true;
+                            break;
+                        }
+                    }
+                    if !pruned {
+                        self.bf.expand(id);
                     }
                 }
-                if !pruned {
-                    bf.expand(id);
-                }
-            }
-            Popped::Record { point, record, .. } => {
-                let mut dominated = false;
-                for s in &skyline_pts {
-                    stats.dominance_checks += 1;
-                    if dominates(s, point) {
-                        dominated = true;
-                        break;
+                Popped::Record { point, record, .. } => {
+                    let mut dominated = false;
+                    for s in &self.skyline_pts {
+                        self.dominance_checks += 1;
+                        if dominates(s, point) {
+                            dominated = true;
+                            break;
+                        }
                     }
-                }
-                if !dominated {
-                    // Precedence: no later entry can dominate `point`
-                    // (any dominator has a strictly smaller mindist, except
-                    // exact duplicates, which do not dominate) — emit now.
-                    skyline_pts.push(point.to_vec());
-                    emit(record, point);
+                    if !dominated {
+                        // Precedence: no later entry can dominate `point`
+                        // (any dominator has a strictly smaller mindist,
+                        // except exact duplicates, which do not dominate) —
+                        // confirm now.
+                        self.skyline_pts.push(point.to_vec());
+                        return Some((record, point.to_vec()));
+                    }
                 }
             }
         }
+        None
     }
-    stats.io_reads = tree.io_count();
-    stats
 }
 
 #[cfg(test)]
@@ -154,6 +200,33 @@ mod tests {
         let (got, stats) = bbs(&t);
         assert!(got.is_empty());
         assert_eq!(stats.io_reads, 0);
+    }
+
+    #[test]
+    fn cursor_prefix_matches_full_run_and_reads_fewer_pages() {
+        // Convex staircase: every point is in the skyline (x up, y down)
+        // and the L1 mindists differ, so confirmations spread across the
+        // traversal and an early stop provably leaves pages unread.
+        let data: Vec<Vec<u32>> = (0..400u32)
+            .map(|i| vec![i * i, (399 - i) * (399 - i)])
+            .collect();
+        let t = tree_of(&data, 4);
+        let (full, full_stats) = bbs(&t);
+        assert!(full.len() > 4, "need a non-trivial skyline");
+        let mut cursor = BbsCursor::new(&t);
+        let prefix: Vec<u32> = cursor.by_ref().take(2).map(|(r, _)| r).collect();
+        assert_eq!(prefix, full[..2], "pull order equals emission order");
+        assert!(
+            cursor.stats().io_reads < full_stats.io_reads,
+            "a 2-prefix pull must not pay the full run's IO ({} vs {})",
+            cursor.stats().io_reads,
+            full_stats.io_reads
+        );
+        // Draining the rest completes the identical skyline.
+        let rest: Vec<u32> = cursor.map(|(r, _)| r).collect();
+        let mut all = prefix;
+        all.extend(rest);
+        assert_eq!(all, full);
     }
 
     proptest! {

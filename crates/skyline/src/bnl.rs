@@ -14,26 +14,62 @@ use crate::types::{dominates, Stats};
 /// canonical *non-progressive* baseline: nothing can be emitted until a pass
 /// completes, which the paper contrasts with precedence-based algorithms.
 pub fn bnl(data: &[Vec<u32>], window: usize) -> (Vec<u32>, Stats) {
-    assert!(window >= 1, "window must hold at least one point");
-    let mut stats = Stats::default();
-    let mut result: Vec<u32> = Vec::new();
-    // (index, window-entry timestamp)
-    let mut input: Vec<u32> = (0..data.len() as u32).collect();
-    while !input.is_empty() {
-        let mut win: Vec<(u32, usize)> = Vec::with_capacity(window);
+    let mut cursor = BnlCursor::new(data, window);
+    let result: Vec<u32> = cursor.by_ref().collect();
+    (result, cursor.stats())
+}
+
+/// **Incremental BNL**: a pass-at-a-time pull cursor. BNL can confirm
+/// nothing before a pass completes (the property the paper contrasts with
+/// precedence-based algorithms), so the lazy granularity is the *pass*:
+/// each pass runs only when its first confirmation is pulled, and its
+/// output is then streamed point by point. Consumers that stop after `k`
+/// results skip every later pass entirely.
+pub struct BnlCursor<'a> {
+    data: &'a [Vec<u32>],
+    window: usize,
+    input: Vec<u32>,
+    confirmed: std::collections::VecDeque<u32>,
+    stats: Stats,
+}
+
+impl<'a> BnlCursor<'a> {
+    /// Prepares a multi-pass run over `data` with the given window size.
+    pub fn new(data: &'a [Vec<u32>], window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one point");
+        BnlCursor {
+            data,
+            window,
+            input: (0..data.len() as u32).collect(),
+            confirmed: std::collections::VecDeque::new(),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Checks spent so far (final totals once exhausted).
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// One full pass: confirms window points that met every survivor and
+    /// carries the rest (plus the overflow) into the next pass's input.
+    fn run_pass(&mut self) {
+        let data = self.data;
+        // (index, window-entry timestamp)
+        let mut win: Vec<(u32, usize)> = Vec::with_capacity(self.window);
         let mut overflow: Vec<u32> = Vec::new();
         let mut first_spill: Option<usize> = None;
-        for (pos, &cand) in input.iter().enumerate() {
+        for (pos, &cand) in self.input.iter().enumerate() {
             let mut dominated = false;
             let mut k = 0;
             while k < win.len() {
                 let (w, _) = win[k];
-                stats.dominance_checks += 1;
+                self.stats.dominance_checks += 1;
                 if dominates(&data[w as usize], &data[cand as usize]) {
                     dominated = true;
                     break;
                 }
-                stats.dominance_checks += 1;
+                self.stats.dominance_checks += 1;
                 if dominates(&data[cand as usize], &data[w as usize]) {
                     // Candidate evicts the window point.
                     win.swap_remove(k);
@@ -44,7 +80,7 @@ pub fn bnl(data: &[Vec<u32>], window: usize) -> (Vec<u32>, Stats) {
             if dominated {
                 continue;
             }
-            if win.len() < window {
+            if win.len() < self.window {
                 win.push((cand, pos));
             } else {
                 if first_spill.is_none() {
@@ -57,16 +93,26 @@ pub fn bnl(data: &[Vec<u32>], window: usize) -> (Vec<u32>, Stats) {
         let mut carried: Vec<u32> = Vec::new();
         for (w, ts) in win {
             if ts < confirm_before {
-                result.push(w);
+                self.confirmed.push_back(w);
             } else {
                 carried.push(w);
             }
         }
         // Unconfirmed window points must still meet the overflow points.
         carried.extend(overflow);
-        input = carried;
+        self.input = carried;
     }
-    (result, stats)
+}
+
+impl Iterator for BnlCursor<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.confirmed.is_empty() && !self.input.is_empty() {
+            self.run_pass();
+        }
+        self.confirmed.pop_front()
+    }
 }
 
 #[cfg(test)]

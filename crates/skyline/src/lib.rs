@@ -26,6 +26,15 @@
 //!
 //! All algorithms report [`Stats`]: pairwise dominance checks and page IOs
 //! (for BBS), the two efficiency measures of the paper's §III-A.
+//!
+//! # Incremental (pull-based) variants
+//!
+//! The algorithms with the *precedence* property also come as explicit-state
+//! iterators — [`BbsCursor`], [`SfsCursor`], [`SalsaCursor`] — that confirm
+//! one skyline point per `next()` call, plus [`BnlCursor`], which is lazy at
+//! pass granularity (BNL cannot confirm mid-pass). Pulling a `k`-prefix and
+//! stopping costs proportionally less work; the eager functions are thin
+//! adapters over these cursors.
 
 mod bbs;
 mod bitmap;
@@ -36,11 +45,11 @@ mod salsa;
 mod sfs;
 mod types;
 
-pub use bbs::{bbs, bbs_visit};
+pub use bbs::{bbs, bbs_visit, BbsCursor};
 pub use bitmap::bitmap;
-pub use bnl::bnl;
+pub use bnl::{bnl, BnlCursor};
 pub use brute::brute_force;
 pub use index::index_skyline;
-pub use salsa::salsa;
-pub use sfs::sfs;
+pub use salsa::{salsa, SalsaCursor};
+pub use sfs::{sfs, SfsCursor};
 pub use types::{dominates, dominates_or_equal, monotone_sum, Stats};

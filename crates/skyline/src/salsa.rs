@@ -16,35 +16,89 @@ use crate::types::{dominates, monotone_sum, Stats};
 /// duplicates-survive semantics at the cost of occasionally scanning a few
 /// extra points.)
 pub fn salsa(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
-    let mut stats = Stats::default();
-    let mut order: Vec<u32> = (0..data.len() as u32).collect();
-    let min_c = |p: &[u32]| p.iter().copied().min().unwrap_or(0);
-    let max_c = |p: &[u32]| p.iter().copied().max().unwrap_or(0);
-    order.sort_by_key(|&i| (min_c(&data[i as usize]), monotone_sum(&data[i as usize]), i));
-    let mut skyline: Vec<u32> = Vec::new();
-    let mut best_max: Option<u32> = None;
-    for cand in order {
-        let p = &data[cand as usize];
-        if let Some(stop) = best_max {
-            if min_c(p) > stop {
-                break; // p* dominates this and every later candidate
-            }
-        }
-        let mut dominated = false;
-        for &s in &skyline {
-            stats.dominance_checks += 1;
-            if dominates(&data[s as usize], p) {
-                dominated = true;
-                break;
-            }
-        }
-        if !dominated {
-            let m = max_c(p);
-            best_max = Some(best_max.map_or(m, |b| b.min(m)));
-            skyline.push(cand);
+    let mut cursor = SalsaCursor::new(data);
+    let skyline: Vec<u32> = cursor.by_ref().collect();
+    (skyline, cursor.stats())
+}
+
+fn min_c(p: &[u32]) -> u32 {
+    p.iter().copied().min().unwrap_or(0)
+}
+
+fn max_c(p: &[u32]) -> u32 {
+    p.iter().copied().max().unwrap_or(0)
+}
+
+/// **Incremental SaLSa**: the limited scan as a pull-based iterator — SFS
+/// semantics plus the `minC > max(p*)` early-stop test, which now also ends
+/// the *stream* early: once it fires, the cursor is exhausted without
+/// touching the remaining candidates.
+pub struct SalsaCursor<'a> {
+    data: &'a [Vec<u32>],
+    order: Vec<u32>,
+    pos: usize,
+    skyline: Vec<u32>,
+    best_max: Option<u32>,
+    stopped: bool,
+    stats: Stats,
+}
+
+impl<'a> SalsaCursor<'a> {
+    /// Presorts the input by `(minC, sum)` (precedence order).
+    pub fn new(data: &'a [Vec<u32>]) -> Self {
+        let mut order: Vec<u32> = (0..data.len() as u32).collect();
+        order.sort_by_key(|&i| (min_c(&data[i as usize]), monotone_sum(&data[i as usize]), i));
+        SalsaCursor {
+            data,
+            order,
+            pos: 0,
+            skyline: Vec::new(),
+            best_max: None,
+            stopped: false,
+            stats: Stats::default(),
         }
     }
-    (skyline, stats)
+
+    /// Checks spent so far (final totals once exhausted).
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+}
+
+impl Iterator for SalsaCursor<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.stopped {
+            return None;
+        }
+        while let Some(&cand) = self.order.get(self.pos) {
+            self.pos += 1;
+            let p = &self.data[cand as usize];
+            if let Some(stop) = self.best_max {
+                if min_c(p) > stop {
+                    // p* dominates this and every later candidate.
+                    self.stopped = true;
+                    return None;
+                }
+            }
+            let mut dominated = false;
+            for &s in &self.skyline {
+                self.stats.dominance_checks += 1;
+                if dominates(&self.data[s as usize], p) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if !dominated {
+                let m = max_c(p);
+                self.best_max = Some(self.best_max.map_or(m, |b| b.min(m)));
+                self.skyline.push(cand);
+                return Some(cand);
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]

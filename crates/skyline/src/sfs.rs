@@ -11,25 +11,66 @@ use crate::types::{dominates, monotone_sum, Stats};
 ///
 /// Returns skyline indices in output order (ascending sum) plus [`Stats`].
 pub fn sfs(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
-    let mut stats = Stats::default();
-    let mut order: Vec<u32> = (0..data.len() as u32).collect();
-    // Stable tie-break by index keeps the output deterministic.
-    order.sort_by_key(|&i| (monotone_sum(&data[i as usize]), i));
-    let mut skyline: Vec<u32> = Vec::new();
-    for cand in order {
-        let mut dominated = false;
-        for &s in &skyline {
-            stats.dominance_checks += 1;
-            if dominates(&data[s as usize], &data[cand as usize]) {
-                dominated = true;
-                break;
-            }
-        }
-        if !dominated {
-            skyline.push(cand);
+    let mut cursor = SfsCursor::new(data);
+    let skyline: Vec<u32> = cursor.by_ref().collect();
+    (skyline, cursor.stats())
+}
+
+/// **Incremental SFS**: the filtering pass as a pull-based iterator. The
+/// presort happens eagerly at construction (`O(n log n)`, no dominance
+/// checks); each [`next`](Iterator::next) call then scans forward only
+/// until the next survivor, so a `k`-prefix pays checks proportional to the
+/// candidates actually screened — not to `n`.
+pub struct SfsCursor<'a> {
+    data: &'a [Vec<u32>],
+    order: Vec<u32>,
+    pos: usize,
+    skyline: Vec<u32>,
+    stats: Stats,
+}
+
+impl<'a> SfsCursor<'a> {
+    /// Presorts the input by the monotone sum (precedence order).
+    pub fn new(data: &'a [Vec<u32>]) -> Self {
+        let mut order: Vec<u32> = (0..data.len() as u32).collect();
+        // Stable tie-break by index keeps the output deterministic.
+        order.sort_by_key(|&i| (monotone_sum(&data[i as usize]), i));
+        SfsCursor {
+            data,
+            order,
+            pos: 0,
+            skyline: Vec::new(),
+            stats: Stats::default(),
         }
     }
-    (skyline, stats)
+
+    /// Checks spent so far (final totals once exhausted).
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+}
+
+impl Iterator for SfsCursor<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while let Some(&cand) = self.order.get(self.pos) {
+            self.pos += 1;
+            let mut dominated = false;
+            for &s in &self.skyline {
+                self.stats.dominance_checks += 1;
+                if dominates(&self.data[s as usize], &self.data[cand as usize]) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if !dominated {
+                self.skyline.push(cand);
+                return Some(cand);
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +126,19 @@ mod tests {
     fn empty_and_singleton() {
         assert_eq!(sfs(&[]).0, Vec::<u32>::new());
         assert_eq!(sfs(&[vec![7]]).0, vec![0]);
+    }
+
+    #[test]
+    fn cursor_prefix_spends_fewer_checks() {
+        let data: Vec<Vec<u32>> = (0..200u32).map(|i| vec![i, 199 - i]).collect();
+        let (full, full_stats) = sfs(&data);
+        assert!(full.len() > 3);
+        let mut c = SfsCursor::new(&data);
+        let prefix: Vec<u32> = c.by_ref().take(3).collect();
+        assert_eq!(prefix, full[..3]);
+        assert!(c.stats().dominance_checks < full_stats.dominance_checks);
+        let rest: Vec<u32> = c.collect();
+        assert_eq!([prefix, rest].concat(), full);
     }
 
     proptest! {

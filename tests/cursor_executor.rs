@@ -1,0 +1,243 @@
+//! The pull-based execution model, end to end: every engine in the
+//! workspace is drivable through `SkylineEngine::open` / `SkylineCursor`,
+//! cursors agree with the push-based `run()` paths, early termination is
+//! sound (a `k`-prefix equals the progressive order's prefix) and cheaper
+//! (strictly fewer page reads than a full run), and `QuerySession` reuses
+//! DAG labelings across dynamic queries.
+
+use tss::core::{
+    ClassicAlgo, ClassicEngine, Dtss, DtssConfig, PoQuery, QuerySession, SkylineCursor,
+    SkylineEngine, Stss, StssConfig, Table,
+};
+use tss::datagen::{gen_po_matrix, gen_to_matrix, Distribution, TupleConfig};
+use tss::poset::generator::{subset_lattice, DensityMode, LatticeParams};
+use tss::poset::Dag;
+use tss::sdc::{SdcConfig, SdcIndex, Variant};
+
+const SCALED_CAPACITY: usize = 32;
+
+fn workload(n: usize, seed: u64) -> (Table, Dag) {
+    let dag = subset_lattice(LatticeParams {
+        height: 5,
+        density: 0.8,
+        seed,
+        mode: DensityMode::Literal,
+    })
+    .unwrap();
+    let to = gen_to_matrix(TupleConfig {
+        n,
+        dims: 2,
+        domain: 1000,
+        dist: Distribution::Independent,
+        seed,
+    });
+    let po = gen_po_matrix(n, &[dag.len() as u32], seed + 7);
+    (Table::from_parts(2, 1, to, po).unwrap(), dag)
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+fn drain(engine: &dyn SkylineEngine) -> Vec<u32> {
+    let mut c = engine.open();
+    let mut out = Vec::new();
+    while let Some(p) = c.next() {
+        out.push(p.record);
+    }
+    out
+}
+
+/// Every engine, one workload: the cursor's collected result set equals the
+/// engine's own push/eager `run()` result set.
+#[test]
+fn cursor_equals_run_for_every_engine() {
+    let (table, dag) = workload(1500, 3);
+
+    // sTSS.
+    let stss = Stss::build(
+        table.clone(),
+        vec![dag.clone()],
+        StssConfig {
+            node_capacity: Some(SCALED_CAPACITY),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let expect = stss.run().skyline_records();
+    assert_eq!(drain(&stss), expect, "sTSS cursor vs run");
+    assert!(!expect.is_empty());
+
+    // dTSS, bound to a query over the same DAG.
+    let dtss = Dtss::build(table.clone(), vec![dag.len() as u32], DtssConfig::default()).unwrap();
+    let q = PoQuery::new(vec![dag.clone()]);
+    let engine = dtss.engine(q.clone()).unwrap();
+    let d_expect = dtss.query(&q).unwrap().skyline_records();
+    assert_eq!(drain(&engine), d_expect, "dTSS cursor vs query");
+    assert_eq!(
+        sorted(d_expect),
+        sorted(expect.clone()),
+        "static and dynamic TSS agree on the same order"
+    );
+
+    // The three m-dominance baselines.
+    for variant in [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus] {
+        let idx = SdcIndex::build(
+            table.clone(),
+            vec![dag.clone()],
+            variant,
+            SdcConfig {
+                node_capacity: Some(SCALED_CAPACITY),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s_expect = idx.run().skyline;
+        assert_eq!(drain(&idx), s_expect, "{variant:?} cursor vs run");
+        assert_eq!(sorted(s_expect), sorted(expect.clone()), "{variant:?}");
+    }
+
+    // The classic TO algorithms over the TO projection of the same table.
+    let data: Vec<Vec<u32>> = (0..table.len()).map(|i| table.to_row(i).to_vec()).collect();
+    let to_expect = sorted(tss::skyline::brute_force(&data));
+    for algo in [
+        ClassicAlgo::Brute,
+        ClassicAlgo::Bnl { window: 16 },
+        ClassicAlgo::Sfs,
+        ClassicAlgo::Salsa,
+        ClassicAlgo::Bbs {
+            node_capacity: SCALED_CAPACITY,
+        },
+        ClassicAlgo::Bitmap,
+        ClassicAlgo::Index,
+    ] {
+        let engine = ClassicEngine::new(data.clone(), algo);
+        assert_eq!(sorted(drain(&engine)), to_expect, "{algo:?}");
+    }
+}
+
+/// Early-termination soundness: for the progressive engines, the first `k`
+/// pulled points are exactly the first `k` of the full progressive order.
+#[test]
+fn k_prefix_is_a_prefix_of_the_progressive_order() {
+    let (table, dag) = workload(2000, 11);
+    let k = 7;
+
+    let stss = Stss::build(
+        table.clone(),
+        vec![dag.clone()],
+        StssConfig {
+            node_capacity: Some(SCALED_CAPACITY),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let full = stss.run().skyline_records();
+    let prefix: Vec<u32> = stss.cursor().take_k(k).iter().map(|p| p.record).collect();
+    assert_eq!(prefix, full[..k], "sTSS prefix");
+
+    let dtss = Dtss::build(table, vec![dag.len() as u32], DtssConfig::default()).unwrap();
+    let q = PoQuery::new(vec![dag]);
+    let d_full = dtss.query(&q).unwrap().skyline_records();
+    let d_prefix: Vec<u32> = dtss
+        .query_cursor(&q)
+        .unwrap()
+        .take_k(k)
+        .iter()
+        .map(|p| p.record)
+        .collect();
+    assert_eq!(d_prefix, d_full[..k], "dTSS prefix");
+}
+
+/// The acceptance property: pulling `k` results off an sTSS cursor performs
+/// strictly fewer node accesses than a full run.
+#[test]
+fn k_pull_reads_strictly_fewer_pages_than_a_full_run() {
+    let (table, dag) = workload(3000, 23);
+    let stss = Stss::build(
+        table,
+        vec![dag],
+        StssConfig {
+            node_capacity: Some(SCALED_CAPACITY),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let full = stss.run();
+    assert!(full.skyline.len() > 10, "need a non-trivial skyline");
+    let mut cursor = stss.cursor();
+    let pulled = cursor.take_k(5);
+    assert_eq!(pulled.len(), 5);
+    let prefix_reads = cursor.metrics().io_reads;
+    assert!(
+        prefix_reads < full.metrics.io_reads,
+        "5-prefix must read strictly fewer pages: {} vs {}",
+        prefix_reads,
+        full.metrics.io_reads
+    );
+}
+
+/// The acceptance property: a repeated-DAG dTSS query through
+/// `QuerySession` reports a labeling-cache hit and skips relabeling.
+#[test]
+fn query_session_reuses_labelings_across_queries() {
+    let (table, dag) = workload(1500, 31);
+    let dtss = Dtss::build(table, vec![dag.len() as u32], DtssConfig::default()).unwrap();
+    let mut session = QuerySession::new(&dtss);
+
+    let q = PoQuery::new(vec![dag.clone()]);
+    let cold = session.query(&q).unwrap();
+    assert_eq!(cold.metrics.label_cache_misses, 1, "first sight labels");
+    assert_eq!(cold.metrics.label_cache_hits, 0);
+
+    // The "same" DAG arriving as a fresh object (a user re-submitting their
+    // preferences) hits the cache — no relabeling.
+    let resubmitted = PoQuery::new(vec![dag.clone()]);
+    let warm = session.query(&resubmitted).unwrap();
+    assert_eq!(warm.metrics.label_cache_hits, 1, "repeat skips relabeling");
+    assert_eq!(warm.metrics.label_cache_misses, 0);
+    assert_eq!(cold.skyline_records(), warm.skyline_records());
+
+    // Cursors draw from the same cache.
+    let mut c = session.cursor(&q).unwrap();
+    assert_eq!(c.metrics().label_cache_hits, 1);
+    let first = c.next().unwrap();
+    assert_eq!(first.record, cold.skyline_records()[0]);
+
+    assert_eq!(session.stats().hits, 2);
+    assert_eq!(session.stats().misses, 1);
+    assert_eq!(session.stats().entries, 1);
+}
+
+/// Engines are uniform: the same workload through the trait-object API
+/// yields one agreed-upon skyline for all five PO-capable engines.
+#[test]
+fn trait_object_engines_agree() {
+    let (table, dag) = workload(1000, 43);
+    let stss = Stss::build(table.clone(), vec![dag.clone()], StssConfig::default()).unwrap();
+    let dtss = Dtss::build(table.clone(), vec![dag.len() as u32], DtssConfig::default()).unwrap();
+    let bound = dtss.engine(PoQuery::new(vec![dag.clone()])).unwrap();
+    let sdc: Vec<SdcIndex> = [Variant::BbsPlus, Variant::Sdc, Variant::SdcPlus]
+        .into_iter()
+        .map(|v| {
+            SdcIndex::build(table.clone(), vec![dag.clone()], v, SdcConfig::default()).unwrap()
+        })
+        .collect();
+    let mut engines: Vec<&dyn SkylineEngine> = vec![&stss, &bound];
+    engines.extend(sdc.iter().map(|i| i as &dyn SkylineEngine));
+
+    let baseline = sorted(drain(engines[0]));
+    assert!(!baseline.is_empty());
+    for engine in &engines {
+        let (pts, metrics) = engine.collect_skyline();
+        let got = sorted(pts.iter().map(|p| p.record).collect());
+        assert_eq!(got, baseline, "{}", engine.name());
+        assert_eq!(
+            metrics.results as usize,
+            baseline.len(),
+            "{}",
+            engine.name()
+        );
+    }
+}

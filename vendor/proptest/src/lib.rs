@@ -3,7 +3,7 @@
 //! The build environment has no network access, so the workspace vendors the
 //! subset of the proptest API its test suites use: the [`proptest!`] macro
 //! (with `#![proptest_config]`), [`strategy::Strategy`] with `prop_map` /
-//! `prop_flat_map`, range / tuple / [`collection::vec`] / [`bool`] strategies,
+//! `prop_flat_map`, range / tuple / [`collection::vec`] / [`bool`](mod@bool) strategies,
 //! and the `prop_assert*` macros.
 //!
 //! Semantics: each test runs `cases` deterministic random inputs (seeded from
@@ -204,7 +204,8 @@ pub mod strategy {
 pub mod collection {
     use super::strategy::Strategy;
 
-    /// Lengths accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Lengths accepted by [`vec`](fn@vec): an exact `usize` or a
+    /// `Range<usize>`.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
