@@ -35,6 +35,7 @@ fn main() {
         "ablations" => ablations(),
         "cursors" => cursors(),
         "smoke" => smoke(),
+        "bench" => bench_json(&std::env::args().skip(2).collect::<Vec<_>>()),
         "all" => {
             fig7();
             fig8();
@@ -49,7 +50,8 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown figure {other:?}; expected fig7..fig14, ablations, cursors, smoke or all"
+                "unknown figure {other:?}; expected fig7..fig14, ablations, cursors, smoke, \
+                 bench or all"
             );
             std::process::exit(2);
         }
@@ -212,6 +214,7 @@ fn dynamic_point(p: &ExperimentParams) -> (bench::runner::AlgoResult, bench::run
     }
     let div = |m: tss_core::Metrics| tss_core::Metrics {
         dominance_checks: m.dominance_checks / seeds.len() as u64,
+        dominance_batch_calls: m.dominance_batch_calls / seeds.len() as u64,
         io_reads: m.io_reads / seeds.len() as u64,
         io_writes: m.io_writes / seeds.len() as u64,
         heap_pops: m.heap_pops / seeds.len() as u64,
@@ -402,6 +405,45 @@ fn smoke() {
         d_prefix.first.io_reads
     );
     println!("smoke OK");
+}
+
+/// `harness bench --json [--smoke] [--out FILE]`: the fixed perf-trajectory
+/// grid (see [`bench::jsonbench`]), written as JSON rows to stdout or
+/// `FILE`. The committed `BENCH_PR3.json` is a full-grid run of this
+/// subcommand.
+fn bench_json(args: &[String]) {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {} // the only supported format; accepted for clarity
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--out requires a path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            other => {
+                eprintln!("unknown bench flag {other:?}; expected --json, --smoke, --out FILE");
+                std::process::exit(2);
+            }
+        }
+    }
+    let rows = bench::jsonbench::grid(smoke);
+    let json = bench::jsonbench::to_json(&rows);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json).expect("writable --out path");
+            eprintln!("[bench grid written to {path} ({} rows)]", rows.len());
+        }
+        None => print!("{json}"),
+    }
 }
 
 /// Ablations over the design choices DESIGN.md calls out (§IV-B, §V-B).

@@ -1,0 +1,176 @@
+//! The machine-readable perf-trajectory grid behind `harness bench --json`.
+//!
+//! A fixed small grid — the Fig. 7 cardinality sweep crossed with a Fig. 8
+//! dimensionality subset, plus the dynamic (Fig. 12) cardinality points —
+//! at one seed, emitted as JSON rows `{algo, workload, wall_ns, metrics}`.
+//! The committed `BENCH_PR3.json` at the repository root is the first point
+//! of this trajectory; later PRs append comparable runs. `--smoke` shrinks
+//! every cardinality so CI can assert the report stays well-formed in
+//! seconds.
+
+use crate::runner::{generate, run_dtss, run_dynamic_sdc, run_sdc_plus, run_stss, AlgoResult};
+use datagen::{Distribution, ExperimentParams};
+use tss_core::{DtssConfig, Metrics, StssConfig};
+
+/// One measured grid point.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Engine label (`"sTSS"`, `"dTSS"`, `"SDC+"`, `"SDC+rebuild"`).
+    pub algo: &'static str,
+    /// Grid point key, e.g. `"fig07:n=100000"`.
+    pub workload: String,
+    /// Wall-clock nanoseconds of the measured run phase (index build
+    /// excluded, as in the paper's query-time experiments).
+    pub wall_ns: u128,
+    /// Full execution metrics of the run.
+    pub metrics: Metrics,
+    /// Skyline cardinality (cross-run sanity anchor).
+    pub skyline: usize,
+}
+
+impl BenchRow {
+    fn of(algo: &'static str, workload: String, r: &AlgoResult) -> Self {
+        BenchRow {
+            algo,
+            workload,
+            wall_ns: r.metrics.cpu.as_nanos(),
+            metrics: r.metrics,
+            skyline: r.skyline,
+        }
+    }
+}
+
+/// The fixed grid: one seed (42), Fig. 7 cardinalities x Fig. 8
+/// dimensionalities for the static engines, Fig. 12 cardinalities for the
+/// dynamic ones. `smoke` shrinks every `n` to 2 000 tuples.
+pub fn grid(smoke: bool) -> Vec<BenchRow> {
+    const SEED: u64 = 42;
+    let card: &[usize] = if smoke {
+        &[2_000]
+    } else {
+        &[10_000, 50_000, 100_000]
+    };
+    let dims: &[(usize, usize)] = if smoke {
+        &[(2, 1), (2, 2)]
+    } else {
+        &[(2, 1), (3, 1), (2, 2), (3, 2)]
+    };
+    let dims_n = if smoke { 2_000 } else { 20_000 };
+    let mut rows = Vec::new();
+
+    // Fig. 7 axis: static cardinality sweep at the paper's default dims.
+    for &n in card {
+        let mut p = ExperimentParams::paper_static_default(Distribution::Independent, SEED);
+        p.n = n;
+        if smoke {
+            p.dag_height = 4;
+        }
+        let w = generate(&p);
+        let workload = format!("fig07:n={n}");
+        let tss = run_stss(&w, StssConfig::default());
+        let sdc = run_sdc_plus(&w);
+        assert_eq!(tss.skyline, sdc.skyline, "static engines must agree");
+        rows.push(BenchRow::of("sTSS", workload.clone(), &tss));
+        rows.push(BenchRow::of("SDC+", workload, &sdc));
+    }
+
+    // Fig. 8 axis: static dimensionality sweep at a fixed cardinality.
+    for &(to_d, po_d) in dims {
+        let mut p = ExperimentParams::paper_static_default(Distribution::Independent, SEED);
+        p.n = dims_n;
+        p.to_dims = to_d;
+        p.po_dims = po_d;
+        if smoke {
+            p.dag_height = 4;
+        }
+        let w = generate(&p);
+        let workload = format!("fig08:n={dims_n}:dims=({to_d},{po_d})");
+        let tss = run_stss(&w, StssConfig::default());
+        let sdc = run_sdc_plus(&w);
+        assert_eq!(tss.skyline, sdc.skyline, "static engines must agree");
+        rows.push(BenchRow::of("sTSS", workload.clone(), &tss));
+        rows.push(BenchRow::of("SDC+", workload, &sdc));
+    }
+
+    // Fig. 12 axis: the dynamic counterpart of the cardinality sweep.
+    for &n in card {
+        let mut p = ExperimentParams::paper_dynamic_default(Distribution::Independent, SEED);
+        p.n = n;
+        if smoke {
+            p.dag_height = 4;
+        }
+        let w = generate(&p);
+        let workload = format!("fig12:n={n}");
+        let tss = run_dtss(&w, 11, DtssConfig::default());
+        let sdc = run_dynamic_sdc(&w, 11);
+        assert_eq!(tss.skyline, sdc.skyline, "dynamic engines must agree");
+        rows.push(BenchRow::of("dTSS", workload.clone(), &tss));
+        rows.push(BenchRow::of("SDC+rebuild", workload, &sdc));
+    }
+    rows
+}
+
+/// Renders the rows as a JSON array (hand-rolled: the workspace builds
+/// offline, so no serde). All strings are plain ASCII grid keys.
+pub fn to_json(rows: &[BenchRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let m = &r.metrics;
+        out.push_str(&format!(
+            "  {{\"algo\": \"{}\", \"workload\": \"{}\", \"wall_ns\": {}, \"metrics\": \
+             {{\"dominance_checks\": {}, \"dominance_batch_calls\": {}, \"io_reads\": {}, \
+             \"io_writes\": {}, \"heap_pops\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
+            r.algo,
+            r.workload,
+            r.wall_ns,
+            m.dominance_checks,
+            m.dominance_batch_calls,
+            m.io_reads,
+            m.io_writes,
+            m.heap_pops,
+            m.results,
+            r.skyline,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let rows = vec![BenchRow {
+            algo: "sTSS",
+            workload: "fig07:n=10".into(),
+            wall_ns: 123,
+            metrics: Metrics {
+                dominance_checks: 7,
+                io_reads: 3,
+                cpu: Duration::from_nanos(123),
+                ..Default::default()
+            },
+            skyline: 2,
+        }];
+        let s = to_json(&rows);
+        assert!(s.starts_with("[\n"));
+        assert!(s.contains("\"algo\": \"sTSS\""));
+        assert!(s.contains("\"wall_ns\": 123"));
+        assert!(s.contains("\"dominance_checks\": 7"));
+        assert!(s.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn smoke_grid_covers_every_axis() {
+        let rows = grid(true);
+        assert!(rows.iter().any(|r| r.workload.starts_with("fig07:")));
+        assert!(rows.iter().any(|r| r.workload.starts_with("fig08:")));
+        assert!(rows.iter().any(|r| r.workload.starts_with("fig12:")));
+        assert!(rows.iter().any(|r| r.algo == "sTSS"));
+        assert!(rows.iter().any(|r| r.algo == "dTSS"));
+    }
+}

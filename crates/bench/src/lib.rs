@@ -12,6 +12,7 @@
 //! The default sweeps here are laptop-sized (see [`params`]); set
 //! `TSS_FULL_SCALE=1` to restore the paper's Table III values.
 
+pub mod jsonbench;
 pub mod params;
 pub mod report;
 pub mod runner;

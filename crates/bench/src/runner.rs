@@ -19,13 +19,10 @@ pub struct Workload {
     pub params: ExperimentParams,
 }
 
-/// Generates the workload for one parameter setting.
+/// Generates the workload for one parameter setting, materialized directly
+/// into the columnar store.
 pub fn generate(params: &ExperimentParams) -> Workload {
-    let dags = params.build_dags();
-    let to = params.gen_to();
-    let po = params.gen_po(&dags);
-    let table = Table::from_parts(params.to_dims, params.po_dims, to, po)
-        .expect("generator emits well-shaped matrices");
+    let (table, dags) = params.materialize();
     Workload {
         table,
         dags,

@@ -1,17 +1,20 @@
 //! [`SkylineEngine`] adapters for the classic totally ordered algorithms of
 //! `crates/skyline` (§II-A): one engine per algorithm, all over the same
-//! owned data set.
+//! owned columnar data set.
 //!
 //! BNL, SFS, SaLSa and BBS stream through their genuinely incremental
 //! cursors (`skyline::BnlCursor` & co.); brute force, Bitmap and Index have
 //! no useful lazy structure and wrap an eager run behind the same cursor
-//! interface. Yielded [`SkylinePoint`]s carry the TO coordinates and an
-//! empty PO part — these algorithms predate partially ordered domains.
+//! interface. The data lives in a [`PointBlock`] — one flat coordinate
+//! matrix, no per-point rows. Yielded [`SkylinePoint`]s carry the TO
+//! coordinates and an empty PO part — these algorithms predate partially
+//! ordered domains.
 //!
 //! ```
 //! use tss_core::{ClassicAlgo, ClassicEngine, SkylineEngine};
+//! use skyline::PointBlock;
 //!
-//! let data = vec![vec![5, 1], vec![1, 5], vec![3, 3], vec![4, 4]];
+//! let data = PointBlock::from_rows(&[vec![5, 1], vec![1, 5], vec![3, 3], vec![4, 4]]);
 //! let engine = ClassicEngine::new(data, ClassicAlgo::Sfs);
 //! let (skyline, metrics) = engine.collect_skyline();
 //! let mut records: Vec<u32> = skyline.iter().map(|p| p.record).collect();
@@ -24,7 +27,7 @@ use crate::cursor::{SkylineCursor, SkylineEngine};
 use crate::stss::SkylinePoint;
 use crate::{Metrics, ProgressSample};
 use rtree::RTree;
-use skyline::{BbsCursor, BnlCursor, SalsaCursor, SfsCursor, Stats};
+use skyline::{BbsCursor, BnlCursor, PointBlock, SalsaCursor, SfsCursor, Stats};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -54,37 +57,43 @@ pub enum ClassicAlgo {
     Index,
 }
 
-/// A classic totally ordered skyline algorithm over an owned data set,
-/// exposed through the workspace-wide [`SkylineEngine`] API.
+/// A classic totally ordered skyline algorithm over an owned columnar data
+/// set, exposed through the workspace-wide [`SkylineEngine`] API.
 pub struct ClassicEngine {
-    data: Vec<Vec<u32>>,
+    data: PointBlock,
     algo: ClassicAlgo,
     /// Built once at construction for [`ClassicAlgo::Bbs`].
     tree: Option<RTree>,
 }
 
 impl ClassicEngine {
-    /// Wraps `data` (one row per record; uniform dimensionality) for the
-    /// chosen algorithm. For [`ClassicAlgo::Bbs`] the R-tree is bulk-loaded
-    /// here, mirroring the offline indexing of the tree-based engines.
-    pub fn new(data: Vec<Vec<u32>>, algo: ClassicAlgo) -> Self {
+    /// Wraps a columnar `data` block for the chosen algorithm. For
+    /// [`ClassicAlgo::Bbs`] the R-tree is bulk-loaded here straight off the
+    /// flat matrix, mirroring the offline indexing of the tree-based
+    /// engines.
+    pub fn new(data: PointBlock, algo: ClassicAlgo) -> Self {
         let tree = match algo {
             ClassicAlgo::Bbs { node_capacity } => {
-                let dims = data.first().map_or(1, Vec::len);
-                let pts: Vec<(Vec<u32>, u32)> = data
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| (p.clone(), i as u32))
-                    .collect();
-                Some(RTree::bulk_load(dims, node_capacity, pts))
+                let ids: Vec<u32> = (0..data.len() as u32).collect();
+                Some(RTree::bulk_load_flat(
+                    data.dims(),
+                    node_capacity,
+                    data.flat(),
+                    &ids,
+                ))
             }
             _ => None,
         };
         ClassicEngine { data, algo, tree }
     }
 
-    /// The wrapped data set.
-    pub fn data(&self) -> &[Vec<u32>] {
+    /// Row-based ingestion convenience (tests, examples).
+    pub fn from_rows(rows: &[Vec<u32>], algo: ClassicAlgo) -> Self {
+        Self::new(PointBlock::from_rows(rows), algo)
+    }
+
+    /// The wrapped columnar data set.
+    pub fn data(&self) -> &PointBlock {
         &self.data
     }
 
@@ -153,7 +162,7 @@ enum Source<'a> {
 
 /// The [`SkylineCursor`] over one [`ClassicEngine`] run.
 struct ClassicCursor<'a> {
-    data: &'a [Vec<u32>],
+    data: &'a PointBlock,
     source: Source<'a>,
     start: Instant,
     results: u64,
@@ -199,7 +208,7 @@ impl SkylineCursor for ClassicCursor<'_> {
         };
         Some(SkylinePoint {
             record,
-            to: self.data[record as usize].clone(),
+            to: self.data.point(record as usize).to_vec(),
             po: Vec::new(),
         })
     }
@@ -208,6 +217,7 @@ impl SkylineCursor for ClassicCursor<'_> {
         let stats = self.stats();
         Metrics {
             dominance_checks: stats.dominance_checks,
+            dominance_batch_calls: stats.dominance_batch_calls,
             io_reads: stats.io_reads,
             results: self.results,
             cpu: self.final_cpu.unwrap_or_else(|| self.start.elapsed()),
@@ -226,10 +236,12 @@ mod tests {
 
     /// 60 anti-correlated skyline points interleaved with 60 dominated
     /// ones — a non-trivial skyline for every algorithm.
-    fn sample_data() -> Vec<Vec<u32>> {
-        (0..60u32)
-            .flat_map(|i| [vec![i, 59 - i], vec![i + 30, 89 - i]])
-            .collect()
+    fn sample_data() -> PointBlock {
+        PointBlock::from_rows(
+            &(0..60u32)
+                .flat_map(|i| [vec![i, 59 - i], vec![i + 30, 89 - i]])
+                .collect::<Vec<_>>(),
+        )
     }
 
     fn all_algos() -> Vec<ClassicAlgo> {
@@ -261,7 +273,7 @@ mod tests {
             assert_eq!(metrics.results, expect.len() as u64, "{algo:?}");
             // Yielded coordinates round-trip and the PO part is empty.
             for p in &pts {
-                assert_eq!(p.to, data[p.record as usize], "{algo:?}");
+                assert_eq!(p.to, data.point(p.record as usize), "{algo:?}");
                 assert!(p.po.is_empty());
             }
         }
@@ -295,5 +307,13 @@ mod tests {
         let a = engine.collect_skyline().0;
         let b = engine.collect_skyline().0;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_kernels_are_accounted() {
+        let engine = ClassicEngine::new(sample_data(), ClassicAlgo::Sfs);
+        let (_, metrics) = engine.collect_skyline();
+        assert!(metrics.dominance_batch_calls > 0);
+        assert!(metrics.dominance_checks >= metrics.dominance_batch_calls / 2);
     }
 }

@@ -21,6 +21,7 @@ impl<'a> Dominance<'a> {
     /// * `a.po[d]` equals or is t-preferred over `b.po[d]` on every PO
     ///   dimension, and
     /// * at least one comparison is strict.
+    #[inline]
     pub fn t_dominates(&self, to_a: &[u32], po_a: &[u32], to_b: &[u32], po_b: &[u32]) -> bool {
         t_dominates(self.domains, to_a, po_a, to_b, po_b)
     }
@@ -54,6 +55,15 @@ impl<'a> Dominance<'a> {
 }
 
 /// Free-function form of exact t-dominance (see [`Dominance::t_dominates`]).
+///
+/// This is the pair primitive of the batched kernels in
+/// [`PointStore`](crate::PointStore): the TO comparison accumulates both
+/// flags branch-free (no per-dimension exit — dimensionalities are small
+/// and mispredictions cost more than the spare compares), and the PO loop
+/// iterates the zipped triple so its bound is the hoisted `domains` length
+/// — the `debug_assert`s guarantee the rows are exactly that wide, so no
+/// per-pair index bounds remain.
+#[inline]
 pub fn t_dominates(
     domains: &[PoDomain],
     to_a: &[u32],
@@ -63,17 +73,17 @@ pub fn t_dominates(
 ) -> bool {
     debug_assert_eq!(to_a.len(), to_b.len());
     debug_assert_eq!(po_a.len(), domains.len());
+    debug_assert_eq!(po_b.len(), domains.len());
+    let mut le = true;
     let mut strict = false;
-    for (x, y) in to_a.iter().zip(to_b.iter()) {
-        if x > y {
-            return false;
-        }
-        if x < y {
-            strict = true;
-        }
+    for (&x, &y) in to_a.iter().zip(to_b.iter()) {
+        le &= x <= y;
+        strict |= x < y;
     }
-    for (d, dom) in domains.iter().enumerate() {
-        let (x, y) = (po_a[d], po_b[d]);
+    if !le {
+        return false;
+    }
+    for (dom, (&x, &y)) in domains.iter().zip(po_a.iter().zip(po_b.iter())) {
         if x == y {
             continue;
         }

@@ -25,14 +25,15 @@
 use crate::cursor::{SkylineCursor, SkylineEngine};
 use crate::dominance::t_dominates;
 use crate::progressive::ProgressSample;
+use crate::store::RecordId;
 use crate::stss::SkylinePoint;
 use crate::{CoreError, Metrics, PoDomain, Table, VirtualPointIndex};
 use poset::{Dag, ValueId};
 use rtree::{BestFirst, PageConfig, Popped, RTree};
+use skyline::PointBlock;
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
@@ -155,11 +156,13 @@ impl Dtss {
             .into_iter()
             .map(|key| {
                 let records = by_key.remove(&key).unwrap();
-                let pts: Vec<(Vec<u32>, u32)> = records
-                    .iter()
-                    .map(|&r| (table.to_row(r as usize).to_vec(), r))
-                    .collect();
-                let tree = RTree::bulk_load(table.to_dims(), cap, pts);
+                // Columnar group load: gather the members' TO rows into one
+                // flat matrix, never materializing per-point rows.
+                let mut coords = Vec::with_capacity(records.len() * table.to_dims());
+                for &r in &records {
+                    coords.extend_from_slice(table.to_row(r as usize));
+                }
+                let tree = RTree::bulk_load_flat(table.to_dims(), cap, &coords, &records);
                 let local_skyline = cfg.precompute_local.then(|| {
                     let (mut sky, _) = skyline::bbs(&tree);
                     sky.sort_by_key(|&r| (skyline::monotone_sum(table.to_row(r as usize)), r));
@@ -385,21 +388,15 @@ impl Dtss {
     #[allow(clippy::too_many_arguments)]
     fn emit(
         &self,
-        record: u32,
+        record: RecordId,
         to: &[u32],
         key: &[u32],
         domains: &[PoDomain],
-        skyline: &mut Vec<SkylinePoint>,
+        sky: &mut SkyList,
         vpi: Option<&mut VirtualPointIndex>,
-        keys: &mut HashSet<(Vec<u32>, Vec<u32>)>,
-        filtered: Option<&mut Vec<(usize, bool)>>,
+        filtered: Option<&mut Vec<(u32, bool)>>,
         m: &mut Metrics,
     ) {
-        let sp = SkylinePoint {
-            record,
-            to: to.to_vec(),
-            po: key.to_vec(),
-        };
         if let Some(vpi) = vpi {
             let sets: Vec<&poset::IntervalSet> = key
                 .iter()
@@ -410,10 +407,9 @@ impl Dtss {
         }
         if let Some(filtered) = filtered {
             // Same-key entry: can dominate later points of this group via TO.
-            filtered.push((skyline.len(), false));
+            filtered.push((sky.len() as u32, false));
         }
-        keys.insert((sp.to.clone(), sp.po.clone()));
-        skyline.push(sp);
+        sky.push(record, to, key);
         m.results += 1;
     }
 
@@ -425,14 +421,13 @@ impl Dtss {
         key: &[u32],
         posts: &[u32],
         domains: &[PoDomain],
-        skyline: &[SkylinePoint],
+        sky: &SkyList,
         vpi: Option<&VirtualPointIndex>,
-        keys: &HashSet<(Vec<u32>, Vec<u32>)>,
-        filtered: Option<&[(usize, bool)]>,
+        filtered: Option<&[(u32, bool)]>,
         m: &mut Metrics,
     ) -> bool {
         if let Some(vpi) = vpi {
-            if keys.contains(&(to.to_vec(), key.to_vec())) {
+            if sky.contains_key(to, key, &self.table) {
                 return false; // exact duplicate of a skyline point
             }
             let (hit, queries) = vpi.covers_value(to, posts);
@@ -440,16 +435,15 @@ impl Dtss {
             return hit;
         }
         if let Some(filtered) = filtered {
-            return filtered.iter().any(|&(ix, po_strict)| {
-                m.dominance_checks += 1;
-                let s = &skyline[ix];
-                s.to.iter().zip(to.iter()).all(|(sv, tv)| sv <= tv) && (po_strict || s.to != to)
-            });
+            // Same-key group: PO strictness was decided once per group, the
+            // remaining comparison is the TO-only strictness kernel.
+            let (hit, examined) = sky.folded.dominated_with_strictness(filtered, to);
+            m.batch(examined);
+            return hit;
         }
-        skyline.iter().any(|s| {
-            m.dominance_checks += 1;
-            t_dominates(domains, &s.to, &s.po, to, key)
-        })
+        let (hit, examined) = sky.t_dominated(domains, &self.table, to, key);
+        m.batch(examined);
+        hit
     }
 
     /// Sound subtree check: the group's PO values are fixed, so only the TO
@@ -464,9 +458,9 @@ impl Dtss {
         key: &[u32],
         posts: &[u32],
         domains: &[PoDomain],
-        skyline: &[SkylinePoint],
+        sky: &SkyList,
         vpi: Option<&VirtualPointIndex>,
-        filtered: Option<&[(usize, bool)]>,
+        filtered: Option<&[(u32, bool)]>,
         m: &mut Metrics,
     ) -> bool {
         if let Some(vpi) = vpi {
@@ -475,22 +469,145 @@ impl Dtss {
             return hit;
         }
         if let Some(filtered) = filtered {
-            return filtered.iter().any(|&(ix, po_strict)| {
-                m.dominance_checks += 1;
-                let s = &skyline[ix];
-                s.to.iter().zip(corner.iter()).all(|(sv, cv)| sv <= cv)
-                    && (po_strict || s.to != corner)
-            });
+            let (hit, examined) = sky.folded.dominated_with_strictness(filtered, corner);
+            m.batch(examined);
+            return hit;
         }
-        skyline.iter().any(|s| {
-            m.dominance_checks += 1;
-            s.to.iter().zip(corner.iter()).all(|(sv, cv)| sv <= cv)
-                && key
-                    .iter()
-                    .enumerate()
-                    .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv))
-                && (s.po != key || s.to != corner)
-        })
+        let (hit, examined) = sky.node_dominated(domains, &self.table, corner, key);
+        m.batch(examined);
+        hit
+    }
+}
+
+/// The cursor's working skyline, columnar: record ids, the *folded* TO
+/// coordinates (the dominance space), and a row-hash multimap for exact
+/// duplicate detection — PO values are fetched from the store by id, and
+/// no per-point rows or owned key tuples exist anywhere.
+struct SkyList {
+    ids: Vec<RecordId>,
+    /// Folded TO coordinates, parallel to `ids` (stride = `|TO|`).
+    folded: PointBlock,
+    /// Row hash of `(folded TO, PO key)` -> positions in `ids`.
+    keys: HashMap<u64, Vec<u32>>,
+}
+
+impl SkyList {
+    fn new(to_dims: usize) -> Self {
+        SkyList {
+            ids: Vec::new(),
+            folded: PointBlock::new(to_dims.max(1)),
+            keys: HashMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn push(&mut self, record: RecordId, folded_to: &[u32], po: &[u32]) {
+        self.keys
+            .entry(crate::store::row_hash(folded_to, po))
+            .or_default()
+            .push(self.ids.len() as u32);
+        self.ids.push(record);
+        self.folded.push(folded_to);
+    }
+
+    /// Is `(folded_to, po)` the exact key of some skyline entry? Hash probe
+    /// plus slice comparison against the blocks — no allocation.
+    fn contains_key(&self, folded_to: &[u32], po: &[u32], table: &Table) -> bool {
+        self.keys
+            .get(&crate::store::row_hash(folded_to, po))
+            .is_some_and(|positions| {
+                positions.iter().any(|&p| {
+                    self.folded.point(p as usize) == folded_to
+                        && table.po(self.ids[p as usize]) == po
+                })
+            })
+    }
+
+    /// Batched exact t-dominance of the whole list over one candidate
+    /// (folded TO coordinates, PO values from the store).
+    fn t_dominated(
+        &self,
+        domains: &[PoDomain],
+        table: &Table,
+        cand_to: &[u32],
+        cand_po: &[u32],
+    ) -> (bool, u64) {
+        let mut examined = 0u64;
+        for (pos, &r) in self.ids.iter().enumerate() {
+            examined += 1;
+            if t_dominates(
+                domains,
+                self.folded.point(pos),
+                table.po(r),
+                cand_to,
+                cand_po,
+            ) {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+
+    /// Shared corner kernel: some entry has `s.to <= corner` everywhere,
+    /// its PO values at-least-as-good on the group key, and — when
+    /// `exclude_ties` — is not an exact tie on both parts.
+    fn corner_dominated(
+        &self,
+        domains: &[PoDomain],
+        table: &Table,
+        corner: &[u32],
+        key: &[u32],
+        exclude_ties: bool,
+    ) -> (bool, u64) {
+        let mut examined = 0u64;
+        for (pos, &r) in self.ids.iter().enumerate() {
+            examined += 1;
+            let s_to = self.folded.point(pos);
+            let mut le = true;
+            for (&a, &b) in s_to.iter().zip(corner.iter()) {
+                le &= a <= b;
+            }
+            if !le {
+                continue;
+            }
+            let s_po = table.po(r);
+            if key
+                .iter()
+                .enumerate()
+                .all(|(d, &kv)| domains[d].pref_or_equal(s_po[d], kv))
+                && (!exclude_ties || s_po != key || s_to != corner)
+            {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+
+    /// Batched subtree check (see [`Dtss::node_dominated`]): the corner
+    /// kernel with the tie exclusion that keeps exact duplicates alive.
+    fn node_dominated(
+        &self,
+        domains: &[PoDomain],
+        table: &Table,
+        corner: &[u32],
+        key: &[u32],
+    ) -> (bool, u64) {
+        self.corner_dominated(domains, table, corner, key, true)
+    }
+
+    /// Batched group-dismissal check: like [`Self::node_dominated`] but
+    /// without the tie exclusion (the paper's root-corner test).
+    fn group_dismissed(
+        &self,
+        domains: &[PoDomain],
+        table: &Table,
+        corner: &[u32],
+        key: &[u32],
+    ) -> (bool, u64) {
+        self.corner_dominated(domains, table, corner, key, false)
     }
 }
 
@@ -539,14 +656,14 @@ enum DtssPhase<'a> {
     Local {
         gi: usize,
         posts: Vec<u32>,
-        filtered: Option<Vec<(usize, bool)>>,
+        filtered: Option<Vec<(u32, bool)>>,
         ix: usize,
     },
     /// Best-first traversal of a group's TO R-tree.
     Tree {
         gi: usize,
         posts: Vec<u32>,
-        filtered: Option<Vec<(usize, bool)>>,
+        filtered: Option<Vec<(u32, bool)>>,
         bf: BestFirst<'a>,
     },
     /// Draining the duplicate-completion queue.
@@ -572,10 +689,13 @@ pub struct DtssCursor<'a> {
     order_ix: usize,
     start: Instant,
     m: Metrics,
-    /// Working skyline in *folded* coordinates (the dominance space).
-    skyline: Vec<SkylinePoint>,
+    /// Working skyline in *folded* coordinates (the dominance space):
+    /// record ids plus a columnar folded-TO block.
+    sky: SkyList,
     vpi: Option<VirtualPointIndex>,
-    keys: HashSet<(Vec<u32>, Vec<u32>)>,
+    /// Reused buffer for folded candidate coordinates (fully dynamic
+    /// queries fold every popped point; plain queries never touch this).
+    fold_scratch: Vec<u32>,
     groups_skipped: u64,
     phase: DtssPhase<'a>,
     last_sample: ProgressSample,
@@ -628,9 +748,9 @@ impl<'a> DtssCursor<'a> {
             order_ix: 0,
             start,
             m,
-            skyline: Vec::new(),
+            sky: SkyList::new(to_dims),
             vpi,
-            keys: HashSet::new(),
+            fold_scratch: Vec::new(),
             groups_skipped: 0,
             phase: DtssPhase::NextGroup,
             last_sample: ProgressSample::default(),
@@ -656,9 +776,9 @@ impl<'a> DtssCursor<'a> {
             order_ix: 0,
             start: Instant::now(),
             m: Metrics::default(),
-            skyline: Vec::new(),
+            sky: SkyList::new(dtss.table.to_dims()),
             vpi: None,
-            keys: HashSet::new(),
+            fold_scratch: Vec::new(),
             groups_skipped: 0,
             phase: DtssPhase::Replay(queue),
             last_sample: ProgressSample::default(),
@@ -740,16 +860,11 @@ impl<'a> DtssCursor<'a> {
             self.m.dominance_checks += queries;
             hit
         } else {
-            let domains = &self.domains;
-            let m = &mut self.m;
-            self.skyline.iter().any(|s| {
-                m.dominance_checks += 1;
-                s.to.iter().zip(corner.iter()).all(|(sv, cv)| sv <= cv)
-                    && key
-                        .iter()
-                        .enumerate()
-                        .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv))
-            })
+            let (hit, examined) =
+                self.sky
+                    .group_dismissed(&self.domains, &dtss.table, &corner, key);
+            self.m.batch(examined);
+            hit
         };
         if dominated {
             self.groups_skipped += 1;
@@ -757,20 +872,24 @@ impl<'a> DtssCursor<'a> {
         }
 
         // Optional per-group dominator prefilter: global entries whose PO
-        // values can dominate this key, with their PO strictness.
-        let filtered: Option<Vec<(usize, bool)>> = dtss.cfg.filter_dominators.then(|| {
+        // values can dominate this key, with their PO strictness. The
+        // surviving positions feed the strictness-precomputed TO kernel.
+        let filtered: Option<Vec<(u32, bool)>> = dtss.cfg.filter_dominators.then(|| {
             let domains = &self.domains;
+            let table = &dtss.table;
             let m = &mut self.m;
-            self.skyline
+            self.sky
+                .ids
                 .iter()
                 .enumerate()
-                .filter_map(|(ix, s)| {
+                .filter_map(|(pos, &r)| {
                     m.dominance_checks += 1;
+                    let s_po = table.po(r);
                     let ok = key
                         .iter()
                         .enumerate()
-                        .all(|(d, &kv)| domains[d].pref_or_equal(s.po[d], kv));
-                    ok.then(|| (ix, s.po != *key))
+                        .all(|(d, &kv)| domains[d].pref_or_equal(s_po[d], kv));
+                    ok.then(|| (pos as u32, s_po != key))
                 })
                 .collect()
         });
@@ -808,18 +927,16 @@ impl<'a> DtssCursor<'a> {
     fn compute_extras(&self) -> VecDeque<SkylinePoint> {
         let table = &self.dtss.table;
         let mut emitted = vec![false; table.len()];
-        for p in &self.skyline {
-            emitted[p.record as usize] = true;
+        for &r in &self.sky.ids {
+            emitted[r as usize] = true;
         }
-        let key_of = |i: usize| (self.fold(table.to_row(i)), table.po_row(i).to_vec());
-        let present: HashSet<(Vec<u32>, Vec<u32>)> = self
-            .skyline
-            .iter()
-            .map(|p| (p.to.clone(), p.po.clone()))
-            .collect();
         let mut extras = VecDeque::new();
         for (i, done) in emitted.iter().enumerate() {
-            if !done && present.contains(&key_of(i)) {
+            if *done {
+                continue;
+            }
+            let folded = self.fold(table.to_row(i));
+            if self.sky.contains_key(&folded, table.po_row(i), table) {
                 extras.push_back(self.yielded(i as u32));
             }
         }
@@ -884,15 +1001,14 @@ impl SkylineCursor for DtssCursor<'_> {
                         .expect("Local phase requires precomputed skylines");
                     while let Some(&r) = local.get(ix) {
                         ix += 1;
-                        let to = dtss.table.to_row(r as usize);
+                        let to = dtss.table.to(r);
                         if !dtss.point_dominated(
                             to,
                             &group.key,
                             &posts,
                             &self.domains,
-                            &self.skyline,
+                            &self.sky,
                             self.vpi.as_ref(),
-                            &self.keys,
                             filtered.as_deref(),
                             &mut self.m,
                         ) {
@@ -901,9 +1017,8 @@ impl SkylineCursor for DtssCursor<'_> {
                                 to,
                                 &group.key,
                                 &self.domains,
-                                &mut self.skyline,
+                                &mut self.sky,
                                 self.vpi.as_mut(),
-                                &mut self.keys,
                                 filtered.as_mut(),
                                 &mut self.m,
                             );
@@ -932,16 +1047,22 @@ impl SkylineCursor for DtssCursor<'_> {
                         self.m.heap_pops += 1;
                         match popped {
                             Popped::Node { id, mbb, .. } => {
-                                let corner = match &self.reference {
-                                    None => mbb.lo().to_vec(),
-                                    Some(r) => mbb.folded_corner(r),
+                                // Borrow the corner straight off the MBB in
+                                // the common (origin-anchored) case.
+                                let folded_corner;
+                                let corner: &[u32] = match &self.reference {
+                                    None => mbb.lo(),
+                                    Some(r) => {
+                                        folded_corner = mbb.folded_corner(r);
+                                        &folded_corner
+                                    }
                                 };
                                 if !dtss.node_dominated(
-                                    &corner,
+                                    corner,
                                     key,
                                     &posts,
                                     &self.domains,
-                                    &self.skyline,
+                                    &self.sky,
                                     self.vpi.as_ref(),
                                     filtered.as_deref(),
                                     &mut self.m,
@@ -950,26 +1071,39 @@ impl SkylineCursor for DtssCursor<'_> {
                                 }
                             }
                             Popped::Record { point, record, .. } => {
-                                let folded = self.fold(point);
+                                // Fold into the reused scratch; the common
+                                // (origin-anchored) query reads the popped
+                                // slice directly — no per-record rows.
+                                let folded: &[u32] = match &self.reference {
+                                    None => point,
+                                    Some(r) => {
+                                        self.fold_scratch.clear();
+                                        self.fold_scratch.extend(
+                                            point
+                                                .iter()
+                                                .zip(r.iter())
+                                                .map(|(&a, &b)| a.abs_diff(b)),
+                                        );
+                                        &self.fold_scratch
+                                    }
+                                };
                                 if !dtss.point_dominated(
-                                    &folded,
+                                    folded,
                                     key,
                                     &posts,
                                     &self.domains,
-                                    &self.skyline,
+                                    &self.sky,
                                     self.vpi.as_ref(),
-                                    &self.keys,
                                     filtered.as_deref(),
                                     &mut self.m,
                                 ) {
                                     dtss.emit(
                                         record,
-                                        &folded,
+                                        folded,
                                         key,
                                         &self.domains,
-                                        &mut self.skyline,
+                                        &mut self.sky,
                                         self.vpi.as_mut(),
-                                        &mut self.keys,
                                         filtered.as_mut(),
                                         &mut self.m,
                                     );

@@ -62,8 +62,8 @@ mod fastcheck;
 mod mapping;
 mod metrics;
 mod progressive;
-mod schema;
 mod session;
+mod store;
 mod stss;
 
 pub use classic::{ClassicAlgo, ClassicEngine};
@@ -75,6 +75,11 @@ pub use fastcheck::VirtualPointIndex;
 pub use mapping::PoDomain;
 pub use metrics::{CostModel, Metrics};
 pub use progressive::{ProgressLog, ProgressSample};
-pub use schema::Table;
 pub use session::{QuerySession, SessionStats};
+pub use store::{PointStore, RecordId};
 pub use stss::{RangeStrategy, SkylinePoint, Stss, StssConfig, StssCursor, StssRun};
+
+/// The facade name of the columnar [`PointStore`]: the paper-facing API
+/// builds a `Table`, the engines consume it as the record-id-addressed
+/// store it is.
+pub type Table = PointStore;

@@ -94,14 +94,29 @@ impl PoDomain {
     }
 
     /// "At least as good": equal values or exact preference.
+    ///
+    /// Answered with one bit probe of the precomputed transitive closure —
+    /// the cheapest exact decision for a *value pair*. The interval labels
+    /// (whose job is the range/MBB queries a closure cannot answer) remain
+    /// the decision procedure for everything range-shaped; their pair form
+    /// is kept as [`pref_labeled`](Self::pref_labeled) for cross-checks.
     #[inline]
     pub fn pref_or_equal(&self, a: u32, b: u32) -> bool {
-        self.labeling.t_pref_or_equal(ValueId(a), ValueId(b))
+        self.reach.preferred_or_equal(ValueId(a), ValueId(b))
     }
 
-    /// Strict exact preference.
+    /// Strict exact preference (one closure bit probe, see
+    /// [`pref_or_equal`](Self::pref_or_equal)).
     #[inline]
     pub fn pref(&self, a: u32, b: u32) -> bool {
+        self.reach.preferred(ValueId(a), ValueId(b))
+    }
+
+    /// Strict exact preference decided by interval-label containment — the
+    /// paper's Definition 1 procedure. Equivalent to [`pref`](Self::pref)
+    /// by the exactness theorem; kept as an independent cross-check.
+    #[inline]
+    pub fn pref_labeled(&self, a: u32, b: u32) -> bool {
         self.labeling.t_pref(ValueId(a), ValueId(b))
     }
 }
@@ -118,12 +133,17 @@ mod tests {
         // Ordinals: deterministic topo sort is alphabetical here.
         assert_eq!(dom.ordinal(0), 1); // a
         assert_eq!(dom.ordinal(8), 9); // i
-                                       // pref agrees with the closure.
+                                       // The closure-bit pair preference and
+                                       // the interval-label decision
+                                       // procedure agree on every pair (the
+                                       // exactness theorem).
         for x in 0..9u32 {
             for y in 0..9u32 {
+                assert_eq!(dom.pref(x, y), dom.pref_labeled(x, y), "({x}, {y})");
                 assert_eq!(
-                    dom.pref(x, y),
-                    dom.reach().preferred(ValueId(x), ValueId(y))
+                    dom.pref_or_equal(x, y),
+                    x == y || dom.pref_labeled(x, y),
+                    "({x}, {y})"
                 );
             }
         }

@@ -7,6 +7,9 @@ use std::time::Duration;
 pub struct Metrics {
     /// Pairwise dominance / containment checks.
     pub dominance_checks: u64,
+    /// Invocations of a batched dominance kernel (each call examines zero
+    /// or more pairs, all counted in `dominance_checks`).
+    pub dominance_batch_calls: u64,
     /// Disk-page reads (R-tree node accesses plus, for rebuild-style
     /// baselines, sequential data passes).
     pub io_reads: u64,
@@ -36,6 +39,7 @@ impl Metrics {
     pub fn merge(&self, other: &Metrics) -> Metrics {
         Metrics {
             dominance_checks: self.dominance_checks + other.dominance_checks,
+            dominance_batch_calls: self.dominance_batch_calls + other.dominance_batch_calls,
             io_reads: self.io_reads + other.io_reads,
             io_writes: self.io_writes + other.io_writes,
             heap_pops: self.heap_pops + other.heap_pops,
@@ -44,6 +48,14 @@ impl Metrics {
             label_cache_misses: self.label_cache_misses + other.label_cache_misses,
             cpu: self.cpu + other.cpu,
         }
+    }
+
+    /// Accounts one batched-kernel invocation that examined `examined`
+    /// pairs.
+    #[inline]
+    pub fn batch(&mut self, examined: u64) {
+        self.dominance_checks += examined;
+        self.dominance_batch_calls += 1;
     }
 }
 
@@ -88,6 +100,7 @@ mod tests {
     fn merge_sums_fields() {
         let a = Metrics {
             dominance_checks: 1,
+            dominance_batch_calls: 8,
             io_reads: 2,
             io_writes: 3,
             heap_pops: 4,
@@ -99,10 +112,20 @@ mod tests {
         let b = a;
         let m = a.merge(&b);
         assert_eq!(m.dominance_checks, 2);
+        assert_eq!(m.dominance_batch_calls, 16);
         assert_eq!(m.io_total(), 10);
         assert_eq!(m.label_cache_hits, 12);
         assert_eq!(m.label_cache_misses, 14);
         assert_eq!(m.cpu, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn batch_accounts_pairs_and_calls() {
+        let mut m = Metrics::default();
+        m.batch(9);
+        m.batch(0);
+        assert_eq!(m.dominance_checks, 9);
+        assert_eq!(m.dominance_batch_calls, 2);
     }
 
     #[test]

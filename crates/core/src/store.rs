@@ -1,0 +1,392 @@
+//! The columnar tuple store every engine computes on.
+//!
+//! A [`PointStore`] keeps the totally ordered coordinates and the partially
+//! ordered value ids of all tuples in two flat `Vec<u32>` blocks with fixed
+//! strides (`to_dims` / `po_dims`), indexed by [`RecordId`]. There are zero
+//! per-tuple allocations: multi-million-tuple workloads cost two
+//! allocations total, slice access by record id is `O(1)`, and a dominance
+//! scan over a candidate list walks memory linearly.
+//!
+//! The batched kernels below test one candidate against a whole block of
+//! records: the TO comparison is branch-free per pair (flag accumulation
+//! instead of per-dimension exits), rows early-exit on the first dominator,
+//! and every kernel returns `(answer, pairs_examined)` where one examined
+//! pair equals one scalar [`t_dominates`] call of the seed implementation —
+//! so the batched counts are never larger than the scalar loop's.
+//!
+//! `Table` (the facade name the paper-facing API keeps) is an alias of this
+//! type.
+
+use crate::dominance::t_dominates;
+use crate::{CoreError, PoDomain};
+
+/// Index of a tuple in a [`PointStore`] — the currency engines trade in.
+pub type RecordId = u32;
+
+/// Digest of one tuple's attribute values, the key of the engines'
+/// duplicate-detection multimaps (hash -> records, resolved against the
+/// store by slice comparison).
+pub(crate) fn row_hash(to: &[u32], po: &[u32]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    to.hash(&mut h);
+    po.hash(&mut h);
+    h.finish()
+}
+
+/// A skyline input relation: `n` tuples with `to_dims` totally ordered
+/// integer attributes (smaller is better) and `po_dims` partially ordered
+/// attributes stored as value ids into their domain DAGs, both held as
+/// flat row-major blocks.
+#[derive(Debug, Clone, Default)]
+pub struct PointStore {
+    n: usize,
+    to_dims: usize,
+    po_dims: usize,
+    to: Vec<u32>,
+    po: Vec<u32>,
+}
+
+impl PointStore {
+    /// An empty store with the given dimensionality.
+    pub fn new(to_dims: usize, po_dims: usize) -> Self {
+        PointStore {
+            n: 0,
+            to_dims,
+            po_dims,
+            to: Vec::new(),
+            po: Vec::new(),
+        }
+    }
+
+    /// Wraps pre-generated flattened matrices (e.g. from `datagen`) without
+    /// copying them.
+    pub fn from_parts(
+        to_dims: usize,
+        po_dims: usize,
+        to: Vec<u32>,
+        po: Vec<u32>,
+    ) -> Result<Self, CoreError> {
+        if to_dims == 0 && po_dims == 0 {
+            return Err(CoreError::NoDimensions);
+        }
+        let n = to
+            .len()
+            .checked_div(to_dims)
+            .unwrap_or(po.len() / po_dims.max(1));
+        if to_dims > 0 && to.len() != n * to_dims {
+            return Err(CoreError::RaggedMatrix {
+                what: "TO",
+                len: to.len(),
+                n,
+                dims: to_dims,
+            });
+        }
+        if po.len() != n * po_dims {
+            return Err(CoreError::RaggedMatrix {
+                what: "PO",
+                len: po.len(),
+                n,
+                dims: po_dims,
+            });
+        }
+        Ok(PointStore {
+            n,
+            to_dims,
+            po_dims,
+            to,
+            po,
+        })
+    }
+
+    /// Appends one tuple.
+    pub fn push(&mut self, to_row: &[u32], po_row: &[u32]) {
+        assert_eq!(to_row.len(), self.to_dims, "TO row width");
+        assert_eq!(po_row.len(), self.po_dims, "PO row width");
+        self.to.extend_from_slice(to_row);
+        self.po.extend_from_slice(po_row);
+        self.n += 1;
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the store holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of totally ordered attributes.
+    #[inline]
+    pub fn to_dims(&self) -> usize {
+        self.to_dims
+    }
+
+    /// Number of partially ordered attributes.
+    #[inline]
+    pub fn po_dims(&self) -> usize {
+        self.po_dims
+    }
+
+    /// The TO coordinates of record `id`.
+    #[inline]
+    pub fn to(&self, id: RecordId) -> &[u32] {
+        let i = id as usize;
+        &self.to[i * self.to_dims..(i + 1) * self.to_dims]
+    }
+
+    /// The PO value ids of record `id`.
+    #[inline]
+    pub fn po(&self, id: RecordId) -> &[u32] {
+        let i = id as usize;
+        &self.po[i * self.po_dims..(i + 1) * self.po_dims]
+    }
+
+    /// The TO coordinates of tuple `i` (index-typed convenience).
+    #[inline]
+    pub fn to_row(&self, i: usize) -> &[u32] {
+        &self.to[i * self.to_dims..(i + 1) * self.to_dims]
+    }
+
+    /// The PO value ids of tuple `i` (index-typed convenience).
+    #[inline]
+    pub fn po_row(&self, i: usize) -> &[u32] {
+        &self.po[i * self.po_dims..(i + 1) * self.po_dims]
+    }
+
+    /// The flat row-major TO block.
+    #[inline]
+    pub fn to_block(&self) -> &[u32] {
+        &self.to
+    }
+
+    /// The flat row-major PO block.
+    #[inline]
+    pub fn po_block(&self) -> &[u32] {
+        &self.po
+    }
+
+    /// Validates every PO value id against per-dimension domain sizes.
+    pub fn check_domains(&self, sizes: &[u32]) -> Result<(), CoreError> {
+        if sizes.len() != self.po_dims {
+            return Err(CoreError::DomainCountMismatch {
+                dags: sizes.len(),
+                po_dims: self.po_dims,
+            });
+        }
+        for i in 0..self.n {
+            let row = self.po_row(i);
+            for (d, (&v, &s)) in row.iter().zip(sizes.iter()).enumerate() {
+                if v >= s {
+                    return Err(CoreError::PoValueOutOfRange {
+                        row: i,
+                        dim: d,
+                        value: v,
+                        domain: s,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- Batched dominance kernels --------------------------------------
+
+    /// Does any of the listed records t-dominate the candidate tuple
+    /// `(cand_to, cand_po)`? One linear walk over the flat blocks with
+    /// early exit; each examined pair is one exact [`t_dominates`] check.
+    /// Returns `(dominated, pairs_examined)`.
+    #[inline]
+    pub fn t_dominated_by_any(
+        &self,
+        domains: &[PoDomain],
+        cand_to: &[u32],
+        cand_po: &[u32],
+        ids: &[RecordId],
+    ) -> (bool, u64) {
+        debug_assert_eq!(cand_to.len(), self.to_dims);
+        debug_assert_eq!(cand_po.len(), self.po_dims);
+        let mut examined = 0u64;
+        for &id in ids {
+            examined += 1;
+            if t_dominates(domains, self.to(id), self.po(id), cand_to, cand_po) {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+
+    /// Strictness-precomputed kernel for same-key groups: all candidates
+    /// share one PO value combination, so whether a skyline record's PO part
+    /// is at-least-as-good — and whether it is *strictly* better — has been
+    /// decided once per group. Each entry is `(record, po_strict)`; the
+    /// record dominates the candidate TO row iff its own TO row is `<=`
+    /// everywhere and (PO-strict, or the TO rows differ). Returns
+    /// `(dominated, pairs_examined)`.
+    #[inline]
+    pub fn to_dominated_with_strictness(
+        &self,
+        entries: &[(RecordId, bool)],
+        cand_to: &[u32],
+    ) -> (bool, u64) {
+        debug_assert_eq!(cand_to.len(), self.to_dims);
+        let mut examined = 0u64;
+        for &(id, po_strict) in entries {
+            examined += 1;
+            let row = self.to(id);
+            let mut le = true;
+            let mut lt = false;
+            for (&a, &b) in row.iter().zip(cand_to.iter()) {
+                le &= a <= b;
+                lt |= a < b;
+            }
+            if le && (po_strict || lt) {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dominance;
+    use poset::Dag;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut t = PointStore::new(2, 1);
+        t.push(&[1, 2], &[0]);
+        t.push(&[3, 4], &[5]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.to_row(0), &[1, 2]);
+        assert_eq!(t.to(1), &[3, 4]);
+        assert_eq!(t.po(1), &[5]);
+        assert_eq!((t.to_dims(), t.po_dims()), (2, 1));
+        assert_eq!(t.to_block(), &[1, 2, 3, 4]);
+        assert_eq!(t.po_block(), &[0, 5]);
+    }
+
+    #[test]
+    fn from_parts_validates_shape() {
+        assert!(PointStore::from_parts(2, 1, vec![1, 2, 3, 4], vec![0, 0]).is_ok());
+        assert!(matches!(
+            PointStore::from_parts(2, 1, vec![1, 2, 3], vec![0, 0]),
+            Err(CoreError::RaggedMatrix { .. })
+        ));
+        assert!(matches!(
+            PointStore::from_parts(2, 1, vec![1, 2, 3, 4], vec![0]),
+            Err(CoreError::RaggedMatrix { .. })
+        ));
+        assert!(matches!(
+            PointStore::from_parts(0, 0, vec![], vec![]),
+            Err(CoreError::NoDimensions)
+        ));
+    }
+
+    #[test]
+    fn po_only_store() {
+        let t = PointStore::from_parts(0, 2, vec![], vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.po_row(0), &[1, 2]);
+        assert!(t.to_row(0).is_empty());
+    }
+
+    #[test]
+    fn domain_check() {
+        let t = PointStore::from_parts(1, 2, vec![5, 6], vec![0, 3, 1, 2]).unwrap();
+        assert!(t.check_domains(&[2, 4]).is_ok());
+        assert!(matches!(
+            t.check_domains(&[2, 3]),
+            Err(CoreError::PoValueOutOfRange {
+                row: 0,
+                dim: 1,
+                value: 3,
+                domain: 3
+            })
+        ));
+        assert!(matches!(
+            t.check_domains(&[2]),
+            Err(CoreError::DomainCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batched_kernel_counts_and_early_exits() {
+        let doms = vec![PoDomain::new(Dag::paper_example())];
+        let mut t = PointStore::new(1, 1);
+        t.push(&[9], &[8]); // dominates nothing relevant
+        t.push(&[2], &[2]); // c at cost 2: dominates (3, f)
+        t.push(&[0], &[0]); // never reached once a dominator is found
+        let (hit, examined) = t.t_dominated_by_any(&doms, &[3], &[5], &[0, 1, 2]);
+        assert!(hit);
+        assert_eq!(examined, 2, "early exit after the second record");
+        let (miss, examined) = t.t_dominated_by_any(&doms, &[0], &[0], &[0, 1, 2]);
+        assert!(!miss, "duplicates of record 2 are not dominated");
+        assert_eq!(examined, 3);
+    }
+
+    #[test]
+    fn strictness_kernel_handles_equal_rows() {
+        let mut t = PointStore::new(2, 1);
+        t.push(&[5, 5], &[0]);
+        // Equal TO rows dominate only when the PO part was strictly better.
+        assert!(!t.to_dominated_with_strictness(&[(0, false)], &[5, 5]).0);
+        assert!(t.to_dominated_with_strictness(&[(0, true)], &[5, 5]).0);
+        // Strictly better TO needs no PO strictness.
+        assert!(t.to_dominated_with_strictness(&[(0, false)], &[6, 5]).0);
+        // Worse TO never dominates.
+        assert!(!t.to_dominated_with_strictness(&[(0, true)], &[4, 9]).0);
+    }
+
+    proptest! {
+        /// Satellite acceptance: for random mixed TO/PO tuples, the batched
+        /// kernel agrees with `Dominance::dominates_oracle` on every pair —
+        /// including duplicate-tuple non-domination.
+        #[test]
+        fn batched_kernel_agrees_with_oracle(
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(0u32..5, 2), 0u32..9), 1..24),
+            cand_to in proptest::collection::vec(0u32..5, 2),
+            cand_po in 0u32..9,
+            dup in proptest::bool::ANY,
+        ) {
+            let doms = vec![PoDomain::new(Dag::paper_example())];
+            let oracle = Dominance::new(&doms);
+            let mut store = PointStore::new(2, 1);
+            for (to, po) in &rows {
+                store.push(to, &[*po]);
+            }
+            // Optionally make the candidate an exact duplicate of a stored
+            // tuple: it must never be reported as dominated by its copy.
+            let (cand_to, cand_po) = if dup {
+                (store.to(0).to_vec(), store.po(0).to_vec())
+            } else {
+                (cand_to, vec![cand_po])
+            };
+            let ids: Vec<RecordId> = (0..store.len() as u32).collect();
+            // Pairwise agreement (singleton batches).
+            for &id in &ids {
+                let (got, examined) =
+                    store.t_dominated_by_any(&doms, &cand_to, &cand_po, &[id]);
+                prop_assert_eq!(examined, 1);
+                prop_assert_eq!(
+                    got,
+                    oracle.dominates_oracle(store.to(id), store.po(id), &cand_to, &cand_po)
+                );
+            }
+            // Whole-list agreement.
+            let (got, _) = store.t_dominated_by_any(&doms, &cand_to, &cand_po, &ids);
+            let expect = ids.iter().any(|&id| {
+                oracle.dominates_oracle(store.to(id), store.po(id), &cand_to, &cand_po)
+            });
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

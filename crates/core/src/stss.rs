@@ -12,12 +12,12 @@
 //! optimal progressiveness.
 
 use crate::cursor::{SkylineCursor, SkylineEngine};
-use crate::dominance::t_dominates;
 use crate::progressive::{ProgressLog, ProgressSample};
+use crate::store::RecordId;
 use crate::{CoreError, Metrics, PoDomain, Table, VirtualPointIndex};
 use poset::{Dag, FullRangeIndex, IntervalSet};
 use rtree::{BestFirst, Mbb, PageConfig, Popped, RTree};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 /// How the merged interval set of an MBB's ordinal range is obtained —
@@ -133,11 +133,17 @@ impl Stss {
             return Err(CoreError::NoDimensions);
         }
         let cap = cfg.node_capacity.unwrap_or_else(|| cfg.page.capacity(dims));
-        let mut pts = Vec::with_capacity(table.len());
+        // Transformed coordinates, materialized columnar: TO values then one
+        // topological ordinal per PO attribute — no per-point rows.
+        let mut coords = Vec::with_capacity(table.len() * dims);
         for i in 0..table.len() {
-            pts.push((Self::transform(&table, &domains, i), i as u32));
+            coords.extend_from_slice(table.to_row(i));
+            for (dom, &v) in domains.iter().zip(table.po_row(i)) {
+                coords.push(dom.ordinal(v));
+            }
         }
-        let mut tree = RTree::bulk_load(dims, cap, pts);
+        let ids: Vec<u32> = (0..table.len() as u32).collect();
+        let mut tree = RTree::bulk_load_flat(dims, cap, &coords, &ids);
         if let Some(pages) = cfg.buffer_pages {
             tree.enable_buffer(pages);
         }
@@ -185,17 +191,6 @@ impl Stss {
             cfg,
             full_ranges,
         })
-    }
-
-    /// Transformed coordinates of row `i`: TO values then one topological
-    /// ordinal per PO attribute.
-    fn transform(table: &Table, domains: &[PoDomain], i: usize) -> Vec<u32> {
-        let mut c = Vec::with_capacity(table.to_dims() + table.po_dims());
-        c.extend_from_slice(table.to_row(i));
-        for (d, &v) in table.po_row(i).iter().enumerate() {
-            c.push(domains[d].ordinal(v));
-        }
-        c
     }
 
     /// The input table.
@@ -267,30 +262,28 @@ impl Stss {
         c.metrics()
     }
 
-    /// Hash of a tuple's attribute values (duplicate detection).
-    fn row_hash(to: &[u32], po: &[u32]) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        to.hash(&mut h);
-        po.hash(&mut h);
-        h.finish()
-    }
-
     /// Is the candidate point t-dominated by the current skyline (given as
-    /// record ids; attribute values are fetched from the table)?
+    /// record ids; attribute values are fetched from the store)?
     fn point_dominated(
         &self,
         to: &[u32],
         po: &[u32],
-        skyline: &[u32],
+        skyline: &[RecordId],
         vpi: Option<&VirtualPointIndex>,
-        keys: &HashSet<(Vec<u32>, Vec<u32>)>,
+        keys: &HashMap<u64, Vec<RecordId>>,
         m: &mut Metrics,
     ) -> bool {
         if let Some(vpi) = vpi {
-            // Exact duplicates of skyline points are never dominated.
-            if keys.contains(&(to.to_vec(), po.to_vec())) {
-                return false;
+            // Exact duplicates of skyline points are never dominated. The
+            // key set is a row-hash multimap resolved against the store, so
+            // the per-candidate probe allocates nothing.
+            if let Some(cands) = keys.get(&crate::store::row_hash(to, po)) {
+                if cands
+                    .iter()
+                    .any(|&r| self.table.to(r) == to && self.table.po(r) == po)
+                {
+                    return false;
+                }
             }
             let posts: Vec<u32> = po
                 .iter()
@@ -301,19 +294,11 @@ impl Stss {
             m.dominance_checks += queries;
             return hit;
         }
-        for &r in skyline {
-            m.dominance_checks += 1;
-            if t_dominates(
-                &self.domains,
-                self.table.to_row(r as usize),
-                self.table.po_row(r as usize),
-                to,
-                po,
-            ) {
-                return true;
-            }
-        }
-        false
+        let (hit, examined) = self
+            .table
+            .t_dominated_by_any(&self.domains, to, po, skyline);
+        m.batch(examined);
+        hit
     }
 
     /// Can the whole MBB be pruned?
@@ -454,10 +439,12 @@ pub struct StssCursor<'a> {
     /// Confirmed skyline records in emission order; attribute values are
     /// fetched from the table on demand, so confirmation allocates exactly
     /// one owned [`SkylinePoint`] — the one handed to the caller.
-    skyline: Vec<u32>,
+    skyline: Vec<RecordId>,
     vpi: Option<VirtualPointIndex>,
-    /// Exact-key set: keeps duplicate handling exact under fast checks.
-    keys: HashSet<(Vec<u32>, Vec<u32>)>,
+    /// Exact-key multimap (row hash -> skyline records with that hash):
+    /// keeps duplicate handling exact under fast checks, with candidate
+    /// probes resolved against the store instead of owned key tuples.
+    keys: HashMap<u64, Vec<RecordId>>,
     /// `Some` once the traversal is exhausted and the duplicate-completion
     /// queue has been computed.
     extras: Option<VecDeque<SkylinePoint>>,
@@ -483,7 +470,7 @@ impl<'a> StssCursor<'a> {
             m: Metrics::default(),
             skyline: Vec::new(),
             vpi,
-            keys: HashSet::new(),
+            keys: HashMap::new(),
             extras: None,
             last_sample: ProgressSample::default(),
             finished: false,
@@ -520,7 +507,10 @@ impl<'a> StssCursor<'a> {
                                 .map(|(d, &v)| stss.domains[d].intervals(v))
                                 .collect();
                             vpi.insert(to, &sets, record);
-                            self.keys.insert((to.to_vec(), po.to_vec()));
+                            self.keys
+                                .entry(crate::store::row_hash(to, po))
+                                .or_default()
+                                .push(record);
                         }
                         self.skyline.push(record);
                         self.m.results += 1;
@@ -558,7 +548,7 @@ impl<'a> StssCursor<'a> {
         for &r in &self.skyline {
             emitted[r as usize] = true;
             by_hash
-                .entry(Stss::row_hash(
+                .entry(crate::store::row_hash(
                     stss.table.to_row(r as usize),
                     stss.table.po_row(r as usize),
                 ))
@@ -570,7 +560,7 @@ impl<'a> StssCursor<'a> {
                 continue;
             }
             let (to, po) = (stss.table.to_row(i), stss.table.po_row(i));
-            let Some(cands) = by_hash.get(&Stss::row_hash(to, po)) else {
+            let Some(cands) = by_hash.get(&crate::store::row_hash(to, po)) else {
                 continue;
             };
             let is_dup = cands.iter().any(|&r| {

@@ -114,8 +114,7 @@ mod tests {
                 seed: 11,
             };
             let m = gen_to_matrix(cfg);
-            let pts: Vec<Vec<u32>> = m.chunks(2).map(|c| c.to_vec()).collect();
-            skyline::brute_force(&pts).len()
+            skyline::brute_force(&skyline::PointBlock::from_flat(2, m)).len()
         };
         let indep = mk(Distribution::Independent);
         let anti = mk(Distribution::AntiCorrelated);

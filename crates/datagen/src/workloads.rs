@@ -94,6 +94,19 @@ impl ExperimentParams {
         gen_po_matrix(self.n, &sizes, self.seed.wrapping_add(0xDA7A))
     }
 
+    /// Materializes the whole workload straight into the columnar
+    /// [`PointStore`](tss_core::PointStore): the generated flat TO/PO
+    /// matrices are wrapped zero-copy, so the tuples never exist as
+    /// per-point rows on the way to the engines.
+    pub fn materialize(&self) -> (tss_core::PointStore, Vec<Dag>) {
+        let dags = self.build_dags();
+        let to = self.gen_to();
+        let po = self.gen_po(&dags);
+        let store = tss_core::PointStore::from_parts(self.to_dims, self.po_dims, to, po)
+            .expect("generator emits well-shaped matrices");
+        (store, dags)
+    }
+
     /// The Table III sweep values for data cardinality.
     pub const CARDINALITIES: [usize; 5] = [100_000, 500_000, 1_000_000, 5_000_000, 10_000_000];
     /// The Table III sweep values for `(|TO|, |PO|)`.

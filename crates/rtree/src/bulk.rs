@@ -12,24 +12,51 @@ impl RTree {
     /// `⌈n / cap⌉` pages at the leaf level — the disk-footprint model the
     /// paper's IO counts assume.
     pub fn bulk_load(dims: usize, cap: usize, points: Vec<(Vec<u32>, u32)>) -> Self {
-        let mut tree = RTree::new(dims, cap);
-        if points.is_empty() {
-            return tree;
-        }
         for (p, _) in &points {
             assert_eq!(p.len(), dims, "point dimensionality mismatch");
         }
-        // --- Leaf level ---------------------------------------------------
-        let mut items: Vec<(Vec<u32>, u32)> = points;
-        let groups = str_tile(&mut items, dims, cap, 0);
-        let mut level: Vec<NodeId> = groups
+        let mut coords = Vec::with_capacity(points.len() * dims);
+        let mut records = Vec::with_capacity(points.len());
+        for (p, r) in &points {
+            coords.extend_from_slice(p);
+            records.push(*r);
+        }
+        Self::bulk_load_flat(dims, cap, &coords, &records)
+    }
+
+    /// Columnar STR bulk load: `coords` is the row-major flat coordinate
+    /// matrix (`records.len() * dims` values), `records[i]` the record id of
+    /// row `i`. The tiling sorts an index array over the flat matrix, so no
+    /// per-point row is ever materialized; the resulting tree is identical
+    /// to [`bulk_load`](Self::bulk_load) on the same rows in the same
+    /// order.
+    pub fn bulk_load_flat(dims: usize, cap: usize, coords: &[u32], records: &[u32]) -> Self {
+        let mut tree = RTree::new(dims, cap);
+        let n = records.len();
+        assert_eq!(coords.len(), n * dims, "flat matrix shape");
+        if n == 0 {
+            return tree;
+        }
+        // --- Leaf level: tile (row, record) index pairs over the flat
+        // matrix, then cut leaves out of the reordered index array. -------
+        let mut items: Vec<(u32, u32)> = records
+            .iter()
+            .enumerate()
+            .map(|(row, &r)| (row as u32, r))
+            .collect();
+        let mut bounds = Vec::new();
+        str_tile_flat(&mut items, coords, dims, cap, 0, 0, &mut bounds);
+        let mut level: Vec<NodeId> = bounds
             .into_iter()
-            .map(|group| {
-                let entries: Vec<LeafEntry> = group
-                    .into_iter()
-                    .map(|(p, r)| LeafEntry {
-                        point: p.into_boxed_slice(),
-                        record: r,
+            .map(|(lo, hi)| {
+                let entries: Vec<LeafEntry> = items[lo..hi]
+                    .iter()
+                    .map(|&(row, record)| {
+                        let base = row as usize * dims;
+                        LeafEntry {
+                            point: coords[base..base + dims].into(),
+                            record,
+                        }
                     })
                     .collect();
                 tree.len += entries.len();
@@ -80,8 +107,63 @@ impl RTree {
     }
 }
 
+/// The flat-matrix twin of [`str_tile`]: recursively reorders `(row,
+/// record)` index pairs over the row-major `coords` matrix and records the
+/// final leaf cut points in `bounds` as `[lo, hi)` ranges into `items`.
+/// Sort keys (coordinate, then record id) match `str_tile`, so both tilings
+/// produce identical trees.
+fn str_tile_flat(
+    items: &mut [(u32, u32)],
+    coords: &[u32],
+    dims: usize,
+    cap: usize,
+    dim: usize,
+    base: usize,
+    bounds: &mut Vec<(usize, usize)>,
+) {
+    let n = items.len();
+    if n <= cap {
+        bounds.push((base, base + n));
+        return;
+    }
+    items.sort_unstable_by(|a, b| {
+        coords[a.0 as usize * dims + dim]
+            .cmp(&coords[b.0 as usize * dims + dim])
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    if dim + 1 == dims {
+        // Last dimension: chunk straight into pages.
+        let mut off = 0;
+        while off < n {
+            let end = (off + cap).min(n);
+            bounds.push((base + off, base + end));
+            off = end;
+        }
+        return;
+    }
+    let pages = n.div_ceil(cap);
+    let k = (dims - dim) as f64;
+    let slabs = (pages as f64).powf(1.0 / k).ceil() as usize;
+    let slab_size = n.div_ceil(slabs.max(1));
+    let mut off = 0;
+    while off < n {
+        let end = (off + slab_size).min(n);
+        str_tile_flat(
+            &mut items[off..end],
+            coords,
+            dims,
+            cap,
+            dim + 1,
+            base + off,
+            bounds,
+        );
+        off = end;
+    }
+}
+
 /// Recursively tiles `items` into groups of at most `cap`, sorting by one
-/// dimension per recursion level (classic STR).
+/// dimension per recursion level (classic STR). Retained for the upper
+/// levels, which tile child-MBB centers (few, already materialized).
 fn str_tile(
     items: &mut [(Vec<u32>, u32)],
     dims: usize,
@@ -175,6 +257,34 @@ mod tests {
         assert_eq!(t.len(), 500);
         t.validate().unwrap();
         assert!(t.height() >= 2);
+    }
+
+    #[test]
+    fn flat_load_matches_pairwise_load() {
+        let pts = grid_points(9);
+        let mut coords = Vec::new();
+        let mut records = Vec::new();
+        for (p, r) in &pts {
+            coords.extend_from_slice(p);
+            records.push(*r);
+        }
+        for cap in [2usize, 4, 16] {
+            let flat = RTree::bulk_load_flat(2, cap, &coords, &records);
+            let pairs = RTree::bulk_load(2, cap, pts.clone());
+            flat.validate().unwrap();
+            assert_eq!(flat.node_count(), pairs.node_count(), "cap={cap}");
+            assert_eq!(flat.iter_records(), pairs.iter_records(), "cap={cap}");
+        }
+        // Empty flat load.
+        let t = RTree::bulk_load_flat(3, 4, &[], &[]);
+        assert!(t.is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "flat matrix shape")]
+    fn flat_load_rejects_ragged_matrix() {
+        let _ = RTree::bulk_load_flat(2, 4, &[1, 2, 3], &[0, 1]);
     }
 
     #[test]

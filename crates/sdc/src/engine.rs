@@ -24,6 +24,7 @@
 
 use crate::index::SdcIndex;
 use rtree::Popped;
+use skyline::PointBlock;
 use std::collections::VecDeque;
 use std::time::Instant;
 use tss_core::{Metrics, ProgressSample, SkylineCursor, SkylinePoint};
@@ -41,11 +42,37 @@ pub struct SdcRun {
     pub false_hits_removed: u64,
 }
 
-/// One confirmed or candidate entry.
-#[derive(Debug, Clone)]
-struct Entry {
-    record: u32,
-    tcoords: Vec<u32>,
+/// A columnar confirmed-or-candidate list: record ids plus their
+/// transformed coordinates in one flat block (the global and local lists of
+/// the stratum engine). m-pruning and m-screening run the block's batched
+/// kernels; exact checks fetch original tuples from the store by id.
+#[derive(Debug)]
+struct EntryList {
+    ids: Vec<u32>,
+    tcoords: PointBlock,
+}
+
+impl EntryList {
+    fn new(dims: usize) -> Self {
+        EntryList {
+            ids: Vec::new(),
+            tcoords: PointBlock::new(dims),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn push(&mut self, record: u32, tcoords: &[u32]) {
+        self.ids.push(record);
+        self.tcoords.push(tcoords);
+    }
+
+    fn append(&mut self, other: &mut EntryList) {
+        self.ids.append(&mut other.ids);
+        self.tcoords.append(&mut other.tcoords);
+    }
 }
 
 pub(crate) fn run_strata(index: &SdcIndex, emit: &mut dyn FnMut(u32, ProgressSample)) -> SdcRun {
@@ -79,7 +106,7 @@ pub struct SdcCursor<'a> {
     index: &'a SdcIndex,
     start: Instant,
     m: Metrics,
-    global: Vec<Entry>,
+    global: EntryList,
     stratum_ix: usize,
     /// Confirmations of the current stratum not yet pulled.
     buffer: VecDeque<(u32, ProgressSample)>,
@@ -95,7 +122,7 @@ impl<'a> SdcCursor<'a> {
             index,
             start: Instant::now(),
             m: Metrics::default(),
-            global: Vec::new(),
+            global: EntryList::new(index.ctx.transformed_dims()),
             stratum_ix: 0,
             buffer: VecDeque::new(),
             per_stratum: Vec::new(),
@@ -133,30 +160,37 @@ impl<'a> SdcCursor<'a> {
         };
 
         stratum.tree.reset_io();
-        let mut local: Vec<Entry> = Vec::new();
+        let mut local = EntryList::new(index.ctx.transformed_dims());
         let mut bf = stratum.tree.best_first();
         while let Some(popped) = bf.pop() {
             m.heap_pops += 1;
             match popped {
                 Popped::Node { id, mbb, .. } => {
                     let corner = mbb.lo();
-                    // m-prune against both lists (strict-corner rule keeps
-                    // exact duplicates of list entries alive).
-                    let pruned = self.global.iter().chain(local.iter()).any(|e| {
-                        m.dominance_checks += 1;
-                        skyline::dominates_or_equal(&e.tcoords, corner)
-                            && e.tcoords.as_slice() != corner
-                    });
+                    // m-prune against both lists, batched (strict-corner
+                    // rule keeps exact duplicates of list entries alive).
+                    let (hit_g, ex_g) = self.global.tcoords.corner_pruned(corner);
+                    m.batch(ex_g);
+                    let pruned = hit_g || {
+                        let (hit_l, ex_l) = local.tcoords.corner_pruned(corner);
+                        m.batch(ex_l);
+                        hit_l
+                    };
                     if !pruned {
                         bf.expand(id);
                     }
                 }
                 Popped::Record { point, record, .. } => {
-                    // 1. m-dominance screen (cheap, sound).
-                    let m_dominated = self.global.iter().chain(local.iter()).any(|e| {
-                        m.dominance_checks += 1;
-                        ctx.m_dominates(&e.tcoords, point)
-                    });
+                    // 1. m-dominance screen (cheap, sound): m-dominance is
+                    // plain coordinate dominance in the transformed space,
+                    // so the batched block kernel decides it directly.
+                    let (hit_g, ex_g) = self.global.tcoords.dominated(point);
+                    m.batch(ex_g);
+                    let m_dominated = hit_g || {
+                        let (hit_l, ex_l) = local.tcoords.dominated(point);
+                        m.batch(ex_l);
+                        hit_l
+                    };
                     if m_dominated {
                         continue;
                     }
@@ -164,25 +198,17 @@ impl<'a> SdcCursor<'a> {
                         (table.to_row(record as usize), table.po_row(record as usize));
                     if !stratum.exact {
                         // 2. exact check against confirmed results.
-                        let dominated_g = self.global.iter().any(|e| {
+                        let dominated_g = self.global.ids.iter().any(|&r| {
                             m.dominance_checks += 1;
-                            let (to_e, po_e) = (
-                                table.to_row(e.record as usize),
-                                table.po_row(e.record as usize),
-                            );
-                            ctx.exact_dominates(to_e, po_e, to_p, po_p)
+                            ctx.exact_dominates(table.to(r), table.po(r), to_p, po_p)
                         });
                         if dominated_g {
                             continue;
                         }
                         // 3. exact check against local candidates.
-                        let dominated_l = local.iter().any(|e| {
+                        let dominated_l = local.ids.iter().any(|&r| {
                             m.dominance_checks += 1;
-                            let (to_e, po_e) = (
-                                table.to_row(e.record as usize),
-                                table.po_row(e.record as usize),
-                            );
-                            ctx.exact_dominates(to_e, po_e, to_p, po_p)
+                            ctx.exact_dominates(table.to(r), table.po(r), to_p, po_p)
                         });
                         if dominated_l {
                             continue;
@@ -190,20 +216,13 @@ impl<'a> SdcCursor<'a> {
                         // 4. cross-examination: evict local false hits that
                         // the new point exactly dominates.
                         let before = local.len();
-                        local.retain(|e| {
+                        local.tcoords.retain_with_ids(&mut local.ids, |r, _| {
                             m.dominance_checks += 1;
-                            let (to_e, po_e) = (
-                                table.to_row(e.record as usize),
-                                table.po_row(e.record as usize),
-                            );
-                            !ctx.exact_dominates(to_p, po_p, to_e, po_e)
+                            !ctx.exact_dominates(to_p, po_p, table.to(r), table.po(r))
                         });
                         self.false_hits_removed += (before - local.len()) as u64;
                     }
-                    local.push(Entry {
-                        record,
-                        tcoords: point.to_vec(),
-                    });
+                    local.push(record, point);
                     if stratum.exact {
                         // Level-0 stratum: m-dominance is exact, the point
                         // is final — stream it out now.
@@ -218,9 +237,9 @@ impl<'a> SdcCursor<'a> {
         m.io_reads += stratum.tree.io_count();
         if !stratum.exact {
             // Stratum boundary: local candidates are now genuine results.
-            for e in &local {
+            for &r in &local.ids {
                 m.results += 1;
-                self.buffer.push_back((e.record, sample(m, &self.start)));
+                self.buffer.push_back((r, sample(m, &self.start)));
             }
         }
         self.per_stratum.push(local.len());

@@ -93,17 +93,23 @@ impl SdcIndex {
             Variant::Sdc => 2,
             Variant::SdcPlus => ctx.max_stratum() as usize + 1,
         };
-        let mut buckets: Vec<Vec<(Vec<u32>, u32)>> = vec![Vec::new(); n_strata];
+        // Columnar strata: one flat transformed-coordinate matrix plus a
+        // record-id vector per stratum — no per-point rows on the way to
+        // the bulk loader.
+        let mut coords: Vec<Vec<u32>> = vec![Vec::new(); n_strata];
+        let mut records: Vec<Vec<u32>> = vec![Vec::new(); n_strata];
         for i in 0..table.len() {
             let s = stratum_of(table.po_row(i));
-            buckets[s].push((ctx.transform(table.to_row(i), table.po_row(i)), i as u32));
+            ctx.transform_into(table.to_row(i), table.po_row(i), &mut coords[s]);
+            records[s].push(i as u32);
         }
-        let strata = buckets
+        let strata = coords
             .into_iter()
+            .zip(records)
             .enumerate()
-            .filter(|(_, b)| !b.is_empty())
-            .map(|(level, pts)| {
-                let mut tree = RTree::bulk_load(dims, cap, pts);
+            .filter(|(_, (_, recs))| !recs.is_empty())
+            .map(|(level, (flat, recs))| {
+                let mut tree = RTree::bulk_load_flat(dims, cap, &flat, &recs);
                 if let Some(pages) = cfg.buffer_pages {
                     tree.enable_buffer(pages);
                 }

@@ -57,9 +57,17 @@ impl MdContext {
     /// m-dominance into plain coordinate dominance (and lets the standard
     /// BBS machinery run unchanged).
     pub fn transform(&self, to: &[u32], po: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.transformed_dims());
+        self.transform_into(to, po, &mut out);
+        out
+    }
+
+    /// Appends a tuple's transformed coordinates to `out` — the columnar
+    /// form of [`transform`](Self::transform), used to materialize whole
+    /// strata as flat matrices without per-point rows.
+    pub fn transform_into(&self, to: &[u32], po: &[u32], out: &mut Vec<u32>) {
         debug_assert_eq!(to.len(), self.to_dims);
         debug_assert_eq!(po.len(), self.mlabels.len());
-        let mut out = Vec::with_capacity(self.transformed_dims());
         out.extend_from_slice(to);
         for (d, &v) in po.iter().enumerate() {
             let ml = &self.mlabels[d];
@@ -67,7 +75,6 @@ impl MdContext {
             out.push(iv.lo);
             out.push(ml.len() as u32 - iv.hi);
         }
-        out
     }
 
     /// m-dominance in the transformed space: strict Pareto dominance of the
@@ -128,11 +135,14 @@ impl MdContext {
         self.stratum(po) == 0
     }
 
-    /// Transformed points for a whole table (record id = row index).
-    pub fn transform_table(&self, table: &Table) -> Vec<(Vec<u32>, u32)> {
-        (0..table.len())
-            .map(|i| (self.transform(table.to_row(i), table.po_row(i)), i as u32))
-            .collect()
+    /// Transformed coordinates for a whole table as one flat row-major
+    /// matrix (record id = row index).
+    pub fn transform_table_flat(&self, table: &Table) -> Vec<u32> {
+        let mut out = Vec::with_capacity(table.len() * self.transformed_dims());
+        for i in 0..table.len() {
+            self.transform_into(table.to_row(i), table.po_row(i), &mut out);
+        }
+        out
     }
 }
 

@@ -1,4 +1,5 @@
-use crate::types::{dominates, dominates_or_equal, Stats};
+use crate::store::PointBlock;
+use crate::types::Stats;
 use rtree::{BestFirst, Popped, RTree};
 
 /// Branch-and-Bound Skyline (Papadias et al., §II-A) over an [`RTree`]:
@@ -49,8 +50,9 @@ pub fn bbs_visit(tree: &RTree, mut emit: impl FnMut(u32, &[u32])) -> Stats {
 pub struct BbsCursor<'a> {
     tree: &'a RTree,
     bf: BestFirst<'a>,
-    skyline_pts: Vec<Vec<u32>>,
-    dominance_checks: u64,
+    /// Confirmed skyline coordinates, columnar (the batched-kernel window).
+    skyline_pts: PointBlock,
+    stats: Stats,
 }
 
 impl<'a> BbsCursor<'a> {
@@ -60,16 +62,16 @@ impl<'a> BbsCursor<'a> {
         BbsCursor {
             tree,
             bf: tree.best_first(),
-            skyline_pts: Vec::new(),
-            dominance_checks: 0,
+            skyline_pts: PointBlock::new(tree.dims()),
+            stats: Stats::default(),
         }
     }
 
     /// Checks and IOs spent so far (final totals once exhausted).
     pub fn stats(&self) -> Stats {
         Stats {
-            dominance_checks: self.dominance_checks,
             io_reads: self.tree.io_count(),
+            ..self.stats
         }
     }
 }
@@ -81,34 +83,21 @@ impl Iterator for BbsCursor<'_> {
         while let Some(popped) = self.bf.pop() {
             match popped {
                 Popped::Node { id, mbb, .. } => {
-                    let corner = mbb.lo();
-                    let mut pruned = false;
-                    for s in &self.skyline_pts {
-                        self.dominance_checks += 1;
-                        if dominates_or_equal(s, corner) && s.as_slice() != corner {
-                            pruned = true;
-                            break;
-                        }
-                    }
+                    let (pruned, examined) = self.skyline_pts.corner_pruned(mbb.lo());
+                    self.stats.batch(examined);
                     if !pruned {
                         self.bf.expand(id);
                     }
                 }
                 Popped::Record { point, record, .. } => {
-                    let mut dominated = false;
-                    for s in &self.skyline_pts {
-                        self.dominance_checks += 1;
-                        if dominates(s, point) {
-                            dominated = true;
-                            break;
-                        }
-                    }
+                    let (dominated, examined) = self.skyline_pts.dominated(point);
+                    self.stats.batch(examined);
                     if !dominated {
                         // Precedence: no later entry can dominate `point`
                         // (any dominator has a strictly smaller mindist,
                         // except exact duplicates, which do not dominate) —
                         // confirm now.
-                        self.skyline_pts.push(point.to_vec());
+                        self.skyline_pts.push(point);
                         return Some((record, point.to_vec()));
                     }
                 }
@@ -125,13 +114,9 @@ mod tests {
     use crate::types::monotone_sum;
     use proptest::prelude::*;
 
-    fn tree_of(data: &[Vec<u32>], cap: usize) -> RTree {
-        let pts: Vec<(Vec<u32>, u32)> = data
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.clone(), i as u32))
-            .collect();
-        RTree::bulk_load(data.first().map_or(1, |p| p.len()), cap, pts)
+    fn tree_of(data: &PointBlock, cap: usize) -> RTree {
+        let ids: Vec<u32> = (0..data.len() as u32).collect();
+        RTree::bulk_load_flat(data.dims(), cap, data.flat(), &ids)
     }
 
     fn sorted(mut v: Vec<u32>) -> Vec<u32> {
@@ -141,14 +126,14 @@ mod tests {
 
     #[test]
     fn matches_oracle_small() {
-        let data = vec![
+        let data = PointBlock::from_rows(&[
             vec![5, 1],
             vec![1, 5],
             vec![3, 3],
             vec![4, 4],
             vec![2, 4],
             vec![3, 3],
-        ];
+        ]);
         let (got, stats) = bbs(&tree_of(&data, 3));
         assert_eq!(sorted(got), brute_force(&data));
         assert!(stats.io_reads >= 1);
@@ -156,11 +141,15 @@ mod tests {
 
     #[test]
     fn progressive_output_in_mindist_order() {
-        let data: Vec<Vec<u32>> = (0..64u32).map(|i| vec![i % 8 * 3, (i / 8) * 3]).collect();
+        let data = PointBlock::from_rows(
+            &(0..64u32)
+                .map(|i| vec![i % 8 * 3, (i / 8) * 3])
+                .collect::<Vec<_>>(),
+        );
         let (got, _) = bbs(&tree_of(&data, 4));
         let dists: Vec<u64> = got
             .iter()
-            .map(|&i| monotone_sum(&data[i as usize]))
+            .map(|&i| monotone_sum(data.point(i as usize)))
             .collect();
         assert!(
             dists.windows(2).all(|w| w[0] <= w[1]),
@@ -170,7 +159,7 @@ mod tests {
 
     #[test]
     fn duplicates_of_skyline_points_survive() {
-        let data = vec![vec![2, 2], vec![2, 2], vec![5, 5], vec![1, 4]];
+        let data = PointBlock::from_rows(&[vec![2, 2], vec![2, 2], vec![5, 5], vec![1, 4]]);
         let (got, _) = bbs(&tree_of(&data, 2));
         assert_eq!(sorted(got), vec![0, 1, 3]);
     }
@@ -179,10 +168,11 @@ mod tests {
     fn io_optimality_prunes_dominated_subtrees() {
         // A tight cluster at the origin dominates a distant cloud; BBS must
         // touch far fewer pages than a full traversal.
-        let mut data = vec![vec![0u32, 0]];
+        let mut rows = vec![vec![0u32, 0]];
         for i in 0..1000u32 {
-            data.push(vec![500 + i % 100, 500 + (i * 13) % 100]);
+            rows.push(vec![500 + i % 100, 500 + (i * 13) % 100]);
         }
+        let data = PointBlock::from_rows(&rows);
         let t = tree_of(&data, 8);
         let (got, stats) = bbs(&t);
         assert_eq!(got, vec![0]);
@@ -207,9 +197,11 @@ mod tests {
         // Convex staircase: every point is in the skyline (x up, y down)
         // and the L1 mindists differ, so confirmations spread across the
         // traversal and an early stop provably leaves pages unread.
-        let data: Vec<Vec<u32>> = (0..400u32)
-            .map(|i| vec![i * i, (399 - i) * (399 - i)])
-            .collect();
+        let data = PointBlock::from_rows(
+            &(0..400u32)
+                .map(|i| vec![i * i, (399 - i) * (399 - i)])
+                .collect::<Vec<_>>(),
+        );
         let t = tree_of(&data, 4);
         let (full, full_stats) = bbs(&t);
         assert!(full.len() > 4, "need a non-trivial skyline");
@@ -236,8 +228,9 @@ mod tests {
                 proptest::collection::vec(0u32..20, 2), 1..100),
             cap in 2usize..8,
         ) {
-            let (got, _) = bbs(&tree_of(&pts, cap));
-            prop_assert_eq!(sorted(got), brute_force(&pts));
+            let data = PointBlock::from_rows(&pts);
+            let (got, _) = bbs(&tree_of(&data, cap));
+            prop_assert_eq!(sorted(got), brute_force(&data));
         }
 
         /// Three dimensions, with duplicates injected.
@@ -246,8 +239,9 @@ mod tests {
             pts in proptest::collection::vec(
                 proptest::collection::vec(0u32..6, 3), 1..60),
         ) {
-            let mut data = pts.clone();
-            data.extend(pts.iter().take(5).cloned());
+            let mut rows = pts.clone();
+            rows.extend(pts.iter().take(5).cloned());
+            let data = PointBlock::from_rows(&rows);
             let (got, _) = bbs(&tree_of(&data, 4));
             prop_assert_eq!(sorted(got), brute_force(&data));
         }

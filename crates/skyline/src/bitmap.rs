@@ -1,3 +1,4 @@
+use crate::store::PointBlock;
 use crate::types::Stats;
 
 /// The **Bitmap** progressive skyline algorithm (Tan, Eng, Ooi — VLDB 2001;
@@ -21,12 +22,12 @@ use crate::types::Stats;
 /// Space is `O(n · Σ_d |distinct values in d|)` bits, which is why Bitmap
 /// suits small domains; this implementation compresses each dimension to
 /// its distinct-value rank first.
-pub fn bitmap(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
+pub fn bitmap(data: &PointBlock) -> (Vec<u32>, Stats) {
     let n = data.len();
     if n == 0 {
         return (Vec::new(), Stats::default());
     }
-    let dims = data[0].len();
+    let dims = data.dims();
     let words = n.div_ceil(64);
     let mut stats = Stats::default();
 
@@ -35,11 +36,11 @@ pub fn bitmap(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
     let mut slices: Vec<Vec<Vec<u64>>> = Vec::with_capacity(dims);
     let mut ranks: Vec<Vec<usize>> = Vec::with_capacity(dims);
     for d in 0..dims {
-        let mut values: Vec<u32> = data.iter().map(|p| p[d]).collect();
+        let mut values: Vec<u32> = (0..n).map(|j| data.coord(j, d)).collect();
         values.sort_unstable();
         values.dedup();
         let rank_of = |v: u32| values.binary_search(&v).expect("value present");
-        let point_ranks: Vec<usize> = data.iter().map(|p| rank_of(p[d])).collect();
+        let point_ranks: Vec<usize> = (0..n).map(|j| rank_of(data.coord(j, d))).collect();
         // Exact (per-rank) membership first …
         let mut per_rank = vec![vec![0u64; words]; values.len()];
         for (j, &r) in point_ranks.iter().enumerate() {
@@ -102,14 +103,14 @@ mod tests {
 
     #[test]
     fn matches_oracle_small() {
-        let data = vec![
+        let data = PointBlock::from_rows(&[
             vec![5, 1],
             vec![1, 5],
             vec![3, 3],
             vec![4, 4],
             vec![2, 4],
             vec![3, 3],
-        ];
+        ]);
         let (got, stats) = bitmap(&data);
         assert_eq!(sorted(got), brute_force(&data));
         assert_eq!(stats.dominance_checks, 6, "exactly one bit check per point");
@@ -119,22 +120,26 @@ mod tests {
     fn duplicates_survive() {
         // Two identical points: A∩B for each excludes the other (equal
         // everywhere means never strictly better), so both stay.
-        let data = vec![vec![2, 2], vec![2, 2], vec![3, 3]];
+        let data = PointBlock::from_rows(&[vec![2, 2], vec![2, 2], vec![3, 3]]);
         let (got, _) = bitmap(&data);
         assert_eq!(sorted(got), vec![0, 1]);
     }
 
     #[test]
     fn handles_more_than_64_points() {
-        let data: Vec<Vec<u32>> = (0..200u32).map(|i| vec![i % 10, (i * 7) % 13]).collect();
+        let data = PointBlock::from_rows(
+            &(0..200u32)
+                .map(|i| vec![i % 10, (i * 7) % 13])
+                .collect::<Vec<_>>(),
+        );
         let (got, _) = bitmap(&data);
         assert_eq!(sorted(got), brute_force(&data));
     }
 
     #[test]
     fn empty_and_single() {
-        assert_eq!(bitmap(&[]).0, Vec::<u32>::new());
-        assert_eq!(bitmap(&[vec![7, 7]]).0, vec![0]);
+        assert_eq!(bitmap(&PointBlock::new(2)).0, Vec::<u32>::new());
+        assert_eq!(bitmap(&PointBlock::from_rows(&[vec![7, 7]])).0, vec![0]);
     }
 
     proptest! {
@@ -143,8 +148,9 @@ mod tests {
             pts in proptest::collection::vec(
                 proptest::collection::vec(0u32..12, 3), 0..90),
         ) {
-            let (got, _) = bitmap(&pts);
-            prop_assert_eq!(sorted(got), brute_force(&pts));
+            let data = PointBlock::from_rows(&pts);
+            let (got, _) = bitmap(&data);
+            prop_assert_eq!(sorted(got), brute_force(&data));
         }
     }
 }

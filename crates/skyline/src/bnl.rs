@@ -1,4 +1,5 @@
-use crate::types::{dominates, Stats};
+use crate::store::{row_dominates, PointBlock};
+use crate::types::Stats;
 
 /// Block Nested Loops (Börzsönyi et al., §II-A) with a bounded window and
 /// multi-pass overflow handling.
@@ -10,10 +11,13 @@ use crate::types::{dominates, Stats};
 /// spill — only then has it provably met every surviving point. Unconfirmed
 /// survivors are re-examined in the next pass together with the overflow.
 ///
+/// The window loop reads all coordinates out of the columnar
+/// [`PointBlock`] — no per-point rows anywhere in the pass.
+///
 /// Returns skyline indices in confirmation order plus [`Stats`]. BNL is the
 /// canonical *non-progressive* baseline: nothing can be emitted until a pass
 /// completes, which the paper contrasts with precedence-based algorithms.
-pub fn bnl(data: &[Vec<u32>], window: usize) -> (Vec<u32>, Stats) {
+pub fn bnl(data: &PointBlock, window: usize) -> (Vec<u32>, Stats) {
     let mut cursor = BnlCursor::new(data, window);
     let result: Vec<u32> = cursor.by_ref().collect();
     (result, cursor.stats())
@@ -26,7 +30,7 @@ pub fn bnl(data: &[Vec<u32>], window: usize) -> (Vec<u32>, Stats) {
 /// output is then streamed point by point. Consumers that stop after `k`
 /// results skip every later pass entirely.
 pub struct BnlCursor<'a> {
-    data: &'a [Vec<u32>],
+    data: &'a PointBlock,
     window: usize,
     input: Vec<u32>,
     confirmed: std::collections::VecDeque<u32>,
@@ -35,7 +39,7 @@ pub struct BnlCursor<'a> {
 
 impl<'a> BnlCursor<'a> {
     /// Prepares a multi-pass run over `data` with the given window size.
-    pub fn new(data: &'a [Vec<u32>], window: usize) -> Self {
+    pub fn new(data: &'a PointBlock, window: usize) -> Self {
         assert!(window >= 1, "window must hold at least one point");
         BnlCursor {
             data,
@@ -60,17 +64,19 @@ impl<'a> BnlCursor<'a> {
         let mut overflow: Vec<u32> = Vec::new();
         let mut first_spill: Option<usize> = None;
         for (pos, &cand) in self.input.iter().enumerate() {
+            let p = data.point(cand as usize);
             let mut dominated = false;
             let mut k = 0;
             while k < win.len() {
                 let (w, _) = win[k];
+                let wp = data.point(w as usize);
                 self.stats.dominance_checks += 1;
-                if dominates(&data[w as usize], &data[cand as usize]) {
+                if row_dominates(wp, p) {
                     dominated = true;
                     break;
                 }
                 self.stats.dominance_checks += 1;
-                if dominates(&data[cand as usize], &data[w as usize]) {
+                if row_dominates(p, wp) {
                     // Candidate evicts the window point.
                     win.swap_remove(k);
                     continue;
@@ -128,7 +134,7 @@ mod tests {
 
     #[test]
     fn matches_oracle_on_small_input() {
-        let data = vec![
+        let data = PointBlock::from_rows(&[
             vec![1800, 0],
             vec![2000, 0],
             vec![1800, 0],
@@ -139,7 +145,7 @@ mod tests {
             vec![1800, 1],
             vec![500, 2],
             vec![1200, 2],
-        ];
+        ]);
         for window in [1, 2, 3, 100] {
             let (got, stats) = bnl(&data, window);
             assert_eq!(sorted(got), brute_force(&data), "window={window}");
@@ -150,21 +156,21 @@ mod tests {
     #[test]
     fn tiny_window_forces_multiple_passes() {
         // 50 incomparable points with window 4: many overflow passes.
-        let data: Vec<Vec<u32>> = (0..50u32).map(|i| vec![i, 49 - i]).collect();
+        let data = PointBlock::from_rows(&(0..50u32).map(|i| vec![i, 49 - i]).collect::<Vec<_>>());
         let (got, _) = bnl(&data, 4);
         assert_eq!(sorted(got), (0..50).collect::<Vec<_>>());
     }
 
     #[test]
     fn duplicates_survive() {
-        let data = vec![vec![3, 3], vec![3, 3], vec![3, 3]];
+        let data = PointBlock::from_rows(&[vec![3, 3], vec![3, 3], vec![3, 3]]);
         let (got, _) = bnl(&data, 2);
         assert_eq!(sorted(got), vec![0, 1, 2]);
     }
 
     #[test]
     fn empty_input() {
-        let (got, stats) = bnl(&[], 8);
+        let (got, stats) = bnl(&PointBlock::new(2), 8);
         assert!(got.is_empty());
         assert_eq!(stats, Stats::default());
     }
@@ -176,8 +182,9 @@ mod tests {
                 proptest::collection::vec(0u32..16, 3), 0..60),
             window in 1usize..8,
         ) {
-            let (got, _) = bnl(&pts, window);
-            prop_assert_eq!(sorted(got), brute_force(&pts));
+            let data = PointBlock::from_rows(&pts);
+            let (got, _) = bnl(&data, window);
+            prop_assert_eq!(sorted(got), brute_force(&data));
         }
     }
 }

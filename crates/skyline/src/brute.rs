@@ -1,15 +1,13 @@
-use crate::types::dominates;
+use crate::store::{row_dominates, PointBlock};
 
 /// The `O(n²)` skyline oracle: returns the indices of all points not
 /// dominated by any other point, in input order. Every other algorithm in
 /// this workspace is tested against it.
-pub fn brute_force(data: &[Vec<u32>]) -> Vec<u32> {
+pub fn brute_force(data: &PointBlock) -> Vec<u32> {
     (0..data.len())
         .filter(|&i| {
-            !data
-                .iter()
-                .enumerate()
-                .any(|(j, q)| j != i && dominates(q, &data[i]))
+            let p = data.point(i);
+            !(0..data.len()).any(|j| j != i && row_dominates(data.point(j), p))
         })
         .map(|i| i as u32)
         .collect()
@@ -22,7 +20,7 @@ mod tests {
     #[test]
     fn flight_example_to_dimensions_only() {
         // Fig. 1(b): skyline over (Price, Stops) alone is {p1, p3, p6, p7, p9}.
-        let data = vec![
+        let data = PointBlock::from_rows(&[
             vec![1800, 0], // p1
             vec![2000, 0], // p2
             vec![1800, 0], // p3
@@ -33,31 +31,31 @@ mod tests {
             vec![1800, 1], // p8
             vec![500, 2],  // p9
             vec![1200, 2], // p10
-        ];
+        ]);
         assert_eq!(brute_force(&data), vec![0, 2, 5, 6, 8]);
     }
 
     #[test]
     fn duplicates_all_survive() {
-        let data = vec![vec![1, 1], vec![1, 1], vec![2, 2]];
+        let data = PointBlock::from_rows(&[vec![1, 1], vec![1, 1], vec![2, 2]]);
         assert_eq!(brute_force(&data), vec![0, 1]);
     }
 
     #[test]
     fn single_point_and_empty() {
-        assert_eq!(brute_force(&[]), Vec::<u32>::new());
-        assert_eq!(brute_force(&[vec![9, 9]]), vec![0]);
+        assert_eq!(brute_force(&PointBlock::new(2)), Vec::<u32>::new());
+        assert_eq!(brute_force(&PointBlock::from_rows(&[vec![9, 9]])), vec![0]);
     }
 
     #[test]
     fn chain_keeps_only_minimum() {
-        let data: Vec<Vec<u32>> = (0..10u32).map(|i| vec![i, i]).collect();
+        let data = PointBlock::from_rows(&(0..10u32).map(|i| vec![i, i]).collect::<Vec<_>>());
         assert_eq!(brute_force(&data), vec![0]);
     }
 
     #[test]
     fn anti_chain_keeps_everything() {
-        let data: Vec<Vec<u32>> = (0..10u32).map(|i| vec![i, 9 - i]).collect();
+        let data = PointBlock::from_rows(&(0..10u32).map(|i| vec![i, 9 - i]).collect::<Vec<_>>());
         assert_eq!(brute_force(&data), (0..10).collect::<Vec<_>>());
     }
 }

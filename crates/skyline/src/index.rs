@@ -1,4 +1,5 @@
-use crate::types::{dominates, Stats};
+use crate::store::PointBlock;
+use crate::types::Stats;
 
 /// The **Index** progressive skyline algorithm (Tan, Eng, Ooi — VLDB 2001;
 /// §II-A of the TSS paper, one of the two algorithms the paper credits with
@@ -11,7 +12,8 @@ use crate::types::{dominates, Stats};
 /// of `p` satisfies `minC(q) <= minC(p)` (coordinate-wise dominance bounds
 /// the minimum), and ties are broken by the coordinate sum, strictly smaller
 /// for a dominator — so every point can be confirmed against the running
-/// skyline list the moment it is scanned.
+/// skyline list the moment it is scanned, via the batched columnar kernel
+/// [`PointBlock::dominated_by`].
 ///
 /// Early termination: once the smallest unprocessed `minC` across all lists
 /// strictly exceeds the smallest `max`-coordinate of any skyline point
@@ -20,19 +22,20 @@ use crate::types::{dominates, Stats};
 /// (The original's in-list pruning batches entries per distinct `minC`;
 /// this implementation keeps the one-at-a-time formulation, which has the
 /// same precedence and termination structure and is simpler to verify.)
-pub fn index_skyline(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
+pub fn index_skyline(data: &PointBlock) -> (Vec<u32>, Stats) {
     let mut stats = Stats::default();
     if data.is_empty() {
         return (Vec::new(), stats);
     }
-    let dims = data[0].len();
+    let dims = data.dims();
     let min_c = |p: &[u32]| p.iter().copied().min().unwrap_or(0);
     let max_c = |p: &[u32]| p.iter().copied().max().unwrap_or(0);
     let sum = |p: &[u32]| p.iter().map(|&c| c as u64).sum::<u64>();
 
     // Build the d lists.
     let mut lists: Vec<Vec<u32>> = vec![Vec::new(); dims];
-    for (j, p) in data.iter().enumerate() {
+    for j in 0..data.len() {
+        let p = data.point(j);
         let (dim, _) = p
             .iter()
             .enumerate()
@@ -41,7 +44,10 @@ pub fn index_skyline(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
         lists[dim].push(j as u32);
     }
     for list in &mut lists {
-        list.sort_by_key(|&j| (min_c(&data[j as usize]), sum(&data[j as usize]), j));
+        list.sort_by_key(|&j| {
+            let p = data.point(j as usize);
+            (min_c(p), sum(p), j)
+        });
     }
 
     // Merge the list heads in ascending (minC, sum).
@@ -52,7 +58,8 @@ pub fn index_skyline(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
         let mut next: Option<(u32, u64, usize)> = None; // (minC, sum, list)
         for (d, list) in lists.iter().enumerate() {
             if let Some(&j) = list.get(cursors[d]) {
-                let key = (min_c(&data[j as usize]), sum(&data[j as usize]), d);
+                let p = data.point(j as usize);
+                let key = (min_c(p), sum(p), d);
                 if next.is_none_or(|(m, s, _)| (key.0, key.1) < (m, s)) {
                     next = Some((key.0, key.1, d));
                 }
@@ -66,15 +73,9 @@ pub fn index_skyline(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
         }
         let j = lists[d][cursors[d]];
         cursors[d] += 1;
-        let p = &data[j as usize];
-        let mut dominated = false;
-        for &s in &skyline {
-            stats.dominance_checks += 1;
-            if dominates(&data[s as usize], p) {
-                dominated = true;
-                break;
-            }
-        }
+        let p = data.point(j as usize);
+        let (dominated, examined) = data.dominated_by(&skyline, p);
+        stats.batch(examined);
         if !dominated {
             let m = max_c(p);
             best_max = Some(best_max.map_or(m, |b| b.min(m)));
@@ -97,24 +98,25 @@ mod tests {
 
     #[test]
     fn matches_oracle_small() {
-        let data = vec![
+        let data = PointBlock::from_rows(&[
             vec![5, 1],
             vec![1, 5],
             vec![3, 3],
             vec![4, 4],
             vec![0, 9],
             vec![9, 0],
-        ];
+        ]);
         let (got, _) = index_skyline(&data);
         assert_eq!(sorted(got), brute_force(&data));
     }
 
     #[test]
     fn early_termination_fires() {
-        let mut data = vec![vec![1u32, 1]];
+        let mut rows = vec![vec![1u32, 1]];
         for i in 0..400u32 {
-            data.push(vec![50 + i % 20, 50 + i % 31]);
+            rows.push(vec![50 + i % 20, 50 + i % 31]);
         }
+        let data = PointBlock::from_rows(&rows);
         let (got, stats) = index_skyline(&data);
         assert_eq!(got, vec![0]);
         // Without termination we would pay ~400 checks.
@@ -123,11 +125,11 @@ mod tests {
 
     #[test]
     fn emission_is_progressive_in_minc_order() {
-        let data: Vec<Vec<u32>> = (0..60u32).map(|i| vec![i, 59 - i]).collect();
+        let data = PointBlock::from_rows(&(0..60u32).map(|i| vec![i, 59 - i]).collect::<Vec<_>>());
         let (got, _) = index_skyline(&data);
         let mcs: Vec<u32> = got
             .iter()
-            .map(|&j| *data[j as usize].iter().min().unwrap())
+            .map(|&j| *data.point(j as usize).iter().min().unwrap())
             .collect();
         assert!(mcs.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(sorted(got), brute_force(&data));
@@ -135,14 +137,14 @@ mod tests {
 
     #[test]
     fn duplicates_survive() {
-        let data = vec![vec![3, 3], vec![3, 3]];
+        let data = PointBlock::from_rows(&[vec![3, 3], vec![3, 3]]);
         let (got, _) = index_skyline(&data);
         assert_eq!(sorted(got), vec![0, 1]);
     }
 
     #[test]
     fn empty_input() {
-        assert_eq!(index_skyline(&[]).0, Vec::<u32>::new());
+        assert_eq!(index_skyline(&PointBlock::new(2)).0, Vec::<u32>::new());
     }
 
     proptest! {
@@ -151,8 +153,9 @@ mod tests {
             pts in proptest::collection::vec(
                 proptest::collection::vec(0u32..14, 3), 0..80),
         ) {
-            let (got, _) = index_skyline(&pts);
-            prop_assert_eq!(sorted(got), brute_force(&pts));
+            let data = PointBlock::from_rows(&pts);
+            let (got, _) = index_skyline(&data);
+            prop_assert_eq!(sorted(got), brute_force(&data));
         }
     }
 }

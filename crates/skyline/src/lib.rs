@@ -16,6 +16,15 @@
 //!   techniques (bit-sliced dominance tests; min-coordinate lists with
 //!   early termination).
 //!
+//! # Data layout
+//!
+//! Inputs are columnar: a [`PointBlock`] stores all coordinates in one flat
+//! `Vec<u32>` with a fixed stride, and the window/presort loops test
+//! candidates with the block's batched, branch-free dominance kernels
+//! instead of per-point `Vec<u32>` rows. Build one with
+//! [`PointBlock::from_flat`] (zero-copy over an existing row-major matrix)
+//! or [`PointBlock::from_rows`].
+//!
 //! # Semantics
 //!
 //! `p` dominates `q` iff `p[d] <= q[d]` on every dimension and `p[d] < q[d]`
@@ -43,6 +52,7 @@ mod brute;
 mod index;
 mod salsa;
 mod sfs;
+mod store;
 mod types;
 
 pub use bbs::{bbs, bbs_visit, BbsCursor};
@@ -52,4 +62,5 @@ pub use brute::brute_force;
 pub use index::index_skyline;
 pub use salsa::{salsa, SalsaCursor};
 pub use sfs::{sfs, SfsCursor};
+pub use store::PointBlock;
 pub use types::{dominates, dominates_or_equal, monotone_sum, Stats};

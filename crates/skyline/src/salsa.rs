@@ -1,4 +1,5 @@
-use crate::types::{dominates, monotone_sum, Stats};
+use crate::store::PointBlock;
+use crate::types::{monotone_sum, Stats};
 
 /// SaLSa — *Sort and Limit Skyline algorithm* (Bartolini et al., §II-A):
 /// SFS with a different sort key (`minC`, the minimum coordinate) and an
@@ -11,11 +12,14 @@ use crate::types::{dominates, monotone_sum, Stats};
 /// `min(q) > max(p*)`, `p*` is strictly smaller than `q` on every dimension,
 /// and likewise for all later candidates — the scan can stop.
 ///
+/// The filter scan runs the batched columnar kernel
+/// [`PointBlock::dominated_by`] over the skyline ids.
+///
 /// (The original paper stops on `min(q) >= max(p*)` with a tie analysis; we
 /// use the strict form, which is unconditionally safe under
 /// duplicates-survive semantics at the cost of occasionally scanning a few
 /// extra points.)
-pub fn salsa(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
+pub fn salsa(data: &PointBlock) -> (Vec<u32>, Stats) {
     let mut cursor = SalsaCursor::new(data);
     let skyline: Vec<u32> = cursor.by_ref().collect();
     (skyline, cursor.stats())
@@ -34,7 +38,7 @@ fn max_c(p: &[u32]) -> u32 {
 /// the *stream* early: once it fires, the cursor is exhausted without
 /// touching the remaining candidates.
 pub struct SalsaCursor<'a> {
-    data: &'a [Vec<u32>],
+    data: &'a PointBlock,
     order: Vec<u32>,
     pos: usize,
     skyline: Vec<u32>,
@@ -45,9 +49,12 @@ pub struct SalsaCursor<'a> {
 
 impl<'a> SalsaCursor<'a> {
     /// Presorts the input by `(minC, sum)` (precedence order).
-    pub fn new(data: &'a [Vec<u32>]) -> Self {
+    pub fn new(data: &'a PointBlock) -> Self {
         let mut order: Vec<u32> = (0..data.len() as u32).collect();
-        order.sort_by_key(|&i| (min_c(&data[i as usize]), monotone_sum(&data[i as usize]), i));
+        order.sort_by_key(|&i| {
+            let p = data.point(i as usize);
+            (min_c(p), monotone_sum(p), i)
+        });
         SalsaCursor {
             data,
             order,
@@ -74,7 +81,7 @@ impl Iterator for SalsaCursor<'_> {
         }
         while let Some(&cand) = self.order.get(self.pos) {
             self.pos += 1;
-            let p = &self.data[cand as usize];
+            let p = self.data.point(cand as usize);
             if let Some(stop) = self.best_max {
                 if min_c(p) > stop {
                     // p* dominates this and every later candidate.
@@ -82,14 +89,8 @@ impl Iterator for SalsaCursor<'_> {
                     return None;
                 }
             }
-            let mut dominated = false;
-            for &s in &self.skyline {
-                self.stats.dominance_checks += 1;
-                if dominates(&self.data[s as usize], p) {
-                    dominated = true;
-                    break;
-                }
-            }
+            let (dominated, examined) = self.data.dominated_by(&self.skyline, p);
+            self.stats.batch(examined);
             if !dominated {
                 let m = max_c(p);
                 self.best_max = Some(self.best_max.map_or(m, |b| b.min(m)));
@@ -114,14 +115,14 @@ mod tests {
 
     #[test]
     fn matches_oracle() {
-        let data = vec![
+        let data = PointBlock::from_rows(&[
             vec![5, 1],
             vec![1, 5],
             vec![3, 3],
             vec![4, 4],
             vec![0, 9],
             vec![9, 0],
-        ];
+        ]);
         let (got, _) = salsa(&data);
         assert_eq!(sorted(got), brute_force(&data));
     }
@@ -130,10 +131,11 @@ mod tests {
     fn early_stop_saves_checks() {
         // One point near the origin dominates a large cloud far away: SaLSa
         // must stop long before scanning the cloud.
-        let mut data = vec![vec![1u32, 1]];
+        let mut rows = vec![vec![1u32, 1]];
         for i in 0..500u32 {
-            data.push(vec![100 + i % 50, 100 + i % 37]);
+            rows.push(vec![100 + i % 50, 100 + i % 37]);
         }
+        let data = PointBlock::from_rows(&rows);
         let (got, stats) = salsa(&data);
         assert_eq!(got, vec![0]);
         // SFS would pay one check per point; SaLSa stops immediately.
@@ -145,14 +147,14 @@ mod tests {
     fn duplicates_survive_the_stop_test() {
         // All-equal coordinates: min == max, so the strict stop test never
         // fires between duplicates and all copies are kept.
-        let data = vec![vec![4, 4], vec![4, 4], vec![4, 4]];
+        let data = PointBlock::from_rows(&[vec![4, 4], vec![4, 4], vec![4, 4]]);
         let (got, _) = salsa(&data);
         assert_eq!(sorted(got), vec![0, 1, 2]);
     }
 
     #[test]
     fn empty_input() {
-        assert_eq!(salsa(&[]).0, Vec::<u32>::new());
+        assert_eq!(salsa(&PointBlock::new(2)).0, Vec::<u32>::new());
     }
 
     proptest! {
@@ -161,8 +163,9 @@ mod tests {
             pts in proptest::collection::vec(
                 proptest::collection::vec(0u32..16, 3), 0..80),
         ) {
-            let (got, _) = salsa(&pts);
-            prop_assert_eq!(sorted(got), brute_force(&pts));
+            let data = PointBlock::from_rows(&pts);
+            let (got, _) = salsa(&data);
+            prop_assert_eq!(sorted(got), brute_force(&data));
         }
     }
 }

@@ -1,4 +1,5 @@
-use crate::types::{dominates, monotone_sum, Stats};
+use crate::store::PointBlock;
+use crate::types::{monotone_sum, Stats};
 
 /// Sort-Filter-Skyline (Chomicki et al., §II-A): presort by a monotone
 /// preference function, then a single filtering pass.
@@ -9,8 +10,12 @@ use crate::types::{dominates, monotone_sum, Stats};
 /// against the current skyline list is immediately — and permanently — a
 /// skyline point. SFS is therefore optimally progressive.
 ///
+/// The filter scan runs the batched columnar kernel
+/// [`PointBlock::dominated_by`] over the skyline ids — one linear walk of
+/// flat memory per candidate, no per-point rows.
+///
 /// Returns skyline indices in output order (ascending sum) plus [`Stats`].
-pub fn sfs(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
+pub fn sfs(data: &PointBlock) -> (Vec<u32>, Stats) {
     let mut cursor = SfsCursor::new(data);
     let skyline: Vec<u32> = cursor.by_ref().collect();
     (skyline, cursor.stats())
@@ -22,7 +27,7 @@ pub fn sfs(data: &[Vec<u32>]) -> (Vec<u32>, Stats) {
 /// until the next survivor, so a `k`-prefix pays checks proportional to the
 /// candidates actually screened — not to `n`.
 pub struct SfsCursor<'a> {
-    data: &'a [Vec<u32>],
+    data: &'a PointBlock,
     order: Vec<u32>,
     pos: usize,
     skyline: Vec<u32>,
@@ -31,10 +36,10 @@ pub struct SfsCursor<'a> {
 
 impl<'a> SfsCursor<'a> {
     /// Presorts the input by the monotone sum (precedence order).
-    pub fn new(data: &'a [Vec<u32>]) -> Self {
+    pub fn new(data: &'a PointBlock) -> Self {
         let mut order: Vec<u32> = (0..data.len() as u32).collect();
         // Stable tie-break by index keeps the output deterministic.
-        order.sort_by_key(|&i| (monotone_sum(&data[i as usize]), i));
+        order.sort_by_key(|&i| (monotone_sum(data.point(i as usize)), i));
         SfsCursor {
             data,
             order,
@@ -56,14 +61,10 @@ impl Iterator for SfsCursor<'_> {
     fn next(&mut self) -> Option<u32> {
         while let Some(&cand) = self.order.get(self.pos) {
             self.pos += 1;
-            let mut dominated = false;
-            for &s in &self.skyline {
-                self.stats.dominance_checks += 1;
-                if dominates(&self.data[s as usize], &self.data[cand as usize]) {
-                    dominated = true;
-                    break;
-                }
-            }
+            let (dominated, examined) = self
+                .data
+                .dominated_by(&self.skyline, self.data.point(cand as usize));
+            self.stats.batch(examined);
             if !dominated {
                 self.skyline.push(cand);
                 return Some(cand);
@@ -86,25 +87,26 @@ mod tests {
 
     #[test]
     fn matches_oracle() {
-        let data = vec![
+        let data = PointBlock::from_rows(&[
             vec![5, 1],
             vec![1, 5],
             vec![3, 3],
             vec![4, 4],
             vec![2, 4],
             vec![3, 3],
-        ];
-        let (got, _) = sfs(&data);
+        ]);
+        let (got, stats) = sfs(&data);
         assert_eq!(sorted(got), brute_force(&data));
+        assert!(stats.dominance_batch_calls >= data.len() as u64);
     }
 
     #[test]
     fn output_is_in_ascending_sum_order() {
-        let data = vec![vec![9, 0], vec![0, 1], vec![5, 3], vec![0, 0]];
+        let data = PointBlock::from_rows(&[vec![9, 0], vec![0, 1], vec![5, 3], vec![0, 0]]);
         let (got, _) = sfs(&data);
         let sums: Vec<u64> = got
             .iter()
-            .map(|&i| monotone_sum(&data[i as usize]))
+            .map(|&i| monotone_sum(data.point(i as usize)))
             .collect();
         assert!(sums.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -113,7 +115,11 @@ mod tests {
     fn never_evicts_a_reported_point() {
         // Precedence means the list only grows; verify indirectly: every
         // reported point is in the oracle skyline.
-        let data: Vec<Vec<u32>> = (0..100u32).map(|i| vec![i % 10, (i * 7) % 13]).collect();
+        let data = PointBlock::from_rows(
+            &(0..100u32)
+                .map(|i| vec![i % 10, (i * 7) % 13])
+                .collect::<Vec<_>>(),
+        );
         let (got, _) = sfs(&data);
         let oracle = brute_force(&data);
         for g in &got {
@@ -124,13 +130,14 @@ mod tests {
 
     #[test]
     fn empty_and_singleton() {
-        assert_eq!(sfs(&[]).0, Vec::<u32>::new());
-        assert_eq!(sfs(&[vec![7]]).0, vec![0]);
+        assert_eq!(sfs(&PointBlock::new(1)).0, Vec::<u32>::new());
+        assert_eq!(sfs(&PointBlock::from_rows(&[vec![7]])).0, vec![0]);
     }
 
     #[test]
     fn cursor_prefix_spends_fewer_checks() {
-        let data: Vec<Vec<u32>> = (0..200u32).map(|i| vec![i, 199 - i]).collect();
+        let data =
+            PointBlock::from_rows(&(0..200u32).map(|i| vec![i, 199 - i]).collect::<Vec<_>>());
         let (full, full_stats) = sfs(&data);
         assert!(full.len() > 3);
         let mut c = SfsCursor::new(&data);
@@ -147,8 +154,9 @@ mod tests {
             pts in proptest::collection::vec(
                 proptest::collection::vec(0u32..16, 2), 0..80),
         ) {
-            let (got, _) = sfs(&pts);
-            prop_assert_eq!(sorted(got), brute_force(&pts));
+            let data = PointBlock::from_rows(&pts);
+            let (got, _) = sfs(&data);
+            prop_assert_eq!(sorted(got), brute_force(&data));
         }
 
         /// SFS does at most |skyline| checks per point.
@@ -157,7 +165,8 @@ mod tests {
             pts in proptest::collection::vec(
                 proptest::collection::vec(0u32..12, 2), 1..60),
         ) {
-            let (sky, stats) = sfs(&pts);
+            let data = PointBlock::from_rows(&pts);
+            let (sky, stats) = sfs(&data);
             prop_assert!(stats.dominance_checks <= (pts.len() as u64) * (sky.len() as u64));
         }
     }

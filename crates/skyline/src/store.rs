@@ -1,0 +1,342 @@
+//! The columnar point layout every engine in the workspace computes on: a
+//! single flat `Vec<u32>` with a fixed stride, indexed by `u32` record ids.
+//!
+//! Per-point `Vec<u32>` rows (the seed layout) cost one heap allocation and
+//! one pointer chase per point; on the window/presort hot loops that — not
+//! the comparison work — dominates the CPU side of the paper's cost model.
+//! A [`PointBlock`] stores all coordinates contiguously, so a dominance
+//! scan over a candidate list walks memory linearly, and the batched
+//! kernels below test one candidate against a whole block of points with a
+//! branch-free inner comparison and early exit across rows.
+//!
+//! Counting convention: every kernel returns `(answer, pairs_examined)`.
+//! One *examined pair* is exactly one scalar dominance check of the seed
+//! implementation — early exit means the batched count is never larger
+//! than the scalar loop's on the same inputs. Callers fold the pair count
+//! into `dominance_checks` and bump `dominance_batch_calls` once per kernel
+//! invocation (see [`Stats::batch`](crate::Stats::batch)).
+
+/// A flat, fixed-stride block of points: `data[i*dims .. (i+1)*dims]` are
+/// the coordinates of point `i`. Zero per-point allocations; `O(1)` slice
+/// access by record id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PointBlock {
+    dims: usize,
+    data: Vec<u32>,
+}
+
+/// Branch-free pair check: `row` dominates `cand` iff `row <= cand`
+/// everywhere and `row < cand` somewhere. Both flags accumulate without
+/// per-dimension branching (dimensionalities are small; mispredicted exits
+/// cost more than the spare compares).
+#[inline]
+pub(crate) fn row_dominates(row: &[u32], cand: &[u32]) -> bool {
+    let mut le = true;
+    let mut lt = false;
+    for (&a, &b) in row.iter().zip(cand.iter()) {
+        le &= a <= b;
+        lt |= a < b;
+    }
+    le & lt
+}
+
+/// Branch-free weak pair check: `row <= cand` on every dimension.
+#[inline]
+pub(crate) fn row_dominates_or_equal(row: &[u32], cand: &[u32]) -> bool {
+    let mut le = true;
+    for (&a, &b) in row.iter().zip(cand.iter()) {
+        le &= a <= b;
+    }
+    le
+}
+
+impl PointBlock {
+    /// An empty block of `dims`-dimensional points.
+    pub fn new(dims: usize) -> Self {
+        PointBlock {
+            dims,
+            data: Vec::new(),
+        }
+    }
+
+    /// An empty block with room for `points` points.
+    pub fn with_capacity(dims: usize, points: usize) -> Self {
+        PointBlock {
+            dims,
+            data: Vec::with_capacity(dims * points),
+        }
+    }
+
+    /// Wraps an already-flattened row-major matrix (`data.len()` must be a
+    /// multiple of `dims`).
+    pub fn from_flat(dims: usize, data: Vec<u32>) -> Self {
+        assert!(dims > 0, "points need at least one dimension");
+        assert_eq!(data.len() % dims, 0, "flat data must be a whole matrix");
+        PointBlock { dims, data }
+    }
+
+    /// Copies per-point rows into a fresh block (test and ingestion
+    /// convenience — the hot paths never materialize rows).
+    pub fn from_rows(rows: &[Vec<u32>]) -> Self {
+        let dims = rows.first().map_or(1, Vec::len);
+        let mut b = PointBlock::with_capacity(dims, rows.len());
+        for r in rows {
+            b.push(r);
+        }
+        b
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// True iff the block holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Point dimensionality (the stride).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[u32] {
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Coordinate `d` of point `i`.
+    #[inline]
+    pub fn coord(&self, i: usize, d: usize) -> u32 {
+        self.data[i * self.dims + d]
+    }
+
+    /// Appends one point.
+    #[inline]
+    pub fn push(&mut self, coords: &[u32]) {
+        assert_eq!(coords.len(), self.dims, "point width");
+        self.data.extend_from_slice(coords);
+    }
+
+    /// Removes all points, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Moves all points of `other` (same stride) to the end of this block.
+    pub fn append(&mut self, other: &mut PointBlock) {
+        assert_eq!(self.dims, other.dims, "stride mismatch");
+        self.data.append(&mut other.data);
+    }
+
+    /// Iterates over the points in record order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.data.chunks_exact(self.dims)
+    }
+
+    /// The whole flat coordinate matrix (row-major).
+    #[inline]
+    pub fn flat(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Keeps only the points whose `(index, coords)` satisfy `keep`,
+    /// compacting in place and preserving order. `ids` is a parallel vector
+    /// (one entry per point) compacted identically.
+    pub fn retain_with_ids(
+        &mut self,
+        ids: &mut Vec<u32>,
+        mut keep: impl FnMut(u32, &[u32]) -> bool,
+    ) {
+        debug_assert_eq!(ids.len(), self.len());
+        let dims = self.dims;
+        let mut write = 0usize;
+        for read in 0..ids.len() {
+            let start = read * dims;
+            let ok = keep(ids[read], &self.data[start..start + dims]);
+            if ok {
+                if write != read {
+                    ids[write] = ids[read];
+                    self.data.copy_within(start..start + dims, write * dims);
+                }
+                write += 1;
+            }
+        }
+        ids.truncate(write);
+        self.data.truncate(write * dims);
+    }
+
+    // --- Batched dominance kernels --------------------------------------
+
+    /// Does any point of the block strictly dominate `cand`? Scans all rows
+    /// in record order with early exit. Returns `(dominated,
+    /// pairs_examined)`.
+    #[inline]
+    pub fn dominated(&self, cand: &[u32]) -> (bool, u64) {
+        debug_assert_eq!(cand.len(), self.dims);
+        let mut examined = 0u64;
+        for row in self.data.chunks_exact(self.dims) {
+            examined += 1;
+            if row_dominates(row, cand) {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+
+    /// Does any of the listed points strictly dominate `cand`? `ids` index
+    /// into this block. Returns `(dominated, pairs_examined)`.
+    #[inline]
+    pub fn dominated_by(&self, ids: &[u32], cand: &[u32]) -> (bool, u64) {
+        debug_assert_eq!(cand.len(), self.dims);
+        let dims = self.dims;
+        let mut examined = 0u64;
+        for &id in ids {
+            examined += 1;
+            let base = id as usize * dims;
+            if row_dominates(&self.data[base..base + dims], cand) {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+
+    /// Corner pruning: is some point `<=` the MBB corner on every dimension
+    /// *and* different from it? (The strict-corner rule that keeps exact
+    /// duplicates of skyline points alive — see `bbs.rs`.) Scans all rows.
+    #[inline]
+    pub fn corner_pruned(&self, corner: &[u32]) -> (bool, u64) {
+        debug_assert_eq!(corner.len(), self.dims);
+        let mut examined = 0u64;
+        for row in self.data.chunks_exact(self.dims) {
+            examined += 1;
+            if row_dominates_or_equal(row, corner) && row != corner {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+
+    /// The strictness-precomputed variant for same-key groups: each entry
+    /// is `(point index, strict_elsewhere)`, where `strict_elsewhere`
+    /// records that the entry already beats the candidate strictly on some
+    /// dimension *outside* this block (e.g. a partially ordered attribute
+    /// shared group-wide). The entry then dominates iff its coordinates are
+    /// `<=` the candidate everywhere and, when not strict elsewhere, differ
+    /// from it somewhere.
+    #[inline]
+    pub fn dominated_with_strictness(&self, entries: &[(u32, bool)], cand: &[u32]) -> (bool, u64) {
+        debug_assert_eq!(cand.len(), self.dims);
+        let dims = self.dims;
+        let mut examined = 0u64;
+        for &(id, strict) in entries {
+            examined += 1;
+            let base = id as usize * dims;
+            let row = &self.data[base..base + dims];
+            if row_dominates_or_equal(row, cand) && (strict || row != cand) {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+}
+
+impl From<Vec<Vec<u32>>> for PointBlock {
+    fn from(rows: Vec<Vec<u32>>) -> Self {
+        PointBlock::from_rows(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::dominates;
+    use proptest::prelude::*;
+
+    #[test]
+    fn layout_round_trips() {
+        let mut b = PointBlock::new(2);
+        b.push(&[1, 2]);
+        b.push(&[3, 4]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.point(0), &[1, 2]);
+        assert_eq!(b.point(1), &[3, 4]);
+        assert_eq!(b.coord(1, 0), 3);
+        assert_eq!(b.flat(), &[1, 2, 3, 4]);
+        let again = PointBlock::from_flat(2, b.flat().to_vec());
+        assert_eq!(again, b);
+        assert_eq!(b.iter().count(), 2);
+    }
+
+    #[test]
+    fn kernels_agree_with_scalar_checks() {
+        let b = PointBlock::from_rows(&[vec![2, 2], vec![5, 1], vec![3, 3]]);
+        // (3,3) is dominated by (2,2) — found after one examined pair.
+        assert_eq!(b.dominated(&[3, 3]), (true, 1));
+        // (1,1) is dominated by nobody; all three rows examined.
+        assert_eq!(b.dominated(&[1, 1]), (false, 3));
+        // Duplicates never dominate.
+        assert!(!b.dominated(&[2, 2]).0);
+        // id-restricted scan skips unlisted dominators.
+        assert!(!b.dominated_by(&[1], &[3, 3]).0);
+        assert_eq!(b.dominated_by(&[1, 0], &[3, 3]), (true, 2));
+    }
+
+    #[test]
+    fn corner_rule_spares_exact_duplicates() {
+        let b = PointBlock::from_rows(&[vec![2, 2]]);
+        assert!(b.corner_pruned(&[3, 3]).0);
+        assert!(!b.corner_pruned(&[2, 2]).0, "equal corner must survive");
+        assert!(!b.corner_pruned(&[1, 4]).0);
+    }
+
+    #[test]
+    fn strictness_variant_matches_semantics() {
+        let b = PointBlock::from_rows(&[vec![2, 2], vec![4, 4]]);
+        // Equal coordinates dominate only when strict elsewhere.
+        assert!(!b.dominated_with_strictness(&[(0, false)], &[2, 2]).0);
+        assert!(b.dominated_with_strictness(&[(0, true)], &[2, 2]).0);
+        // Strictly better coordinates dominate either way.
+        assert!(b.dominated_with_strictness(&[(0, false)], &[3, 3]).0);
+        // Worse coordinates never do.
+        assert!(!b.dominated_with_strictness(&[(1, true)], &[3, 3]).0);
+    }
+
+    #[test]
+    fn retain_compacts_in_order() {
+        let mut b = PointBlock::from_rows(&[vec![1, 1], vec![2, 2], vec![3, 3], vec![4, 4]]);
+        let mut ids = vec![10, 20, 30, 40];
+        b.retain_with_ids(&mut ids, |id, row| id != 20 && row[0] != 4);
+        assert_eq!(ids, vec![10, 30]);
+        assert_eq!(b.point(0), &[1, 1]);
+        assert_eq!(b.point(1), &[3, 3]);
+        assert_eq!(b.len(), 2);
+    }
+
+    proptest! {
+        /// The batched kernel agrees with the scalar `dominates` loop and
+        /// never examines more pairs than the scalar early-exit scan.
+        #[test]
+        fn batched_equals_scalar_loop(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u32..6, 3), 1..40),
+            cand in proptest::collection::vec(0u32..6, 3),
+        ) {
+            let b = PointBlock::from_rows(&rows);
+            let (got, examined) = b.dominated(&cand);
+            let mut scalar = 0u64;
+            let mut expect = false;
+            for r in &rows {
+                scalar += 1;
+                if dominates(r, &cand) { expect = true; break; }
+            }
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(examined, scalar);
+        }
+    }
+}

@@ -6,6 +6,9 @@ pub struct Stats {
     pub dominance_checks: u64,
     /// Page IOs (node reads). Zero for purely in-memory algorithms.
     pub io_reads: u64,
+    /// Invocations of a batched dominance kernel (each kernel call examines
+    /// zero or more pairs, all counted in `dominance_checks`).
+    pub dominance_batch_calls: u64,
 }
 
 impl Stats {
@@ -14,7 +17,16 @@ impl Stats {
         Stats {
             dominance_checks: self.dominance_checks + other.dominance_checks,
             io_reads: self.io_reads + other.io_reads,
+            dominance_batch_calls: self.dominance_batch_calls + other.dominance_batch_calls,
         }
+    }
+
+    /// Accounts one batched-kernel invocation that examined `examined`
+    /// pairs.
+    #[inline]
+    pub fn batch(&mut self, examined: u64) {
+        self.dominance_checks += examined;
+        self.dominance_batch_calls += 1;
     }
 }
 
@@ -87,17 +99,29 @@ mod tests {
         let a = Stats {
             dominance_checks: 3,
             io_reads: 1,
+            dominance_batch_calls: 2,
         };
         let b = Stats {
             dominance_checks: 4,
             io_reads: 2,
+            dominance_batch_calls: 1,
         };
         assert_eq!(
             a.merge(b),
             Stats {
                 dominance_checks: 7,
-                io_reads: 3
+                io_reads: 3,
+                dominance_batch_calls: 3,
             }
         );
+    }
+
+    #[test]
+    fn batch_accounts_pairs_and_calls() {
+        let mut s = Stats::default();
+        s.batch(5);
+        s.batch(0);
+        assert_eq!(s.dominance_checks, 5);
+        assert_eq!(s.dominance_batch_calls, 2);
     }
 }

@@ -98,8 +98,9 @@ fn cursor_equals_run_for_every_engine() {
         assert_eq!(sorted(s_expect), sorted(expect.clone()), "{variant:?}");
     }
 
-    // The classic TO algorithms over the TO projection of the same table.
-    let data: Vec<Vec<u32>> = (0..table.len()).map(|i| table.to_row(i).to_vec()).collect();
+    // The classic TO algorithms over the TO projection of the same table —
+    // the store's flat TO block is the columnar input, zero-copy.
+    let data = tss::skyline::PointBlock::from_flat(table.to_dims(), table.to_block().to_vec());
     let to_expect = sorted(tss::skyline::brute_force(&data));
     for algo in [
         ClassicAlgo::Brute,
@@ -115,6 +116,60 @@ fn cursor_equals_run_for_every_engine() {
         let engine = ClassicEngine::new(data.clone(), algo);
         assert_eq!(sorted(drain(&engine)), to_expect, "{algo:?}");
     }
+}
+
+/// The batched dominance kernels must do the *same pair work* as the seed's
+/// scalar loops, just faster: on the fixed `workload(1500, 3)` the seed
+/// (pre-columnar) implementation performed exactly 10 839 sTSS and 11 218
+/// dTSS scalar `t_dominates` calls. The kernels examine pairs in the same
+/// order with the same early exit, so their `dominance_checks` may never
+/// exceed those ceilings — and every check must now flow through a batched
+/// kernel invocation (`dominance_batch_calls > 0`).
+#[test]
+fn batched_kernel_spends_no_more_checks_than_the_seed_scalar_path() {
+    const SEED_STSS_SCALAR_CHECKS: u64 = 10_839;
+    const SEED_DTSS_SCALAR_CHECKS: u64 = 11_218;
+    let (table, dag) = workload(1500, 3);
+
+    let stss = Stss::build(
+        table.clone(),
+        vec![dag.clone()],
+        StssConfig {
+            node_capacity: Some(SCALED_CAPACITY),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let m = stss.run().metrics;
+    assert!(
+        m.dominance_checks <= SEED_STSS_SCALAR_CHECKS,
+        "sTSS batched kernel examined {} pairs, seed scalar path paid {}",
+        m.dominance_checks,
+        SEED_STSS_SCALAR_CHECKS
+    );
+    assert!(
+        m.dominance_batch_calls > 0,
+        "sTSS must use the batched kernel"
+    );
+    assert!(
+        m.dominance_batch_calls <= m.dominance_checks + m.results,
+        "kernel calls are per-candidate, checks per pair examined"
+    );
+
+    let dtss = Dtss::build(table, vec![dag.len() as u32], DtssConfig::default()).unwrap();
+    let mut c = dtss.query_cursor(&PoQuery::new(vec![dag])).unwrap();
+    while c.next().is_some() {}
+    let dm = c.metrics();
+    assert!(
+        dm.dominance_checks <= SEED_DTSS_SCALAR_CHECKS,
+        "dTSS batched kernel examined {} pairs, seed scalar path paid {}",
+        dm.dominance_checks,
+        SEED_DTSS_SCALAR_CHECKS
+    );
+    assert!(
+        dm.dominance_batch_calls > 0,
+        "dTSS must use the batched kernel"
+    );
 }
 
 /// Early-termination soundness: for the progressive engines, the first `k`

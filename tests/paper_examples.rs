@@ -54,10 +54,10 @@ fn sorted(mut v: Vec<u32>) -> Vec<u32> {
 
 #[test]
 fn fig1b_totally_ordered_skyline() {
-    // Ignoring airlines: skyline tickets are p1, p3, p6, p7, p9.
-    let data: Vec<Vec<u32>> = (0..tickets().len())
-        .map(|i| tickets().to_row(i).to_vec())
-        .collect();
+    // Ignoring airlines: skyline tickets are p1, p3, p6, p7, p9. The TO
+    // block of the store is the columnar input, zero-copy.
+    let tickets = tickets();
+    let data = tss::skyline::PointBlock::from_flat(tickets.to_dims(), tickets.to_block().to_vec());
     assert_eq!(tss::skyline::brute_force(&data), vec![0, 2, 5, 6, 8]);
 }
 

@@ -4,28 +4,25 @@
 
 use tss::datagen::{gen_to_matrix, Distribution, TupleConfig};
 use tss::rtree::RTree;
-use tss::skyline::{bbs, bitmap, bnl, brute_force, index_skyline, salsa, sfs};
+use tss::skyline::{bbs, bitmap, bnl, brute_force, index_skyline, salsa, sfs, PointBlock};
 
-fn workload(n: usize, dims: usize, domain: u32, dist: Distribution, seed: u64) -> Vec<Vec<u32>> {
-    gen_to_matrix(TupleConfig {
-        n,
+fn workload(n: usize, dims: usize, domain: u32, dist: Distribution, seed: u64) -> PointBlock {
+    // The generated flat matrix is the columnar layout already: zero-copy.
+    PointBlock::from_flat(
         dims,
-        domain,
-        dist,
-        seed,
-    })
-    .chunks(dims)
-    .map(|c| c.to_vec())
-    .collect()
+        gen_to_matrix(TupleConfig {
+            n,
+            dims,
+            domain,
+            dist,
+            seed,
+        }),
+    )
 }
 
-fn tree_of(data: &[Vec<u32>]) -> RTree {
-    let pts: Vec<(Vec<u32>, u32)> = data
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (p.clone(), i as u32))
-        .collect();
-    RTree::bulk_load(data[0].len(), 16, pts)
+fn tree_of(data: &PointBlock) -> RTree {
+    let ids: Vec<u32> = (0..data.len() as u32).collect();
+    RTree::bulk_load_flat(data.dims(), 16, data.flat(), &ids)
 }
 
 fn sorted(mut v: Vec<u32>) -> Vec<u32> {
