@@ -228,11 +228,13 @@ fn dynamic_point(p: &ExperimentParams) -> (bench::runner::AlgoResult, bench::run
             name: "SDC+",
             metrics: div(sdc_sum),
             skyline: sky,
+            records: None, // averaged over seeds
         },
         bench::runner::AlgoResult {
             name: "TSS",
             metrics: div(tss_sum),
             skyline: sky,
+            records: None, // averaged over seeds
         },
     )
 }
@@ -407,18 +409,42 @@ fn smoke() {
     println!("smoke OK");
 }
 
-/// `harness bench --json [--smoke] [--out FILE]`: the fixed perf-trajectory
-/// grid (see [`bench::jsonbench`]), written as JSON rows to stdout or
-/// `FILE`. The committed `BENCH_PR3.json` is a full-grid run of this
-/// subcommand.
+/// `harness bench --json [--smoke] [--threads N[,N…]] [--out FILE]`: the
+/// fixed perf-trajectory grid (see [`bench::jsonbench`]), written as JSON
+/// rows to stdout or `FILE`. `--threads` re-runs every grid point through
+/// the sharded parallel executors once per listed worker count (fixed
+/// shard partition, so all rows but `wall_ns` are asserted identical
+/// across counts). The committed `BENCH_PR4.json` is a full-grid
+/// `--threads 1,2,4` run of this subcommand.
 fn bench_json(args: &[String]) {
     let mut smoke = false;
     let mut out: Option<String> = None;
+    let mut threads: Vec<usize> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => {} // the only supported format; accepted for clarity
             "--smoke" => smoke = true,
+            "--threads" => {
+                let list = it.next().unwrap_or_else(|| {
+                    eprintln!("--threads requires N or a comma list like 1,2,4");
+                    std::process::exit(2);
+                });
+                threads = list
+                    .split(',')
+                    .map(|s| {
+                        let n = s.trim().parse::<usize>().unwrap_or(0);
+                        if n == 0 {
+                            eprintln!(
+                                "--threads: {s:?} is not a worker count (>= 1; serial rows \
+                                 are always emitted)"
+                            );
+                            std::process::exit(2);
+                        }
+                        n
+                    })
+                    .collect();
+            }
             "--out" => {
                 out = Some(
                     it.next()
@@ -430,12 +456,15 @@ fn bench_json(args: &[String]) {
                 );
             }
             other => {
-                eprintln!("unknown bench flag {other:?}; expected --json, --smoke, --out FILE");
+                eprintln!(
+                    "unknown bench flag {other:?}; expected --json, --smoke, --threads LIST, \
+                     --out FILE"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let rows = bench::jsonbench::grid(smoke);
+    let rows = bench::jsonbench::grid(smoke, &threads);
     let json = bench::jsonbench::to_json(&rows);
     match out {
         Some(path) => {

@@ -2,13 +2,21 @@
 //!
 //! A fixed small grid — the Fig. 7 cardinality sweep crossed with a Fig. 8
 //! dimensionality subset, plus the dynamic (Fig. 12) cardinality points —
-//! at one seed, emitted as JSON rows `{algo, workload, wall_ns, metrics}`.
-//! The committed `BENCH_PR3.json` at the repository root is the first point
-//! of this trajectory; later PRs append comparable runs. `--smoke` shrinks
-//! every cardinality so CI can assert the report stays well-formed in
-//! seconds.
+//! at one seed, emitted as JSON rows
+//! `{algo, workload, threads, shards, wall_ns, metrics}`. Serial rows
+//! (`threads = 0`) are the same measurement as `BENCH_PR3.json`, so the
+//! trajectory stays comparable across PRs; a `--threads` axis re-runs the
+//! grid through the sharded parallel executors ([`BENCH_SHARDS`] fixed
+//! shards, `N` workers) and emits one row set per worker count. Everything
+//! except `wall_ns` is asserted identical across worker counts while the
+//! grid is built — the determinism contract of `tss_core::parallel`,
+//! enforced at measurement time. `--smoke` shrinks every cardinality so CI
+//! can do the same in seconds.
 
-use crate::runner::{generate, run_dtss, run_dynamic_sdc, run_sdc_plus, run_stss, AlgoResult};
+use crate::runner::{
+    generate, run_dtss, run_dtss_sharded, run_dynamic_sdc, run_dynamic_sdc_sharded, run_sdc_plus,
+    run_sdc_plus_sharded, run_stss, run_stss_sharded, AlgoResult, BENCH_SHARDS,
+};
 use datagen::{Distribution, ExperimentParams};
 use tss_core::{DtssConfig, Metrics, StssConfig};
 
@@ -19,6 +27,11 @@ pub struct BenchRow {
     pub algo: &'static str,
     /// Grid point key, e.g. `"fig07:n=100000"`.
     pub workload: String,
+    /// Worker threads of the sharded parallel executor; `0` marks the
+    /// classic serial engine.
+    pub threads: usize,
+    /// Shard count of the parallel executor; `0` for serial rows.
+    pub shards: usize,
     /// Wall-clock nanoseconds of the measured run phase (index build
     /// excluded, as in the paper's query-time experiments).
     pub wall_ns: u128,
@@ -29,10 +42,12 @@ pub struct BenchRow {
 }
 
 impl BenchRow {
-    fn of(algo: &'static str, workload: String, r: &AlgoResult) -> Self {
+    fn of(algo: &'static str, workload: String, threads: usize, r: &AlgoResult) -> Self {
         BenchRow {
             algo,
             workload,
+            threads,
+            shards: if threads == 0 { 0 } else { BENCH_SHARDS },
             wall_ns: r.metrics.cpu.as_nanos(),
             metrics: r.metrics,
             skyline: r.skyline,
@@ -40,10 +55,85 @@ impl BenchRow {
     }
 }
 
+/// Asserts the thread-count invariants between two runs of the same
+/// `(algo, workload)` at different worker counts: byte-identical skyline
+/// record-id vectors and identical work counters — only the wall clock
+/// may differ.
+fn assert_invariant(a: &BenchRow, ra: &AlgoResult, b: &BenchRow, rb: &AlgoResult) {
+    assert_eq!(a.skyline, b.skyline, "{}/{}", a.algo, a.workload);
+    assert!(
+        ra.records.is_some() && ra.records == rb.records,
+        "{}/{}: skyline record-id vectors must be byte-identical across \
+         worker counts",
+        a.algo,
+        a.workload
+    );
+    let (ma, mb) = (&a.metrics, &b.metrics);
+    assert_eq!(
+        ma.dominance_checks, mb.dominance_checks,
+        "{}/{}: dominance_checks must not depend on the worker count",
+        a.algo, a.workload
+    );
+    assert_eq!(ma.dominance_batch_calls, mb.dominance_batch_calls);
+    assert_eq!(ma.io_reads, mb.io_reads);
+    assert_eq!(ma.io_writes, mb.io_writes);
+    assert_eq!(ma.heap_pops, mb.heap_pops);
+    assert_eq!(ma.results, mb.results);
+}
+
+/// Runs one workload point through the serial engines and, per requested
+/// worker count, through the sharded executors, appending all rows.
+fn emit_point(
+    rows: &mut Vec<BenchRow>,
+    workload: &str,
+    threads_axis: &[usize],
+    serial: [(&'static str, AlgoResult); 2],
+    mut sharded: impl FnMut(usize) -> [(&'static str, AlgoResult); 2],
+) {
+    let [(algo_a, a), (algo_b, b)] = serial;
+    assert_eq!(a.skyline, b.skyline, "engines must agree on {workload}");
+    let serial_set: Option<Vec<u32>> = a.records.clone().map(|mut r| {
+        r.sort_unstable();
+        r
+    });
+    rows.push(BenchRow::of(algo_a, workload.to_string(), 0, &a));
+    rows.push(BenchRow::of(algo_b, workload.to_string(), 0, &b));
+    let mut first: Option<[(BenchRow, AlgoResult); 2]> = None;
+    for &t in threads_axis {
+        assert!(t >= 1, "threads axis entries are worker counts (>= 1)");
+        let [(algo_a, a), (algo_b, b)] = sharded(t);
+        assert_eq!(a.skyline, b.skyline, "engines must agree on {workload}");
+        // The sharded executors must produce the serial engines' skyline
+        // (emission order differs — shard-major vs global — so compare as
+        // record-id sets).
+        if let (Some(serial_set), Some(records)) = (&serial_set, &a.records) {
+            let mut sharded_set = records.clone();
+            sharded_set.sort_unstable();
+            assert_eq!(
+                &sharded_set, serial_set,
+                "sharded and serial skylines must be the same record set on {workload}"
+            );
+        }
+        let ra = BenchRow::of(algo_a, workload.to_string(), t, &a);
+        let rb = BenchRow::of(algo_b, workload.to_string(), t, &b);
+        match &first {
+            None => first = Some([(ra.clone(), a), (rb.clone(), b)]),
+            Some([(fa, fra), (fb, frb)]) => {
+                assert_invariant(fa, fra, &ra, &a);
+                assert_invariant(fb, frb, &rb, &b);
+            }
+        }
+        rows.push(ra);
+        rows.push(rb);
+    }
+}
+
 /// The fixed grid: one seed (42), Fig. 7 cardinalities x Fig. 8
 /// dimensionalities for the static engines, Fig. 12 cardinalities for the
-/// dynamic ones. `smoke` shrinks every `n` to 2 000 tuples.
-pub fn grid(smoke: bool) -> Vec<BenchRow> {
+/// dynamic ones. `smoke` shrinks every `n` to 2 000 tuples. `threads_axis`
+/// adds one sharded-parallel row set per entry (e.g. `[1, 2, 4]`); pass
+/// `[]` for the serial grid alone.
+pub fn grid(smoke: bool, threads_axis: &[usize]) -> Vec<BenchRow> {
     const SEED: u64 = 42;
     let card: &[usize] = if smoke {
         &[2_000]
@@ -66,12 +156,24 @@ pub fn grid(smoke: bool) -> Vec<BenchRow> {
             p.dag_height = 4;
         }
         let w = generate(&p);
-        let workload = format!("fig07:n={n}");
-        let tss = run_stss(&w, StssConfig::default());
-        let sdc = run_sdc_plus(&w);
-        assert_eq!(tss.skyline, sdc.skyline, "static engines must agree");
-        rows.push(BenchRow::of("sTSS", workload.clone(), &tss));
-        rows.push(BenchRow::of("SDC+", workload, &sdc));
+        emit_point(
+            &mut rows,
+            &format!("fig07:n={n}"),
+            threads_axis,
+            [
+                ("sTSS", run_stss(&w, StssConfig::default())),
+                ("SDC+", run_sdc_plus(&w)),
+            ],
+            |t| {
+                [
+                    (
+                        "sTSS",
+                        run_stss_sharded(&w, StssConfig::default(), BENCH_SHARDS, t),
+                    ),
+                    ("SDC+", run_sdc_plus_sharded(&w, BENCH_SHARDS, t)),
+                ]
+            },
+        );
     }
 
     // Fig. 8 axis: static dimensionality sweep at a fixed cardinality.
@@ -84,12 +186,24 @@ pub fn grid(smoke: bool) -> Vec<BenchRow> {
             p.dag_height = 4;
         }
         let w = generate(&p);
-        let workload = format!("fig08:n={dims_n}:dims=({to_d},{po_d})");
-        let tss = run_stss(&w, StssConfig::default());
-        let sdc = run_sdc_plus(&w);
-        assert_eq!(tss.skyline, sdc.skyline, "static engines must agree");
-        rows.push(BenchRow::of("sTSS", workload.clone(), &tss));
-        rows.push(BenchRow::of("SDC+", workload, &sdc));
+        emit_point(
+            &mut rows,
+            &format!("fig08:n={dims_n}:dims=({to_d},{po_d})"),
+            threads_axis,
+            [
+                ("sTSS", run_stss(&w, StssConfig::default())),
+                ("SDC+", run_sdc_plus(&w)),
+            ],
+            |t| {
+                [
+                    (
+                        "sTSS",
+                        run_stss_sharded(&w, StssConfig::default(), BENCH_SHARDS, t),
+                    ),
+                    ("SDC+", run_sdc_plus_sharded(&w, BENCH_SHARDS, t)),
+                ]
+            },
+        );
     }
 
     // Fig. 12 axis: the dynamic counterpart of the cardinality sweep.
@@ -100,12 +214,27 @@ pub fn grid(smoke: bool) -> Vec<BenchRow> {
             p.dag_height = 4;
         }
         let w = generate(&p);
-        let workload = format!("fig12:n={n}");
-        let tss = run_dtss(&w, 11, DtssConfig::default());
-        let sdc = run_dynamic_sdc(&w, 11);
-        assert_eq!(tss.skyline, sdc.skyline, "dynamic engines must agree");
-        rows.push(BenchRow::of("dTSS", workload.clone(), &tss));
-        rows.push(BenchRow::of("SDC+rebuild", workload, &sdc));
+        emit_point(
+            &mut rows,
+            &format!("fig12:n={n}"),
+            threads_axis,
+            [
+                ("dTSS", run_dtss(&w, 11, DtssConfig::default())),
+                ("SDC+rebuild", run_dynamic_sdc(&w, 11)),
+            ],
+            |t| {
+                [
+                    (
+                        "dTSS",
+                        run_dtss_sharded(&w, 11, DtssConfig::default(), BENCH_SHARDS, t),
+                    ),
+                    (
+                        "SDC+rebuild",
+                        run_dynamic_sdc_sharded(&w, 11, BENCH_SHARDS, t),
+                    ),
+                ]
+            },
+        );
     }
     rows
 }
@@ -117,11 +246,14 @@ pub fn to_json(rows: &[BenchRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let m = &r.metrics;
         out.push_str(&format!(
-            "  {{\"algo\": \"{}\", \"workload\": \"{}\", \"wall_ns\": {}, \"metrics\": \
+            "  {{\"algo\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \"shards\": {}, \
+             \"wall_ns\": {}, \"metrics\": \
              {{\"dominance_checks\": {}, \"dominance_batch_calls\": {}, \"io_reads\": {}, \
              \"io_writes\": {}, \"heap_pops\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
             r.algo,
             r.workload,
+            r.threads,
+            r.shards,
             r.wall_ns,
             m.dominance_checks,
             m.dominance_batch_calls,
@@ -147,6 +279,8 @@ mod tests {
         let rows = vec![BenchRow {
             algo: "sTSS",
             workload: "fig07:n=10".into(),
+            threads: 2,
+            shards: 8,
             wall_ns: 123,
             metrics: Metrics {
                 dominance_checks: 7,
@@ -159,6 +293,8 @@ mod tests {
         let s = to_json(&rows);
         assert!(s.starts_with("[\n"));
         assert!(s.contains("\"algo\": \"sTSS\""));
+        assert!(s.contains("\"threads\": 2"));
+        assert!(s.contains("\"shards\": 8"));
         assert!(s.contains("\"wall_ns\": 123"));
         assert!(s.contains("\"dominance_checks\": 7"));
         assert!(s.trim_end().ends_with(']'));
@@ -166,11 +302,30 @@ mod tests {
 
     #[test]
     fn smoke_grid_covers_every_axis() {
-        let rows = grid(true);
+        let rows = grid(true, &[]);
         assert!(rows.iter().any(|r| r.workload.starts_with("fig07:")));
         assert!(rows.iter().any(|r| r.workload.starts_with("fig08:")));
         assert!(rows.iter().any(|r| r.workload.starts_with("fig12:")));
         assert!(rows.iter().any(|r| r.algo == "sTSS"));
         assert!(rows.iter().any(|r| r.algo == "dTSS"));
+        assert!(rows.iter().all(|r| r.threads == 0));
+    }
+
+    #[test]
+    fn threaded_smoke_rows_hold_the_invariants() {
+        // One smoke pass at two worker counts: `emit_point` itself asserts
+        // identical skylines and work counters between them, so reaching
+        // the end *is* the invariant check; spot-check the row layout.
+        let rows = grid(true, &[1, 2]);
+        let serial = rows.iter().filter(|r| r.threads == 0).count();
+        let t1 = rows.iter().filter(|r| r.threads == 1).count();
+        let t2 = rows.iter().filter(|r| r.threads == 2).count();
+        assert!(serial > 0);
+        assert_eq!(serial, t1);
+        assert_eq!(t1, t2);
+        assert!(rows
+            .iter()
+            .filter(|r| r.threads > 0)
+            .all(|r| r.shards == BENCH_SHARDS));
     }
 }

@@ -126,6 +126,7 @@ mod tests {
                 ..Default::default()
             },
             skyline: 5,
+            records: None,
         };
         let cells = comparison_cells("N".into(), &mk(200), &mk(100), model);
         assert_eq!(cells[0], "N");

@@ -7,9 +7,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sdc::{DynamicSdc, SdcConfig, SdcIndex, Variant};
+use std::time::Instant;
+use tss_core::parallel::merge_jobs;
 use tss_core::{
-    CostModel, Dtss, DtssConfig, Metrics, PoQuery, ProgressSample, SkylineCursor, Stss, StssConfig,
-    Table,
+    CostModel, Dtss, DtssConfig, Metrics, PoDomain, PoQuery, ProgressSample, SkylineCursor, Stss,
+    StssConfig, Table,
 };
 
 /// A generated workload: the table plus its PO domains.
@@ -36,6 +38,10 @@ pub struct AlgoResult {
     pub name: &'static str,
     pub metrics: Metrics,
     pub skyline: usize,
+    /// Skyline record ids in emission order, when the runner kept them
+    /// (`None` for aggregated results) — what the bench grid's
+    /// byte-identity assertions compare across worker counts.
+    pub records: Option<Vec<u32>>,
 }
 
 impl AlgoResult {
@@ -59,6 +65,7 @@ pub fn run_stss(w: &Workload, cfg: StssConfig) -> AlgoResult {
         name: "TSS",
         metrics: run.metrics,
         skyline: run.skyline.len(),
+        records: Some(run.skyline_records()),
     }
 }
 
@@ -76,7 +83,155 @@ pub fn run_sdc_plus(w: &Workload) -> AlgoResult {
         name: "SDC+",
         metrics: run.metrics,
         skyline: run.skyline.len(),
+        records: Some(run.skyline.clone()),
     }
+}
+
+/// Fixed shard count of the sharded parallel runners. Deliberately
+/// decoupled from the worker count: every `--threads N` run partitions the
+/// data identically and does identical work, so skyline record sets and
+/// dominance-check counts are byte-for-byte comparable across `N` — only
+/// the wall clock moves.
+pub const BENCH_SHARDS: usize = 8;
+
+/// Shared body of the sharded runners: executes one pre-built engine per
+/// shard on up to `threads` scoped workers (index builds happen before the
+/// clock starts, as in the serial runners), merges the local skylines with
+/// the batched dominance kernels, and reports the *wall clock* of the
+/// timed phase as `metrics.cpu`. All counts are the exact sum of the
+/// per-shard metrics plus the merge phase.
+fn run_sharded<E: Send>(
+    name: &'static str,
+    table: &Table,
+    domains: &[PoDomain],
+    engines: Vec<E>,
+    starts: Vec<u32>,
+    threads: usize,
+    run: impl Fn(E) -> (Vec<u32>, Metrics) + Sync,
+) -> AlgoResult {
+    let t0 = Instant::now();
+    let run = &run;
+    let jobs: Vec<_> = engines
+        .into_iter()
+        .zip(starts)
+        .map(|(engine, start)| {
+            move || {
+                let (local, m) = run(engine);
+                let global: Vec<u32> = local.into_iter().map(|r| r + start).collect();
+                (global, m)
+            }
+        })
+        .collect();
+    let parallel = merge_jobs(table, domains, threads, jobs);
+    let wall = t0.elapsed();
+    let mut metrics = parallel.metrics();
+    metrics.cpu = wall;
+    AlgoResult {
+        name,
+        metrics,
+        skyline: parallel.records.len(),
+        records: Some(parallel.records),
+    }
+}
+
+/// Sharded parallel sTSS: one index per shard (built untimed), run on up
+/// to `threads` workers, local skylines merged exactly.
+pub fn run_stss_sharded(
+    w: &Workload,
+    cfg: StssConfig,
+    shards: usize,
+    threads: usize,
+) -> AlgoResult {
+    let views = w.table.shards(shards);
+    let domains: Vec<PoDomain> = w.dags.iter().cloned().map(PoDomain::new).collect();
+    let engines: Vec<Stss> = views
+        .iter()
+        .map(|v| Stss::build(v.to_store(), w.dags.clone(), cfg).expect("valid workload"))
+        .collect();
+    let starts = views.iter().map(|v| v.start()).collect();
+    run_sharded("TSS", &w.table, &domains, engines, starts, threads, |e| {
+        let r = e.run();
+        (r.skyline_records(), r.metrics)
+    })
+}
+
+/// Sharded parallel SDC+ (same contract as [`run_stss_sharded`]).
+pub fn run_sdc_plus_sharded(w: &Workload, shards: usize, threads: usize) -> AlgoResult {
+    let views = w.table.shards(shards);
+    let domains: Vec<PoDomain> = w.dags.iter().cloned().map(PoDomain::new).collect();
+    let engines: Vec<SdcIndex> = views
+        .iter()
+        .map(|v| {
+            SdcIndex::build(
+                v.to_store(),
+                w.dags.clone(),
+                Variant::SdcPlus,
+                SdcConfig::default(),
+            )
+            .expect("valid workload")
+        })
+        .collect();
+    let starts = views.iter().map(|v| v.start()).collect();
+    run_sharded("SDC+", &w.table, &domains, engines, starts, threads, |e| {
+        let r = e.run();
+        (r.skyline, r.metrics)
+    })
+}
+
+/// Sharded parallel dTSS: group structures built per shard (untimed,
+/// order-independent), then one dynamic query evaluated per shard and
+/// merged under the *query's* partial orders.
+pub fn run_dtss_sharded(
+    w: &Workload,
+    query_seed: u64,
+    cfg: DtssConfig,
+    shards: usize,
+    threads: usize,
+) -> AlgoResult {
+    let sizes: Vec<u32> = w.dags.iter().map(|d| d.len() as u32).collect();
+    let views = w.table.shards(shards);
+    let engines: Vec<Dtss> = views
+        .iter()
+        .map(|v| Dtss::build(v.to_store(), sizes.clone(), cfg).expect("valid workload"))
+        .collect();
+    let starts = views.iter().map(|v| v.start()).collect();
+    let query = PoQuery::new(
+        w.dags
+            .iter()
+            .map(|d| permuted_order(d, query_seed))
+            .collect(),
+    );
+    let domains: Vec<PoDomain> = query.dags().iter().cloned().map(PoDomain::new).collect();
+    run_sharded("TSS", &w.table, &domains, engines, starts, threads, |e| {
+        let r = e.query(&query).expect("valid query");
+        (r.skyline_records(), r.metrics)
+    })
+}
+
+/// Sharded rebuild-SDC+ baseline: each shard rebuilds its strata for the
+/// query (the rebuild IO stays charged per shard), then the locals merge.
+pub fn run_dynamic_sdc_sharded(
+    w: &Workload,
+    query_seed: u64,
+    shards: usize,
+    threads: usize,
+) -> AlgoResult {
+    let views = w.table.shards(shards);
+    let engines: Vec<DynamicSdc> = views
+        .iter()
+        .map(|v| DynamicSdc::new(v.to_store(), SdcConfig::default()))
+        .collect();
+    let starts = views.iter().map(|v| v.start()).collect();
+    let query: Vec<Dag> = w
+        .dags
+        .iter()
+        .map(|d| permuted_order(d, query_seed))
+        .collect();
+    let domains: Vec<PoDomain> = query.iter().cloned().map(PoDomain::new).collect();
+    run_sharded("SDC+", &w.table, &domains, engines, starts, threads, |e| {
+        let r = e.query(&query).expect("valid query");
+        (r.skyline, r.metrics)
+    })
 }
 
 /// Progressiveness timelines for Fig. 11: `(samples, final metrics)`.
@@ -215,6 +370,7 @@ pub fn run_dtss(w: &Workload, query_seed: u64, cfg: DtssConfig) -> AlgoResult {
         name: "TSS",
         metrics: run.metrics,
         skyline: run.skyline.len(),
+        records: Some(run.skyline_records()),
     }
 }
 
@@ -231,6 +387,7 @@ pub fn run_dynamic_sdc(w: &Workload, query_seed: u64) -> AlgoResult {
         name: "SDC+",
         metrics: run.metrics,
         skyline: run.skyline.len(),
+        records: Some(run.skyline.clone()),
     }
 }
 
@@ -292,6 +449,29 @@ mod tests {
             .filter(|&(x, y)| r0.preferred(x, y) != rq.preferred(x, y))
             .count();
         assert!(diff > 0);
+    }
+
+    #[test]
+    fn sharded_runners_agree_with_the_serial_engines() {
+        let w = generate(&tiny_params());
+        let serial = run_stss(&w, StssConfig::default());
+        for threads in [1usize, 2, 4] {
+            let sharded = run_stss_sharded(&w, StssConfig::default(), BENCH_SHARDS, threads);
+            assert_eq!(sharded.skyline, serial.skyline, "threads={threads}");
+        }
+        let sdc = run_sdc_plus_sharded(&w, BENCH_SHARDS, 2);
+        assert_eq!(sdc.skyline, serial.skyline);
+
+        let mut p = ExperimentParams::paper_dynamic_default(Distribution::Independent, 7);
+        p.n = 2000;
+        p.dag_height = 4;
+        let wd = generate(&p);
+        let d_serial = run_dtss(&wd, 5, DtssConfig::default());
+        let d_sharded = run_dtss_sharded(&wd, 5, DtssConfig::default(), BENCH_SHARDS, 2);
+        assert_eq!(d_sharded.skyline, d_serial.skyline);
+        let r_sharded = run_dynamic_sdc_sharded(&wd, 5, BENCH_SHARDS, 2);
+        assert_eq!(r_sharded.skyline, d_serial.skyline);
+        assert!(r_sharded.metrics.io_writes > 0, "rebuild charged per shard");
     }
 
     #[test]

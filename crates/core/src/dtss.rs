@@ -28,11 +28,10 @@ use crate::progressive::ProgressSample;
 use crate::store::RecordId;
 use crate::stss::SkylinePoint;
 use crate::{CoreError, Metrics, PoDomain, Table, VirtualPointIndex};
-use poset::{Dag, ValueId};
+use poset::{Dag, Fnv64, ValueId};
 use rtree::{BestFirst, PageConfig, Popped, RTree};
 use skyline::PointBlock;
 use std::cell::RefCell;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
@@ -56,14 +55,28 @@ impl PoQuery {
     }
 
     /// A canonical digest of the query — the per-attribute
-    /// [`Dag::fingerprint`]s combined in order — used as the result-cache
-    /// key.
+    /// [`Dag::fingerprint`]s combined in order with a toolchain-stable
+    /// FNV-1a — used as the result-cache key. Like any 64-bit hash it can
+    /// collide; the cache verifies every hit against the stored query (see
+    /// [`DtssConfig::cache`]).
     pub fn digest(&self) -> u64 {
-        let mut h = DefaultHasher::new();
+        let mut h = Fnv64::new();
         for dag in &self.dags {
             dag.fingerprint().hash(&mut h);
         }
         h.finish()
+    }
+
+    /// Structural equality with another query: same attribute count and
+    /// [`Dag::same_structure`] per attribute — the collision guard behind
+    /// every digest-cache hit.
+    pub fn same_structure(&self, other: &PoQuery) -> bool {
+        self.dags.len() == other.dags.len()
+            && self
+                .dags
+                .iter()
+                .zip(other.dags.iter())
+                .all(|(a, b)| a.same_structure(b))
     }
 }
 
@@ -86,6 +99,23 @@ pub struct DtssConfig {
     /// values can dominate the group's key, turning per-point checks into
     /// TO-only comparisons. Exact; off by default (paper-plain checks).
     pub filter_dominators: bool,
+    /// Parallel stratum-evaluation mode: `0` (default) keeps the classic
+    /// serial group walk; `>= 1` evaluates each *rank stratum* — the
+    /// maximal run of groups sharing one ordinal-sum rank — concurrently
+    /// with up to that many worker threads.
+    ///
+    /// Groups of equal rank are mutually incomparable (a dominating
+    /// group's key has a strictly smaller ordinal sum), so their dismissal
+    /// checks and, with [`precompute_local`](Self::precompute_local), their
+    /// local-skyline candidate screening run against the global skyline
+    /// *frozen at stratum start*. Outcomes and emission order equal the
+    /// serial walk's for every worker count; the examined-pair counts
+    /// depend only on the stratum partition, never on `eval_threads`.
+    /// Groups that need a live tree traversal (no local skyline, or a
+    /// fully dynamic reference point) are walked serially inside the
+    /// stratum, unchanged. Ignored when [`fast_check`](Self::fast_check)
+    /// is on (the virtual-point index mutates per confirmation).
+    pub eval_threads: usize,
 }
 
 /// One PO-value group: key, members, TO R-tree, optional local skyline.
@@ -98,6 +128,18 @@ struct Group {
     local_skyline: Option<Vec<u32>>,
 }
 
+impl Group {
+    /// The root MBB corner the dismissal check runs on, folded around
+    /// `reference` for fully dynamic queries.
+    fn root_corner(&self, reference: Option<&[u32]>) -> Vec<u32> {
+        let root = self.tree.root().expect("groups are non-empty");
+        match reference {
+            None => self.tree.mbb(root).lo().to_vec(),
+            Some(r) => self.tree.mbb(root).folded_corner(r),
+        }
+    }
+}
+
 /// The dTSS operator: built once over a table, queried many times with
 /// different partial orders.
 #[derive(Debug)]
@@ -106,7 +148,24 @@ pub struct Dtss {
     domain_sizes: Vec<u32>,
     groups: Vec<Group>,
     cfg: DtssConfig,
-    cache: RefCell<HashMap<u64, Vec<u32>>>,
+    cache: RefCell<HashMap<u64, CachedResult>>,
+}
+
+/// One memoized query result. The digest key is a 64-bit hash, so the
+/// entry keeps the query (and reference point) it was computed for and
+/// every hit is verified structurally — a collision degrades to a miss
+/// instead of replaying the wrong skyline.
+#[derive(Debug, Clone)]
+struct CachedResult {
+    query: PoQuery,
+    reference: Option<Vec<u32>>,
+    records: Vec<u32>,
+}
+
+impl CachedResult {
+    fn matches(&self, q: &PoQuery, reference: Option<&[u32]>) -> bool {
+        self.query.same_structure(q) && self.reference.as_deref() == reference
+    }
 }
 
 /// Result of one [`Dtss::query`].
@@ -286,7 +345,7 @@ impl Dtss {
     fn full_digest(q: &PoQuery, reference: Option<&[u32]>) -> u64 {
         let mut digest = q.digest();
         if let Some(r) = reference {
-            let mut h = DefaultHasher::new();
+            let mut h = Fnv64::new();
             digest.hash(&mut h);
             r.hash(&mut h);
             digest = h.finish();
@@ -315,25 +374,30 @@ impl Dtss {
         self.validate(q)?;
         let digest = Self::full_digest(q, reference);
         if self.cfg.cache {
-            if let Some(records) = self.cache.borrow().get(&digest) {
-                let skyline = records
-                    .iter()
-                    .map(|&r| SkylinePoint {
-                        record: r,
-                        to: self.table.to_row(r as usize).to_vec(),
-                        po: self.table.po_row(r as usize).to_vec(),
-                    })
-                    .collect::<Vec<_>>();
-                return Ok(DtssRun {
-                    metrics: Metrics {
-                        results: skyline.len() as u64,
-                        ..Default::default()
-                    },
-                    skyline,
-                    groups_skipped: 0,
-                    groups_total: self.groups.len() as u64,
-                    from_cache: true,
-                });
+            if let Some(entry) = self.cache.borrow().get(&digest) {
+                // Digest collisions (different query, same hash) fall
+                // through to a fresh evaluation.
+                if entry.matches(q, reference) {
+                    let skyline = entry
+                        .records
+                        .iter()
+                        .map(|&r| SkylinePoint {
+                            record: r,
+                            to: self.table.to_row(r as usize).to_vec(),
+                            po: self.table.po_row(r as usize).to_vec(),
+                        })
+                        .collect::<Vec<_>>();
+                    return Ok(DtssRun {
+                        metrics: Metrics {
+                            results: skyline.len() as u64,
+                            ..Default::default()
+                        },
+                        skyline,
+                        groups_skipped: 0,
+                        groups_total: self.groups.len() as u64,
+                        from_cache: true,
+                    });
+                }
             }
         }
         let prepared = match prepare {
@@ -353,9 +417,16 @@ impl Dtss {
             skyline,
         };
         if self.cfg.cache {
+            // On a digest collision the slot's first owner is kept: the
+            // colliding query simply stays uncached.
             self.cache
                 .borrow_mut()
-                .insert(digest, run.skyline.iter().map(|p| p.record).collect());
+                .entry(digest)
+                .or_insert_with(|| CachedResult {
+                    query: q.clone(),
+                    reference: reference.map(<[u32]>::to_vec),
+                    records: run.skyline.iter().map(|p| p.record).collect(),
+                });
         }
         Ok(run)
     }
@@ -369,8 +440,10 @@ impl Dtss {
         self.validate(q)?;
         let digest = Self::full_digest(q, reference);
         if self.cfg.cache {
-            if let Some(records) = self.cache.borrow().get(&digest) {
-                return Ok(DtssCursor::new_replay(self, records.clone()));
+            if let Some(entry) = self.cache.borrow().get(&digest) {
+                if entry.matches(q, reference) {
+                    return Ok(DtssCursor::new_replay(self, entry.records.clone()));
+                }
             }
         }
         let prepared = match prepare {
@@ -609,6 +682,47 @@ impl SkyList {
     ) -> (bool, u64) {
         self.corner_dominated(domains, table, corner, key, false)
     }
+
+    /// Per-group dominator prefilter ([`DtssConfig::filter_dominators`]):
+    /// positions of skyline entries whose PO values can dominate the group
+    /// `key`, paired with their PO strictness — the input of the
+    /// strictness-precomputed TO kernel. One dominance check per entry.
+    /// Shared by the serial group setup and the parallel stratum workers,
+    /// so the two modes can never screen differently.
+    fn filter_dominators(
+        &self,
+        domains: &[PoDomain],
+        table: &Table,
+        key: &[u32],
+        m: &mut Metrics,
+    ) -> Vec<(u32, bool)> {
+        self.ids
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, &r)| {
+                m.dominance_checks += 1;
+                let s_po = table.po(r);
+                let ok = key
+                    .iter()
+                    .enumerate()
+                    .all(|(d, &kv)| domains[d].pref_or_equal(s_po[d], kv));
+                ok.then(|| (pos as u32, s_po != key))
+            })
+            .collect()
+    }
+}
+
+/// A precomputed stratum verdict for one group (parallel mode): what the
+/// frozen-skyline evaluation decided before the group is entered.
+enum GroupPlan {
+    /// Root corner dominated — dismiss without touching the tree.
+    Dismissed,
+    /// Local-skyline group: the candidates that survived the frozen
+    /// screen, ready to emit.
+    Local(VecDeque<u32>),
+    /// Not dismissed, but needs its live tree walk (no local skyline, or
+    /// a folded reference point).
+    Live,
 }
 
 /// Per-query labelings handed to the executor, with the session-cache
@@ -659,6 +773,13 @@ enum DtssPhase<'a> {
         filtered: Option<Vec<(u32, bool)>>,
         ix: usize,
     },
+    /// Emitting the frozen-screened survivors of a local-skyline group
+    /// (parallel stratum mode — the screening already happened in
+    /// [`DtssCursor::plan_stratum`]).
+    LocalPre {
+        gi: usize,
+        survivors: VecDeque<u32>,
+    },
     /// Best-first traversal of a group's TO R-tree.
     Tree {
         gi: usize,
@@ -686,6 +807,12 @@ pub struct DtssCursor<'a> {
     reference: Option<Vec<u32>>,
     /// Group visit order by ascending ordinal-sum rank.
     order: Vec<usize>,
+    /// Ordinal-sum rank per group index (stratum boundaries of the
+    /// parallel mode).
+    ranks: Vec<u64>,
+    /// Precomputed verdicts of the current rank stratum (parallel mode),
+    /// consumed as each group is entered.
+    plans: HashMap<usize, GroupPlan>,
     order_ix: usize,
     start: Instant,
     m: Metrics,
@@ -723,16 +850,21 @@ impl<'a> DtssCursor<'a> {
             .page
             .data_pages(dtss.groups.len(), dtss.domain_sizes.len() + 2 * to_dims);
         // Visit groups by ascending sum of ordinals: precedence across
-        // groups.
-        let key_rank = |g: &Group| -> u64 {
-            g.key
-                .iter()
-                .enumerate()
-                .map(|(d, &v)| domains[d].ordinal(v) as u64)
-                .sum()
-        };
+        // groups. The ranks double as the stratum boundaries of the
+        // parallel evaluation mode (equal rank ⇒ mutually incomparable).
+        let ranks: Vec<u64> = dtss
+            .groups
+            .iter()
+            .map(|g| {
+                g.key
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &v)| domains[d].ordinal(v) as u64)
+                    .sum()
+            })
+            .collect();
         let mut order: Vec<usize> = (0..dtss.groups.len()).collect();
-        order.sort_by_key(|&gi| (key_rank(&dtss.groups[gi]), gi));
+        order.sort_by_key(|&gi| (ranks[gi], gi));
         let vpi = dtss.cfg.fast_check.then(|| {
             VirtualPointIndex::new(
                 to_dims,
@@ -745,6 +877,8 @@ impl<'a> DtssCursor<'a> {
             domains,
             reference,
             order,
+            ranks,
+            plans: HashMap::new(),
             order_ix: 0,
             start,
             m,
@@ -773,6 +907,8 @@ impl<'a> DtssCursor<'a> {
             domains: Vec::new(),
             reference: None,
             order: Vec::new(),
+            ranks: Vec::new(),
+            plans: HashMap::new(),
             order_ix: 0,
             start: Instant::now(),
             m: Metrics::default(),
@@ -836,6 +972,103 @@ impl<'a> DtssCursor<'a> {
         };
     }
 
+    /// True iff this cursor precomputes rank-stratum verdicts in parallel
+    /// (see [`DtssConfig::eval_threads`]); the fast-check configuration
+    /// always stays serial.
+    fn parallel(&self) -> bool {
+        self.dtss.cfg.eval_threads >= 1 && self.vpi.is_none()
+    }
+
+    /// Evaluates the whole rank stratum starting at `start_ix` of the
+    /// visit order against the skyline *frozen now*: dismissal verdicts
+    /// for every group, plus the candidate screening of local-skyline
+    /// groups, fanned out on up to `eval_threads` workers. Sound because
+    /// same-rank groups are mutually incomparable (a dominating key has a
+    /// strictly smaller ordinal sum), so nothing emitted inside the
+    /// stratum can change these verdicts; deterministic because every
+    /// check runs against the frozen state and the results are merged in
+    /// group order — the worker count never shows in the metrics.
+    fn plan_stratum(&mut self, start_ix: usize) {
+        let dtss = self.dtss;
+        let threads = dtss.cfg.eval_threads.max(1);
+        let rank0 = self.ranks[self.order[start_ix]];
+        let end_ix = self.order[start_ix..]
+            .iter()
+            .position(|&gi| self.ranks[gi] != rank0)
+            .map_or(self.order.len(), |off| start_ix + off);
+
+        struct Job<'b> {
+            gi: usize,
+            key: &'b [u32],
+            corner: Vec<u32>,
+            local: Option<&'b [u32]>,
+        }
+        let jobs: Vec<Job<'_>> = self.order[start_ix..end_ix]
+            .iter()
+            .map(|&gi| {
+                let group = &dtss.groups[gi];
+                // Local skylines are invalid under folding (§V-B).
+                let local = match &self.reference {
+                    None => group.local_skyline.as_deref(),
+                    Some(_) => None,
+                };
+                Job {
+                    gi,
+                    key: &group.key,
+                    corner: group.root_corner(self.reference.as_deref()),
+                    local,
+                }
+            })
+            .collect();
+
+        let sky = &self.sky;
+        let table = &dtss.table;
+        let domains: &[PoDomain] = &self.domains;
+        let filter = dtss.cfg.filter_dominators;
+        let results = crate::parallel::map_slice(threads, &jobs, |job| {
+            let mut m = Metrics::default();
+            let (hit, examined) = sky.group_dismissed(domains, table, &job.corner, job.key);
+            m.batch(examined);
+            if hit {
+                return (job.gi, GroupPlan::Dismissed, m);
+            }
+            let Some(local) = job.local else {
+                return (job.gi, GroupPlan::Live, m);
+            };
+            // Frozen screen of the local candidates, mirroring the serial
+            // `point_dominated` paths (plain scan, or the per-group
+            // dominator prefilter feeding the TO-strictness kernel).
+            let survivors: VecDeque<u32> = if filter {
+                let filtered = sky.filter_dominators(domains, table, job.key, &mut m);
+                local
+                    .iter()
+                    .copied()
+                    .filter(|&r| {
+                        let (hit, examined) =
+                            sky.folded.dominated_with_strictness(&filtered, table.to(r));
+                        m.batch(examined);
+                        !hit
+                    })
+                    .collect()
+            } else {
+                local
+                    .iter()
+                    .copied()
+                    .filter(|&r| {
+                        let (hit, examined) = sky.t_dominated(domains, table, table.to(r), job.key);
+                        m.batch(examined);
+                        !hit
+                    })
+                    .collect()
+            };
+            (job.gi, GroupPlan::Local(survivors), m)
+        });
+        for (gi, plan, m) in results {
+            self.m = self.m.merge(&m);
+            self.plans.insert(gi, plan);
+        }
+    }
+
     /// Sets up the next group: dismissal check, prefilter, and the phase
     /// that will stream its points. Returns the new phase, or `None` when
     /// the group was dismissed.
@@ -848,50 +1081,57 @@ impl<'a> DtssCursor<'a> {
             .enumerate()
             .map(|(d, &v)| self.domains[d].labeling().post(ValueId(v)))
             .collect();
-
-        // --- Group dismissal: check the root MBB corner. -----------------
-        let root = group.tree.root().expect("groups are non-empty");
-        let corner = match &self.reference {
-            None => group.tree.mbb(root).lo().to_vec(),
-            Some(r) => group.tree.mbb(root).folded_corner(r),
-        };
-        let dominated = if let Some(vpi) = self.vpi.as_ref() {
-            let (hit, queries) = vpi.covers_value(&corner, &posts);
-            self.m.dominance_checks += queries;
-            hit
-        } else {
-            let (hit, examined) =
-                self.sky
-                    .group_dismissed(&self.domains, &dtss.table, &corner, key);
-            self.m.batch(examined);
-            hit
-        };
-        if dominated {
-            self.groups_skipped += 1;
-            return None;
+        let plan = self.plans.remove(&gi);
+        match plan {
+            Some(GroupPlan::Dismissed) => {
+                self.groups_skipped += 1;
+                return None;
+            }
+            Some(GroupPlan::Local(survivors)) => {
+                // §V-B io charge for reading the stored local-skyline file
+                // (the screen consumed the whole list, as in serial mode).
+                let local_len = group
+                    .local_skyline
+                    .as_ref()
+                    .expect("Local plans come from local-skyline groups")
+                    .len();
+                self.m.io_reads += dtss
+                    .cfg
+                    .page
+                    .data_pages(local_len, dtss.table.to_dims() + key.len());
+                return Some(DtssPhase::LocalPre { gi, survivors });
+            }
+            Some(GroupPlan::Live) => {
+                // Dismissal already decided against the frozen skyline;
+                // fall through to the live traversal setup.
+            }
+            None => {
+                // Serial mode: dismissal check against the current skyline.
+                let corner = group.root_corner(self.reference.as_deref());
+                let dominated = if let Some(vpi) = self.vpi.as_ref() {
+                    let (hit, queries) = vpi.covers_value(&corner, &posts);
+                    self.m.dominance_checks += queries;
+                    hit
+                } else {
+                    let (hit, examined) =
+                        self.sky
+                            .group_dismissed(&self.domains, &dtss.table, &corner, key);
+                    self.m.batch(examined);
+                    hit
+                };
+                if dominated {
+                    self.groups_skipped += 1;
+                    return None;
+                }
+            }
         }
 
         // Optional per-group dominator prefilter: global entries whose PO
         // values can dominate this key, with their PO strictness. The
         // surviving positions feed the strictness-precomputed TO kernel.
         let filtered: Option<Vec<(u32, bool)>> = dtss.cfg.filter_dominators.then(|| {
-            let domains = &self.domains;
-            let table = &dtss.table;
-            let m = &mut self.m;
             self.sky
-                .ids
-                .iter()
-                .enumerate()
-                .filter_map(|(pos, &r)| {
-                    m.dominance_checks += 1;
-                    let s_po = table.po(r);
-                    let ok = key
-                        .iter()
-                        .enumerate()
-                        .all(|(d, &kv)| domains[d].pref_or_equal(s_po[d], kv));
-                    ok.then(|| (pos as u32, s_po != key))
-                })
-                .collect()
+                .filter_dominators(&self.domains, &dtss.table, key, &mut self.m)
         });
 
         // Local skylines are computed under origin-anchored dominance and
@@ -980,6 +1220,9 @@ impl SkylineCursor for DtssCursor<'_> {
                         self.phase = DtssPhase::Extras(self.compute_extras());
                         continue;
                     };
+                    if self.parallel() && !self.plans.contains_key(&gi) {
+                        self.plan_stratum(self.order_ix);
+                    }
                     self.order_ix += 1;
                     if let Some(next) = self.enter_group(gi) {
                         self.phase = next;
@@ -1031,6 +1274,27 @@ impl SkylineCursor for DtssCursor<'_> {
                             };
                             return Some(self.yielded(r));
                         }
+                    }
+                    self.phase = DtssPhase::NextGroup;
+                }
+                DtssPhase::LocalPre { gi, mut survivors } => {
+                    let dtss = self.dtss;
+                    let group = &dtss.groups[gi];
+                    if let Some(r) = survivors.pop_front() {
+                        let to = dtss.table.to(r);
+                        dtss.emit(
+                            r,
+                            to,
+                            &group.key,
+                            &self.domains,
+                            &mut self.sky,
+                            None,
+                            None,
+                            &mut self.m,
+                        );
+                        self.take_sample(0);
+                        self.phase = DtssPhase::LocalPre { gi, survivors };
+                        return Some(self.yielded(r));
                     }
                     self.phase = DtssPhase::NextGroup;
                 }
@@ -1206,6 +1470,16 @@ mod tests {
                 precompute_local: true,
                 ..Default::default()
             },
+            DtssConfig {
+                precompute_local: true,
+                eval_threads: 2,
+                ..Default::default()
+            },
+            DtssConfig {
+                filter_dominators: true,
+                eval_threads: 3,
+                ..Default::default()
+            },
         ]
     }
 
@@ -1271,6 +1545,138 @@ mod tests {
         // A different order is a cache miss.
         let third = dtss.query(&PoQuery::new(vec![order_a_c_over_b()])).unwrap();
         assert!(!third.from_cache);
+    }
+
+    #[test]
+    fn parallel_strata_match_serial_exactly() {
+        // Rank-stratum evaluation must reproduce the serial emission
+        // sequence and dismissal counts, and its metrics must be invariant
+        // to the worker count — across the plain, local-skyline and
+        // prefilter configurations, for both example queries.
+        let mut t = fig5_table();
+        t.push(&[1, 2], &[0]); // duplicate of p1
+        let serial_cfgs = [
+            DtssConfig::default(),
+            DtssConfig {
+                precompute_local: true,
+                ..Default::default()
+            },
+            DtssConfig {
+                precompute_local: true,
+                filter_dominators: true,
+                ..Default::default()
+            },
+        ];
+        for base in serial_cfgs {
+            let serial = Dtss::build(t.clone(), vec![3], base).unwrap();
+            for dag_fn in [order_b_over_c as fn() -> Dag, order_a_c_over_b] {
+                let q = PoQuery::new(vec![dag_fn()]);
+                let want = serial.query(&q).unwrap();
+                let mut reference: Option<Metrics> = None;
+                for threads in [1usize, 2, 4] {
+                    let cfg = DtssConfig {
+                        eval_threads: threads,
+                        ..base
+                    };
+                    let dtss = Dtss::build(t.clone(), vec![3], cfg).unwrap();
+                    let run = dtss.query(&q).unwrap();
+                    assert_eq!(
+                        run.skyline_records(),
+                        want.skyline_records(),
+                        "emission order: {base:?} threads={threads}"
+                    );
+                    assert_eq!(run.groups_skipped, want.groups_skipped);
+                    assert_eq!(run.metrics.io_reads, want.metrics.io_reads);
+                    assert_eq!(run.metrics.results, want.metrics.results);
+                    match &reference {
+                        None => reference = Some(run.metrics),
+                        Some(m) => {
+                            assert_eq!(
+                                run.metrics.dominance_checks, m.dominance_checks,
+                                "thread-count-invariant checks: threads={threads}"
+                            );
+                            assert_eq!(run.metrics.dominance_batch_calls, m.dominance_batch_calls);
+                            assert_eq!(run.metrics.heap_pops, m.heap_pops);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_strata_handle_folded_queries() {
+        // Under a reference point local skylines are invalid, so every
+        // non-dismissed group walks its tree — but the dismissal verdicts
+        // still come from the parallel stratum pass.
+        let cfg = DtssConfig {
+            precompute_local: true,
+            eval_threads: 2,
+            ..Default::default()
+        };
+        let dtss = Dtss::build(fig5_table(), vec![3], cfg).unwrap();
+        for r in [[0u32, 0], [3, 3], [5, 1]] {
+            for dag_fn in [order_b_over_c as fn() -> Dag, order_a_c_over_b] {
+                let dag = dag_fn();
+                let run = dtss
+                    .query_fully_dynamic(&PoQuery::new(vec![dag.clone()]), &r)
+                    .unwrap();
+                let mut got = run.skyline_records();
+                got.sort_unstable();
+                let mut expect = folded_oracle(&fig5_table(), &dag, &r);
+                expect.sort_unstable();
+                assert_eq!(got, expect, "ref={r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn digest_collision_is_not_served_from_the_cache() {
+        // Forge a collision: plant a different query's result under the
+        // digest of the one we are about to run. A key-only cache would
+        // replay the wrong skyline; the structural guard must evaluate
+        // afresh and leave the forged entry in place (first owner wins).
+        let cfg = DtssConfig {
+            cache: true,
+            ..Default::default()
+        };
+        let dtss = Dtss::build(fig5_table(), vec![3], cfg).unwrap();
+        let q = PoQuery::new(vec![order_b_over_c()]);
+        let wrong_q = PoQuery::new(vec![order_a_c_over_b()]);
+        assert!(!q.same_structure(&wrong_q));
+        let wrong_records = dtss.query(&wrong_q).unwrap().skyline_records();
+        let digest = Dtss::full_digest(&q, None);
+        dtss.cache.borrow_mut().insert(
+            digest,
+            CachedResult {
+                query: wrong_q.clone(),
+                reference: None,
+                records: wrong_records.clone(),
+            },
+        );
+
+        let run = dtss.query(&q).unwrap();
+        assert!(!run.from_cache, "collision must not replay");
+        let mut got = run.skyline_records();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 4, 5]);
+        // Cursor path takes the same guard.
+        let mut c = dtss.query_cursor(&q).unwrap();
+        assert!(!c.from_cache());
+        let mut pulled = Vec::new();
+        while let Some(p) = c.next() {
+            pulled.push(p.record);
+        }
+        pulled.sort_unstable();
+        assert_eq!(pulled, vec![0, 1, 4, 5]);
+        // First owner keeps the slot; the forged entry is still there.
+        assert!(dtss.cache.borrow()[&digest].query.same_structure(&wrong_q));
+        // The *reference point* is part of the verified identity too.
+        let folded = dtss.query_fully_dynamic(&q, &[3, 3]).unwrap();
+        assert!(!folded.from_cache);
+        let replay = dtss.query_fully_dynamic(&q, &[3, 3]).unwrap();
+        assert!(replay.from_cache);
+        assert_eq!(folded.skyline_records(), replay.skyline_records());
     }
 
     #[test]
@@ -1414,7 +1820,7 @@ mod tests {
         fn equals_oracle(
             rows in proptest::collection::vec((0u32..10, 0u32..10, 0u32..5), 1..60),
             edge_mask in 0u32..1024,
-            cfg_ix in 0usize..5,
+            cfg_ix in 0usize..7,
         ) {
             let mut t = Table::new(2, 1);
             for &(a, b, v) in &rows {

@@ -61,6 +61,7 @@ mod error;
 mod fastcheck;
 mod mapping;
 mod metrics;
+pub mod parallel;
 mod progressive;
 mod session;
 mod store;
@@ -74,9 +75,10 @@ pub use error::CoreError;
 pub use fastcheck::VirtualPointIndex;
 pub use mapping::PoDomain;
 pub use metrics::{CostModel, Metrics};
+pub use parallel::{parallel_classic_skyline, sharded_skyline, ParallelRun};
 pub use progressive::{ProgressLog, ProgressSample};
 pub use session::{QuerySession, SessionStats};
-pub use store::{PointStore, RecordId};
+pub use store::{PointStore, RecordId, ShardView};
 pub use stss::{RangeStrategy, SkylinePoint, Stss, StssConfig, StssCursor, StssRun};
 
 /// The facade name of the columnar [`PointStore`]: the paper-facing API

@@ -1,0 +1,457 @@
+//! **Sharded parallel skyline execution** — the first scaling lever of the
+//! ROADMAP north star.
+//!
+//! The skyline operator distributes over unions: the skyline of
+//! `S₁ ∪ … ∪ Sₖ` is the skyline of the union of the per-shard skylines.
+//! The columnar [`PointStore`] makes the partitioning free —
+//! [`PointStore::shards`] hands out zero-copy [`ShardView`] windows over
+//! the flat TO/PO blocks — so any exact engine can run per shard on scoped
+//! OS threads ([`run_jobs`]; no extra dependencies, `std::thread::scope`
+//! only) and the local skylines are folded back together by
+//! [`merge_shard_skylines`] with the store's batched
+//! [`t_dominated_by_any`](PointStore::t_dominated_by_any) kernels.
+//!
+//! # Determinism contract
+//!
+//! Everything observable is **invariant to the worker count**:
+//!
+//! * the shard boundaries depend only on `(len, shard_count)`, never on
+//!   `threads`;
+//! * each shard job is self-contained, so its result and [`Metrics`] are
+//!   the same on any thread;
+//! * the merge phase consumes shard results in shard order on the
+//!   coordinating thread.
+//!
+//! Running the same store with the same shard count at 1, 2 or 4 threads
+//! therefore produces byte-identical skyline record-id vectors and
+//! identical `dominance_checks` / `dominance_batch_calls` — only the wall
+//! clock changes. Per-shard metrics are combined with the exact
+//! componentwise [`Metrics::merge`], so no count is ever estimated.
+//!
+//! # Duplicates across shards
+//!
+//! Exact duplicates never dominate each other, and every engine in the
+//! workspace keeps all copies. Sharding preserves that end to end: each
+//! copy is locally skyline in its own shard iff its tuple is globally
+//! skyline, and the merge kernels ([`t_dominates`](crate::t_dominates)
+//! semantics) treat equal tuples as non-dominating — so the final pass
+//! over the concatenated local skylines retains every cross-shard copy of
+//! a skyline tuple and no others.
+//!
+//! # When merge cost dominates
+//!
+//! Per-shard skylines are supersets of their global contribution (a shard
+//! misses dominators living elsewhere), so total work grows with the shard
+//! count: merge cost is `O(Σᵢ |localᵢ| · Σⱼ≠ᵢ |localⱼ|)` pair checks in the
+//! worst case. Sharding pays off while local skylines are small relative
+//! to the shard (independent / correlated data, low dimensionality); for
+//! heavily anti-correlated workloads where almost every tuple is skyline,
+//! prefer fewer shards.
+//!
+//! ```
+//! use skyline::PointBlock;
+//! use tss_core::parallel::parallel_classic_skyline;
+//! use tss_core::{ClassicAlgo, Table};
+//!
+//! let mut t = Table::new(2, 0);
+//! for (a, b) in [(5, 1), (1, 5), (3, 3), (4, 4), (2, 6), (6, 2)] {
+//!     t.push(&[a, b], &[]);
+//! }
+//! let run = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 3, 2);
+//! let mut got = run.records.clone();
+//! got.sort_unstable();
+//! assert_eq!(got, vec![0, 1, 2]);
+//! // The same shards at one worker produce the identical result and
+//! // counts — threads only change the wall clock.
+//! let serial = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 3, 1);
+//! assert_eq!(serial.records, run.records);
+//! assert_eq!(serial.metrics().dominance_checks, run.metrics().dominance_checks);
+//! ```
+
+use crate::classic::{ClassicAlgo, ClassicEngine};
+use crate::cursor::SkylineEngine;
+use crate::store::{PointStore, RecordId, ShardView};
+use crate::{Metrics, PoDomain};
+use skyline::PointBlock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Componentwise sum of a set of [`Metrics`] (exact, via
+/// [`Metrics::merge`]).
+pub fn sum_metrics<'a>(metrics: impl IntoIterator<Item = &'a Metrics>) -> Metrics {
+    metrics
+        .into_iter()
+        .fold(Metrics::default(), |acc, m| acc.merge(m))
+}
+
+/// Runs independent jobs on up to `threads` scoped OS threads and returns
+/// their results **in job order**. Work is claimed dynamically (an atomic
+/// cursor), so uneven jobs balance; results are slotted by index, so the
+/// output — unlike the schedule — is deterministic. `threads <= 1` (or a
+/// single job) runs inline on the caller's thread.
+pub fn run_jobs<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let n = jobs.len();
+    if threads <= 1 || n <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("each job runs exactly once");
+                *results[i].lock().expect("result slot poisoned") = Some(job());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job completed")
+        })
+        .collect()
+}
+
+/// Minimum items per worker before [`map_slice`] bothers spawning.
+const MIN_ITEMS_PER_THREAD: usize = 16;
+
+/// Applies `f` to every item of a slice, fanning contiguous chunks out to
+/// up to `threads` scoped threads, and returns the results in item order.
+/// The chunking never changes what is computed — `f` sees each item
+/// exactly once — so any per-item counting embedded in `R` is invariant to
+/// the worker count. Small inputs run inline.
+pub fn map_slice<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads
+        .max(1)
+        .min(items.len().div_ceil(MIN_ITEMS_PER_THREAD));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("map_slice worker panicked"));
+        }
+        out
+    })
+}
+
+/// Result of a sharded parallel skyline run.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// Global record ids of the merged skyline, in shard-major order
+    /// (shard 0's survivors in local emission order, then shard 1's, …) —
+    /// deterministic for a fixed shard count, regardless of threads.
+    pub records: Vec<RecordId>,
+    /// Per-shard local skylines (global ids), before merging.
+    pub locals: Vec<Vec<RecordId>>,
+    /// Each shard run's own metrics, in shard order.
+    pub shard_metrics: Vec<Metrics>,
+    /// Metrics of the cross-shard merge phase alone.
+    pub merge_metrics: Metrics,
+}
+
+impl ParallelRun {
+    /// Total metrics: the exact componentwise sum of every shard's local
+    /// metrics plus the merge phase, with two deliberate exceptions —
+    /// `results` is the *final* merged skyline size (a plain sum would
+    /// double-count every shard's local confirmations), and `cpu` is
+    /// summed CPU *work* across workers, not wall time — measure wall
+    /// clock around the call when reporting speedups.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = sum_metrics(&self.shard_metrics).merge(&self.merge_metrics);
+        m.results = self.records.len() as u64;
+        m
+    }
+}
+
+/// Folds per-shard local skylines into the global skyline: a candidate
+/// survives iff no *other* shard's local skyline t-dominates it (its own
+/// shard already guarantees that). One batched
+/// [`t_dominated_by_any`](PointStore::t_dominated_by_any) kernel call per
+/// `(candidate, other shard)` pair, early-exiting on the first dominating
+/// shard; runs on the calling thread in shard order, so the returned
+/// metrics are exact and schedule-independent. `locals` hold **global**
+/// record ids.
+pub fn merge_shard_skylines(
+    store: &PointStore,
+    domains: &[PoDomain],
+    locals: &[Vec<RecordId>],
+) -> (Vec<RecordId>, Metrics) {
+    let mut m = Metrics::default();
+    if locals.len() <= 1 {
+        let records = locals.first().cloned().unwrap_or_default();
+        m.results = records.len() as u64;
+        return (records, m);
+    }
+    let mut records = Vec::new();
+    for (i, local) in locals.iter().enumerate() {
+        'candidates: for &r in local {
+            let (to, po) = (store.to(r), store.po(r));
+            for (j, other) in locals.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let (hit, examined) = store.t_dominated_by_any(domains, to, po, other);
+                m.batch(examined);
+                if hit {
+                    continue 'candidates;
+                }
+            }
+            records.push(r);
+        }
+    }
+    m.results = records.len() as u64;
+    (records, m)
+}
+
+/// The lower-level sharded executor: runs prepared per-shard jobs — each
+/// already yielding its local skyline as **global** record ids plus its
+/// metrics — on up to `threads` workers, then folds the locals with
+/// [`merge_shard_skylines`]. [`sharded_skyline`] and the bench runners
+/// are thin fronts over this.
+pub fn merge_jobs<F>(
+    store: &PointStore,
+    domains: &[PoDomain],
+    threads: usize,
+    jobs: Vec<F>,
+) -> ParallelRun
+where
+    F: FnOnce() -> (Vec<RecordId>, Metrics) + Send,
+{
+    let results = run_jobs(threads, jobs);
+    let (locals, shard_metrics): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    let (records, merge_metrics) = merge_shard_skylines(store, domains, &locals);
+    ParallelRun {
+        records,
+        locals,
+        shard_metrics,
+        merge_metrics,
+    }
+}
+
+/// Runs one exact skyline engine per shard on up to `threads` scoped
+/// threads and merges the local skylines — the generic sharded executor
+/// every engine-specific runner builds on.
+///
+/// `run_shard(i, view)` evaluates shard `i` and returns its local skyline
+/// as **shard-local** record ids (`0..view.len()`, e.g. from an engine
+/// built over [`ShardView::to_store`]) plus that run's metrics; ids are
+/// translated back to global ones here. The shard partition is fixed by
+/// `shards`, so the result is identical for every `threads` value — see
+/// the module docs for the full determinism contract.
+pub fn sharded_skyline<F>(
+    store: &PointStore,
+    domains: &[PoDomain],
+    shards: usize,
+    threads: usize,
+    run_shard: F,
+) -> ParallelRun
+where
+    F: Fn(usize, &ShardView<'_>) -> (Vec<RecordId>, Metrics) + Sync,
+{
+    let views = store.shards(shards);
+    let run_shard = &run_shard;
+    let jobs: Vec<_> = views
+        .iter()
+        .enumerate()
+        .map(|(i, &view)| {
+            move || {
+                let (local, metrics) = run_shard(i, &view);
+                let global: Vec<RecordId> = local.into_iter().map(|r| r + view.start()).collect();
+                (global, metrics)
+            }
+        })
+        .collect();
+    merge_jobs(store, domains, threads, jobs)
+}
+
+/// Sharded parallel run of a classic totally ordered algorithm
+/// (brute/BNL/SFS/SaLSa/BBS/…): each shard's window of the flat TO block
+/// becomes one [`PointBlock`], a [`ClassicEngine`] computes its local
+/// skyline, and the locals are merged with the TO-only dominance kernels.
+/// The store must be TO-only (`po_dims == 0`).
+pub fn parallel_classic_skyline(
+    store: &PointStore,
+    algo: ClassicAlgo,
+    shards: usize,
+    threads: usize,
+) -> ParallelRun {
+    assert_eq!(
+        store.po_dims(),
+        0,
+        "classic algorithms are totally ordered; use sharded_skyline with \
+         a PO-aware engine for mixed stores"
+    );
+    sharded_skyline(store, &[], shards, threads, |_, view| {
+        let block = PointBlock::from_flat(store.to_dims(), view.to_block().to_vec());
+        let engine = ClassicEngine::new(block, algo);
+        let (points, metrics) = engine.collect_skyline();
+        (points.into_iter().map(|p| p.record).collect(), metrics)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::brute_force_po_skyline;
+    use crate::{Stss, StssConfig, Table};
+    use poset::Dag;
+
+    fn to_only_table(n: u32) -> Table {
+        let mut t = Table::new(2, 0);
+        for i in 0..n {
+            t.push(&[(i * 17) % 50, (i * 31) % 50], &[]);
+        }
+        t
+    }
+
+    #[test]
+    fn run_jobs_preserves_order_and_runs_everything() {
+        for threads in [1usize, 2, 4, 9] {
+            let jobs: Vec<_> = (0..7u32).map(|i| move || i * i).collect();
+            assert_eq!(
+                run_jobs(threads, jobs),
+                vec![0, 1, 4, 9, 16, 25, 36],
+                "threads={threads}"
+            );
+        }
+        assert!(run_jobs::<u32, fn() -> u32>(4, vec![]).is_empty());
+    }
+
+    #[test]
+    fn map_slice_matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1usize, 2, 4, 32] {
+            assert_eq!(
+                map_slice(threads, &items, |&x| x * 3 + 1),
+                expect,
+                "threads={threads}"
+            );
+        }
+        assert!(map_slice(4, &[] as &[u64], |&x| x).is_empty());
+    }
+
+    #[test]
+    fn classic_sharded_equals_whole_run() {
+        let t = to_only_table(120);
+        let block = PointBlock::from_flat(2, t.to_block().to_vec());
+        let mut expect = skyline::brute_force(&block);
+        expect.sort_unstable();
+        for algo in [
+            ClassicAlgo::Brute,
+            ClassicAlgo::Bnl { window: 8 },
+            ClassicAlgo::Sfs,
+            ClassicAlgo::Salsa,
+            ClassicAlgo::Bbs { node_capacity: 8 },
+        ] {
+            for shards in [1usize, 2, 3, 8] {
+                let run = parallel_classic_skyline(&t, algo, shards, 2);
+                let mut got = run.records.clone();
+                got.sort_unstable();
+                assert_eq!(got, expect, "{algo:?} shards={shards}");
+                assert_eq!(run.locals.len(), shards.min(t.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results_or_counts() {
+        let t = to_only_table(200);
+        let baseline = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 5, 1);
+        for threads in [2usize, 3, 4, 8] {
+            let run = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 5, threads);
+            assert_eq!(run.records, baseline.records, "threads={threads}");
+            assert_eq!(run.locals, baseline.locals);
+            let (a, b) = (run.metrics(), baseline.metrics());
+            assert_eq!(a.dominance_checks, b.dominance_checks);
+            assert_eq!(a.dominance_batch_calls, b.dominance_batch_calls);
+            assert_eq!(a.io_reads, b.io_reads);
+            assert_eq!(a.heap_pops, b.heap_pops);
+            assert_eq!(a.results, b.results);
+        }
+    }
+
+    #[test]
+    fn total_metrics_are_the_exact_shard_sum() {
+        let t = to_only_table(90);
+        let run = parallel_classic_skyline(&t, ClassicAlgo::Salsa, 4, 3);
+        let total = run.metrics();
+        let mut by_hand = run
+            .shard_metrics
+            .iter()
+            .fold(Metrics::default(), |acc, m| acc.merge(m))
+            .merge(&run.merge_metrics);
+        // `results` alone reports the final skyline, not the double-counting
+        // shard sum.
+        by_hand.results = run.records.len() as u64;
+        assert_eq!(total, by_hand);
+        assert_eq!(total.results, run.records.len() as u64);
+        assert!(total.dominance_checks > run.merge_metrics.dominance_checks);
+        assert_eq!(run.merge_metrics.results, run.records.len() as u64);
+    }
+
+    #[test]
+    fn cross_shard_duplicates_all_survive() {
+        // The same skyline tuple in every shard, plus per-shard fodder it
+        // dominates: every copy must come back, nothing else.
+        let mut t = Table::new(2, 0);
+        for _ in 0..4 {
+            t.push(&[1, 1], &[]); // skyline, duplicated across shards
+            t.push(&[3, 3], &[]); // dominated
+        }
+        let run = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 4, 2);
+        let mut got = run.records.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn sharded_stss_matches_the_po_oracle() {
+        // The generic executor with a PO-aware engine per shard: sTSS over
+        // the paper domain, sharded four ways.
+        let dag = Dag::paper_example();
+        let mut t = Table::new(1, 1);
+        for i in 0..60u32 {
+            t.push(&[(i * 7) % 23], &[i % 9]);
+        }
+        let domains = vec![PoDomain::new(dag.clone())];
+        let mut expect = brute_force_po_skyline(&domains, &t);
+        expect.sort_unstable();
+        let run = sharded_skyline(&t, &domains, 4, 2, |_, view| {
+            let stss = Stss::build(view.to_store(), vec![dag.clone()], StssConfig::default())
+                .expect("shard build");
+            let r = stss.run();
+            (r.skyline_records(), r.metrics)
+        });
+        let mut got = run.records.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}

@@ -32,12 +32,21 @@ pub struct ProgressLog {
 }
 
 impl ProgressLog {
-    /// Simulated time needed to retrieve `frac` (in `[0, 1]`) of the final
-    /// result set — the y-axis of Fig. 11. `frac = 0.0` asks for nothing and
-    /// costs [`Duration::ZERO`]; an empty skyline or `frac = 1` returns the
+    /// Simulated time needed to retrieve `frac` of the final result set —
+    /// the y-axis of Fig. 11. `frac = 0.0` asks for nothing and costs
+    /// [`Duration::ZERO`]; an empty skyline or `frac = 1` returns the
     /// full-run time.
+    ///
+    /// The function is total: out-of-range fractions are clamped into
+    /// `[0, 1]` and `NaN` is treated as `0.0` (asking for nothing), so a
+    /// stray division in bench post-processing can never abort a grid run
+    /// mid-flight.
     pub fn time_to_fraction(&self, frac: f64, model: CostModel) -> Duration {
-        assert!((0.0..=1.0).contains(&frac));
+        let frac = if frac.is_nan() {
+            0.0
+        } else {
+            frac.clamp(0.0, 1.0)
+        };
         if frac == 0.0 {
             return Duration::ZERO;
         }
@@ -126,6 +135,34 @@ mod tests {
             },
         };
         assert_eq!(empty.time_to_fraction(0.0, model), Duration::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_fractions_are_clamped_not_panics() {
+        let model = CostModel {
+            io_cost: Duration::from_millis(5),
+        };
+        let l = log();
+        // NaN asks for nothing.
+        assert_eq!(l.time_to_fraction(f64::NAN, model), Duration::ZERO);
+        // Negative clamps to 0, over-unity clamps to the full run.
+        assert_eq!(l.time_to_fraction(-0.5, model), Duration::ZERO);
+        assert_eq!(l.time_to_fraction(-f64::INFINITY, model), Duration::ZERO);
+        assert_eq!(
+            l.time_to_fraction(1.5, model),
+            l.time_to_fraction(1.0, model)
+        );
+        assert_eq!(
+            l.time_to_fraction(f64::INFINITY, model),
+            Duration::from_millis(245)
+        );
+        // An empty log stays total on garbage input too.
+        let empty = ProgressLog::default();
+        assert_eq!(empty.time_to_fraction(f64::NAN, model), Duration::ZERO);
+        assert_eq!(
+            empty.time_to_fraction(7.0, model),
+            empty.time_to_fraction(1.0, model)
+        );
     }
 
     #[test]

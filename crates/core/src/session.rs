@@ -107,7 +107,7 @@ impl<'a> QuerySession<'a> {
         for dag in q.dags() {
             let fp = dag.fingerprint();
             match self.labelings.get(&fp) {
-                Some(dom) if same_structure(dom.dag(), dag) => {
+                Some(dom) if dom.dag().same_structure(dag) => {
                     hits += 1;
                     domains.push(dom.clone());
                 }
@@ -172,7 +172,7 @@ impl<'a> QuerySession<'a> {
     pub fn preload(&mut self, dag: &Dag) -> bool {
         let fp = dag.fingerprint();
         if let Some(dom) = self.labelings.get(&fp) {
-            if same_structure(dom.dag(), dag) {
+            if dom.dag().same_structure(dag) {
                 return false;
             }
         }
@@ -180,12 +180,6 @@ impl<'a> QuerySession<'a> {
         self.labelings.insert(fp, PoDomain::new(dag.clone()));
         true
     }
-}
-
-/// Exact structural equality of two DAGs (value count + edge set) — the
-/// collision guard behind every fingerprint hit.
-fn same_structure(a: &Dag, b: &Dag) -> bool {
-    a.len() == b.len() && a.num_edges() == b.num_edges() && a.edges().eq(b.edges())
 }
 
 #[cfg(test)]
@@ -294,6 +288,34 @@ mod tests {
         let run = s.query(&PoQuery::new(vec![order_b_over_c()])).unwrap();
         assert_eq!(run.metrics.label_cache_hits, 1);
         assert_eq!(run.metrics.label_cache_misses, 0);
+    }
+
+    #[test]
+    fn fingerprint_collision_degrades_to_a_miss() {
+        // Forge a 64-bit collision: plant a *structurally different* DAG's
+        // labeling under the fingerprint of the order we are about to
+        // query. A key-only cache would silently reuse the wrong labeling
+        // and corrupt every dominance answer; the structural guard must
+        // label afresh instead (and leave the slot's first owner in place).
+        let dtss = Dtss::build(fig5_table(), vec![3], DtssConfig::default()).unwrap();
+        let mut s = QuerySession::new(&dtss);
+        let good = order_b_over_c();
+        let wrong = order_a_c_over_b();
+        assert!(!good.same_structure(&wrong));
+        s.labelings
+            .insert(good.fingerprint(), PoDomain::new(wrong.clone()));
+
+        let q = PoQuery::new(vec![good]);
+        let run = s.query(&q).unwrap();
+        assert_eq!(run.metrics.label_cache_misses, 1, "collision is a miss");
+        assert_eq!(run.metrics.label_cache_hits, 0);
+        let plain = dtss.query(&q).unwrap();
+        assert_eq!(run.skyline_records(), plain.skyline_records());
+        // The forged entry keeps its slot (first owner wins)...
+        assert!(s.labelings.values().any(|d| d.dag().same_structure(&wrong)));
+        // ...so the same query misses again rather than ever serving it.
+        let again = s.query(&q).unwrap();
+        assert_eq!(again.metrics.label_cache_misses, 1);
     }
 
     #[test]

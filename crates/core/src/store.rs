@@ -26,9 +26,18 @@ pub type RecordId = u32;
 /// Digest of one tuple's attribute values, the key of the engines'
 /// duplicate-detection multimaps (hash -> records, resolved against the
 /// store by slice comparison).
+///
+/// Hashed with [`poset::Fnv64`] — fixed published constants — rather than
+/// `DefaultHasher`, whose algorithm is explicitly unspecified across rustc
+/// releases: the digest *values* must survive toolchain bumps so that
+/// anything derived from them (golden numbers, persisted fingerprints) is
+/// stable. Note the maps keyed on these digests are probe-only — never
+/// iterate one expecting a deterministic order; `HashMap`'s iteration
+/// order stays randomized per instance regardless of the hasher used for
+/// the key values.
 pub(crate) fn row_hash(to: &[u32], po: &[u32]) -> u64 {
     use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = poset::Fnv64::new();
     to.hash(&mut h);
     po.hash(&mut h);
     h.finish()
@@ -250,6 +259,122 @@ impl PointStore {
         }
         (false, examined)
     }
+
+    // --- Sharding -------------------------------------------------------
+
+    /// Splits the store into `n` disjoint, contiguous record-id ranges —
+    /// the substrate of the data-parallel executors in
+    /// [`parallel`](crate::parallel). Zero-copy: every [`ShardView`] is a
+    /// window over the existing flat TO/PO blocks, record ids stay global,
+    /// and the shard boundaries depend only on `(len, n)` — never on a
+    /// worker count — so any execution schedule over the same shards does
+    /// the same work.
+    ///
+    /// Shard sizes differ by at most one record (the first `len % n` shards
+    /// are one longer). Empty shards are not returned, so the result holds
+    /// `min(n, len)` views for a non-empty store (and none for an empty
+    /// one). `n = 0` is treated as `1`.
+    pub fn shards(&self, n: usize) -> Vec<ShardView<'_>> {
+        let n = n.max(1);
+        let base = self.n / n;
+        let extra = self.n % n;
+        let mut views = Vec::with_capacity(n.min(self.n));
+        let mut start = 0usize;
+        for i in 0..n {
+            let len = base + usize::from(i < extra);
+            if len == 0 {
+                break;
+            }
+            views.push(ShardView {
+                store: self,
+                start: start as RecordId,
+                end: (start + len) as RecordId,
+            });
+            start += len;
+        }
+        views
+    }
+}
+
+/// A zero-copy window over a contiguous record-id range of a
+/// [`PointStore`] — what one worker of a sharded skyline run computes on.
+///
+/// The view hands out sub-slices of the parent's flat TO/PO blocks and
+/// keeps **global** record ids, so per-shard results merge without any id
+/// translation. Materialize an owned sub-store with
+/// [`to_store`](Self::to_store) when an engine needs to own its input
+/// (index builds); the view itself never copies.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    store: &'a PointStore,
+    start: RecordId,
+    end: RecordId,
+}
+
+impl<'a> ShardView<'a> {
+    /// The parent store.
+    #[inline]
+    pub fn store(&self) -> &'a PointStore {
+        self.store
+    }
+
+    /// The global record-id range this shard covers.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<RecordId> {
+        self.start..self.end
+    }
+
+    /// First global record id of the shard.
+    #[inline]
+    pub fn start(&self) -> RecordId {
+        self.start
+    }
+
+    /// Number of records in the shard.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True iff the shard holds no records (never produced by
+    /// [`PointStore::shards`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The shard's window of the flat row-major TO block.
+    #[inline]
+    pub fn to_block(&self) -> &'a [u32] {
+        let d = self.store.to_dims;
+        &self.store.to[self.start as usize * d..self.end as usize * d]
+    }
+
+    /// The shard's window of the flat row-major PO block.
+    #[inline]
+    pub fn po_block(&self) -> &'a [u32] {
+        let d = self.store.po_dims;
+        &self.store.po[self.start as usize * d..self.end as usize * d]
+    }
+
+    /// Iterates the shard's global record ids.
+    pub fn record_ids(&self) -> impl Iterator<Item = RecordId> {
+        self.start..self.end
+    }
+
+    /// An owned copy of the shard as a standalone store (records renumbered
+    /// `0..len`) — the one deliberate copy, for engines that take ownership
+    /// of their input. Translate local ids back with
+    /// `local + self.start()`.
+    pub fn to_store(&self) -> PointStore {
+        PointStore {
+            n: self.len(),
+            to_dims: self.store.to_dims,
+            po_dims: self.store.po_dims,
+            to: self.to_block().to_vec(),
+            po: self.po_block().to_vec(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +468,51 @@ mod tests {
         assert!(t.to_dominated_with_strictness(&[(0, false)], &[6, 5]).0);
         // Worse TO never dominates.
         assert!(!t.to_dominated_with_strictness(&[(0, true)], &[4, 9]).0);
+    }
+
+    #[test]
+    fn shards_partition_the_store() {
+        let mut t = PointStore::new(2, 1);
+        for i in 0..10u32 {
+            t.push(&[i, 10 - i], &[i % 3]);
+        }
+        for n in [1usize, 2, 3, 4, 7, 10, 15] {
+            let views = t.shards(n);
+            assert_eq!(views.len(), n.min(10), "n={n}");
+            // Contiguous, disjoint, covering, balanced within one record.
+            let mut next = 0u32;
+            let (mut lo, mut hi) = (usize::MAX, 0usize);
+            for v in &views {
+                assert_eq!(v.start(), next);
+                next = v.range().end;
+                lo = lo.min(v.len());
+                hi = hi.max(v.len());
+                assert_eq!(v.to_block().len(), v.len() * 2);
+                assert_eq!(v.po_block().len(), v.len());
+                // Zero-copy: the window aliases the parent block.
+                assert_eq!(v.to_block().as_ptr(), t.to_row(v.start() as usize).as_ptr());
+                // The owned copy round-trips row for row.
+                let owned = v.to_store();
+                for (local, global) in v.record_ids().enumerate() {
+                    assert_eq!(owned.to_row(local), t.to(global));
+                    assert_eq!(owned.po_row(local), t.po(global));
+                }
+            }
+            assert_eq!(next, 10);
+            assert!(hi - lo <= 1, "n={n}: shard sizes {lo}..{hi}");
+        }
+        assert!(PointStore::new(1, 0).shards(4).is_empty());
+        assert_eq!(t.shards(0).len(), 1, "0 shards clamps to 1");
+    }
+
+    #[test]
+    fn row_hash_is_toolchain_stable() {
+        // FNV-1a over the attribute slices: pinned so duplicate-map layout
+        // and derived digests survive toolchain bumps.
+        assert_eq!(row_hash(&[1, 2], &[3]), row_hash(&[1, 2], &[3]));
+        assert_ne!(row_hash(&[1, 2], &[3]), row_hash(&[1, 2], &[4]));
+        assert_ne!(row_hash(&[1, 2], &[3]), row_hash(&[1], &[2, 3]));
+        assert_eq!(row_hash(&[], &[]), 0x8820_1fb9_60ff_6465);
     }
 
     proptest! {

@@ -157,26 +157,39 @@ impl Dag {
             .flat_map(move |u| self.children(u).iter().map(move |&v| (u, v)))
     }
 
-    /// A structural fingerprint of the DAG: a hash over the domain
-    /// cardinality and the (deterministically ordered) edge set.
+    /// A structural fingerprint of the DAG: a toolchain-stable FNV-1a hash
+    /// over the domain cardinality and the (deterministically ordered) edge
+    /// set.
     ///
-    /// Two DAGs share a fingerprint iff they have the same value count and
-    /// the same edges (labels are ignored — preferences, not names, decide
-    /// dominance). This is what query-session caches key their precomputed
-    /// labelings on. Note it is the *edge set*, not the preference
+    /// Two DAGs with the same value count and the same edges always share a
+    /// fingerprint (labels are ignored — preferences, not names, decide
+    /// dominance). The converse does **not** hold: this is a 64-bit hash,
+    /// so structurally different DAGs *can* collide, and anything keyed on
+    /// a fingerprint must verify a hit against the actual structure — see
+    /// [`same_structure`](Self::same_structure), which is exactly that
+    /// guard. Note also that it hashes the *edge set*, not the preference
     /// relation: an equivalent order written with redundant shortcut edges
     /// hashes differently — canonicalize with
     /// [`transitive_reduction`](Self::transitive_reduction) first when that
-    /// matters. Collisions are possible in principle (64-bit hash) but need
-    /// adversarial inputs.
+    /// matters.
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = crate::Fnv64::new();
         self.len().hash(&mut h);
         for (u, v) in self.edges() {
             (u.0, v.0).hash(&mut h);
         }
         h.finish()
+    }
+
+    /// Exact structural equality: same value count and same edge set
+    /// (labels ignored, like [`fingerprint`](Self::fingerprint)). This is
+    /// the collision guard every fingerprint-keyed cache runs on a hit —
+    /// two DAGs are interchangeable for dominance purposes iff this holds.
+    pub fn same_structure(&self, other: &Dag) -> bool {
+        self.len() == other.len()
+            && self.num_edges == other.num_edges
+            && self.edges().eq(other.edges())
     }
 
     /// Length of the longest directed path, in edges (the paper's DAG
@@ -399,6 +412,32 @@ mod tests {
         let bigger = Dag::from_edges(5, &[(0, 1), (1, 2)]).unwrap();
         assert_ne!(a.fingerprint(), more.fingerprint());
         assert_ne!(a.fingerprint(), bigger.fingerprint());
+    }
+
+    #[test]
+    fn same_structure_is_exact_and_label_blind() {
+        let a = Dag::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let relabeled = Dag::from_labeled(
+            vec!["w".into(), "x".into(), "y".into(), "z".into()],
+            &[(1, 2), (0, 1)],
+        )
+        .unwrap();
+        assert!(a.same_structure(&relabeled), "labels and edge input order");
+        let more = Dag::from_edges(4, &[(0, 1), (1, 2), (0, 3)]).unwrap();
+        let bigger = Dag::from_edges(5, &[(0, 1), (1, 2)]).unwrap();
+        let shifted = Dag::from_edges(4, &[(0, 1), (1, 3)]).unwrap();
+        assert!(!a.same_structure(&more));
+        assert!(!a.same_structure(&bigger));
+        assert!(!a.same_structure(&shifted), "same counts, different edges");
+    }
+
+    #[test]
+    fn fingerprint_is_toolchain_stable() {
+        // FNV-1a with pinned constants: this exact value must never move
+        // across toolchains or platforms, or every persisted cache key and
+        // golden digest moves with it.
+        let d = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(d.fingerprint(), 0x3ecd_4d99_6119_82d4);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! A fixed-constant FNV-1a 64-bit hasher.
+//!
+//! The standard library's `DefaultHasher` explicitly reserves the right to
+//! change its algorithm between rustc releases, which would silently move
+//! every persisted fingerprint, golden-test digest and duplicate-map
+//! iteration order under a toolchain bump. Everything in this workspace
+//! that keys a cache or a multimap on a hash therefore uses this hasher:
+//! the constants below are the published FNV-1a parameters and will never
+//! change.
+//!
+//! FNV-1a is not collision-resistant — callers that cannot tolerate a
+//! 64-bit collision must verify the hit against the original data (see
+//! [`Dag::same_structure`](crate::Dag::same_structure) and the labeling /
+//! result caches in `tss_core`).
+
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A [`Hasher`] implementing 64-bit FNV-1a with the published constants —
+/// stable across toolchains, platforms and process runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Hasher for Fnv64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    // The std defaults feed integers through `to_ne_bytes`, which would
+    // make digests endian-dependent; pin them to little-endian instead.
+    // `usize` additionally widens to `u64` so 32- and 64-bit targets agree.
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference values of the canonical FNV-1a 64 test suite.
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn integer_writes_are_little_endian() {
+        use std::hash::Hash;
+        let digest = |v: u64| {
+            let mut h = Fnv64::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_ne!(digest(42), digest(43));
+        // Integers hash exactly as their little-endian byte runs, on every
+        // platform.
+        assert_eq!(digest(0x0102_0304_0506_0708), {
+            hash_bytes(&0x0102_0304_0506_0708u64.to_le_bytes())
+        });
+        let mut h = Fnv64::new();
+        7usize.hash(&mut h);
+        assert_eq!(h.finish(), hash_bytes(&7u64.to_le_bytes()));
+        let mut h = Fnv64::new();
+        9u128.hash(&mut h);
+        assert_eq!(h.finish(), hash_bytes(&9u128.to_le_bytes()));
+    }
+}

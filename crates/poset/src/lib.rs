@@ -54,6 +54,7 @@ mod builder;
 mod dag;
 mod dyadic;
 mod error;
+mod fnv;
 pub mod generator;
 mod interval;
 mod labeling;
@@ -67,6 +68,7 @@ pub use builder::PartialOrderBuilder;
 pub use dag::{Dag, ValueId};
 pub use dyadic::DyadicIndex;
 pub use error::PosetError;
+pub use fnv::Fnv64;
 pub use interval::{Interval, IntervalSet};
 pub use labeling::TssLabeling;
 pub use mlabel::MLabeling;

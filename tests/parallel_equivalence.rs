@@ -1,0 +1,165 @@
+//! Facade acceptance for the sharded parallel execution layer: for random
+//! stores, random partial-order domains and every shard count 1..=8, the
+//! parallel skyline record-id set equals the single-threaded result for
+//! every engine, and the merged [`Metrics`] are the exact componentwise
+//! sum of the per-shard locals plus the merge phase — nothing estimated,
+//! nothing dependent on the worker count.
+
+use proptest::prelude::*;
+use tss::core::parallel::{parallel_classic_skyline, sharded_skyline, sum_metrics};
+use tss::core::{
+    brute_force_po_skyline, ClassicAlgo, ClassicEngine, Dtss, DtssConfig, Metrics, PoDomain,
+    PoQuery, SkylineEngine, Stss, StssConfig, Table,
+};
+use tss::poset::Dag;
+use tss::sdc::{SdcConfig, SdcIndex, Variant};
+use tss::skyline::PointBlock;
+
+/// A random 5-value partial order from a 10-bit forward-edge mask (forward
+/// edges only, hence acyclic).
+fn mask_dag(edge_mask: u32) -> Dag {
+    let mut edges = Vec::new();
+    let mut bit = 0;
+    for i in 0..5u32 {
+        for j in (i + 1)..5u32 {
+            if edge_mask >> bit & 1 == 1 {
+                edges.push((i, j));
+            }
+            bit += 1;
+        }
+    }
+    Dag::from_edges(5, &edges).expect("forward edges are acyclic")
+}
+
+/// The exactness identity every [`ParallelRun`] must satisfy: total
+/// metrics are the merge-fold of the per-shard locals plus the merge
+/// phase, with `results` reporting the final merged skyline (a plain sum
+/// would double-count shard-local confirmations).
+fn assert_exact_sum(run: &tss::core::ParallelRun) {
+    let mut by_hand = sum_metrics(&run.shard_metrics).merge(&run.merge_metrics);
+    by_hand.results = run.records.len() as u64;
+    assert_eq!(run.metrics(), by_hand);
+}
+
+/// Count-bearing fields that must be invariant to the worker count.
+fn work_counts(m: &Metrics) -> (u64, u64, u64, u64, u64) {
+    (
+        m.dominance_checks,
+        m.dominance_batch_calls,
+        m.io_reads,
+        m.heap_pops,
+        m.results,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mixed TO/PO stores through sTSS, SDC+ and dTSS, one engine per
+    /// shard: the merged record set equals both the single-thread sharded
+    /// run and the ground-truth oracle, for every shard count.
+    #[test]
+    fn po_engines_shard_merge_equivalence(
+        rows in proptest::collection::vec((0u32..12, 0u32..12, 0u32..5), 1..48),
+        edge_mask in 0u32..1024,
+        shards in 1usize..=8,
+        threads in 2usize..=4,
+    ) {
+        let mut t = Table::new(2, 1);
+        for &(a, b, v) in &rows {
+            t.push(&[a, b], &[v]);
+        }
+        let dag = mask_dag(edge_mask);
+        let domains = vec![PoDomain::new(dag.clone())];
+        let mut expect = brute_force_po_skyline(&domains, &t);
+        expect.sort_unstable();
+
+        type ShardRunner<'a> = Box<dyn Fn(usize, &tss::core::ShardView<'_>) -> (Vec<u32>, Metrics) + Sync + 'a>;
+        let query = PoQuery::new(vec![dag.clone()]);
+        let engines: Vec<(&str, ShardRunner<'_>)> = vec![
+            ("sTSS", Box::new(|_, view: &tss::core::ShardView<'_>| {
+                let stss = Stss::build(view.to_store(), vec![dag.clone()], StssConfig::default())
+                    .expect("shard build");
+                let r = stss.run();
+                (r.skyline_records(), r.metrics)
+            })),
+            ("SDC+", Box::new(|_, view: &tss::core::ShardView<'_>| {
+                let idx = SdcIndex::build(
+                    view.to_store(),
+                    vec![dag.clone()],
+                    Variant::SdcPlus,
+                    SdcConfig::default(),
+                )
+                .expect("shard build");
+                let r = idx.run();
+                (r.skyline, r.metrics)
+            })),
+            ("dTSS", Box::new(|_, view: &tss::core::ShardView<'_>| {
+                let dtss = Dtss::build(view.to_store(), vec![5], DtssConfig::default())
+                    .expect("shard build");
+                let r = dtss.query(&query).expect("valid query");
+                (r.skyline_records(), r.metrics)
+            })),
+        ];
+        for (name, run_shard) in &engines {
+            let single = sharded_skyline(&t, &domains, shards, 1, run_shard);
+            let multi = sharded_skyline(&t, &domains, shards, threads, run_shard);
+            // Parallel set == single-thread set == oracle.
+            prop_assert_eq!(&multi.records, &single.records, "{}", name);
+            prop_assert_eq!(&multi.locals, &single.locals, "{}", name);
+            let mut got = multi.records.clone();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expect, "{} shards={}", name, shards);
+            // Merged metrics are the exact per-shard sum, worker-invariant.
+            assert_exact_sum(&single);
+            assert_exact_sum(&multi);
+            prop_assert_eq!(
+                work_counts(&multi.metrics()),
+                work_counts(&single.metrics()),
+                "{}", name
+            );
+            prop_assert_eq!(multi.shard_metrics.len(), shards.min(t.len()));
+        }
+    }
+
+    /// TO-only stores through the classic algorithms.
+    #[test]
+    fn classic_shard_merge_equivalence(
+        rows in proptest::collection::vec((0u32..15, 0u32..15), 1..60),
+        algo_ix in 0usize..4,
+        shards in 1usize..=8,
+        threads in 2usize..=4,
+    ) {
+        let mut t = Table::new(2, 0);
+        for &(a, b) in &rows {
+            t.push(&[a, b], &[]);
+        }
+        let algo = [
+            ClassicAlgo::Brute,
+            ClassicAlgo::Bnl { window: 4 },
+            ClassicAlgo::Sfs,
+            ClassicAlgo::Salsa,
+        ][algo_ix];
+        let block = PointBlock::from_flat(2, t.to_block().to_vec());
+        let engine = ClassicEngine::new(block, algo);
+        let mut expect: Vec<u32> = engine
+            .collect_skyline()
+            .0
+            .iter()
+            .map(|p| p.record)
+            .collect();
+        expect.sort_unstable();
+
+        let single = parallel_classic_skyline(&t, algo, shards, 1);
+        let multi = parallel_classic_skyline(&t, algo, shards, threads);
+        prop_assert_eq!(&multi.records, &single.records);
+        let mut got = multi.records.clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+        assert_exact_sum(&multi);
+        prop_assert_eq!(
+            work_counts(&multi.metrics()),
+            work_counts(&single.metrics())
+        );
+    }
+}
