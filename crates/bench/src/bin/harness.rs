@@ -221,6 +221,8 @@ fn dynamic_point(p: &ExperimentParams) -> (bench::runner::AlgoResult, bench::run
         results: m.results / seeds.len() as u64,
         label_cache_hits: m.label_cache_hits / seeds.len() as u64,
         label_cache_misses: m.label_cache_misses / seeds.len() as u64,
+        merge_pair_checks: m.merge_pair_checks / seeds.len() as u64,
+        merge_strata: m.merge_strata / seeds.len() as u64,
         cpu: m.cpu / seeds.len() as u32,
     };
     (
@@ -229,12 +231,14 @@ fn dynamic_point(p: &ExperimentParams) -> (bench::runner::AlgoResult, bench::run
             metrics: div(sdc_sum),
             skyline: sky,
             records: None, // averaged over seeds
+            plan: None,
         },
         bench::runner::AlgoResult {
             name: "TSS",
             metrics: div(tss_sum),
             skyline: sky,
             records: None, // averaged over seeds
+            plan: None,
         },
     )
 }
@@ -412,10 +416,15 @@ fn smoke() {
 /// `harness bench --json [--smoke] [--threads N[,N…]] [--out FILE]`: the
 /// fixed perf-trajectory grid (see [`bench::jsonbench`]), written as JSON
 /// rows to stdout or `FILE`. `--threads` re-runs every grid point through
-/// the sharded parallel executors once per listed worker count (fixed
-/// shard partition, so all rows but `wall_ns` are asserted identical
-/// across counts). The committed `BENCH_PR4.json` is a full-grid
-/// `--threads 1,2,4` run of this subcommand.
+/// the sharded parallel executors once per listed worker count (one shard
+/// plan per workload, so all rows but `wall_ns` are asserted identical
+/// across counts). The shard plan comes from the `BENCH_SHARDS`
+/// environment variable — set it for a fixed count, leave it unset for
+/// the adaptive sampling planner; either way the first worker count is
+/// cross-checked byte-for-byte against the other plan while measuring.
+/// The committed `BENCH_PR5.json` is a full-grid `--threads 1,2,4`
+/// adaptive run of this subcommand (`BENCH_PR4.json` its fixed-8-shard,
+/// all-pairs-merge predecessor).
 fn bench_json(args: &[String]) {
     let mut smoke = false;
     let mut out: Option<String> = None;
@@ -464,7 +473,7 @@ fn bench_json(args: &[String]) {
             }
         }
     }
-    let rows = bench::jsonbench::grid(smoke, &threads);
+    let rows = bench::jsonbench::grid(smoke, &threads, bench::runner::bench_shard_spec());
     let json = bench::jsonbench::to_json(&rows);
     match out {
         Some(path) => {

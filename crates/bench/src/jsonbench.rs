@@ -18,7 +18,16 @@ use crate::runner::{
     run_sdc_plus_sharded, run_stss, run_stss_sharded, AlgoResult, BENCH_SHARDS,
 };
 use datagen::{Distribution, ExperimentParams};
-use tss_core::{DtssConfig, Metrics, StssConfig};
+use tss_core::{DtssConfig, Metrics, ShardSpec, StssConfig};
+
+/// Worker threads the measuring machine can actually run — recorded in
+/// every row so single-core artifacts (like the committed `BENCH_PR4.json`)
+/// are machine-checkable instead of a prose caveat.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// One measured grid point.
 #[derive(Debug, Clone)]
@@ -30,8 +39,16 @@ pub struct BenchRow {
     /// Worker threads of the sharded parallel executor; `0` marks the
     /// classic serial engine.
     pub threads: usize,
-    /// Shard count of the parallel executor; `0` for serial rows.
+    /// Shard count the parallel executor actually ran with (the resolved
+    /// plan); `0` for serial rows.
     pub shards: usize,
+    /// True iff `shards` came from the adaptive sampling planner rather
+    /// than a fixed `BENCH_SHARDS` count.
+    pub adaptive: bool,
+    /// `std::thread::available_parallelism()` of the measuring machine —
+    /// wall-clock columns from rows with `available_parallelism: 1` prove
+    /// determinism, not speedup.
+    pub available_parallelism: usize,
     /// Wall-clock nanoseconds of the measured run phase (index build
     /// excluded, as in the paper's query-time experiments).
     pub wall_ns: u128,
@@ -47,7 +64,9 @@ impl BenchRow {
             algo,
             workload,
             threads,
-            shards: if threads == 0 { 0 } else { BENCH_SHARDS },
+            shards: r.plan.map_or(0, |p| p.shards),
+            adaptive: r.plan.is_some_and(|p| p.adaptive),
+            available_parallelism: available_parallelism(),
             wall_ns: r.metrics.cpu.as_nanos(),
             metrics: r.metrics,
             skyline: r.skyline,
@@ -79,16 +98,31 @@ fn assert_invariant(a: &BenchRow, ra: &AlgoResult, b: &BenchRow, rb: &AlgoResult
     assert_eq!(ma.io_writes, mb.io_writes);
     assert_eq!(ma.heap_pops, mb.heap_pops);
     assert_eq!(ma.results, mb.results);
+    assert_eq!(
+        ma.merge_pair_checks, mb.merge_pair_checks,
+        "{}/{}: the sorted merge's pair work must not depend on the worker count",
+        a.algo, a.workload
+    );
+    assert_eq!(ma.merge_strata, mb.merge_strata);
+    assert_eq!(a.shards, b.shards, "plans are deterministic per workload");
+    assert_eq!(a.adaptive, b.adaptive);
 }
 
 /// Runs one workload point through the serial engines and, per requested
-/// worker count, through the sharded executors, appending all rows.
+/// worker count, through the sharded executors, appending all rows. At the
+/// first worker count the point is additionally re-run under the *other*
+/// shard plan (fixed `BENCH_SHARDS` when `spec` is adaptive and vice
+/// versa) and the merged record-id vectors are asserted byte-identical —
+/// the sorted merge emits in `(score, id)` order, which never mentions
+/// shard boundaries, so a different partition must not change a single
+/// byte of the output.
 fn emit_point(
     rows: &mut Vec<BenchRow>,
     workload: &str,
     threads_axis: &[usize],
+    spec: ShardSpec,
     serial: [(&'static str, AlgoResult); 2],
-    mut sharded: impl FnMut(usize) -> [(&'static str, AlgoResult); 2],
+    mut sharded: impl FnMut(usize, ShardSpec) -> [(&'static str, AlgoResult); 2],
 ) {
     let [(algo_a, a), (algo_b, b)] = serial;
     assert_eq!(a.skyline, b.skyline, "engines must agree on {workload}");
@@ -101,11 +135,11 @@ fn emit_point(
     let mut first: Option<[(BenchRow, AlgoResult); 2]> = None;
     for &t in threads_axis {
         assert!(t >= 1, "threads axis entries are worker counts (>= 1)");
-        let [(algo_a, a), (algo_b, b)] = sharded(t);
+        let [(algo_a, a), (algo_b, b)] = sharded(t, spec);
         assert_eq!(a.skyline, b.skyline, "engines must agree on {workload}");
         // The sharded executors must produce the serial engines' skyline
-        // (emission order differs — shard-major vs global — so compare as
-        // record-id sets).
+        // (emission order differs — score order vs engine order — so
+        // compare as record-id sets).
         if let (Some(serial_set), Some(records)) = (&serial_set, &a.records) {
             let mut sharded_set = records.clone();
             sharded_set.sort_unstable();
@@ -117,7 +151,28 @@ fn emit_point(
         let ra = BenchRow::of(algo_a, workload.to_string(), t, &a);
         let rb = BenchRow::of(algo_b, workload.to_string(), t, &b);
         match &first {
-            None => first = Some([(ra.clone(), a), (rb.clone(), b)]),
+            None => {
+                let other = match spec {
+                    ShardSpec::Fixed(_) => ShardSpec::Adaptive { max: BENCH_SHARDS },
+                    ShardSpec::Adaptive { .. } => ShardSpec::Fixed(BENCH_SHARDS),
+                };
+                let [(_, oa), (_, ob)] = sharded(t, other);
+                assert!(
+                    a.records.is_some() && a.records == oa.records,
+                    "{algo_a}/{workload}: merged record-id vectors must be \
+                     byte-identical across shard plans ({:?} vs {:?})",
+                    a.plan,
+                    oa.plan
+                );
+                assert!(
+                    b.records.is_some() && b.records == ob.records,
+                    "{algo_b}/{workload}: merged record-id vectors must be \
+                     byte-identical across shard plans ({:?} vs {:?})",
+                    b.plan,
+                    ob.plan
+                );
+                first = Some([(ra.clone(), a), (rb.clone(), b)]);
+            }
             Some([(fa, fra), (fb, frb)]) => {
                 assert_invariant(fa, fra, &ra, &a);
                 assert_invariant(fb, frb, &rb, &b);
@@ -132,8 +187,11 @@ fn emit_point(
 /// dimensionalities for the static engines, Fig. 12 cardinalities for the
 /// dynamic ones. `smoke` shrinks every `n` to 2 000 tuples. `threads_axis`
 /// adds one sharded-parallel row set per entry (e.g. `[1, 2, 4]`); pass
-/// `[]` for the serial grid alone.
-pub fn grid(smoke: bool, threads_axis: &[usize]) -> Vec<BenchRow> {
+/// `[]` for the serial grid alone. `spec` picks the shard plan of the
+/// parallel rows — fixed or adaptive; either way each workload is
+/// cross-checked against the other plan at the first worker count (see
+/// [`emit_point` internals](self)).
+pub fn grid(smoke: bool, threads_axis: &[usize], spec: ShardSpec) -> Vec<BenchRow> {
     const SEED: u64 = 42;
     let card: &[usize] = if smoke {
         &[2_000]
@@ -160,17 +218,15 @@ pub fn grid(smoke: bool, threads_axis: &[usize]) -> Vec<BenchRow> {
             &mut rows,
             &format!("fig07:n={n}"),
             threads_axis,
+            spec,
             [
                 ("sTSS", run_stss(&w, StssConfig::default())),
                 ("SDC+", run_sdc_plus(&w)),
             ],
-            |t| {
+            |t, s| {
                 [
-                    (
-                        "sTSS",
-                        run_stss_sharded(&w, StssConfig::default(), BENCH_SHARDS, t),
-                    ),
-                    ("SDC+", run_sdc_plus_sharded(&w, BENCH_SHARDS, t)),
+                    ("sTSS", run_stss_sharded(&w, StssConfig::default(), s, t)),
+                    ("SDC+", run_sdc_plus_sharded(&w, s, t)),
                 ]
             },
         );
@@ -190,17 +246,15 @@ pub fn grid(smoke: bool, threads_axis: &[usize]) -> Vec<BenchRow> {
             &mut rows,
             &format!("fig08:n={dims_n}:dims=({to_d},{po_d})"),
             threads_axis,
+            spec,
             [
                 ("sTSS", run_stss(&w, StssConfig::default())),
                 ("SDC+", run_sdc_plus(&w)),
             ],
-            |t| {
+            |t, s| {
                 [
-                    (
-                        "sTSS",
-                        run_stss_sharded(&w, StssConfig::default(), BENCH_SHARDS, t),
-                    ),
-                    ("SDC+", run_sdc_plus_sharded(&w, BENCH_SHARDS, t)),
+                    ("sTSS", run_stss_sharded(&w, StssConfig::default(), s, t)),
+                    ("SDC+", run_sdc_plus_sharded(&w, s, t)),
                 ]
             },
         );
@@ -218,20 +272,18 @@ pub fn grid(smoke: bool, threads_axis: &[usize]) -> Vec<BenchRow> {
             &mut rows,
             &format!("fig12:n={n}"),
             threads_axis,
+            spec,
             [
                 ("dTSS", run_dtss(&w, 11, DtssConfig::default())),
                 ("SDC+rebuild", run_dynamic_sdc(&w, 11)),
             ],
-            |t| {
+            |t, s| {
                 [
                     (
                         "dTSS",
-                        run_dtss_sharded(&w, 11, DtssConfig::default(), BENCH_SHARDS, t),
+                        run_dtss_sharded(&w, 11, DtssConfig::default(), s, t),
                     ),
-                    (
-                        "SDC+rebuild",
-                        run_dynamic_sdc_sharded(&w, 11, BENCH_SHARDS, t),
-                    ),
+                    ("SDC+rebuild", run_dynamic_sdc_sharded(&w, 11, s, t)),
                 ]
             },
         );
@@ -247,19 +299,25 @@ pub fn to_json(rows: &[BenchRow]) -> String {
         let m = &r.metrics;
         out.push_str(&format!(
             "  {{\"algo\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \"shards\": {}, \
+             \"adaptive\": {}, \"available_parallelism\": {}, \
              \"wall_ns\": {}, \"metrics\": \
              {{\"dominance_checks\": {}, \"dominance_batch_calls\": {}, \"io_reads\": {}, \
-             \"io_writes\": {}, \"heap_pops\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
+             \"io_writes\": {}, \"heap_pops\": {}, \"merge_pair_checks\": {}, \
+             \"merge_strata\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
             r.algo,
             r.workload,
             r.threads,
             r.shards,
+            r.adaptive,
+            r.available_parallelism,
             r.wall_ns,
             m.dominance_checks,
             m.dominance_batch_calls,
             m.io_reads,
             m.io_writes,
             m.heap_pops,
+            m.merge_pair_checks,
+            m.merge_strata,
             m.results,
             r.skyline,
             if i + 1 == rows.len() { "" } else { "," }
@@ -281,9 +339,13 @@ mod tests {
             workload: "fig07:n=10".into(),
             threads: 2,
             shards: 8,
+            adaptive: true,
+            available_parallelism: 4,
             wall_ns: 123,
             metrics: Metrics {
                 dominance_checks: 7,
+                merge_pair_checks: 5,
+                merge_strata: 2,
                 io_reads: 3,
                 cpu: Duration::from_nanos(123),
                 ..Default::default()
@@ -295,37 +357,44 @@ mod tests {
         assert!(s.contains("\"algo\": \"sTSS\""));
         assert!(s.contains("\"threads\": 2"));
         assert!(s.contains("\"shards\": 8"));
+        assert!(s.contains("\"adaptive\": true"));
+        assert!(s.contains("\"available_parallelism\": 4"));
         assert!(s.contains("\"wall_ns\": 123"));
         assert!(s.contains("\"dominance_checks\": 7"));
+        assert!(s.contains("\"merge_pair_checks\": 5"));
+        assert!(s.contains("\"merge_strata\": 2"));
         assert!(s.trim_end().ends_with(']'));
     }
 
     #[test]
     fn smoke_grid_covers_every_axis() {
-        let rows = grid(true, &[]);
+        let rows = grid(true, &[], ShardSpec::Fixed(BENCH_SHARDS));
         assert!(rows.iter().any(|r| r.workload.starts_with("fig07:")));
         assert!(rows.iter().any(|r| r.workload.starts_with("fig08:")));
         assert!(rows.iter().any(|r| r.workload.starts_with("fig12:")));
         assert!(rows.iter().any(|r| r.algo == "sTSS"));
         assert!(rows.iter().any(|r| r.algo == "dTSS"));
         assert!(rows.iter().all(|r| r.threads == 0));
+        assert!(rows.iter().all(|r| !r.adaptive), "serial rows never plan");
     }
 
     #[test]
     fn threaded_smoke_rows_hold_the_invariants() {
-        // One smoke pass at two worker counts: `emit_point` itself asserts
-        // identical skylines and work counters between them, so reaching
-        // the end *is* the invariant check; spot-check the row layout.
-        let rows = grid(true, &[1, 2]);
+        // One smoke pass at two worker counts under the adaptive planner:
+        // `emit_point` itself asserts identical skylines and work counters
+        // between worker counts AND byte-identical merged record vectors
+        // against the fixed-shard plan, so reaching the end *is* the
+        // invariant check; spot-check the row layout.
+        let rows = grid(true, &[1, 2], ShardSpec::Adaptive { max: BENCH_SHARDS });
         let serial = rows.iter().filter(|r| r.threads == 0).count();
         let t1 = rows.iter().filter(|r| r.threads == 1).count();
         let t2 = rows.iter().filter(|r| r.threads == 2).count();
         assert!(serial > 0);
         assert_eq!(serial, t1);
         assert_eq!(t1, t2);
-        assert!(rows
-            .iter()
-            .filter(|r| r.threads > 0)
-            .all(|r| r.shards == BENCH_SHARDS));
+        for r in rows.iter().filter(|r| r.threads > 0) {
+            assert!(r.adaptive, "threaded rows carry the planner flag");
+            assert!((1..=BENCH_SHARDS).contains(&r.shards), "{}", r.workload);
+        }
     }
 }

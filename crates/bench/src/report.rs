@@ -127,6 +127,7 @@ mod tests {
             },
             skyline: 5,
             records: None,
+            plan: None,
         };
         let cells = comparison_cells("N".into(), &mk(200), &mk(100), model);
         assert_eq!(cells[0], "N");

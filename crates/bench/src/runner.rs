@@ -10,8 +10,8 @@ use sdc::{DynamicSdc, SdcConfig, SdcIndex, Variant};
 use std::time::Instant;
 use tss_core::parallel::merge_jobs;
 use tss_core::{
-    CostModel, Dtss, DtssConfig, Metrics, PoDomain, PoQuery, ProgressSample, SkylineCursor, Stss,
-    StssConfig, Table,
+    CostModel, Dtss, DtssConfig, Metrics, PoDomain, PoQuery, ProgressSample, ShardPlan, ShardSpec,
+    SkylineCursor, Stss, StssConfig, Table,
 };
 
 /// A generated workload: the table plus its PO domains.
@@ -40,8 +40,12 @@ pub struct AlgoResult {
     pub skyline: usize,
     /// Skyline record ids in emission order, when the runner kept them
     /// (`None` for aggregated results) — what the bench grid's
-    /// byte-identity assertions compare across worker counts.
+    /// byte-identity assertions compare across worker counts and shard
+    /// plans.
     pub records: Option<Vec<u32>>,
+    /// The shard-count decision of a sharded run (`None` for the serial
+    /// engines) — recorded into every JSON bench row.
+    pub plan: Option<ShardPlan>,
 }
 
 impl AlgoResult {
@@ -66,6 +70,7 @@ pub fn run_stss(w: &Workload, cfg: StssConfig) -> AlgoResult {
         metrics: run.metrics,
         skyline: run.skyline.len(),
         records: Some(run.skyline_records()),
+        plan: None,
     }
 }
 
@@ -84,36 +89,65 @@ pub fn run_sdc_plus(w: &Workload) -> AlgoResult {
         metrics: run.metrics,
         skyline: run.skyline.len(),
         records: Some(run.skyline.clone()),
+        plan: None,
     }
 }
 
-/// Fixed shard count of the sharded parallel runners. Deliberately
-/// decoupled from the worker count: every `--threads N` run partitions the
-/// data identically and does identical work, so skyline record sets and
-/// dominance-check counts are byte-for-byte comparable across `N` — only
-/// the wall clock moves.
+/// Default shard budget of the sharded parallel runners: the fixed count
+/// when `BENCH_SHARDS` is pinned, the planner's cap when it is not.
+/// Deliberately decoupled from the worker count: for a given plan every
+/// `--threads N` run partitions the data identically and does identical
+/// work, so skyline record sets and dominance-check counts are
+/// byte-for-byte comparable across `N` — only the wall clock moves.
 pub const BENCH_SHARDS: usize = 8;
 
-/// Shared body of the sharded runners: executes one pre-built engine per
-/// shard on up to `threads` scoped workers (index builds happen before the
-/// clock starts, as in the serial runners), merges the local skylines with
-/// the batched dominance kernels, and reports the *wall clock* of the
-/// timed phase as `metrics.cpu`. All counts are the exact sum of the
-/// per-shard metrics plus the merge phase.
+/// The shard spec the bench grid runs under, from the `BENCH_SHARDS`
+/// environment variable: set → that fixed shard count; unset → the
+/// adaptive sampling planner ([`tss_core::ShardPlan`]) capped at
+/// [`BENCH_SHARDS`]. The planner is deterministic, so either way the grid
+/// rows are reproducible.
+pub fn bench_shard_spec() -> ShardSpec {
+    shard_spec_from(std::env::var("BENCH_SHARDS").ok().as_deref())
+}
+
+/// The pure mapping behind [`bench_shard_spec`]: `None` (variable unset)
+/// → adaptive, `Some(count)` → fixed.
+fn shard_spec_from(var: Option<&str>) -> ShardSpec {
+    match var {
+        Some(v) => {
+            let n = v
+                .trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("BENCH_SHARDS must be a shard count, got {v:?}"));
+            assert!(n >= 1, "BENCH_SHARDS must be >= 1, got {n}");
+            ShardSpec::Fixed(n)
+        }
+        None => ShardSpec::Adaptive { max: BENCH_SHARDS },
+    }
+}
+
+/// Shared body of the sharded runners: resolves the shard plan and builds
+/// one engine per shard *untimed* (both systems index offline, and the
+/// planner's prefix sample is part of planning, not the query), then
+/// executes the shards on up to `threads` scoped workers, folds the local
+/// skylines with the sorted parallel merge, and reports the *wall clock*
+/// of the timed phase as `metrics.cpu`. All counts are the exact sum of
+/// the per-shard metrics plus the merge phase.
 fn run_sharded<E: Send>(
     name: &'static str,
     table: &Table,
     domains: &[PoDomain],
-    engines: Vec<E>,
-    starts: Vec<u32>,
+    plan: ShardPlan,
     threads: usize,
+    build: impl Fn(&tss_core::ShardView<'_>) -> E,
     run: impl Fn(E) -> (Vec<u32>, Metrics) + Sync,
 ) -> AlgoResult {
+    let views = table.shards(plan.shards);
+    let engines: Vec<(E, u32)> = views.iter().map(|v| (build(v), v.start())).collect();
     let t0 = Instant::now();
     let run = &run;
     let jobs: Vec<_> = engines
         .into_iter()
-        .zip(starts)
         .map(|(engine, start)| {
             move || {
                 let (local, m) = run(engine);
@@ -131,37 +165,50 @@ fn run_sharded<E: Send>(
         metrics,
         skyline: parallel.records.len(),
         records: Some(parallel.records),
+        plan: Some(plan),
     }
 }
 
 /// Sharded parallel sTSS: one index per shard (built untimed), run on up
-/// to `threads` workers, local skylines merged exactly.
+/// to `threads` workers, local skylines merged with the sorted parallel
+/// merge. `spec` is a fixed shard count or [`ShardSpec::Adaptive`].
 pub fn run_stss_sharded(
     w: &Workload,
     cfg: StssConfig,
-    shards: usize,
+    spec: impl Into<ShardSpec>,
     threads: usize,
 ) -> AlgoResult {
-    let views = w.table.shards(shards);
     let domains: Vec<PoDomain> = w.dags.iter().cloned().map(PoDomain::new).collect();
-    let engines: Vec<Stss> = views
-        .iter()
-        .map(|v| Stss::build(v.to_store(), w.dags.clone(), cfg).expect("valid workload"))
-        .collect();
-    let starts = views.iter().map(|v| v.start()).collect();
-    run_sharded("TSS", &w.table, &domains, engines, starts, threads, |e| {
-        let r = e.run();
-        (r.skyline_records(), r.metrics)
-    })
+    let plan = spec.into().resolve(&w.table, &domains);
+    run_sharded(
+        "TSS",
+        &w.table,
+        &domains,
+        plan,
+        threads,
+        |v| Stss::build(v.to_store(), w.dags.clone(), cfg).expect("valid workload"),
+        |e| {
+            let r = e.run();
+            (r.skyline_records(), r.metrics)
+        },
+    )
 }
 
 /// Sharded parallel SDC+ (same contract as [`run_stss_sharded`]).
-pub fn run_sdc_plus_sharded(w: &Workload, shards: usize, threads: usize) -> AlgoResult {
-    let views = w.table.shards(shards);
+pub fn run_sdc_plus_sharded(
+    w: &Workload,
+    spec: impl Into<ShardSpec>,
+    threads: usize,
+) -> AlgoResult {
     let domains: Vec<PoDomain> = w.dags.iter().cloned().map(PoDomain::new).collect();
-    let engines: Vec<SdcIndex> = views
-        .iter()
-        .map(|v| {
+    let plan = spec.into().resolve(&w.table, &domains);
+    run_sharded(
+        "SDC+",
+        &w.table,
+        &domains,
+        plan,
+        threads,
+        |v| {
             SdcIndex::build(
                 v.to_store(),
                 w.dags.clone(),
@@ -169,32 +216,26 @@ pub fn run_sdc_plus_sharded(w: &Workload, shards: usize, threads: usize) -> Algo
                 SdcConfig::default(),
             )
             .expect("valid workload")
-        })
-        .collect();
-    let starts = views.iter().map(|v| v.start()).collect();
-    run_sharded("SDC+", &w.table, &domains, engines, starts, threads, |e| {
-        let r = e.run();
-        (r.skyline, r.metrics)
-    })
+        },
+        |e| {
+            let r = e.run();
+            (r.skyline, r.metrics)
+        },
+    )
 }
 
 /// Sharded parallel dTSS: group structures built per shard (untimed,
 /// order-independent), then one dynamic query evaluated per shard and
-/// merged under the *query's* partial orders.
+/// merged under the *query's* partial orders — which are also what the
+/// adaptive planner samples under, since they define merge-time dominance.
 pub fn run_dtss_sharded(
     w: &Workload,
     query_seed: u64,
     cfg: DtssConfig,
-    shards: usize,
+    spec: impl Into<ShardSpec>,
     threads: usize,
 ) -> AlgoResult {
     let sizes: Vec<u32> = w.dags.iter().map(|d| d.len() as u32).collect();
-    let views = w.table.shards(shards);
-    let engines: Vec<Dtss> = views
-        .iter()
-        .map(|v| Dtss::build(v.to_store(), sizes.clone(), cfg).expect("valid workload"))
-        .collect();
-    let starts = views.iter().map(|v| v.start()).collect();
     let query = PoQuery::new(
         w.dags
             .iter()
@@ -202,10 +243,19 @@ pub fn run_dtss_sharded(
             .collect(),
     );
     let domains: Vec<PoDomain> = query.dags().iter().cloned().map(PoDomain::new).collect();
-    run_sharded("TSS", &w.table, &domains, engines, starts, threads, |e| {
-        let r = e.query(&query).expect("valid query");
-        (r.skyline_records(), r.metrics)
-    })
+    let plan = spec.into().resolve(&w.table, &domains);
+    run_sharded(
+        "TSS",
+        &w.table,
+        &domains,
+        plan,
+        threads,
+        |v| Dtss::build(v.to_store(), sizes.clone(), cfg).expect("valid workload"),
+        |e| {
+            let r = e.query(&query).expect("valid query");
+            (r.skyline_records(), r.metrics)
+        },
+    )
 }
 
 /// Sharded rebuild-SDC+ baseline: each shard rebuilds its strata for the
@@ -213,25 +263,28 @@ pub fn run_dtss_sharded(
 pub fn run_dynamic_sdc_sharded(
     w: &Workload,
     query_seed: u64,
-    shards: usize,
+    spec: impl Into<ShardSpec>,
     threads: usize,
 ) -> AlgoResult {
-    let views = w.table.shards(shards);
-    let engines: Vec<DynamicSdc> = views
-        .iter()
-        .map(|v| DynamicSdc::new(v.to_store(), SdcConfig::default()))
-        .collect();
-    let starts = views.iter().map(|v| v.start()).collect();
     let query: Vec<Dag> = w
         .dags
         .iter()
         .map(|d| permuted_order(d, query_seed))
         .collect();
     let domains: Vec<PoDomain> = query.iter().cloned().map(PoDomain::new).collect();
-    run_sharded("SDC+", &w.table, &domains, engines, starts, threads, |e| {
-        let r = e.query(&query).expect("valid query");
-        (r.skyline, r.metrics)
-    })
+    let plan = spec.into().resolve(&w.table, &domains);
+    run_sharded(
+        "SDC+",
+        &w.table,
+        &domains,
+        plan,
+        threads,
+        |v| DynamicSdc::new(v.to_store(), SdcConfig::default()),
+        |e| {
+            let r = e.query(&query).expect("valid query");
+            (r.skyline, r.metrics)
+        },
+    )
 }
 
 /// Progressiveness timelines for Fig. 11: `(samples, final metrics)`.
@@ -371,6 +424,7 @@ pub fn run_dtss(w: &Workload, query_seed: u64, cfg: DtssConfig) -> AlgoResult {
         metrics: run.metrics,
         skyline: run.skyline.len(),
         records: Some(run.skyline_records()),
+        plan: None,
     }
 }
 
@@ -388,6 +442,7 @@ pub fn run_dynamic_sdc(w: &Workload, query_seed: u64) -> AlgoResult {
         metrics: run.metrics,
         skyline: run.skyline.len(),
         records: Some(run.skyline.clone()),
+        plan: None,
     }
 }
 
@@ -472,6 +527,39 @@ mod tests {
         let r_sharded = run_dynamic_sdc_sharded(&wd, 5, BENCH_SHARDS, 2);
         assert_eq!(r_sharded.skyline, d_serial.skyline);
         assert!(r_sharded.metrics.io_writes > 0, "rebuild charged per shard");
+    }
+
+    #[test]
+    fn adaptive_plan_matches_fixed_byte_for_byte() {
+        let w = generate(&tiny_params());
+        let fixed = run_stss_sharded(&w, StssConfig::default(), BENCH_SHARDS, 2);
+        let adaptive = run_stss_sharded(
+            &w,
+            StssConfig::default(),
+            ShardSpec::Adaptive { max: BENCH_SHARDS },
+            2,
+        );
+        let (fp, ap) = (fixed.plan.unwrap(), adaptive.plan.unwrap());
+        assert!(!fp.adaptive && ap.adaptive);
+        assert_eq!(fp.shards, BENCH_SHARDS);
+        assert!((1..=BENCH_SHARDS).contains(&ap.shards));
+        assert!(ap.sampled > 0);
+        // The sorted merge emits in (score, id) order — identical vectors,
+        // not merely identical sets, whatever the planner picked.
+        assert_eq!(fixed.records, adaptive.records);
+        assert_eq!(fixed.skyline, adaptive.skyline);
+    }
+
+    #[test]
+    fn shard_spec_mapping_covers_set_and_unset() {
+        // The pure mapping, probed directly — tests never mutate the
+        // process-global environment (racy under the parallel harness).
+        assert_eq!(
+            shard_spec_from(None),
+            ShardSpec::Adaptive { max: BENCH_SHARDS }
+        );
+        assert_eq!(shard_spec_from(Some("3")), ShardSpec::Fixed(3));
+        assert_eq!(shard_spec_from(Some(" 8 ")), ShardSpec::Fixed(8));
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub use error::CoreError;
 pub use fastcheck::VirtualPointIndex;
 pub use mapping::PoDomain;
 pub use metrics::{CostModel, Metrics};
-pub use parallel::{parallel_classic_skyline, sharded_skyline, ParallelRun};
+pub use parallel::{
+    parallel_classic_skyline, sharded_skyline, sharded_skyline_with, ParallelRun, ShardPlan,
+    ShardSpec,
+};
 pub use progressive::{ProgressLog, ProgressSample};
 pub use session::{QuerySession, SessionStats};
 pub use store::{PointStore, RecordId, ShardView};

@@ -25,6 +25,13 @@ pub struct Metrics {
     pub label_cache_hits: u64,
     /// Per-attribute DAG labelings that had to be computed from scratch.
     pub label_cache_misses: u64,
+    /// Pairs examined by the cross-shard merge phase alone (a subset of
+    /// `dominance_checks`; the quantity the README's merge-cost bound
+    /// `Σᵢ |localᵢ| · Σⱼ≠ᵢ |localⱼ|` bounds).
+    pub merge_pair_checks: u64,
+    /// Equal-score strata processed by the sorted merge (the units of its
+    /// frozen-prefix parallelism).
+    pub merge_strata: u64,
     /// Measured CPU time (single-threaded wall clock of the run).
     pub cpu: Duration,
 }
@@ -46,6 +53,8 @@ impl Metrics {
             results: self.results + other.results,
             label_cache_hits: self.label_cache_hits + other.label_cache_hits,
             label_cache_misses: self.label_cache_misses + other.label_cache_misses,
+            merge_pair_checks: self.merge_pair_checks + other.merge_pair_checks,
+            merge_strata: self.merge_strata + other.merge_strata,
             cpu: self.cpu + other.cpu,
         }
     }
@@ -107,6 +116,8 @@ mod tests {
             results: 5,
             label_cache_hits: 6,
             label_cache_misses: 7,
+            merge_pair_checks: 9,
+            merge_strata: 10,
             cpu: Duration::from_millis(10),
         };
         let b = a;
@@ -116,6 +127,8 @@ mod tests {
         assert_eq!(m.io_total(), 10);
         assert_eq!(m.label_cache_hits, 12);
         assert_eq!(m.label_cache_misses, 14);
+        assert_eq!(m.merge_pair_checks, 18);
+        assert_eq!(m.merge_strata, 20);
         assert_eq!(m.cpu, Duration::from_millis(20));
     }
 

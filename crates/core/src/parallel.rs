@@ -19,14 +19,22 @@
 //!   `threads`;
 //! * each shard job is self-contained, so its result and [`Metrics`] are
 //!   the same on any thread;
-//! * the merge phase consumes shard results in shard order on the
-//!   coordinating thread.
+//! * the merge phase partitions candidates into equal-score strata — a
+//!   partition fixed by the data alone — and each stratum's checks run
+//!   against the confirmed prefix *frozen* at stratum start, so every
+//!   verdict and every examined-pair count is independent of how the
+//!   stratum is chunked across workers; results apply in sorted order.
 //!
 //! Running the same store with the same shard count at 1, 2 or 4 threads
 //! therefore produces byte-identical skyline record-id vectors and
-//! identical `dominance_checks` / `dominance_batch_calls` — only the wall
-//! clock changes. Per-shard metrics are combined with the exact
-//! componentwise [`Metrics::merge`], so no count is ever estimated.
+//! identical `dominance_checks` / `dominance_batch_calls` /
+//! `merge_pair_checks` — only the wall clock changes. Per-shard and
+//! per-stratum metrics are combined with the exact componentwise
+//! [`Metrics::merge`], so no count is ever estimated. The merged skyline
+//! is emitted in `(score, record id)` order, which does not mention the
+//! shard boundaries at all — so the record-id *vector* (not just the set)
+//! is also identical across different shard plans, e.g. adaptive vs
+//! fixed.
 //!
 //! # Duplicates across shards
 //!
@@ -38,15 +46,32 @@
 //! over the concatenated local skylines retains every cross-shard copy of
 //! a skyline tuple and no others.
 //!
-//! # When merge cost dominates
+//! # Merge cost, and the two levers against it
 //!
 //! Per-shard skylines are supersets of their global contribution (a shard
 //! misses dominators living elsewhere), so total work grows with the shard
-//! count: merge cost is `O(Σᵢ |localᵢ| · Σⱼ≠ᵢ |localⱼ|)` pair checks in the
-//! worst case. Sharding pays off while local skylines are small relative
-//! to the shard (independent / correlated data, low dimensionality); for
-//! heavily anti-correlated workloads where almost every tuple is skyline,
-//! prefer fewer shards.
+//! count. The naive fold ([`merge_shard_skylines_all_pairs`]) checks every
+//! candidate against every *other* shard's full local skyline —
+//! `O(Σᵢ |localᵢ| · Σⱼ≠ᵢ |localⱼ|)` pair checks in the worst case, the
+//! last serial section of a sharded run. Two levers replace and contain
+//! that cost:
+//!
+//! * **Sorted, parallel merge** ([`merge_shard_skylines`]): candidates are
+//!   sorted by the strictly monotone
+//!   [`monotone_score`](PointStore::monotone_score) (ties by record id),
+//!   so each one needs checking only against the *already-confirmed*
+//!   global-skyline prefix of the other shards — an SFS/SaLSa-style
+//!   filter. Equal-score candidates can never dominate each other, so
+//!   each equal-score stratum is evaluated concurrently ([`map_slice`])
+//!   against the prefix frozen at stratum start, the same frozen-stratum
+//!   pattern the cursors use. Per-candidate pair work is bounded by the
+//!   all-pairs bound above and is typically a fraction of it
+//!   ([`Metrics::merge_pair_checks`] counts it exactly).
+//! * **Adaptive shard counts** ([`ShardPlan`]): the planner samples a
+//!   store prefix, measures the local-skyline ratio, and picks fewer
+//!   shards as the ratio grows (anti-correlated data, where almost every
+//!   tuple is skyline and merge cost would dominate) and more shards when
+//!   local skylines are small (independent / correlated data).
 //!
 //! ```
 //! use skyline::PointBlock;
@@ -161,12 +186,149 @@ where
     })
 }
 
+/// How many prefix records [`ShardPlan::adaptive`] samples to estimate the
+/// local-skyline ratio.
+pub const PLAN_SAMPLE: usize = 512;
+
+/// A resolved shard-count decision: how many shards a sharded run uses and
+/// the measurement (if any) that picked the number.
+///
+/// The adaptive planner exists because merge cost scales with the total
+/// local-skyline size, which scales with the shard count: on
+/// anti-correlated data — where almost every tuple is skyline — more
+/// shards only buy more merge work, while on independent / correlated data
+/// local skylines are tiny and the run phase dominates.
+///
+/// A raw sample ratio would be biased: skyline *fraction* shrinks with
+/// cardinality on independent data (polylogarithmic skyline growth), so a
+/// 512-record sample badly overestimates the ratio of a 100k-record
+/// shard. The planner therefore samples **two** prefix sizes
+/// ([`PointStore::prefix_skyline_sample`] at half and full
+/// [`PLAN_SAMPLE`]), fits the local growth exponent
+/// `α = log2(k_full / k_half)` — `α ≈ 1` when everything is skyline
+/// (anti-correlated), `α ≈ 0` when the skyline has saturated — and
+/// extrapolates the ratio to the actual shard size `len / max_shards` as
+/// `(k_full / s) · (shard_size / s)^(α-1)` before mapping it to a count:
+/// the full budget while the extrapolated ratio is small, halving down to
+/// a single shard as it approaches one. Deterministic (prefix samples, no
+/// RNG), so two runs over the same store always produce the same plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of shards the run partitions the store into.
+    pub shards: usize,
+    /// True iff `shards` was picked by the sampling planner (false for
+    /// fixed / caller-supplied counts).
+    pub adaptive: bool,
+    /// Records sampled by the planner (0 for fixed plans).
+    pub sampled: usize,
+    /// Skyline size of the sampled prefix (0 for fixed plans).
+    pub sample_skyline: usize,
+}
+
+impl ShardPlan {
+    /// A fixed plan: use exactly `shards` shards (clamped to at least 1),
+    /// no sampling.
+    pub fn fixed(shards: usize) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            adaptive: false,
+            sampled: 0,
+            sample_skyline: 0,
+        }
+    }
+
+    /// Samples the store and picks a shard count in `1..=max_shards`:
+    /// extrapolated shard-size skyline ratio ≤ 10% → the full budget,
+    /// ≤ 25% → half, ≤ 50% → two shards, above → one (merge cost would
+    /// exceed what sharding saves). See the type docs for the two-point
+    /// extrapolation.
+    pub fn adaptive(store: &PointStore, domains: &[PoDomain], max_shards: usize) -> Self {
+        let max = max_shards.max(1);
+        let (s_half, k_half) = store.prefix_skyline_sample(domains, PLAN_SAMPLE / 2);
+        let (sampled, sample_skyline) = store.prefix_skyline_sample(domains, PLAN_SAMPLE);
+        let shards = if sampled == 0 {
+            1
+        } else {
+            let ratio = sample_skyline as f64 / sampled as f64;
+            let shard_size = store.len() as f64 / max as f64;
+            let est = if shard_size <= sampled as f64 || s_half == sampled {
+                // The sample already covers a whole shard (or the store is
+                // too small to fit a growth exponent): the direct ratio is
+                // the right estimate.
+                ratio
+            } else {
+                let alpha = (sample_skyline as f64 / k_half.max(1) as f64)
+                    .log2()
+                    .clamp(0.0, 1.0);
+                (ratio * (shard_size / sampled as f64).powf(alpha - 1.0)).min(1.0)
+            };
+            if est <= 0.10 {
+                max
+            } else if est <= 0.25 {
+                (max / 2).max(1)
+            } else if est <= 0.50 {
+                max.min(2)
+            } else {
+                1
+            }
+        };
+        ShardPlan {
+            shards,
+            adaptive: true,
+            sampled,
+            sample_skyline,
+        }
+    }
+
+    /// The sampled local-skyline ratio (0.0 for fixed plans). Note this is
+    /// the *sample's* ratio; the shard count is picked from the shard-size
+    /// extrapolation described in the type docs.
+    pub fn sample_ratio(&self) -> f64 {
+        if self.sampled == 0 {
+            0.0
+        } else {
+            self.sample_skyline as f64 / self.sampled as f64
+        }
+    }
+}
+
+/// How a sharded executor obtains its shard count: a caller-fixed number
+/// or the sampling planner with a budget. `usize` converts to `Fixed`, so
+/// existing call sites read unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// Use exactly this many shards.
+    Fixed(usize),
+    /// Let [`ShardPlan::adaptive`] pick a count in `1..=max`.
+    Adaptive {
+        /// Upper bound on the planned shard count.
+        max: usize,
+    },
+}
+
+impl From<usize> for ShardSpec {
+    fn from(shards: usize) -> Self {
+        ShardSpec::Fixed(shards)
+    }
+}
+
+impl ShardSpec {
+    /// Resolves the spec against a concrete store into a [`ShardPlan`].
+    pub fn resolve(self, store: &PointStore, domains: &[PoDomain]) -> ShardPlan {
+        match self {
+            ShardSpec::Fixed(n) => ShardPlan::fixed(n),
+            ShardSpec::Adaptive { max } => ShardPlan::adaptive(store, domains, max),
+        }
+    }
+}
+
 /// Result of a sharded parallel skyline run.
 #[derive(Debug, Clone)]
 pub struct ParallelRun {
-    /// Global record ids of the merged skyline, in shard-major order
-    /// (shard 0's survivors in local emission order, then shard 1's, …) —
-    /// deterministic for a fixed shard count, regardless of threads.
+    /// Global record ids of the merged skyline, in ascending
+    /// `(monotone score, record id)` order — the sorted merge's emission
+    /// order. The order never mentions shard boundaries, so the vector is
+    /// byte-identical across worker counts *and* across shard plans.
     pub records: Vec<RecordId>,
     /// Per-shard local skylines (global ids), before merging.
     pub locals: Vec<Vec<RecordId>>,
@@ -174,6 +336,8 @@ pub struct ParallelRun {
     pub shard_metrics: Vec<Metrics>,
     /// Metrics of the cross-shard merge phase alone.
     pub merge_metrics: Metrics,
+    /// The shard-count decision this run executed under.
+    pub plan: ShardPlan,
 }
 
 impl ParallelRun {
@@ -190,15 +354,27 @@ impl ParallelRun {
     }
 }
 
-/// Folds per-shard local skylines into the global skyline: a candidate
+/// The nominal all-pairs merge cost `Σᵢ |localᵢ| · Σⱼ≠ᵢ |localⱼ|` — the
+/// worst-case pair count of [`merge_shard_skylines_all_pairs`] and the
+/// bound [`Metrics::merge_pair_checks`] of the sorted merge never exceeds.
+pub fn all_pairs_merge_bound(locals: &[Vec<RecordId>]) -> u64 {
+    let total: u64 = locals.iter().map(|l| l.len() as u64).sum();
+    locals
+        .iter()
+        .map(|l| l.len() as u64 * (total - l.len() as u64))
+        .sum()
+}
+
+/// The PR4-era all-pairs merge fold, kept as the reference baseline the
+/// sorted merge is equivalence-tested and benchmarked against: a candidate
 /// survives iff no *other* shard's local skyline t-dominates it (its own
 /// shard already guarantees that). One batched
 /// [`t_dominated_by_any`](PointStore::t_dominated_by_any) kernel call per
 /// `(candidate, other shard)` pair, early-exiting on the first dominating
-/// shard; runs on the calling thread in shard order, so the returned
-/// metrics are exact and schedule-independent. `locals` hold **global**
-/// record ids.
-pub fn merge_shard_skylines(
+/// shard; runs on the calling thread in shard order. Emits survivors in
+/// shard-major order; pair work is counted in both `dominance_checks` and
+/// [`Metrics::merge_pair_checks`].
+pub fn merge_shard_skylines_all_pairs(
     store: &PointStore,
     domains: &[PoDomain],
     locals: &[Vec<RecordId>],
@@ -219,6 +395,7 @@ pub fn merge_shard_skylines(
                 }
                 let (hit, examined) = store.t_dominated_by_any(domains, to, po, other);
                 m.batch(examined);
+                m.merge_pair_checks += examined;
                 if hit {
                     continue 'candidates;
                 }
@@ -230,11 +407,107 @@ pub fn merge_shard_skylines(
     (records, m)
 }
 
+/// Sorted, parallel fold of per-shard local skylines into the global
+/// skyline — the SFS/SaLSa idea applied to the merge phase.
+///
+/// Candidates (the concatenated locals) are sorted by the strictly
+/// monotone [`monotone_score`](PointStore::monotone_score), ties broken by
+/// record id. Dominators always score strictly lower than their
+/// dominatees, so a candidate only needs checking against the
+/// **already-confirmed** global-skyline members — and only those from
+/// *other* shards (its own shard's local run already cleared it), walked
+/// shard by shard with the early-exiting batched
+/// [`t_dominated_by_any`](PointStore::t_dominated_by_any) kernel. Pair
+/// work is therefore bounded by [`all_pairs_merge_bound`] and is usually a
+/// fraction of it; every examined pair is counted in `dominance_checks`
+/// and [`Metrics::merge_pair_checks`], and each equal-score stratum bumps
+/// [`Metrics::merge_strata`].
+///
+/// Equal-score candidates can never dominate each other (strict
+/// monotonicity), so each stratum is evaluated concurrently on up to
+/// `threads` workers ([`map_slice`]) against the per-shard confirmed
+/// prefixes *frozen* at stratum start — no intra-stratum reconciliation is
+/// needed, survivors apply in sorted order, and every verdict and count is
+/// invariant to the worker count. Exact duplicates always tie on score and
+/// never dominate, so all cross-shard copies of a skyline tuple survive,
+/// exactly as in the all-pairs fold.
+///
+/// Survivors are emitted in `(score, record id)` order — an order that
+/// never mentions shard boundaries, making the returned vector
+/// byte-identical across shard plans, not merely set-equal. `locals` hold
+/// **global** record ids.
+pub fn merge_shard_skylines(
+    store: &PointStore,
+    domains: &[PoDomain],
+    locals: &[Vec<RecordId>],
+    threads: usize,
+) -> (Vec<RecordId>, Metrics) {
+    let mut m = Metrics::default();
+    let shard_count = locals.len();
+    // (score, id, shard) per candidate, sorted by (score, id).
+    let mut cands: Vec<(u64, RecordId, u32)> = Vec::new();
+    for (shard, local) in locals.iter().enumerate() {
+        for &r in local {
+            cands.push((store.monotone_score(domains, r), r, shard as u32));
+        }
+    }
+    cands.sort_unstable_by_key(|&(score, r, _)| (score, r));
+
+    let mut records: Vec<RecordId> = Vec::with_capacity(cands.len());
+    // Confirmed global-skyline members per shard, each in ascending score
+    // order — the candidate's own shard is skipped during checks.
+    let mut confirmed: Vec<Vec<RecordId>> = vec![Vec::new(); shard_count];
+    let mut start = 0;
+    while start < cands.len() {
+        let score = cands[start].0;
+        let mut end = start + 1;
+        while end < cands.len() && cands[end].0 == score {
+            end += 1;
+        }
+        let stratum = &cands[start..end];
+        m.merge_strata += 1;
+        // Frozen-prefix fan-out: every stratum member is checked against
+        // the confirmed lists as of stratum start, so verdicts and counts
+        // depend only on the (data-determined) stratum partition.
+        let frozen = &confirmed;
+        let verdicts = map_slice(threads, stratum, |&(_, r, shard)| {
+            let (to, po) = (store.to(r), store.po(r));
+            let mut local = Metrics::default();
+            let mut dominated = false;
+            for (j, other) in frozen.iter().enumerate() {
+                if j == shard as usize || other.is_empty() {
+                    continue;
+                }
+                let (hit, examined) = store.t_dominated_by_any(domains, to, po, other);
+                local.batch(examined);
+                local.merge_pair_checks += examined;
+                if hit {
+                    dominated = true;
+                    break;
+                }
+            }
+            (dominated, local)
+        });
+        for (&(_, r, shard), (dominated, local)) in stratum.iter().zip(&verdicts) {
+            m = m.merge(local);
+            if !*dominated {
+                confirmed[shard as usize].push(r);
+                records.push(r);
+            }
+        }
+        start = end;
+    }
+    m.results = records.len() as u64;
+    (records, m)
+}
+
 /// The lower-level sharded executor: runs prepared per-shard jobs — each
 /// already yielding its local skyline as **global** record ids plus its
-/// metrics — on up to `threads` workers, then folds the locals with
-/// [`merge_shard_skylines`]. [`sharded_skyline`] and the bench runners
-/// are thin fronts over this.
+/// metrics — on up to `threads` workers, then folds the locals with the
+/// sorted [`merge_shard_skylines`] on the same worker budget.
+/// [`sharded_skyline`] and the bench runners are thin fronts over this;
+/// the returned plan is the implied fixed one — callers that planned
+/// adaptively overwrite [`ParallelRun::plan`].
 pub fn merge_jobs<F>(
     store: &PointStore,
     domains: &[PoDomain],
@@ -244,14 +517,16 @@ pub fn merge_jobs<F>(
 where
     F: FnOnce() -> (Vec<RecordId>, Metrics) + Send,
 {
+    let plan = ShardPlan::fixed(jobs.len());
     let results = run_jobs(threads, jobs);
     let (locals, shard_metrics): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-    let (records, merge_metrics) = merge_shard_skylines(store, domains, &locals);
+    let (records, merge_metrics) = merge_shard_skylines(store, domains, &locals, threads);
     ParallelRun {
         records,
         locals,
         shard_metrics,
         merge_metrics,
+        plan,
     }
 }
 
@@ -264,7 +539,9 @@ where
 /// built over [`ShardView::to_store`]) plus that run's metrics; ids are
 /// translated back to global ones here. The shard partition is fixed by
 /// `shards`, so the result is identical for every `threads` value — see
-/// the module docs for the full determinism contract.
+/// the module docs for the full determinism contract. For a
+/// planner-chosen shard count use [`sharded_skyline_with`] and
+/// [`ShardSpec::Adaptive`].
 pub fn sharded_skyline<F>(
     store: &PointStore,
     domains: &[PoDomain],
@@ -275,7 +552,26 @@ pub fn sharded_skyline<F>(
 where
     F: Fn(usize, &ShardView<'_>) -> (Vec<RecordId>, Metrics) + Sync,
 {
-    let views = store.shards(shards);
+    sharded_skyline_with(store, domains, ShardSpec::Fixed(shards), threads, run_shard)
+}
+
+/// [`sharded_skyline`] with an explicit [`ShardSpec`]: resolves the spec
+/// (running the sampling planner for [`ShardSpec::Adaptive`]) and records
+/// the decision in [`ParallelRun::plan`]. The merged record-id vector is
+/// identical whatever the plan resolves to — only the per-shard locals
+/// and work counters depend on the partition.
+pub fn sharded_skyline_with<F>(
+    store: &PointStore,
+    domains: &[PoDomain],
+    spec: ShardSpec,
+    threads: usize,
+    run_shard: F,
+) -> ParallelRun
+where
+    F: Fn(usize, &ShardView<'_>) -> (Vec<RecordId>, Metrics) + Sync,
+{
+    let plan = spec.resolve(store, domains);
+    let views = store.shards(plan.shards);
     let run_shard = &run_shard;
     let jobs: Vec<_> = views
         .iter()
@@ -288,7 +584,9 @@ where
             }
         })
         .collect();
-    merge_jobs(store, domains, threads, jobs)
+    let mut run = merge_jobs(store, domains, threads, jobs);
+    run.plan = plan;
+    run
 }
 
 /// Sharded parallel run of a classic totally ordered algorithm
@@ -430,6 +728,164 @@ mod tests {
         let mut got = run.records.clone();
         got.sort_unstable();
         assert_eq!(got, vec![0, 2, 4, 6]);
+    }
+
+    /// Per-shard local skylines by brute force — merge-phase tests drive
+    /// the merge functions directly with these.
+    fn brute_locals(t: &Table, domains: &[PoDomain], shards: usize) -> Vec<Vec<RecordId>> {
+        t.shards(shards)
+            .iter()
+            .map(|v| {
+                let sub = v.to_store();
+                brute_force_po_skyline(domains, &sub)
+                    .into_iter()
+                    .map(|r| r + v.start())
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn anti_table(n: u32) -> Table {
+        // Points on the anti-diagonal: every tuple is skyline.
+        let mut t = Table::new(2, 0);
+        for i in 0..n {
+            t.push(&[i, n - i], &[]);
+        }
+        t
+    }
+
+    #[test]
+    fn sorted_merge_equals_all_pairs_and_the_oracle() {
+        let dag = Dag::paper_example();
+        let domains = vec![PoDomain::new(dag)];
+        let mut t = Table::new(2, 1);
+        for i in 0..80u32 {
+            t.push(&[(i * 13) % 31, (i * 7) % 29], &[i % 9]);
+        }
+        // Exact duplicates across prospective shard boundaries.
+        for _ in 0..3 {
+            t.push(&[0, 0], &[0]);
+        }
+        let mut oracle = brute_force_po_skyline(&domains, &t);
+        oracle.sort_unstable();
+        for shards in [1usize, 2, 3, 5, 8] {
+            let locals = brute_locals(&t, &domains, shards);
+            let (old, old_m) = merge_shard_skylines_all_pairs(&t, &domains, &locals);
+            let mut old_sorted = old.clone();
+            old_sorted.sort_unstable();
+            assert_eq!(old_sorted, oracle, "all-pairs shards={shards}");
+            for threads in [1usize, 2, 4] {
+                let (new, new_m) = merge_shard_skylines(&t, &domains, &locals, threads);
+                let mut new_sorted = new.clone();
+                new_sorted.sort_unstable();
+                assert_eq!(
+                    new_sorted, oracle,
+                    "sorted shards={shards} threads={threads}"
+                );
+                assert_eq!(new_m.results, old_m.results);
+                assert!(
+                    new_m.merge_pair_checks <= all_pairs_merge_bound(&locals),
+                    "shards={shards}: {} > bound {}",
+                    new_m.merge_pair_checks,
+                    all_pairs_merge_bound(&locals)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_merge_is_thread_and_plan_invariant() {
+        let t = to_only_table(150);
+        let mut baseline: Option<Vec<RecordId>> = None;
+        for shards in [1usize, 2, 4, 8] {
+            let locals = brute_locals(&t, &[], shards);
+            let (r1, m1) = merge_shard_skylines(&t, &[], &locals, 1);
+            for threads in [2usize, 4] {
+                let (rt, mt) = merge_shard_skylines(&t, &[], &locals, threads);
+                assert_eq!(rt, r1, "shards={shards} threads={threads}");
+                assert_eq!(mt, m1, "metrics invariant to merge threads");
+            }
+            // Emission order is (score, id): identical across shard plans.
+            match &baseline {
+                None => baseline = Some(r1),
+                Some(b) => assert_eq!(&r1, b, "plan-independent emission, shards={shards}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_merge_beats_all_pairs_on_anti_correlated_locals() {
+        // Everything is skyline: the all-pairs fold hits its worst case
+        // while the sorted filter only scans the smaller-score confirmed
+        // prefix of the other shards.
+        let t = anti_table(64);
+        let locals = brute_locals(&t, &[], 8);
+        let (old, old_m) = merge_shard_skylines_all_pairs(&t, &[], &locals);
+        let (new, new_m) = merge_shard_skylines(&t, &[], &locals, 2);
+        assert_eq!(old.len(), 64);
+        assert_eq!(new.len(), 64);
+        assert_eq!(old_m.merge_pair_checks, all_pairs_merge_bound(&locals));
+        assert!(
+            new_m.merge_pair_checks < old_m.merge_pair_checks,
+            "sorted {} !< all-pairs {}",
+            new_m.merge_pair_checks,
+            old_m.merge_pair_checks
+        );
+    }
+
+    #[test]
+    fn adaptive_plan_shrinks_with_the_skyline_ratio() {
+        // Anti-diagonal data: the sampled ratio is 1.0 -> one shard.
+        let anti = anti_table(600);
+        let plan = ShardPlan::adaptive(&anti, &[], 8);
+        assert!(plan.adaptive);
+        assert_eq!(plan.sampled, PLAN_SAMPLE.min(600));
+        assert_eq!(plan.sample_skyline, plan.sampled);
+        assert_eq!(plan.shards, 1);
+        // Dominance-heavy data: a chain has a single skyline point.
+        let mut chain = Table::new(2, 0);
+        for i in 0..600u32 {
+            chain.push(&[i, i], &[]);
+        }
+        let plan = ShardPlan::adaptive(&chain, &[], 8);
+        assert_eq!(plan.sample_skyline, 1);
+        assert_eq!(plan.shards, 8, "tiny ratio takes the full budget");
+        // Determinism: same store, same plan.
+        assert_eq!(plan, ShardPlan::adaptive(&chain, &[], 8));
+        // Fixed plans never sample.
+        assert_eq!(
+            ShardPlan::fixed(0),
+            ShardPlan {
+                shards: 1,
+                adaptive: false,
+                sampled: 0,
+                sample_skyline: 0
+            }
+        );
+    }
+
+    #[test]
+    fn adaptive_executor_matches_fixed_byte_for_byte() {
+        let t = to_only_table(200);
+        let fixed = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 5, 2);
+        let adaptive = sharded_skyline_with(
+            &t,
+            &[],
+            ShardSpec::Adaptive { max: 8 },
+            2,
+            |_, view: &ShardView<'_>| {
+                let block = PointBlock::from_flat(t.to_dims(), view.to_block().to_vec());
+                let engine = ClassicEngine::new(block, ClassicAlgo::Sfs);
+                let (points, metrics) = engine.collect_skyline();
+                (points.into_iter().map(|p| p.record).collect(), metrics)
+            },
+        );
+        assert!(adaptive.plan.adaptive);
+        assert!(!fixed.plan.adaptive);
+        assert_eq!(fixed.plan.shards, 5);
+        // The sorted merge's (score, id) emission order holds across plans:
+        // the full record-id vectors agree, not just the sets.
+        assert_eq!(adaptive.records, fixed.records);
     }
 
     #[test]

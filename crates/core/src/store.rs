@@ -260,6 +260,58 @@ impl PointStore {
         (false, examined)
     }
 
+    /// A **monotone score** of one record under t-dominance: the sum of
+    /// its TO coordinates plus one topological ordinal per PO attribute.
+    ///
+    /// If `a` t-dominates `b` then `score(a) < score(b)` *strictly*: every
+    /// TO coordinate of `a` is `<=` with at least one `<`, or some PO value
+    /// is strictly preferred — and a strictly preferred value precedes in
+    /// the topological sort, so its ordinal is strictly smaller (the same
+    /// argument that gives sTSS its precedence theorem). Two consequences
+    /// the sorted merge in [`parallel`](crate::parallel) builds on:
+    ///
+    /// * scanning candidates in ascending score order sees every dominator
+    ///   before its dominatees (an SFS/SaLSa-style filter needs only the
+    ///   already-confirmed prefix), and
+    /// * equal-score records can never dominate each other, so an
+    ///   equal-score stratum is checkable against a frozen prefix in any
+    ///   order — or concurrently.
+    #[inline]
+    pub fn monotone_score(&self, domains: &[PoDomain], id: RecordId) -> u64 {
+        let to_sum: u64 = self.to(id).iter().map(|&x| x as u64).sum();
+        let po_sum: u64 = self
+            .po(id)
+            .iter()
+            .zip(domains.iter())
+            .map(|(&v, d)| d.ordinal(v) as u64)
+            .sum();
+        to_sum + po_sum
+    }
+
+    /// Estimates the local-skyline ratio from the store's prefix: computes
+    /// the exact skyline of the first `min(len, sample)` records with a
+    /// sorted filter over [`monotone_score`](Self::monotone_score) and
+    /// returns `(records_sampled, sample_skyline_size)`.
+    ///
+    /// Deterministic (no RNG — the rows of the generated and real-world
+    /// workloads this repo targets are row-order independent, so a prefix
+    /// is an unbiased sample) and cheap: `O(s log s)` to sort plus one
+    /// early-exiting batched kernel scan per sampled record. This is the
+    /// measurement behind [`ShardPlan`](crate::parallel::ShardPlan).
+    pub fn prefix_skyline_sample(&self, domains: &[PoDomain], sample: usize) -> (usize, usize) {
+        let s = self.n.min(sample);
+        let mut ids: Vec<RecordId> = (0..s as RecordId).collect();
+        ids.sort_unstable_by_key(|&r| (self.monotone_score(domains, r), r));
+        let mut confirmed: Vec<RecordId> = Vec::new();
+        for &r in &ids {
+            let (hit, _) = self.t_dominated_by_any(domains, self.to(r), self.po(r), &confirmed);
+            if !hit {
+                confirmed.push(r);
+            }
+        }
+        (s, confirmed.len())
+    }
+
     // --- Sharding -------------------------------------------------------
 
     /// Splits the store into `n` disjoint, contiguous record-id ranges —
@@ -503,6 +555,56 @@ mod tests {
         }
         assert!(PointStore::new(1, 0).shards(4).is_empty());
         assert_eq!(t.shards(0).len(), 1, "0 shards clamps to 1");
+    }
+
+    #[test]
+    fn monotone_score_is_strict_under_dominance() {
+        let doms = vec![PoDomain::new(Dag::paper_example())];
+        let oracle = Dominance::new(&doms);
+        let mut t = PointStore::new(2, 1);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                for v in 0..9u32 {
+                    t.push(&[a, b], &[v]);
+                }
+            }
+        }
+        let n = t.len() as u32;
+        for i in 0..n {
+            for j in 0..n {
+                if oracle.dominates_oracle(t.to(i), t.po(i), t.to(j), t.po(j)) {
+                    assert!(
+                        t.monotone_score(&doms, i) < t.monotone_score(&doms, j),
+                        "dominator must score strictly lower ({i} vs {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_skyline_sample_is_exact_on_the_prefix() {
+        let doms = vec![PoDomain::new(Dag::paper_example())];
+        let mut t = PointStore::new(2, 1);
+        for i in 0..40u32 {
+            t.push(&[(i * 13) % 17, (i * 5) % 11], &[i % 9]);
+        }
+        // Sample covering everything == the brute-force skyline size.
+        let (sampled, k) = t.prefix_skyline_sample(&doms, 1000);
+        assert_eq!(sampled, 40);
+        assert_eq!(k, crate::dominance::brute_force_po_skyline(&doms, &t).len());
+        // A shorter prefix is the exact skyline of that prefix.
+        let mut head = PointStore::new(2, 1);
+        for i in 0..16usize {
+            head.push(t.to_row(i), t.po_row(i));
+        }
+        let (sampled, k) = t.prefix_skyline_sample(&doms, 16);
+        assert_eq!(sampled, 16);
+        assert_eq!(
+            k,
+            crate::dominance::brute_force_po_skyline(&doms, &head).len()
+        );
+        assert_eq!(PointStore::new(1, 0).prefix_skyline_sample(&[], 64), (0, 0));
     }
 
     #[test]

@@ -308,6 +308,11 @@ struct StssChecks<'a> {
 impl StssChecks<'_> {
     /// Is the candidate point t-dominated by the current skyline (given as
     /// record ids; attribute values are fetched from the store)?
+    ///
+    /// `posts` is caller-owned scratch for the fast-check path's folded
+    /// post coordinates — reused across candidates so the probe really
+    /// allocates nothing; the scan path never touches it.
+    #[allow(clippy::too_many_arguments)]
     fn point_dominated(
         &self,
         to: &[u32],
@@ -315,6 +320,7 @@ impl StssChecks<'_> {
         skyline: &[RecordId],
         vpi: Option<&VirtualPointIndex>,
         keys: &HashMap<u64, Vec<RecordId>>,
+        posts: &mut Vec<u32>,
         m: &mut Metrics,
     ) -> bool {
         if let Some(vpi) = vpi {
@@ -329,12 +335,13 @@ impl StssChecks<'_> {
                     return false;
                 }
             }
-            let posts: Vec<u32> = po
-                .iter()
-                .enumerate()
-                .map(|(d, &v)| self.domains[d].labeling().post(poset::ValueId(v)))
-                .collect();
-            let (hit, queries) = vpi.covers_value(to, &posts);
+            posts.clear();
+            posts.extend(
+                po.iter()
+                    .enumerate()
+                    .map(|(d, &v)| self.domains[d].labeling().post(poset::ValueId(v))),
+            );
+            let (hit, queries) = vpi.covers_value(to, posts);
             m.dominance_checks += queries;
             return hit;
         }
@@ -494,6 +501,9 @@ pub struct StssCursor<'a> {
     /// one batch can confirm several points, the stream hands them out one
     /// per [`next`](SkylineCursor::next) call).
     ready: VecDeque<RecordId>,
+    /// Reused scratch for the fast-check path's per-candidate folded post
+    /// coordinates (grown once, never reallocated per candidate).
+    posts_scratch: Vec<u32>,
     last_sample: ProgressSample,
     finished: bool,
 }
@@ -519,6 +529,7 @@ impl<'a> StssCursor<'a> {
             keys: HashMap::new(),
             extras: None,
             ready: VecDeque::new(),
+            posts_scratch: Vec::new(),
             last_sample: ProgressSample::default(),
             finished: false,
         }
@@ -556,6 +567,7 @@ impl<'a> StssCursor<'a> {
                         &self.skyline,
                         self.vpi.as_ref(),
                         &self.keys,
+                        &mut self.posts_scratch,
                         &mut self.m,
                     ) {
                         if let Some(vpi) = self.vpi.as_mut() {
@@ -646,6 +658,10 @@ impl<'a> StssCursor<'a> {
             let keys = &self.keys;
             let verdicts = crate::parallel::map_slice(threads, &batch, |popped| {
                 let mut local = Metrics::default();
+                // The batched mode never runs under fast checks (vpi is
+                // None), so the posts scratch is untouched — an empty Vec
+                // costs nothing here.
+                let mut posts = Vec::new();
                 let dominated = match popped {
                     Popped::Node { mbb, .. } => checks.mbb_dominated(mbb, frozen, None, &mut local),
                     Popped::Record { point, record, .. } => checks.point_dominated(
@@ -654,6 +670,7 @@ impl<'a> StssCursor<'a> {
                         frozen,
                         None,
                         keys,
+                        &mut posts,
                         &mut local,
                     ),
                 };

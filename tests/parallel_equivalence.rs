@@ -6,11 +6,15 @@
 //! nothing dependent on the worker count.
 
 use proptest::prelude::*;
-use tss::core::parallel::{parallel_classic_skyline, sharded_skyline, sum_metrics};
+use tss::core::parallel::{
+    all_pairs_merge_bound, merge_shard_skylines, merge_shard_skylines_all_pairs,
+    parallel_classic_skyline, sharded_skyline, sum_metrics,
+};
 use tss::core::{
     brute_force_po_skyline, ClassicAlgo, ClassicEngine, Dtss, DtssConfig, Metrics, PoDomain,
-    PoQuery, SkylineEngine, Stss, StssConfig, Table,
+    PoQuery, RecordId, ShardPlan, SkylineEngine, Stss, StssConfig, Table,
 };
+use tss::datagen::{Distribution, ExperimentParams};
 use tss::poset::Dag;
 use tss::sdc::{SdcConfig, SdcIndex, Variant};
 use tss::skyline::PointBlock;
@@ -50,6 +54,21 @@ fn work_counts(m: &Metrics) -> (u64, u64, u64, u64, u64) {
         m.heap_pops,
         m.results,
     )
+}
+
+/// Per-shard local skylines by brute force (global ids) — the inputs the
+/// merge-phase tests feed the merge functions directly.
+fn brute_locals(t: &Table, domains: &[PoDomain], shards: usize) -> Vec<Vec<RecordId>> {
+    t.shards(shards)
+        .iter()
+        .map(|v| {
+            let sub = v.to_store();
+            brute_force_po_skyline(domains, &sub)
+                .into_iter()
+                .map(|r| r + v.start())
+                .collect()
+        })
+        .collect()
 }
 
 proptest! {
@@ -162,4 +181,126 @@ proptest! {
             work_counts(&single.metrics())
         );
     }
+
+    /// Merge-focused equivalence: for random stores, DAGs, shard counts
+    /// and merge thread counts — duplicates included — the sorted parallel
+    /// merge, the all-pairs merge and the single-shard oracle agree on the
+    /// record set; the sorted merge's record *vector* and metrics are
+    /// invariant to both the thread count and the shard partition; and its
+    /// pair work never exceeds the all-pairs bound
+    /// `Σᵢ |localᵢ| · Σⱼ≠ᵢ |localⱼ|`.
+    #[test]
+    fn sorted_merge_equivalence(
+        rows in proptest::collection::vec((0u32..10, 0u32..10, 0u32..5), 1..40),
+        dup in (0usize..8, 1usize..4),
+        edge_mask in 0u32..1024,
+        shards in 1usize..=8,
+        threads in 1usize..=4,
+    ) {
+        let mut t = Table::new(2, 1);
+        for &(a, b, v) in &rows {
+            t.push(&[a, b], &[v]);
+        }
+        // Exact duplicates of one row, appended at the end so they tend to
+        // land in a different shard than the original.
+        let (dup_row, dup_count) = dup;
+        let src = dup_row % rows.len();
+        for _ in 0..dup_count {
+            t.push(t.to_row(src).to_vec().as_slice(), t.po_row(src).to_vec().as_slice());
+        }
+        let dag = mask_dag(edge_mask);
+        let domains = vec![PoDomain::new(dag)];
+
+        // Per-shard local skylines by brute force (the merge inputs).
+        let locals = brute_locals(&t, &domains, shards);
+
+        let mut oracle = brute_force_po_skyline(&domains, &t);
+        oracle.sort_unstable();
+
+        let (old, old_m) = merge_shard_skylines_all_pairs(&t, &domains, &locals);
+        let mut old_sorted = old.clone();
+        old_sorted.sort_unstable();
+        prop_assert_eq!(&old_sorted, &oracle, "all-pairs merge vs oracle");
+
+        let (one, one_m) = merge_shard_skylines(&t, &domains, &locals, 1);
+        let (new, new_m) = merge_shard_skylines(&t, &domains, &locals, threads);
+        prop_assert_eq!(&new, &one, "merge threads change nothing");
+        prop_assert_eq!(new_m, one_m, "merge metrics invariant to threads");
+        let mut new_sorted = new.clone();
+        new_sorted.sort_unstable();
+        prop_assert_eq!(&new_sorted, &oracle, "sorted merge vs oracle");
+
+        // Pair-work pin: never above the all-pairs bound, and the bound
+        // also caps the all-pairs fold's own examined count.
+        let bound = all_pairs_merge_bound(&locals);
+        prop_assert!(new_m.merge_pair_checks <= bound,
+            "sorted {} > bound {}", new_m.merge_pair_checks, bound);
+        prop_assert!(old_m.merge_pair_checks <= bound);
+        prop_assert_eq!(new_m.results, old_m.results);
+
+        // Plan invariance: a different partition of the same store merges
+        // to the byte-identical record vector ((score, id) emission order).
+        let other_shards = shards % 8 + 1;
+        let other_locals = brute_locals(&t, &domains, other_shards);
+        let (other, _) = merge_shard_skylines(&t, &domains, &other_locals, threads);
+        prop_assert_eq!(&other, &new,
+            "shard plans {} and {} must emit identical vectors", shards, other_shards);
+    }
+}
+
+/// Acceptance: on an anti-correlated fig07-style workload (the paper's
+/// §VI stress case, where almost every tuple is skyline and merge cost
+/// dominates), the sorted merge does strictly less pair work than the
+/// all-pairs fold — and the adaptive planner reacts by picking fewer
+/// shards than the fixed default.
+#[test]
+fn anti_correlated_merge_does_less_pair_work() {
+    let mut p = ExperimentParams::paper_static_default(Distribution::AntiCorrelated, 42);
+    p.n = 4000;
+    p.dag_height = 4;
+    let (table, dags) = p.materialize();
+    let domains: Vec<PoDomain> = dags.iter().cloned().map(PoDomain::new).collect();
+    let shards = 8usize;
+    let locals: Vec<Vec<RecordId>> = table
+        .shards(shards)
+        .iter()
+        .map(|v| {
+            let sub = v.to_store();
+            let stss = Stss::build(sub, dags.clone(), StssConfig::default()).expect("shard build");
+            stss.run()
+                .skyline_records()
+                .into_iter()
+                .map(|r| r + v.start())
+                .collect()
+        })
+        .collect();
+    let total: usize = locals.iter().map(Vec::len).sum();
+    assert!(total > 500, "anti-correlated locals must be skyline-heavy");
+
+    let (old, old_m) = merge_shard_skylines_all_pairs(&table, &domains, &locals);
+    for threads in [1usize, 2, 4] {
+        let (new, new_m) = merge_shard_skylines(&table, &domains, &locals, threads);
+        let mut a = old.clone();
+        let mut b = new.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "same merged skyline");
+        assert!(
+            new_m.merge_pair_checks < old_m.merge_pair_checks,
+            "threads={threads}: sorted {} must beat all-pairs {}",
+            new_m.merge_pair_checks,
+            old_m.merge_pair_checks
+        );
+        assert!(new_m.merge_pair_checks < all_pairs_merge_bound(&locals));
+        assert!(new_m.merge_strata > 0);
+    }
+
+    // The planner sees the skyline-heavy sample and shrinks the partition.
+    let plan = ShardPlan::adaptive(&table, &domains, 8);
+    assert!(plan.adaptive);
+    assert!(
+        plan.shards < 8,
+        "anti-correlated data must plan fewer shards, got {}",
+        plan.shards
+    );
 }
