@@ -99,6 +99,12 @@ fn assert_invariant(a: &BenchRow, ra: &AlgoResult, b: &BenchRow, rb: &AlgoResult
     assert_eq!(ma.heap_pops, mb.heap_pops);
     assert_eq!(ma.results, mb.results);
     assert_eq!(
+        ma.label_cache_hits, mb.label_cache_hits,
+        "{}/{}: session-cache behavior must not depend on the worker count",
+        a.algo, a.workload
+    );
+    assert_eq!(ma.label_cache_misses, mb.label_cache_misses);
+    assert_eq!(
         ma.merge_pair_checks, mb.merge_pair_checks,
         "{}/{}: the sorted merge's pair work must not depend on the worker count",
         a.algo, a.workload
@@ -302,7 +308,8 @@ pub fn to_json(rows: &[BenchRow]) -> String {
              \"adaptive\": {}, \"available_parallelism\": {}, \
              \"wall_ns\": {}, \"metrics\": \
              {{\"dominance_checks\": {}, \"dominance_batch_calls\": {}, \"io_reads\": {}, \
-             \"io_writes\": {}, \"heap_pops\": {}, \"merge_pair_checks\": {}, \
+             \"io_writes\": {}, \"heap_pops\": {}, \"label_cache_hits\": {}, \
+             \"label_cache_misses\": {}, \"merge_pair_checks\": {}, \
              \"merge_strata\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
             r.algo,
             r.workload,
@@ -316,6 +323,8 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             m.io_reads,
             m.io_writes,
             m.heap_pops,
+            m.label_cache_hits,
+            m.label_cache_misses,
             m.merge_pair_checks,
             m.merge_strata,
             m.results,
@@ -347,6 +356,8 @@ mod tests {
                 merge_pair_checks: 5,
                 merge_strata: 2,
                 io_reads: 3,
+                label_cache_hits: 9,
+                label_cache_misses: 4,
                 cpu: Duration::from_nanos(123),
                 ..Default::default()
             },
@@ -363,6 +374,10 @@ mod tests {
         assert!(s.contains("\"dominance_checks\": 7"));
         assert!(s.contains("\"merge_pair_checks\": 5"));
         assert!(s.contains("\"merge_strata\": 2"));
+        // dTSS session-cache visibility: the PR 6 metrics-exhaustiveness
+        // lint pins these two to the row shape for good.
+        assert!(s.contains("\"label_cache_hits\": 9"));
+        assert!(s.contains("\"label_cache_misses\": 4"));
         assert!(s.trim_end().ends_with(']'));
     }
 

@@ -12,6 +12,8 @@
 //! The default sweeps here are laptop-sized (see [`params`]); set
 //! `TSS_FULL_SCALE=1` to restore the paper's Table III values.
 
+#![forbid(unsafe_code)]
+
 pub mod jsonbench;
 pub mod params;
 pub mod report;

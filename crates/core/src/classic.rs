@@ -119,6 +119,7 @@ impl SkylineEngine for ClassicEngine {
     fn open(&self) -> Box<dyn SkylineCursor + '_> {
         // The clock starts before the eager algorithms run, so their
         // up-front computation is part of the reported cpu time.
+        // lint:allow(time-source): Metrics.cpu timing site — classic-engine wall clock
         let start = Instant::now();
         let source = match self.algo {
             ClassicAlgo::Brute => {

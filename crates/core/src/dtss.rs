@@ -209,9 +209,10 @@ impl Dtss {
         let cap = cfg
             .node_capacity
             .unwrap_or_else(|| cfg.page.capacity(table.to_dims()));
-        let mut keys: Vec<Vec<u32>> = by_key.keys().cloned().collect();
-        keys.sort_unstable(); // deterministic group layout
-        let groups = keys
+        // lint:allow(hash-iter): keys are sorted on the next line, so the group layout never sees the hasher's order
+        let mut group_keys: Vec<Vec<u32>> = by_key.keys().cloned().collect();
+        group_keys.sort_unstable(); // deterministic group layout
+        let groups = group_keys
             .into_iter()
             .map(|key| {
                 let records = by_key.remove(&key).unwrap();
@@ -832,6 +833,7 @@ pub struct DtssCursor<'a> {
 
 impl<'a> DtssCursor<'a> {
     fn new_live(dtss: &'a Dtss, prepared: PreparedDomains, reference: Option<Vec<u32>>) -> Self {
+        // lint:allow(time-source): Metrics.cpu timing site — cursor wall clock
         let start = Instant::now();
         let to_dims = dtss.table.to_dims();
         let domains = prepared.domains;
@@ -910,6 +912,7 @@ impl<'a> DtssCursor<'a> {
             ranks: Vec::new(),
             plans: HashMap::new(),
             order_ix: 0,
+            // lint:allow(time-source): Metrics.cpu timing site — replay-cursor wall clock
             start: Instant::now(),
             m: Metrics::default(),
             sky: SkyList::new(dtss.table.to_dims()),

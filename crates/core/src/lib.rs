@@ -53,6 +53,8 @@
 //! assert_eq!(sky, vec![1, 2]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod classic;
 mod cursor;
 mod dominance;

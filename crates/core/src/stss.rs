@@ -522,6 +522,7 @@ impl<'a> StssCursor<'a> {
         StssCursor {
             stss,
             bf: stss.tree.best_first(),
+            // lint:allow(time-source): Metrics.cpu timing site — cursor wall clock
             start: Instant::now(),
             m: Metrics::default(),
             skyline: Vec::new(),

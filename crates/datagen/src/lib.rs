@@ -12,6 +12,8 @@
 //! Everything is seeded and deterministic. Matrices are returned flattened
 //! (row-major) to keep multi-million-tuple workloads allocation-friendly.
 
+#![forbid(unsafe_code)]
+
 mod dist;
 mod tuples;
 pub mod workloads;

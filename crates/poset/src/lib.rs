@@ -50,6 +50,8 @@
 //! assert!(!labeling.t_pref(d, a));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod builder;
 mod dag;
 mod dyadic;

@@ -14,8 +14,18 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub(crate) struct LruBuffer {
     cap: usize,
+    state: RefCell<LruState>,
+}
+
+/// Interior state behind the `RefCell` (named so the static-analysis pass
+/// can see the map through the borrow).
+#[derive(Debug, Clone, Default)]
+struct LruState {
+    /// Monotone access counter; every touch gets a fresh stamp, so stamps
+    /// are unique — which is what makes the eviction scan deterministic.
+    clock: u64,
     /// node id -> last-use stamp.
-    state: RefCell<(u64, HashMap<u32, u64>)>,
+    stamps: HashMap<u32, u64>,
 }
 
 impl LruBuffer {
@@ -23,34 +33,36 @@ impl LruBuffer {
         assert!(cap >= 1, "buffer needs at least one page");
         LruBuffer {
             cap,
-            state: RefCell::new((0, HashMap::with_capacity(cap + 1))),
+            state: RefCell::new(LruState {
+                clock: 0,
+                stamps: HashMap::with_capacity(cap + 1),
+            }),
         }
     }
 
     /// Records an access; returns `true` on a buffer hit (no IO charged).
     pub fn touch(&self, node: u32) -> bool {
-        let mut guard = self.state.borrow_mut();
-        let (ref mut clock, ref mut map) = *guard;
-        *clock += 1;
-        let stamp = *clock;
-        if let Some(s) = map.get_mut(&node) {
+        let mut st = self.state.borrow_mut();
+        st.clock += 1;
+        let stamp = st.clock;
+        if let Some(s) = st.stamps.get_mut(&node) {
             *s = stamp;
             return true;
         }
-        if map.len() == self.cap {
+        if st.stamps.len() == self.cap {
             // Evict the least recently used page.
-            let (&victim, _) = map.iter().min_by_key(|(_, &s)| s).expect("non-empty");
-            map.remove(&victim);
+            // lint:allow(hash-iter): stamps are unique (monotone clock), so the min is order-independent
+            let (&victim, _) = st.stamps.iter().min_by_key(|(_, &s)| s).expect("non-empty");
+            st.stamps.remove(&victim);
         }
-        map.insert(node, stamp);
+        st.stamps.insert(node, stamp);
         false
     }
 
     /// Drops all buffered pages.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn clear(&self) {
-        let mut guard = self.state.borrow_mut();
-        guard.1.clear();
+        self.state.borrow_mut().stamps.clear();
     }
 }
 

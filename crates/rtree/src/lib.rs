@@ -20,6 +20,8 @@
 //! dimensions where larger is better (the `post` axis of interval labels)
 //! are flipped by the caller before indexing.
 
+#![forbid(unsafe_code)]
+
 mod buffer;
 mod bulk;
 mod geom;

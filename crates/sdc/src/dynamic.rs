@@ -38,6 +38,7 @@ impl DynamicSdc {
     /// Evaluates a dynamic skyline query: rebuilds the SDC+ index for the
     /// supplied partial orders (charged as IOs), then runs it.
     pub fn query(&self, dags: &[Dag]) -> Result<SdcRun, CoreError> {
+        // lint:allow(time-source): Metrics.cpu timing site — rebuild wall clock charged into the run's cpu
         let rebuild_start = std::time::Instant::now();
         let index = SdcIndex::build(
             self.table.clone(),

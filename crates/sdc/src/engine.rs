@@ -120,6 +120,7 @@ impl<'a> SdcCursor<'a> {
     pub(crate) fn new(index: &'a SdcIndex) -> Self {
         SdcCursor {
             index,
+            // lint:allow(time-source): Metrics.cpu timing site — cursor wall clock
             start: Instant::now(),
             m: Metrics::default(),
             global: EntryList::new(index.ctx.transformed_dims()),

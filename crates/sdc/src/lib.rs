@@ -25,6 +25,8 @@
 //! index is rebuilt per query — an external sort plus bulk loads, charged as
 //! page IOs against the same cost model TSS uses.
 
+#![forbid(unsafe_code)]
+
 mod dynamic;
 mod engine;
 mod index;

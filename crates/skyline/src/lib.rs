@@ -45,6 +45,8 @@
 //! stopping costs proportionally less work; the eager functions are thin
 //! adapters over these cursors.
 
+#![forbid(unsafe_code)]
+
 mod bbs;
 mod bitmap;
 mod bnl;

@@ -19,6 +19,8 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+#![forbid(unsafe_code)]
+
 pub use datagen;
 pub use poset;
 pub use rtree;

@@ -1,0 +1,131 @@
+//! Finding and waiver plumbing shared by every rule pass.
+
+use crate::lexer::Comment;
+use std::collections::HashMap; // lint:allow(hash-iter): xtask is not an engine crate; kept probe-only anyway
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding, keyed for stable, diffable output.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// 1-based line (0 for whole-file/whole-crate findings).
+    pub line: u32,
+    /// Rule id — also the waiver key (`lint:allow(<rule>)`).
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// Waivers parsed out of one file's line comments:
+/// `// lint:allow(<rule>): <non-empty reason>`, effective on its own line
+/// and the line directly below (so it can sit above the flagged statement).
+#[derive(Debug, Default)]
+pub struct Waivers {
+    /// line -> rule ids waived there.
+    by_line: HashMap<u32, Vec<String>>,
+}
+
+impl Waivers {
+    pub fn parse(comments: &[Comment]) -> Self {
+        let mut w = Waivers::default();
+        for c in comments {
+            // A comment block may hold several waivers (multi-line `//`
+            // runs arrive as separate comments, so this is one marker).
+            let Some(rest) = c.text.split("lint:allow(").nth(1) else {
+                continue;
+            };
+            let Some((rule, reason)) = rest.split_once(')') else {
+                continue;
+            };
+            // The reason is mandatory: a waiver without a why is itself
+            // drift. `): ` then at least one word.
+            let reason = reason.trim_start_matches(':').trim();
+            if reason.is_empty() {
+                continue;
+            }
+            w.by_line
+                .entry(c.line)
+                .or_default()
+                .push(rule.trim().to_string());
+        }
+        w
+    }
+
+    /// True iff `rule` is waived for a finding on `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        let at = |l: u32| {
+            self.by_line
+                .get(&l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule))
+        };
+        at(line) || (line > 0 && at(line - 1))
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping build output and
+/// the vendored stand-ins. Sorted for deterministic findings order.
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect(dir, &mut out);
+    out.sort();
+    out
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if name == "target" || name == "vendor" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn waiver_needs_a_reason_and_reaches_one_line_down() {
+        let l = lex(
+            "// lint:allow(hash-iter): probe order irrelevant\nx();\n// lint:allow(hasher):\ny();",
+        );
+        let w = Waivers::parse(&l.comments);
+        assert!(w.covers("hash-iter", 1));
+        assert!(w.covers("hash-iter", 2));
+        assert!(!w.covers("hash-iter", 3));
+        assert!(!w.covers("hasher", 3), "empty reason is not a waiver");
+        assert!(!w.covers("hasher", 4));
+    }
+
+    #[test]
+    fn same_line_trailing_waiver() {
+        let l = lex("let v = m.keys(); // lint:allow(hash-iter): sorted below");
+        let w = Waivers::parse(&l.comments);
+        assert!(w.covers("hash-iter", 1));
+    }
+}

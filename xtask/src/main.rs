@@ -1,0 +1,77 @@
+//! CLI: `cargo run -p xtask -- lint [--rule R] [--root DIR] [--write-panic-baseline]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("lint") => {}
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--rule {}] [--root DIR] [--write-panic-baseline]",
+                xtask::ALL_RULES.join("|"));
+            return ExitCode::from(2);
+        }
+    }
+    let mut rule: Option<String> = None;
+    let mut root = xtask::default_root();
+    let mut write_baseline = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rule" => match it.next() {
+                Some(r) if xtask::ALL_RULES.contains(&r.as_str()) => rule = Some(r.clone()),
+                Some(r) => {
+                    eprintln!(
+                        "unknown rule {r:?}; expected one of {}",
+                        xtask::ALL_RULES.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--rule requires a rule id");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-panic-baseline" => write_baseline = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if write_baseline {
+        let counts = xtask::rules::panics::count(&root);
+        let path = root.join(xtask::rules::panics::BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, xtask::rules::panics::render_baseline(&counts)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {} ({} crates)", path.display(), counts.len());
+    }
+
+    let findings = xtask::lint(&root, rule.as_deref());
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!(
+            "xtask lint: clean ({} checked)",
+            rule.as_deref().unwrap_or("all rules")
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

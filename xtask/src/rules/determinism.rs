@@ -1,0 +1,285 @@
+//! Rule family 1 — determinism.
+//!
+//! `hash-iter`: in the engine crates, iterating a `HashMap`/`HashSet`
+//! (`for … in`, `.iter()`, `.keys()`, `.values()`, `.drain()`, …) observes
+//! the hasher's arbitrary order, which is exactly the nondeterminism the
+//! worker-count/shard-plan byte-identity contract (PR 4/5) forbids. Probing
+//! (`get`, `contains_key`, `insert`, `entry`) is fine. A site whose order
+//! provably cannot leak (sorted immediately, unique-min reduction, …)
+//! carries `// lint:allow(hash-iter): <why>`.
+//!
+//! `hasher`: `DefaultHasher`/`RandomState` are banned everywhere — digests
+//! and fingerprints must use the pinned `poset::Fnv64` (PR 4) so hashes are
+//! stable across rustc releases and processes.
+//!
+//! Detection is name-based and file-scoped (no type inference): any name
+//! declared with a `HashMap`/`HashSet` type ascription or initialized from
+//! `HashMap::…`/`HashSet::…` in a file is tracked for that whole file.
+//! Shadowing a tracked name with a non-hash binding in the same file will
+//! false-positive — rename the binding (cheap) rather than waive.
+
+use crate::findings::{Finding, Waivers};
+use crate::lexer::{cfg_test_ranges, in_ranges, Lexed, Tok, TokKind};
+use std::collections::HashSet; // lint:allow(hash-iter): xtask is not an engine crate; kept probe-only anyway
+use std::path::Path;
+
+/// Methods whose call on a hash collection observes iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// Crates whose results feed the byte-identity contract.
+pub const ENGINE_CRATES: &[&str] = &["core", "sdc", "skyline", "rtree", "poset"];
+
+pub fn hash_iter(path: &Path, rel: &Path, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let _ = path;
+    let toks = &lexed.toks;
+    let waivers = Waivers::parse(&lexed.comments);
+    let test_ranges = cfg_test_ranges(toks);
+    let tracked = tracked_names(toks);
+    if tracked.is_empty() {
+        return;
+    }
+    let mut flagged_lines: HashSet<u32> = HashSet::new();
+    let mut push = |line: u32, msg: String, out: &mut Vec<Finding>| {
+        if waivers.covers("hash-iter", line) || !flagged_lines.insert(line) {
+            return;
+        }
+        out.push(Finding {
+            path: rel.to_path_buf(),
+            line,
+            rule: "hash-iter",
+            msg,
+        });
+    };
+
+    for i in 0..toks.len() {
+        if in_ranges(&test_ranges, i) {
+            continue;
+        }
+        // `name . iter (` and friends.
+        if i + 3 < toks.len()
+            && toks[i].kind == TokKind::Ident
+            && tracked.contains(toks[i].text.as_str())
+            && toks[i + 1].is_punct('.')
+            && toks[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&toks[i + 2].text.as_str())
+            && toks[i + 3].is_punct('(')
+        {
+            push(
+                toks[i + 2].line,
+                format!(
+                    "`{}.{}()` iterates a hash collection in arbitrary order; make the order \
+                     explicit (sort / BTreeMap) or waive with a reason",
+                    toks[i].text,
+                    toks[i + 2].text
+                ),
+                out,
+            );
+        }
+        // `for … in <expr mentioning a tracked name> {`.
+        if toks[i].is_ident("for") {
+            let Some(in_ix) = (i + 1..toks.len().min(i + 24)).find(|&j| toks[j].is_ident("in"))
+            else {
+                continue;
+            };
+            let mut depth = 0i32;
+            for j in in_ix + 1..toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                    TokKind::Punct('{') if depth == 0 => break,
+                    TokKind::Punct(';') if depth == 0 => break,
+                    TokKind::Ident
+                        if tracked.contains(toks[j].text.as_str())
+                            // Probes like `for x in ids { if m.contains_key(x) }`
+                            // only arise past the loop brace, so any mention
+                            // in the header is an iteration source — unless
+                            // it is a probe call `m.get(..)` feeding the
+                            // loop, which yields Option iteration (ordered).
+                            && !(j + 1 < toks.len()
+                                && toks[j + 1].is_punct('.')
+                                && j + 2 < toks.len()
+                                && matches!(
+                                    toks[j + 2].text.as_str(),
+                                    "get" | "get_mut" | "contains_key" | "contains" | "len"
+                                )) =>
+                    {
+                        push(
+                            toks[j].line,
+                            format!(
+                                "`for … in` over `{}` iterates a hash collection in arbitrary \
+                                 order; make the order explicit or waive with a reason",
+                                toks[j].text
+                            ),
+                            out,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Bans `DefaultHasher`/`RandomState` mentions (idents, so comments and
+/// strings never trip it).
+pub fn hasher_ban(rel: &Path, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let waivers = Waivers::parse(&lexed.comments);
+    for t in &lexed.toks {
+        if t.kind == TokKind::Ident && (t.text == "DefaultHasher" || t.text == "RandomState") {
+            if waivers.covers("hasher", t.line) {
+                continue;
+            }
+            out.push(Finding {
+                path: rel.to_path_buf(),
+                line: t.line,
+                rule: "hasher",
+                msg: format!(
+                    "`{}` is unstable across rustc releases; use the pinned `poset::Fnv64`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Names declared in this file with a hash-collection type (ascription or
+/// `HashMap::new()`-style initializer).
+fn tracked_names(toks: &[Tok]) -> HashSet<&str> {
+    let mut names = HashSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        if let Some(name) = owner_name(toks, i) {
+            names.insert(name);
+        }
+    }
+    names
+}
+
+/// Walks backwards from a `HashMap`/`HashSet` token to the name it types:
+/// `name: …HashMap…` (field, param, let ascription) or
+/// `let [mut] name = HashMap::…` (initializer). Path separators (`::`) are
+/// stepped over; statement boundaries end the search.
+fn owner_name(toks: &[Tok], hash_ix: usize) -> Option<&str> {
+    let mut j = hash_ix;
+    let mut steps = 0;
+    while j > 0 && steps < 24 {
+        j -= 1;
+        steps += 1;
+        match toks[j].kind {
+            TokKind::Punct(':') => {
+                // `::` path separator — skip the pair.
+                if j > 0 && toks[j - 1].is_punct(':') {
+                    j -= 1;
+                    continue;
+                }
+                if j + 1 < toks.len() && toks[j + 1].is_punct(':') {
+                    continue;
+                }
+                return (toks[j - 1].kind == TokKind::Ident).then(|| toks[j - 1].text.as_str());
+            }
+            TokKind::Punct('=') => {
+                // `let [mut] name = HashMap::new()` — only if the `=` is a
+                // plain assignment of a fresh binding.
+                if j >= 1 && toks[j - 1].kind == TokKind::Ident {
+                    let name = toks[j - 1].text.as_str();
+                    let kw = toks.get(j.wrapping_sub(2)).map(|t| t.text.as_str());
+                    if matches!(kw, Some("let") | Some("mut")) {
+                        return Some(name);
+                    }
+                }
+                return None;
+            }
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    fn run_hash_iter(src: &str) -> Vec<Finding> {
+        let l = lex(src);
+        let mut out = Vec::new();
+        hash_iter(Path::new("x.rs"), &PathBuf::from("x.rs"), &l, &mut out);
+        out
+    }
+
+    #[test]
+    fn tracks_fields_params_lets_and_initializers() {
+        let src = "struct S { index: HashMap<String, u32> }\n\
+                   fn f(seen: &mut HashSet<u32>) { let cache = HashMap::new();\n\
+                   let mut by_key: std::collections::HashMap<u64, u8> = std::collections::HashMap::new(); }";
+        let l = lex(src);
+        let names = tracked_names(&l.toks);
+        for n in ["index", "seen", "cache", "by_key"] {
+            assert!(names.contains(n), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn flags_iteration_not_probes() {
+        let f = run_hash_iter(
+            "fn f(m: &HashMap<u32, u32>) {\n\
+             m.get(&1);\n\
+             m.insert(1, 2);\n\
+             for (k, v) in m.iter() { use_(k, v); }\n\
+             let ks: Vec<_> = m.keys().collect();\n\
+             }",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].line, 4);
+        assert_eq!(f[1].line, 5);
+    }
+
+    #[test]
+    fn flags_bare_for_loop() {
+        let f = run_hash_iter("fn f(set: HashSet<u32>) { for x in &set { go(x); } }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn waiver_and_cfg_test_silence() {
+        let f = run_hash_iter(
+            "fn f(m: &HashMap<u32, u32>) {\n\
+             // lint:allow(hash-iter): drained into a sort two lines down\n\
+             let mut v: Vec<_> = m.keys().collect();\n\
+             v.sort();\n\
+             }\n\
+             #[cfg(test)]\nmod tests { fn t(m: &HashMap<u32,u32>) { for k in m.keys() { q(k); } } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn vec_with_same_method_names_is_not_flagged() {
+        let f = run_hash_iter("fn f(v: Vec<u32>) { for x in v.iter() { go(x); } }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn hasher_ban_ignores_comments_and_strings() {
+        let l = lex("// DefaultHasher is banned\nlet s = \"RandomState\";\nuse std::collections::hash_map::DefaultHasher;");
+        let mut out = Vec::new();
+        hasher_ban(&PathBuf::from("x.rs"), &l, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+}

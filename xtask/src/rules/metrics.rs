@@ -1,0 +1,210 @@
+//! Rule family 2 — metrics exhaustiveness.
+//!
+//! `Metrics` is the paper's §III-A accounting: every counter must survive
+//! three plumbing points or benchmark rows silently under-report (the
+//! PR 6 motivating drift: `label_cache_hits`/`label_cache_misses` missing
+//! from every `BENCH_*.json` row). The rule parses the struct's field list
+//! and requires each field to appear in:
+//!
+//! 1. `Metrics::merge` (`crates/core/src/metrics.rs`) — the parallel
+//!    executors' counter combiner;
+//! 2. the `jsonbench` row emitter (`fn to_json`,
+//!    `crates/bench/src/jsonbench.rs`) — JSON key strings count, and
+//!    `cpu` is emitted under its row name `wall_ns`;
+//! 3. the bench report aggregation (`fn dynamic_point`,
+//!    `crates/bench/src/bin/harness.rs`) — the seed-averaging fold behind
+//!    the dynamic figures.
+//!
+//! Not waivable: a counter that genuinely should skip a sink still has to
+//! be listed there (emit it, or a compile-visible comment token won't do —
+//! restructure instead).
+
+use crate::findings::Finding;
+use crate::lexer::{fn_body, lex, Lexed, TokKind};
+use std::path::{Path, PathBuf};
+
+/// `(relative file, function, field aliases)` for each required sink.
+struct Sink {
+    file: &'static str,
+    func: &'static str,
+    /// `(field, accepted stand-in)` pairs — e.g. `cpu` is serialized as
+    /// `wall_ns` in bench rows.
+    aliases: &'static [(&'static str, &'static str)],
+}
+
+const STRUCT_FILE: &str = "crates/core/src/metrics.rs";
+
+const SINKS: &[Sink] = &[
+    Sink {
+        file: "crates/core/src/metrics.rs",
+        func: "merge",
+        aliases: &[],
+    },
+    Sink {
+        file: "crates/bench/src/jsonbench.rs",
+        func: "to_json",
+        aliases: &[("cpu", "wall_ns")],
+    },
+    Sink {
+        file: "crates/bench/src/bin/harness.rs",
+        func: "dynamic_point",
+        aliases: &[],
+    },
+];
+
+pub fn check(root: &Path, out: &mut Vec<Finding>) {
+    let struct_path = root.join(STRUCT_FILE);
+    let Ok(src) = std::fs::read_to_string(&struct_path) else {
+        out.push(Finding {
+            path: PathBuf::from(STRUCT_FILE),
+            line: 0,
+            rule: "metrics",
+            msg: "cannot read the Metrics struct definition".into(),
+        });
+        return;
+    };
+    let lexed = lex(&src);
+    let fields = struct_fields(&lexed, "Metrics");
+    if fields.is_empty() {
+        out.push(Finding {
+            path: PathBuf::from(STRUCT_FILE),
+            line: 0,
+            rule: "metrics",
+            msg: "no `struct Metrics` with named fields found".into(),
+        });
+        return;
+    }
+
+    for sink in SINKS {
+        let path = root.join(sink.file);
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            out.push(Finding {
+                path: PathBuf::from(sink.file),
+                line: 0,
+                rule: "metrics",
+                msg: format!("cannot read metrics sink (`fn {}`)", sink.func),
+            });
+            continue;
+        };
+        let sink_lexed = lex(&src);
+        let Some((a, b)) = fn_body(&sink_lexed.toks, sink.func) else {
+            out.push(Finding {
+                path: PathBuf::from(sink.file),
+                line: 0,
+                rule: "metrics",
+                msg: format!("metrics sink `fn {}` not found", sink.func),
+            });
+            continue;
+        };
+        let body = &sink_lexed.toks[a..b];
+        let line = body.first().map_or(0, |t| t.line);
+        for field in &fields {
+            let wanted = sink
+                .aliases
+                .iter()
+                .find(|(f, _)| f == field)
+                .map(|&(_, alias)| alias)
+                .unwrap_or(field.as_str());
+            let present = body.iter().any(|t| match t.kind {
+                TokKind::Ident => t.text == wanted,
+                // JSON key strings in the emitter count as coverage.
+                TokKind::Literal => t.text.contains(wanted),
+                _ => false,
+            });
+            if !present {
+                out.push(Finding {
+                    path: PathBuf::from(sink.file),
+                    line,
+                    rule: "metrics",
+                    msg: format!(
+                        "Metrics field `{field}` is not plumbed through `fn {}`{} — every \
+                         counter must reach merge, the JSON rows and the report aggregation",
+                        sink.func,
+                        if wanted != field {
+                            format!(" (as `{wanted}`)")
+                        } else {
+                            String::new()
+                        },
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Named fields of `struct <name> { … }`: idents directly followed by `:`
+/// at struct-brace depth 1 (doc comments are not tokens, so attribute-free
+/// field lists parse cleanly; `pub` markers are skipped implicitly).
+fn struct_fields(lexed: &Lexed, name: &str) -> Vec<String> {
+    let toks = &lexed.toks;
+    let mut fields = Vec::new();
+    let Some(start) = (0..toks.len().saturating_sub(2))
+        .find(|&i| toks[i].is_ident("struct") && toks[i + 1].is_ident(name))
+    else {
+        return fields;
+    };
+    let Some(open) = (start..toks.len()).find(|&i| toks[i].is_punct('{')) else {
+        return fields;
+    };
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1
+            && toks[i].kind == TokKind::Ident
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && !(i + 2 < toks.len() && toks[i + 2].is_punct(':'))
+        {
+            fields.push(toks[i].text.clone());
+            // Skip the type until the field separator at depth 1 (commas
+            // inside generics sit at angle depth, tracked separately).
+            let mut ang = 0i32;
+            i += 2;
+            while i < toks.len() {
+                match toks[i].kind {
+                    TokKind::Punct('<') => ang += 1,
+                    TokKind::Punct('>') => ang -= 1,
+                    TokKind::Punct(',') if ang == 0 => break,
+                    TokKind::Punct('}') if ang == 0 => {
+                        i -= 1; // let the outer loop close the struct
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_real_field_shapes() {
+        let l = lex(
+            "pub struct Metrics {\n/// doc\npub dominance_checks: u64,\npub cpu: Duration,\n\
+             pub nested: Vec<(u64, u64)>,\n}",
+        );
+        assert_eq!(
+            struct_fields(&l, "Metrics"),
+            vec!["dominance_checks", "cpu", "nested"]
+        );
+    }
+
+    #[test]
+    fn ignores_other_structs_and_paths() {
+        let l = lex("struct Other { a: u64 }\nstruct Metrics { b: std::time::Duration }");
+        assert_eq!(struct_fields(&l, "Metrics"), vec!["b"]);
+    }
+}

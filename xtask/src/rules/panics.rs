@@ -1,0 +1,216 @@
+//! Rule family 3 — panic-path ratchet.
+//!
+//! Library code reaching `unwrap`/`expect`/`panic!`/`unreachable!` is a
+//! crash path a production query service cannot afford. Existing sites are
+//! grandfathered in `xtask/panic_baseline.txt`; per crate the count may
+//! only go DOWN. New code handles its errors, carries a
+//! `// lint:allow(panic-path): <why>` waiver, or does not merge. A count
+//! below the baseline is also a finding — ratchet the file down (or run
+//! `cargo run -p xtask -- lint --write-panic-baseline`) so progress locks.
+//!
+//! `#[cfg(test)]` modules, `tests/` and `benches/` are exempt: asserting
+//! by unwrapping is what tests are for.
+
+use crate::findings::{Finding, Waivers};
+use crate::lexer::{cfg_test_ranges, in_ranges, lex};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+pub const BASELINE_FILE: &str = "xtask/panic_baseline.txt";
+
+/// Per-crate panic-site counts, keyed by workspace-relative crate dir
+/// (`crates/core`, …; the facade is `src`).
+pub fn count(root: &Path) -> BTreeMap<String, u64> {
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tally = |key: &str, dir: PathBuf| {
+        let mut n = 0u64;
+        for file in crate::findings::rust_files(&dir) {
+            let Ok(src) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            n += count_file(&src);
+        }
+        counts.insert(key.to_string(), n);
+    };
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for d in dirs.into_iter().filter(|d| d.join("src").is_dir()) {
+            let name = d
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .to_string();
+            tally(&format!("crates/{name}"), d.join("src"));
+        }
+    }
+    if root.join("src").is_dir() {
+        tally("src", root.join("src"));
+    }
+    counts
+}
+
+/// Unwaived panic sites in one file's shipping code.
+fn count_file(src: &str) -> u64 {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let waivers = Waivers::parse(&lexed.comments);
+    let test_ranges = cfg_test_ranges(toks);
+    let mut n = 0;
+    for i in 0..toks.len() {
+        if in_ranges(&test_ranges, i) {
+            continue;
+        }
+        let t = &toks[i];
+        let next = toks.get(i + 1);
+        let is_site = match t.text.as_str() {
+            // Exact idents only: `unwrap_or_else` handles its error.
+            "unwrap" | "expect" => {
+                next.is_some_and(|n| n.is_punct('(')) && i > 0 && toks[i - 1].is_punct('.')
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                next.is_some_and(|n| n.is_punct('!'))
+            }
+            _ => false,
+        };
+        if is_site && !waivers.covers("panic-path", t.line) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Reads `xtask/panic_baseline.txt` (`<crate-dir> <count>` per line, `#`
+/// comments allowed).
+pub fn read_baseline(root: &Path) -> Result<BTreeMap<String, u64>, String> {
+    let path = root.join(BASELINE_FILE);
+    let src =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {BASELINE_FILE}: {e}"))?;
+    let mut base = BTreeMap::new();
+    for (ix, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(key), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "{BASELINE_FILE}:{}: expected `<crate> <count>`",
+                ix + 1
+            ));
+        };
+        let count: u64 = count
+            .parse()
+            .map_err(|_| format!("{BASELINE_FILE}:{}: bad count {count:?}", ix + 1))?;
+        base.insert(key.to_string(), count);
+    }
+    Ok(base)
+}
+
+/// Serializes counts in baseline-file format.
+pub fn render_baseline(counts: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from(
+        "# Panic-path ratchet baseline: unwaived unwrap/expect/panic!/unreachable! sites\n\
+         # per library crate (tests excluded). Counts may only decrease; regenerate with\n\
+         #   cargo run -p xtask -- lint --write-panic-baseline\n",
+    );
+    for (k, v) in counts {
+        out.push_str(&format!("{k} {v}\n"));
+    }
+    out
+}
+
+pub fn check(root: &Path, out: &mut Vec<Finding>) {
+    let counts = count(root);
+    let base = match read_baseline(root) {
+        Ok(b) => b,
+        Err(msg) => {
+            out.push(Finding {
+                path: PathBuf::from(BASELINE_FILE),
+                line: 0,
+                rule: "panic-path",
+                msg,
+            });
+            return;
+        }
+    };
+    for (key, &now) in &counts {
+        match base.get(key) {
+            None => out.push(Finding {
+                path: PathBuf::from(BASELINE_FILE),
+                line: 0,
+                rule: "panic-path",
+                msg: format!("crate `{key}` ({now} sites) missing from the baseline"),
+            }),
+            Some(&b) if now > b => out.push(Finding {
+                path: PathBuf::from(BASELINE_FILE),
+                line: 0,
+                rule: "panic-path",
+                msg: format!(
+                    "crate `{key}` grew its panic paths: {now} sites vs baseline {b} — handle \
+                     the error or waive with `// lint:allow(panic-path): <why>`"
+                ),
+            }),
+            Some(&b) if now < b => out.push(Finding {
+                path: PathBuf::from(BASELINE_FILE),
+                line: 0,
+                rule: "panic-path",
+                msg: format!(
+                    "crate `{key}` is below baseline ({now} vs {b}) — lock the progress in: \
+                     cargo run -p xtask -- lint --write-panic-baseline"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for key in base.keys() {
+        if !counts.contains_key(key) {
+            out.push(Finding {
+                path: PathBuf::from(BASELINE_FILE),
+                line: 0,
+                rule: "panic-path",
+                msg: format!("baseline lists `{key}`, which no longer exists in the workspace"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_exact_sites_only() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   x.unwrap_or(0);\n\
+                   x.unwrap_or_else(|| panic!(\"boom\"));\n\
+                   x.expect(\"present\")\n\
+                   }";
+        // unwrap_or / unwrap_or_else are handlers (0), panic! inside the
+        // closure is a site (1), .expect is a site (1).
+        assert_eq!(count_file(src), 2);
+    }
+
+    #[test]
+    fn waivers_and_tests_are_exempt() {
+        let src = "fn f(x: Option<u32>) {\n\
+                   // lint:allow(panic-path): capacity asserted by the caller\n\
+                   x.unwrap();\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests { fn t() { None::<u32>.unwrap(); panic!(\"t\"); } }";
+        assert_eq!(count_file(src), 0);
+    }
+
+    #[test]
+    fn macros_in_strings_do_not_count() {
+        assert_eq!(count_file("fn f() { log(\"panic! unwrap()\"); }"), 0);
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("crates/core".to_string(), 42u64);
+        let rendered = render_baseline(&m);
+        assert!(rendered.contains("crates/core 42"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Rule family 4 — time-source fencing.
+//!
+//! `Metrics` counters are the paper's machine-independent currency; the
+//! only wall-clock in the system is `Metrics.cpu`. `Instant::now` /
+//! `SystemTime::now` are therefore allowed in the `bench` crate (whose job
+//! is measuring) and at the explicitly waived `Metrics.cpu` timing sites —
+//! nowhere else, so no counter, cache decision or plan can ever depend on
+//! the clock. Waive a legitimate timing site with
+//! `// lint:allow(time-source): <why>`.
+
+use crate::findings::{Finding, Waivers};
+use crate::lexer::Lexed;
+use std::path::Path;
+
+/// Workspace-relative path prefixes where the clock is the whole point.
+const ALLOWED_PREFIXES: &[&str] = &["crates/bench/", "xtask/"];
+
+pub fn allowed(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    ALLOWED_PREFIXES.iter().any(|p| s.starts_with(p))
+}
+
+pub fn check(rel: &Path, lexed: &Lexed, out: &mut Vec<Finding>) {
+    if allowed(rel) {
+        return;
+    }
+    let toks = &lexed.toks;
+    let waivers = Waivers::parse(&lexed.comments);
+    for i in 0..toks.len().saturating_sub(3) {
+        let src = &toks[i];
+        if !(src.is_ident("Instant") || src.is_ident("SystemTime")) {
+            continue;
+        }
+        if toks[i + 1].is_punct(':') && toks[i + 2].is_punct(':') && toks[i + 3].is_ident("now") {
+            let line = toks[i + 3].line;
+            if waivers.covers("time-source", line) {
+                continue;
+            }
+            out.push(Finding {
+                path: rel.to_path_buf(),
+                line,
+                rule: "time-source",
+                msg: format!(
+                    "`{}::now` outside the bench crate — counters must stay wall-clock-free; \
+                     a genuine Metrics.cpu timing site carries \
+                     `// lint:allow(time-source): <why>`",
+                    src.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    #[test]
+    fn flags_both_clocks_outside_bench() {
+        let l = lex("let a = Instant::now();\nlet b = std::time::SystemTime::now();");
+        let mut out = Vec::new();
+        check(&PathBuf::from("crates/core/src/x.rs"), &l, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn bench_and_waivers_pass() {
+        let l = lex("let a = Instant::now();");
+        let mut out = Vec::new();
+        check(&PathBuf::from("crates/bench/src/runner.rs"), &l, &mut out);
+        assert!(out.is_empty());
+
+        let l =
+            lex("// lint:allow(time-source): Metrics.cpu timing site\nlet t0 = Instant::now();");
+        check(&PathBuf::from("crates/core/src/stss.rs"), &l, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn elapsed_on_a_passed_instant_is_fine() {
+        let l = lex("fn f(t0: Instant) -> Duration { t0.elapsed() }");
+        let mut out = Vec::new();
+        check(&PathBuf::from("crates/core/src/x.rs"), &l, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Fixture corpus: each rule family exercised on violation, clean and
+//! waived miniature workspaces under `tests/fixtures/`.
+
+use std::path::PathBuf;
+use xtask::findings::Finding;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str, rule: &str) -> Vec<Finding> {
+    xtask::lint(&fixture(name), Some(rule))
+}
+
+#[test]
+fn hash_iter_flags_for_loops_method_iters_and_drain() {
+    let f = lint("hash_iter_violation", "hash-iter");
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert!(f.iter().all(|x| x.rule == "hash-iter"));
+    assert!(f.iter().all(|x| x.path.ends_with("crates/core/src/lib.rs")));
+    let msgs: Vec<&str> = f.iter().map(|x| x.msg.as_str()).collect();
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("`buckets`") || m.contains("buckets.iter()")));
+    assert!(msgs.iter().any(|m| m.contains("`seen`")));
+    assert!(msgs.iter().any(|m| m.contains("drain")));
+}
+
+#[test]
+fn hash_iter_passes_probes_vecs_and_cfg_test() {
+    let f = lint("hash_iter_clean", "hash-iter");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn hash_iter_honours_reasoned_waivers() {
+    let f = lint("hash_iter_waived", "hash-iter");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn hasher_ban_flags_defaulthasher() {
+    let f = lint("hasher_violation", "hasher");
+    assert_eq!(f.len(), 2, "use + constructor: {f:#?}");
+    assert!(f.iter().all(|x| x.msg.contains("DefaultHasher")));
+}
+
+#[test]
+fn metrics_ok_fixture_is_clean() {
+    let f = lint("metrics_ok", "metrics");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn metrics_field_dropped_from_merge_is_red() {
+    let f = lint("metrics_merge_drift", "metrics");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(f[0].msg.contains("`io_reads`") && f[0].msg.contains("fn merge"));
+    assert!(f[0].path.ends_with("metrics.rs"));
+}
+
+#[test]
+fn metrics_field_dropped_from_the_emitter_is_red() {
+    let f = lint("metrics_emit_drift", "metrics");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(f[0].msg.contains("`io_reads`") && f[0].msg.contains("fn to_json"));
+    assert!(f[0].path.ends_with("jsonbench.rs"));
+}
+
+#[test]
+fn panic_ratchet_passes_at_the_baseline() {
+    let f = lint("panic_ok", "panic-path");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn panic_ratchet_rejects_growth() {
+    let f = lint("panic_regression", "panic-path");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(f[0]
+        .msg
+        .contains("grew its panic paths: 2 sites vs baseline 1"));
+}
+
+#[test]
+fn panic_ratchet_rejects_a_stale_high_baseline() {
+    let f = lint("panic_stale", "panic-path");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(f[0].msg.contains("below baseline (0 vs 1)"));
+}
+
+#[test]
+fn panic_waiver_keeps_the_count_at_baseline() {
+    let f = lint("panic_waived", "panic-path");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn time_source_banned_outside_bench() {
+    let f = lint("time_violation", "time-source");
+    assert_eq!(f.len(), 1, "core flagged, bench exempt: {f:#?}");
+    assert!(f[0].path.starts_with("crates/core"));
+}
+
+#[test]
+fn time_source_waiver_passes() {
+    let f = lint("time_waived", "time-source");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+/// The CLI contract CI relies on: exit 0 on clean, 1 on findings, and the
+/// findings on stdout as `path:line: [rule] msg`.
+#[test]
+fn cli_exit_codes_and_output_shape() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let run = |root: &str, rule: &str| {
+        std::process::Command::new(bin)
+            .args(["lint", "--root"])
+            .arg(fixture(root))
+            .args(["--rule", rule])
+            .output()
+            .expect("spawn xtask")
+    };
+    let bad = run("hash_iter_violation", "hash-iter");
+    assert_eq!(bad.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("crates/core/src/lib.rs"), "{stdout}");
+    assert!(stdout.contains("[hash-iter]"), "{stdout}");
+
+    let good = run("hash_iter_waived", "hash-iter");
+    assert_eq!(good.status.code(), Some(0));
+    assert!(good.stdout.is_empty());
+
+    let drift = run("metrics_emit_drift", "metrics");
+    assert_eq!(drift.status.code(), Some(1));
+}

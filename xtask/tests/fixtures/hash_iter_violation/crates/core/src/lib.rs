@@ -1,0 +1,25 @@
+//! Fixture: engine-crate code observing hash order three ways.
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+pub fn emit_all(ix: &Index) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (_, v) in ix.buckets.iter() {
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+pub fn first_key(seen: &HashSet<u32>) -> Option<u32> {
+    for x in seen {
+        return Some(*x);
+    }
+    None
+}
+
+pub fn drain_ids(m: &mut HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    m.drain().collect()
+}

@@ -1,0 +1,9 @@
+//! Fixture: the same iteration, waived with a reason.
+use std::collections::HashMap;
+
+pub fn sorted_keys(m: &HashMap<u64, u32>) -> Vec<u64> {
+    // lint:allow(hash-iter): collected keys are sorted on the next line
+    let mut ks: Vec<u64> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}

@@ -1,0 +1,11 @@
+//! Fixture: explicit use of the unstable std hasher.
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+
+pub fn digest(xs: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for &x in xs {
+        h.write_u64(x);
+    }
+    h.finish()
+}

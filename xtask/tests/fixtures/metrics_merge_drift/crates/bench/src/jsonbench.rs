@@ -1,0 +1,10 @@
+pub fn to_json(rows: &[(u64, u64, u128)]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{{\"dominance_checks\": {}, \"io_reads\": {}, \"wall_ns\": {}}}",
+            r.0, r.1, r.2
+        ));
+    }
+    out
+}

@@ -1,0 +1,14 @@
+pub struct Metrics {
+    pub dominance_checks: u64,
+    pub io_reads: u64,
+    pub cpu: std::time::Duration,
+}
+
+impl Metrics {
+    pub fn merge(&self, o: &Metrics) -> Metrics {
+        Metrics {
+            dominance_checks: self.dominance_checks + o.dominance_checks,
+            cpu: self.cpu + o.cpu,
+        }
+    }
+}

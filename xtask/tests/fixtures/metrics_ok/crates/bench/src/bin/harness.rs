@@ -1,0 +1,11 @@
+fn dynamic_point(ms: &[crate::Metrics]) -> (u64, u64, std::time::Duration) {
+    let mut dominance_checks = 0;
+    let mut io_reads = 0;
+    let mut cpu = std::time::Duration::ZERO;
+    for m in ms {
+        dominance_checks += m.dominance_checks;
+        io_reads += m.io_reads;
+        cpu += m.cpu;
+    }
+    (dominance_checks, io_reads, cpu)
+}

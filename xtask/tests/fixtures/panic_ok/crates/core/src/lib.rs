@@ -1,0 +1,12 @@
+pub fn get(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        Some(1u32).unwrap();
+        assert!(std::panic::catch_unwind(|| panic!("t")).is_err());
+    }
+}

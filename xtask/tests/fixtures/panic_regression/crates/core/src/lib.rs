@@ -1,0 +1,7 @@
+pub fn get(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+pub fn brand_new_code(x: Option<u32>) -> u32 {
+    x.expect("new unhandled error path")
+}

@@ -1,0 +1,3 @@
+pub fn get(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

@@ -1,0 +1,8 @@
+pub fn get(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+pub fn brand_new_code(x: Option<u32>) -> u32 {
+    // lint:allow(panic-path): caller guarantees presence via check_domains
+    x.expect("waived")
+}

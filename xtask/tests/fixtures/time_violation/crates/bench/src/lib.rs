@@ -1,0 +1,3 @@
+pub fn measured() -> std::time::Instant {
+    std::time::Instant::now()
+}

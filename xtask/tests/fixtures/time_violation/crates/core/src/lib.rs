@@ -1,0 +1,3 @@
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

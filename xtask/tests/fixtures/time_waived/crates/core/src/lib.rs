@@ -1,0 +1,15 @@
+pub struct Run {
+    start: std::time::Instant,
+}
+
+impl Run {
+    pub fn begin() -> Run {
+        Run {
+            // lint:allow(time-source): Metrics.cpu timing site — fixture
+            start: std::time::Instant::now(),
+        }
+    }
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
