@@ -215,6 +215,7 @@ fn dynamic_point(p: &ExperimentParams) -> (bench::runner::AlgoResult, bench::run
     let div = |m: tss_core::Metrics| tss_core::Metrics {
         dominance_checks: m.dominance_checks / seeds.len() as u64,
         dominance_batch_calls: m.dominance_batch_calls / seeds.len() as u64,
+        kernel_chunks: m.kernel_chunks / seeds.len() as u64,
         io_reads: m.io_reads / seeds.len() as u64,
         io_writes: m.io_writes / seeds.len() as u64,
         heap_pops: m.heap_pops / seeds.len() as u64,
@@ -424,7 +425,12 @@ fn smoke() {
 /// cross-checked byte-for-byte against the other plan while measuring.
 /// The committed `BENCH_PR5.json` is a full-grid `--threads 1,2,4`
 /// adaptive run of this subcommand (`BENCH_PR4.json` its fixed-8-shard,
-/// all-pairs-merge predecessor).
+/// all-pairs-merge predecessor); `BENCH_PR7.json` is the same grid under
+/// the lane-chunked kernels and the cost-model planner, with the kernel
+/// variant, per-pair-check calibration, and planner estimates recorded in
+/// every row (machine caveats stay machine-checkable: rows with
+/// `available_parallelism: 1` prove determinism, not speedup, and
+/// `pair_check_picos` pins the measuring CPU's kernel speed).
 fn bench_json(args: &[String]) {
     let mut smoke = false;
     let mut out: Option<String> = None;

@@ -14,11 +14,12 @@
 //! can do the same in seconds.
 
 use crate::runner::{
-    generate, run_dtss, run_dtss_sharded, run_dynamic_sdc, run_dynamic_sdc_sharded, run_sdc_plus,
-    run_sdc_plus_sharded, run_stss, run_stss_sharded, AlgoResult, BENCH_SHARDS,
+    generate, pair_check_picos, run_dtss, run_dtss_sharded, run_dynamic_sdc,
+    run_dynamic_sdc_sharded, run_sdc_plus, run_sdc_plus_sharded, run_stss, run_stss_sharded,
+    AlgoResult, Workload, BENCH_SHARDS,
 };
 use datagen::{Distribution, ExperimentParams};
-use tss_core::{DtssConfig, Metrics, ShardSpec, StssConfig};
+use tss_core::{DtssConfig, Kernel, Metrics, ShardSpec, StssConfig};
 
 /// Worker threads the measuring machine can actually run — recorded in
 /// every row so single-core artifacts (like the committed `BENCH_PR4.json`)
@@ -45,6 +46,23 @@ pub struct BenchRow {
     /// True iff `shards` came from the adaptive sampling planner rather
     /// than a fixed `BENCH_SHARDS` count.
     pub adaptive: bool,
+    /// Dominance-kernel variant the whole row ran under (`"lanes"` unless
+    /// `TSS_KERNEL=scalar` forced the oracle path). Reporting metadata:
+    /// every counter in the row is variant-invariant by contract.
+    pub kernel: &'static str,
+    /// Measured per-pair-check cost of the active kernel in picoseconds
+    /// ([`pair_check_picos`]) — turns the planner's pair-check estimates
+    /// into time. Machine-dependent, dropped by the CI row diffs.
+    pub pair_check_picos: u64,
+    /// Worker count the cost-model planner costed under (0 for serial and
+    /// fixed-plan rows).
+    pub plan_workers: usize,
+    /// Planner estimate of run-phase pair checks (0 for serial and
+    /// fixed-plan rows).
+    pub est_run_checks: u64,
+    /// Planner estimate of serial merge pair checks (0 for serial and
+    /// fixed-plan rows).
+    pub est_merge_checks: u64,
     /// `std::thread::available_parallelism()` of the measuring machine —
     /// wall-clock columns from rows with `available_parallelism: 1` prove
     /// determinism, not speedup.
@@ -66,6 +84,11 @@ impl BenchRow {
             threads,
             shards: r.plan.map_or(0, |p| p.shards),
             adaptive: r.plan.is_some_and(|p| p.adaptive),
+            kernel: Kernel::active().name(),
+            pair_check_picos: pair_check_picos(),
+            plan_workers: r.plan.map_or(0, |p| p.workers),
+            est_run_checks: r.plan.map_or(0, |p| p.est_run_checks),
+            est_merge_checks: r.plan.map_or(0, |p| p.est_merge_checks),
             available_parallelism: available_parallelism(),
             wall_ns: r.metrics.cpu.as_nanos(),
             metrics: r.metrics,
@@ -94,6 +117,7 @@ fn assert_invariant(a: &BenchRow, ra: &AlgoResult, b: &BenchRow, rb: &AlgoResult
         a.algo, a.workload
     );
     assert_eq!(ma.dominance_batch_calls, mb.dominance_batch_calls);
+    assert_eq!(ma.kernel_chunks, mb.kernel_chunks);
     assert_eq!(ma.io_reads, mb.io_reads);
     assert_eq!(ma.io_writes, mb.io_writes);
     assert_eq!(ma.heap_pops, mb.heap_pops);
@@ -112,6 +136,49 @@ fn assert_invariant(a: &BenchRow, ra: &AlgoResult, b: &BenchRow, rb: &AlgoResult
     assert_eq!(ma.merge_strata, mb.merge_strata);
     assert_eq!(a.shards, b.shards, "plans are deterministic per workload");
     assert_eq!(a.adaptive, b.adaptive);
+    assert_eq!(
+        (a.plan_workers, a.est_run_checks, a.est_merge_checks),
+        (b.plan_workers, b.est_run_checks, b.est_merge_checks),
+        "the cost model is a pure function of (store, max, workers)"
+    );
+}
+
+/// Re-runs one workload's primary engines under both dominance-kernel
+/// variants — the store's per-instance [`Kernel`] override, no environment
+/// races — and asserts byte-identical skyline record-id vectors and
+/// identical counted work. This is the tentpole correctness contract of
+/// the lane-chunked kernels, enforced on every grid point while the grid
+/// measures.
+fn assert_kernel_equivalence(w: &Workload, dynamic: bool) {
+    let forced = |k: Kernel| Workload {
+        table: w.table.clone().with_kernel(k),
+        dags: w.dags.clone(),
+        params: w.params,
+    };
+    let (scalar, lanes) = if dynamic {
+        (
+            run_dtss(&forced(Kernel::Scalar), 11, DtssConfig::default()),
+            run_dtss(&forced(Kernel::Lanes), 11, DtssConfig::default()),
+        )
+    } else {
+        (
+            run_stss(&forced(Kernel::Scalar), StssConfig::default()),
+            run_stss(&forced(Kernel::Lanes), StssConfig::default()),
+        )
+    };
+    assert!(
+        scalar.records.is_some() && scalar.records == lanes.records,
+        "kernel variants must emit byte-identical skylines"
+    );
+    let strip = |mut m: Metrics| {
+        m.cpu = std::time::Duration::ZERO;
+        m
+    };
+    assert_eq!(
+        strip(scalar.metrics),
+        strip(lanes.metrics),
+        "kernel variants must report identical counters"
+    );
 }
 
 /// Runs one workload point through the serial engines and, per requested
@@ -159,7 +226,10 @@ fn emit_point(
         match &first {
             None => {
                 let other = match spec {
-                    ShardSpec::Fixed(_) => ShardSpec::Adaptive { max: BENCH_SHARDS },
+                    ShardSpec::Fixed(_) => ShardSpec::Adaptive {
+                        max: BENCH_SHARDS,
+                        workers: t,
+                    },
                     ShardSpec::Adaptive { .. } => ShardSpec::Fixed(BENCH_SHARDS),
                 };
                 let [(_, oa), (_, ob)] = sharded(t, other);
@@ -220,6 +290,7 @@ pub fn grid(smoke: bool, threads_axis: &[usize], spec: ShardSpec) -> Vec<BenchRo
             p.dag_height = 4;
         }
         let w = generate(&p);
+        assert_kernel_equivalence(&w, false);
         emit_point(
             &mut rows,
             &format!("fig07:n={n}"),
@@ -248,6 +319,7 @@ pub fn grid(smoke: bool, threads_axis: &[usize], spec: ShardSpec) -> Vec<BenchRo
             p.dag_height = 4;
         }
         let w = generate(&p);
+        assert_kernel_equivalence(&w, false);
         emit_point(
             &mut rows,
             &format!("fig08:n={dims_n}:dims=({to_d},{po_d})"),
@@ -274,6 +346,7 @@ pub fn grid(smoke: bool, threads_axis: &[usize], spec: ShardSpec) -> Vec<BenchRo
             p.dag_height = 4;
         }
         let w = generate(&p);
+        assert_kernel_equivalence(&w, true);
         emit_point(
             &mut rows,
             &format!("fig12:n={n}"),
@@ -305,9 +378,12 @@ pub fn to_json(rows: &[BenchRow]) -> String {
         let m = &r.metrics;
         out.push_str(&format!(
             "  {{\"algo\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \"shards\": {}, \
-             \"adaptive\": {}, \"available_parallelism\": {}, \
+             \"adaptive\": {}, \"kernel\": \"{}\", \"pair_check_picos\": {}, \
+             \"plan_workers\": {}, \"est_run_checks\": {}, \"est_merge_checks\": {}, \
+             \"available_parallelism\": {}, \
              \"wall_ns\": {}, \"metrics\": \
-             {{\"dominance_checks\": {}, \"dominance_batch_calls\": {}, \"io_reads\": {}, \
+             {{\"dominance_checks\": {}, \"dominance_batch_calls\": {}, \
+             \"kernel_chunks\": {}, \"io_reads\": {}, \
              \"io_writes\": {}, \"heap_pops\": {}, \"label_cache_hits\": {}, \
              \"label_cache_misses\": {}, \"merge_pair_checks\": {}, \
              \"merge_strata\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
@@ -316,10 +392,16 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             r.threads,
             r.shards,
             r.adaptive,
+            r.kernel,
+            r.pair_check_picos,
+            r.plan_workers,
+            r.est_run_checks,
+            r.est_merge_checks,
             r.available_parallelism,
             r.wall_ns,
             m.dominance_checks,
             m.dominance_batch_calls,
+            m.kernel_chunks,
             m.io_reads,
             m.io_writes,
             m.heap_pops,
@@ -349,10 +431,16 @@ mod tests {
             threads: 2,
             shards: 8,
             adaptive: true,
+            kernel: "lanes",
+            pair_check_picos: 350,
+            plan_workers: 2,
+            est_run_checks: 900,
+            est_merge_checks: 60,
             available_parallelism: 4,
             wall_ns: 123,
             metrics: Metrics {
                 dominance_checks: 7,
+                kernel_chunks: 6,
                 merge_pair_checks: 5,
                 merge_strata: 2,
                 io_reads: 3,
@@ -369,9 +457,15 @@ mod tests {
         assert!(s.contains("\"threads\": 2"));
         assert!(s.contains("\"shards\": 8"));
         assert!(s.contains("\"adaptive\": true"));
+        assert!(s.contains("\"kernel\": \"lanes\""));
+        assert!(s.contains("\"pair_check_picos\": 350"));
+        assert!(s.contains("\"plan_workers\": 2"));
+        assert!(s.contains("\"est_run_checks\": 900"));
+        assert!(s.contains("\"est_merge_checks\": 60"));
         assert!(s.contains("\"available_parallelism\": 4"));
         assert!(s.contains("\"wall_ns\": 123"));
         assert!(s.contains("\"dominance_checks\": 7"));
+        assert!(s.contains("\"kernel_chunks\": 6"));
         assert!(s.contains("\"merge_pair_checks\": 5"));
         assert!(s.contains("\"merge_strata\": 2"));
         // dTSS session-cache visibility: the PR 6 metrics-exhaustiveness
@@ -400,7 +494,14 @@ mod tests {
         // between worker counts AND byte-identical merged record vectors
         // against the fixed-shard plan, so reaching the end *is* the
         // invariant check; spot-check the row layout.
-        let rows = grid(true, &[1, 2], ShardSpec::Adaptive { max: BENCH_SHARDS });
+        let rows = grid(
+            true,
+            &[1, 2],
+            ShardSpec::Adaptive {
+                max: BENCH_SHARDS,
+                workers: 2,
+            },
+        );
         let serial = rows.iter().filter(|r| r.threads == 0).count();
         let t1 = rows.iter().filter(|r| r.threads == 1).count();
         let t2 = rows.iter().filter(|r| r.threads == 2).count();

@@ -103,16 +103,21 @@ pub const BENCH_SHARDS: usize = 8;
 
 /// The shard spec the bench grid runs under, from the `BENCH_SHARDS`
 /// environment variable: set → that fixed shard count; unset → the
-/// adaptive sampling planner ([`tss_core::ShardPlan`]) capped at
-/// [`BENCH_SHARDS`]. The planner is deterministic, so either way the grid
-/// rows are reproducible.
+/// cost-model planner ([`tss_core::ShardPlan`]) capped at [`BENCH_SHARDS`]
+/// and costed under this machine's observed parallelism. The planner is
+/// deterministic given `(store, max, workers)`, so grid rows are
+/// reproducible per machine class; the worker input is recorded in every
+/// row (`plan_workers`).
 pub fn bench_shard_spec() -> ShardSpec {
-    shard_spec_from(std::env::var("BENCH_SHARDS").ok().as_deref())
+    shard_spec_from(
+        std::env::var("BENCH_SHARDS").ok().as_deref(),
+        crate::jsonbench::available_parallelism(),
+    )
 }
 
 /// The pure mapping behind [`bench_shard_spec`]: `None` (variable unset)
-/// → adaptive, `Some(count)` → fixed.
-fn shard_spec_from(var: Option<&str>) -> ShardSpec {
+/// → adaptive under `workers`, `Some(count)` → fixed.
+fn shard_spec_from(var: Option<&str>, workers: usize) -> ShardSpec {
     match var {
         Some(v) => {
             let n = v
@@ -122,8 +127,53 @@ fn shard_spec_from(var: Option<&str>) -> ShardSpec {
             assert!(n >= 1, "BENCH_SHARDS must be >= 1, got {n}");
             ShardSpec::Fixed(n)
         }
-        None => ShardSpec::Adaptive { max: BENCH_SHARDS },
+        None => ShardSpec::Adaptive {
+            max: BENCH_SHARDS,
+            workers,
+        },
     }
+}
+
+/// Measured cost of one pair check under the session's active dominance
+/// kernel, in **picoseconds** — the calibration input that turns the
+/// planner's pair-check estimates into time estimates when reading bench
+/// rows. Measured once per process from a short warmup (a synthetic
+/// 4-dim block scanned end to end, ≥ 2²⁰ pairs); the planner itself never
+/// consumes this — its decisions stay clock-free — so the value is
+/// reporting metadata, dropped by the CI row diffs.
+pub fn pair_check_picos() -> u64 {
+    use skyline::PointBlock;
+    use std::sync::OnceLock;
+    static CAL: OnceLock<u64> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        const DIMS: usize = 4;
+        const ROWS: usize = 4096;
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut block = PointBlock::new(DIMS);
+        let mut row = [0u32; DIMS];
+        for _ in 0..ROWS {
+            for c in &mut row {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *c = (state >> 33) as u32 % 1000 + 1;
+            }
+            block.push(&row);
+        }
+        // The all-zero candidate is dominated by nothing, so every call
+        // scans all ROWS pairs with no early exit.
+        let cand = [0u32; DIMS];
+        let t0 = Instant::now();
+        let mut pairs = 0u64;
+        let mut hits = 0u64;
+        while pairs < 1 << 20 {
+            let (hit, examined) = block.dominated(&cand);
+            hits += u64::from(hit);
+            pairs += examined;
+        }
+        let elapsed = std::hint::black_box((t0.elapsed(), hits)).0;
+        ((elapsed.as_nanos() as u64).saturating_mul(1000) / pairs.max(1)).max(1)
+    })
 }
 
 /// Shared body of the sharded runners: resolves the shard plan and builds
@@ -536,7 +586,10 @@ mod tests {
         let adaptive = run_stss_sharded(
             &w,
             StssConfig::default(),
-            ShardSpec::Adaptive { max: BENCH_SHARDS },
+            ShardSpec::Adaptive {
+                max: BENCH_SHARDS,
+                workers: 2,
+            },
             2,
         );
         let (fp, ap) = (fixed.plan.unwrap(), adaptive.plan.unwrap());
@@ -544,6 +597,11 @@ mod tests {
         assert_eq!(fp.shards, BENCH_SHARDS);
         assert!((1..=BENCH_SHARDS).contains(&ap.shards));
         assert!(ap.sampled > 0);
+        assert_eq!(ap.workers, 2);
+        assert!(
+            ap.est_run_checks > 0,
+            "the chosen count carries its cost estimates"
+        );
         // The sorted merge emits in (score, id) order — identical vectors,
         // not merely identical sets, whatever the planner picked.
         assert_eq!(fixed.records, adaptive.records);
@@ -555,11 +613,21 @@ mod tests {
         // The pure mapping, probed directly — tests never mutate the
         // process-global environment (racy under the parallel harness).
         assert_eq!(
-            shard_spec_from(None),
-            ShardSpec::Adaptive { max: BENCH_SHARDS }
+            shard_spec_from(None, 4),
+            ShardSpec::Adaptive {
+                max: BENCH_SHARDS,
+                workers: 4,
+            }
         );
-        assert_eq!(shard_spec_from(Some("3")), ShardSpec::Fixed(3));
-        assert_eq!(shard_spec_from(Some(" 8 ")), ShardSpec::Fixed(8));
+        assert_eq!(shard_spec_from(Some("3"), 4), ShardSpec::Fixed(3));
+        assert_eq!(shard_spec_from(Some(" 8 "), 1), ShardSpec::Fixed(8));
+    }
+
+    #[test]
+    fn pair_check_calibration_is_cached_and_positive() {
+        let a = pair_check_picos();
+        assert!(a >= 1, "a pair check costs at least a picosecond");
+        assert_eq!(a, pair_check_picos(), "one measurement per process");
     }
 
     #[test]

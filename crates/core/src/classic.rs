@@ -128,8 +128,9 @@ impl SkylineEngine for ClassicEngine {
             ClassicAlgo::Bnl { window } => Source::Bnl(BnlCursor::new(&self.data, window)),
             ClassicAlgo::Sfs => Source::Sfs(SfsCursor::new(&self.data)),
             ClassicAlgo::Salsa => Source::Salsa(SalsaCursor::new(&self.data)),
-            ClassicAlgo::Bbs { .. } => Source::Bbs(BbsCursor::new(
+            ClassicAlgo::Bbs { .. } => Source::Bbs(BbsCursor::with_kernel(
                 self.tree.as_ref().expect("built for ClassicAlgo::Bbs"),
+                self.data.kernel(),
             )),
             ClassicAlgo::Bitmap => {
                 let (records, stats) = skyline::bitmap(&self.data);
@@ -219,6 +220,7 @@ impl SkylineCursor for ClassicCursor<'_> {
         Metrics {
             dominance_checks: stats.dominance_checks,
             dominance_batch_calls: stats.dominance_batch_calls,
+            kernel_chunks: stats.kernel_chunks,
             io_reads: stats.io_reads,
             results: self.results,
             cpu: self.final_cpu.unwrap_or_else(|| self.start.elapsed()),

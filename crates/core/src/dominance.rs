@@ -83,6 +83,17 @@ pub fn t_dominates(
     if !le {
         return false;
     }
+    po_tail(domains, po_a, po_b, strict)
+}
+
+/// The PO half of [`t_dominates`], entered once the TO part is known to be
+/// `<=` everywhere with strictness `to_strict`. The lane-chunked kernel in
+/// [`PointStore`](crate::PointStore) resolves its TO masks per lane and
+/// finishes each surviving lane through this exact tail, so both kernel
+/// variants share one PO decision path.
+#[inline]
+pub(crate) fn po_tail(domains: &[PoDomain], po_a: &[u32], po_b: &[u32], to_strict: bool) -> bool {
+    let mut strict = to_strict;
     for (dom, (&x, &y)) in domains.iter().zip(po_a.iter().zip(po_b.iter())) {
         if x == y {
             continue;

@@ -566,10 +566,10 @@ struct SkyList {
 }
 
 impl SkyList {
-    fn new(to_dims: usize) -> Self {
+    fn new(to_dims: usize, kernel: skyline::Kernel) -> Self {
         SkyList {
             ids: Vec::new(),
-            folded: PointBlock::new(to_dims.max(1)),
+            folded: PointBlock::new(to_dims.max(1)).with_kernel(kernel),
             keys: HashMap::new(),
         }
     }
@@ -884,7 +884,7 @@ impl<'a> DtssCursor<'a> {
             order_ix: 0,
             start,
             m,
-            sky: SkyList::new(to_dims),
+            sky: SkyList::new(to_dims, dtss.table.kernel()),
             vpi,
             fold_scratch: Vec::new(),
             groups_skipped: 0,
@@ -915,7 +915,7 @@ impl<'a> DtssCursor<'a> {
             // lint:allow(time-source): Metrics.cpu timing site — replay-cursor wall clock
             start: Instant::now(),
             m: Metrics::default(),
-            sky: SkyList::new(dtss.table.to_dims()),
+            sky: SkyList::new(dtss.table.to_dims(), dtss.table.kernel()),
             vpi: None,
             fold_scratch: Vec::new(),
             groups_skipped: 0,

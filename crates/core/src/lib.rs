@@ -83,6 +83,7 @@ pub use parallel::{
 };
 pub use progressive::{ProgressLog, ProgressSample};
 pub use session::{QuerySession, SessionStats};
+pub use skyline::{Kernel, LANES};
 pub use store::{PointStore, RecordId, ShardView};
 pub use stss::{RangeStrategy, SkylinePoint, Stss, StssConfig, StssCursor, StssRun};
 

@@ -10,6 +10,10 @@ pub struct Metrics {
     /// Invocations of a batched dominance kernel (each call examines zero
     /// or more pairs, all counted in `dominance_checks`).
     pub dominance_batch_calls: u64,
+    /// [`LANES`](skyline::LANES)-wide chunk iterations the examined pairs
+    /// amount to (`Σ ⌈examined/LANES⌉` per batch call). Derived from the
+    /// pair counts alone, so it is identical across kernel variants.
+    pub kernel_chunks: u64,
     /// Disk-page reads (R-tree node accesses plus, for rebuild-style
     /// baselines, sequential data passes).
     pub io_reads: u64,
@@ -47,6 +51,7 @@ impl Metrics {
         Metrics {
             dominance_checks: self.dominance_checks + other.dominance_checks,
             dominance_batch_calls: self.dominance_batch_calls + other.dominance_batch_calls,
+            kernel_chunks: self.kernel_chunks + other.kernel_chunks,
             io_reads: self.io_reads + other.io_reads,
             io_writes: self.io_writes + other.io_writes,
             heap_pops: self.heap_pops + other.heap_pops,
@@ -65,6 +70,7 @@ impl Metrics {
     pub fn batch(&mut self, examined: u64) {
         self.dominance_checks += examined;
         self.dominance_batch_calls += 1;
+        self.kernel_chunks += examined.div_ceil(skyline::LANES as u64);
     }
 }
 
@@ -110,6 +116,7 @@ mod tests {
         let a = Metrics {
             dominance_checks: 1,
             dominance_batch_calls: 8,
+            kernel_chunks: 11,
             io_reads: 2,
             io_writes: 3,
             heap_pops: 4,
@@ -124,6 +131,7 @@ mod tests {
         let m = a.merge(&b);
         assert_eq!(m.dominance_checks, 2);
         assert_eq!(m.dominance_batch_calls, 16);
+        assert_eq!(m.kernel_chunks, 22);
         assert_eq!(m.io_total(), 10);
         assert_eq!(m.label_cache_hits, 12);
         assert_eq!(m.label_cache_misses, 14);
@@ -139,6 +147,7 @@ mod tests {
         m.batch(0);
         assert_eq!(m.dominance_checks, 9);
         assert_eq!(m.dominance_batch_calls, 2);
+        assert_eq!(m.kernel_chunks, 2, "9 pairs span two 8-lane chunks");
     }
 
     #[test]

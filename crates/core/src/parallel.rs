@@ -67,11 +67,13 @@
 //!   pattern the cursors use. Per-candidate pair work is bounded by the
 //!   all-pairs bound above and is typically a fraction of it
 //!   ([`Metrics::merge_pair_checks`] counts it exactly).
-//! * **Adaptive shard counts** ([`ShardPlan`]): the planner samples a
-//!   store prefix, measures the local-skyline ratio, and picks fewer
-//!   shards as the ratio grows (anti-correlated data, where almost every
-//!   tuple is skyline and merge cost would dominate) and more shards when
-//!   local skylines are small (independent / correlated data).
+//! * **Cost-model shard counts** ([`ShardPlan`]): the planner samples two
+//!   store prefixes, fits the skyline-growth exponent, and picks the shard
+//!   count whose *estimated pair-check total* — parallel run phase plus
+//!   serial merge bound — is minimal under the worker count the run will
+//!   actually use. Anti-correlated data (everything skyline, merge cost
+//!   quadratic in the shard count) lands on one or two shards; dominance-
+//!   heavy data fans out to the worker count.
 //!
 //! ```
 //! use skyline::PointBlock;
@@ -190,28 +192,46 @@ where
 /// local-skyline ratio.
 pub const PLAN_SAMPLE: usize = 512;
 
-/// A resolved shard-count decision: how many shards a sharded run uses and
-/// the measurement (if any) that picked the number.
+/// A resolved shard-count decision: how many shards a sharded run uses,
+/// the measurements that picked the number, and the cost-model estimates
+/// the decision minimized.
 ///
-/// The adaptive planner exists because merge cost scales with the total
+/// The planner exists because merge cost scales with the total
 /// local-skyline size, which scales with the shard count: on
 /// anti-correlated data — where almost every tuple is skyline — more
 /// shards only buy more merge work, while on independent / correlated data
 /// local skylines are tiny and the run phase dominates.
 ///
-/// A raw sample ratio would be biased: skyline *fraction* shrinks with
-/// cardinality on independent data (polylogarithmic skyline growth), so a
-/// 512-record sample badly overestimates the ratio of a 100k-record
-/// shard. The planner therefore samples **two** prefix sizes
-/// ([`PointStore::prefix_skyline_sample`] at half and full
-/// [`PLAN_SAMPLE`]), fits the local growth exponent
-/// `α = log2(k_full / k_half)` — `α ≈ 1` when everything is skyline
-/// (anti-correlated), `α ≈ 0` when the skyline has saturated — and
-/// extrapolates the ratio to the actual shard size `len / max_shards` as
-/// `(k_full / s) · (shard_size / s)^(α-1)` before mapping it to a count:
-/// the full budget while the extrapolated ratio is small, halving down to
-/// a single shard as it approaches one. Deterministic (prefix samples, no
-/// RNG), so two runs over the same store always produce the same plan.
+/// # The cost model
+///
+/// Everything is expressed in **pair checks**, the unit both phases
+/// already count exactly ([`Metrics::dominance_checks`] /
+/// [`Metrics::merge_pair_checks`]) — never in clock time, so plans are
+/// deterministic and machine-independent. The planner samples **two**
+/// prefix sizes ([`PointStore::prefix_skyline_sample`] at half and full
+/// [`PLAN_SAMPLE`]) and fits the skyline-growth exponent
+///
+/// ```text
+/// α = log2(k_full / k_half) / log2(s_full / s_half)   clamped to [0, 1]
+/// ```
+///
+/// — `α ≈ 1` when everything is skyline (anti-correlated), `α ≈ 0` once
+/// the skyline has saturated — giving the extrapolated local-skyline size
+/// `k̂(x) = clamp(k_full · (x / s_full)^α, 1, x)` of an `x`-record shard.
+/// For each candidate count `s` in `1..=max` with shard size
+/// `x = len / s` under `w` workers it estimates
+///
+/// ```text
+/// run(s)   = x · k̂(x) · ⌈s / w⌉     (shard waves run in parallel)
+/// merge(s) = s · (s−1) · k̂(x)²      (serial; the all-pairs bound on
+///                                    Σᵢ |localᵢ| · Σⱼ≠ᵢ |localⱼ|)
+/// ```
+///
+/// and picks the `s` minimizing `run + merge`, smallest `s` on ties — so
+/// an exact wash (e.g. anti-correlated data at one worker) degrades to the
+/// unsharded run instead of paying merge overhead for nothing.
+/// Deterministic (prefix samples, integer-rounded estimates, no RNG, no
+/// clock), so two runs over the same store always produce the same plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPlan {
     /// Number of shards the run partitions the store into.
@@ -223,66 +243,107 @@ pub struct ShardPlan {
     pub sampled: usize,
     /// Skyline size of the sampled prefix (0 for fixed plans).
     pub sample_skyline: usize,
+    /// Records in the half-size sample the growth exponent is fitted
+    /// against (0 for fixed plans).
+    pub sampled_half: usize,
+    /// Skyline size of the half-size sample (0 for fixed plans).
+    pub sample_skyline_half: usize,
+    /// Worker count the run/merge split was costed under (0 for fixed
+    /// plans).
+    pub workers: usize,
+    /// Estimated run-phase pair checks of the chosen count (0 for fixed
+    /// plans).
+    pub est_run_checks: u64,
+    /// Estimated serial merge-phase pair checks of the chosen count (0 for
+    /// fixed plans).
+    pub est_merge_checks: u64,
 }
 
 impl ShardPlan {
     /// A fixed plan: use exactly `shards` shards (clamped to at least 1),
-    /// no sampling.
+    /// no sampling, no estimates.
     pub fn fixed(shards: usize) -> Self {
         ShardPlan {
             shards: shards.max(1),
             adaptive: false,
             sampled: 0,
             sample_skyline: 0,
+            sampled_half: 0,
+            sample_skyline_half: 0,
+            workers: 0,
+            est_run_checks: 0,
+            est_merge_checks: 0,
         }
     }
 
-    /// Samples the store and picks a shard count in `1..=max_shards`:
-    /// extrapolated shard-size skyline ratio ≤ 10% → the full budget,
-    /// ≤ 25% → half, ≤ 50% → two shards, above → one (merge cost would
-    /// exceed what sharding saves). See the type docs for the two-point
-    /// extrapolation.
-    pub fn adaptive(store: &PointStore, domains: &[PoDomain], max_shards: usize) -> Self {
+    /// Samples the store and picks the shard count in `1..=max_shards`
+    /// whose estimated pair-check total (parallel run phase + serial merge
+    /// bound) is minimal under `workers` — see the type docs for the
+    /// model. Ties go to the smallest count.
+    pub fn adaptive(
+        store: &PointStore,
+        domains: &[PoDomain],
+        max_shards: usize,
+        workers: usize,
+    ) -> Self {
         let max = max_shards.max(1);
-        let (s_half, k_half) = store.prefix_skyline_sample(domains, PLAN_SAMPLE / 2);
+        let w = workers.max(1);
+        let (sampled_half, sample_skyline_half) =
+            store.prefix_skyline_sample(domains, PLAN_SAMPLE / 2);
         let (sampled, sample_skyline) = store.prefix_skyline_sample(domains, PLAN_SAMPLE);
-        let shards = if sampled == 0 {
-            1
-        } else {
-            let ratio = sample_skyline as f64 / sampled as f64;
-            let shard_size = store.len() as f64 / max as f64;
-            let est = if shard_size <= sampled as f64 || s_half == sampled {
-                // The sample already covers a whole shard (or the store is
-                // too small to fit a growth exponent): the direct ratio is
-                // the right estimate.
-                ratio
-            } else {
-                let alpha = (sample_skyline as f64 / k_half.max(1) as f64)
-                    .log2()
-                    .clamp(0.0, 1.0);
-                (ratio * (shard_size / sampled as f64).powf(alpha - 1.0)).min(1.0)
-            };
-            if est <= 0.10 {
-                max
-            } else if est <= 0.25 {
-                (max / 2).max(1)
-            } else if est <= 0.50 {
-                max.min(2)
-            } else {
-                1
-            }
-        };
-        ShardPlan {
-            shards,
+        let mut plan = ShardPlan {
+            shards: 1,
             adaptive: true,
             sampled,
             sample_skyline,
+            sampled_half,
+            sample_skyline_half,
+            workers: w,
+            est_run_checks: 0,
+            est_merge_checks: 0,
+        };
+        let len = store.len();
+        if sampled == 0 || len == 0 {
+            return plan;
         }
+        // Growth exponent from the two-point fit; a store too small for
+        // two distinct prefixes gets the conservative linear α = 1.
+        let alpha = if sampled_half == sampled {
+            1.0
+        } else {
+            let num = (sample_skyline as f64 / sample_skyline_half.max(1) as f64).log2();
+            let den = (sampled as f64 / sampled_half as f64).log2();
+            (num / den).clamp(0.0, 1.0)
+        };
+        let k_hat =
+            |x: f64| (sample_skyline as f64 * (x / sampled as f64).powf(alpha)).clamp(1.0, x);
+        let mut best: Option<u64> = None;
+        for s in 1..=max.min(len) {
+            let x = len as f64 / s as f64;
+            let k = k_hat(x);
+            // Shards run in ⌈s/w⌉ waves; the merge bound is charged
+            // serially — it is the run's final single-stream section.
+            let run = (x * k * s.div_ceil(w) as f64).round() as u64;
+            let merge = if s > 1 {
+                ((s * (s - 1)) as f64 * k * k).round() as u64
+            } else {
+                0
+            };
+            let total = run + merge;
+            // Strict `<`: ties keep the smaller (earlier) shard count.
+            if best.is_none_or(|b| total < b) {
+                best = Some(total);
+                plan.shards = s;
+                plan.est_run_checks = run;
+                plan.est_merge_checks = merge;
+            }
+        }
+        plan
     }
 
     /// The sampled local-skyline ratio (0.0 for fixed plans). Note this is
-    /// the *sample's* ratio; the shard count is picked from the shard-size
-    /// extrapolation described in the type docs.
+    /// the *sample's* ratio; the shard count minimizes the cost model
+    /// described in the type docs.
     pub fn sample_ratio(&self) -> f64 {
         if self.sampled == 0 {
             0.0
@@ -303,6 +364,12 @@ pub enum ShardSpec {
     Adaptive {
         /// Upper bound on the planned shard count.
         max: usize,
+        /// Worker count the cost model splits run/merge work under.
+        /// Explicit — not read from the machine — so a plan is a pure
+        /// function of `(store, domains, max, workers)` and stays
+        /// byte-identical across `--threads` settings; callers that want
+        /// machine-fitted plans pass their observed parallelism.
+        workers: usize,
     },
 }
 
@@ -317,7 +384,9 @@ impl ShardSpec {
     pub fn resolve(self, store: &PointStore, domains: &[PoDomain]) -> ShardPlan {
         match self {
             ShardSpec::Fixed(n) => ShardPlan::fixed(n),
-            ShardSpec::Adaptive { max } => ShardPlan::adaptive(store, domains, max),
+            ShardSpec::Adaptive { max, workers } => {
+                ShardPlan::adaptive(store, domains, max, workers)
+            }
         }
     }
 }
@@ -607,7 +676,8 @@ pub fn parallel_classic_skyline(
          a PO-aware engine for mixed stores"
     );
     sharded_skyline(store, &[], shards, threads, |_, view| {
-        let block = PointBlock::from_flat(store.to_dims(), view.to_block().to_vec());
+        let block = PointBlock::from_flat(store.to_dims(), view.to_block().to_vec())
+            .with_kernel(store.kernel());
         let engine = ClassicEngine::new(block, algo);
         let (points, metrics) = engine.collect_skyline();
         (points.into_iter().map(|p| p.record).collect(), metrics)
@@ -834,32 +904,57 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_plan_shrinks_with_the_skyline_ratio() {
-        // Anti-diagonal data: the sampled ratio is 1.0 -> one shard.
+    fn cost_model_plans_follow_the_estimated_minimum() {
+        // Anti-diagonal data: every tuple is skyline, so α fits to 1 and
+        // k̂(x) = x. At one worker, run(s) = (len/s)²·s and the merge bound
+        // s(s−1)(len/s)² sum to len² for every s — an exact wash, and ties
+        // go to the smallest count: stay unsharded.
         let anti = anti_table(600);
-        let plan = ShardPlan::adaptive(&anti, &[], 8);
+        let plan = ShardPlan::adaptive(&anti, &[], 8, 1);
         assert!(plan.adaptive);
         assert_eq!(plan.sampled, PLAN_SAMPLE.min(600));
         assert_eq!(plan.sample_skyline, plan.sampled);
+        assert_eq!((plan.sampled_half, plan.sample_skyline_half), (256, 256));
         assert_eq!(plan.shards, 1);
-        // Dominance-heavy data: a chain has a single skyline point.
+        assert_eq!(plan.est_run_checks + plan.est_merge_checks, 600 * 600);
+        // With 8 workers the run phase parallelizes but the quadratic
+        // merge term still punishes fan-out: two shards win.
+        let plan8 = ShardPlan::adaptive(&anti, &[], 8, 8);
+        assert_eq!(plan8.shards, 2);
+        assert_eq!(plan8.est_run_checks, 300 * 300);
+        assert_eq!(plan8.est_merge_checks, 2 * 300 * 300);
+        // Dominance-heavy data: a chain has a single skyline point, so
+        // k̂ ≡ 1 and merge costs only s(s−1). At one worker sharding buys
+        // nothing (run(s) = len for every s) and merge overhead decides.
         let mut chain = Table::new(2, 0);
         for i in 0..600u32 {
             chain.push(&[i, i], &[]);
         }
-        let plan = ShardPlan::adaptive(&chain, &[], 8);
+        let plan = ShardPlan::adaptive(&chain, &[], 8, 1);
         assert_eq!(plan.sample_skyline, 1);
-        assert_eq!(plan.shards, 8, "tiny ratio takes the full budget");
-        // Determinism: same store, same plan.
-        assert_eq!(plan, ShardPlan::adaptive(&chain, &[], 8));
-        // Fixed plans never sample.
+        assert_eq!(plan.shards, 1, "one worker: fan-out only adds merge");
+        // At 8 workers the run phase splits across one wave; the optimum
+        // trades a slightly ragged 7-way split (600/7 ≈ 86 checks + 42
+        // merge) against the full budget (75 + 56).
+        let plan8 = ShardPlan::adaptive(&chain, &[], 8, 8);
+        assert_eq!(plan8.shards, 7);
+        assert_eq!(plan8.est_run_checks, 86);
+        assert_eq!(plan8.est_merge_checks, 42);
+        // Determinism: same inputs, same plan.
+        assert_eq!(plan8, ShardPlan::adaptive(&chain, &[], 8, 8));
+        // Fixed plans never sample and never estimate.
         assert_eq!(
             ShardPlan::fixed(0),
             ShardPlan {
                 shards: 1,
                 adaptive: false,
                 sampled: 0,
-                sample_skyline: 0
+                sample_skyline: 0,
+                sampled_half: 0,
+                sample_skyline_half: 0,
+                workers: 0,
+                est_run_checks: 0,
+                est_merge_checks: 0,
             }
         );
     }
@@ -871,7 +966,7 @@ mod tests {
         let adaptive = sharded_skyline_with(
             &t,
             &[],
-            ShardSpec::Adaptive { max: 8 },
+            ShardSpec::Adaptive { max: 8, workers: 2 },
             2,
             |_, view: &ShardView<'_>| {
                 let block = PointBlock::from_flat(t.to_dims(), view.to_block().to_vec());

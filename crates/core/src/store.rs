@@ -14,11 +14,25 @@
 //! pair equals one scalar [`t_dominates`] call of the seed implementation —
 //! so the batched counts are never larger than the scalar loop's.
 //!
+//! Like [`skyline::PointBlock`], each kernel exists in a scalar and a
+//! lane-chunked variant behind one signature, selected by the store's
+//! [`Kernel`]: the lane path gathers [`LANES`] TO rows per iteration into a
+//! dimension-major scratch and resolves the `le`/`lt` masks vectorially,
+//! while the PO part of each surviving lane runs through the exact scalar
+//! tail in record order — results *and* examined-pair counts are identical
+//! across variants on every input.
+//!
 //! `Table` (the facade name the paper-facing API keeps) is an alias of this
 //! type.
 
-use crate::dominance::t_dominates;
+use crate::dominance::{po_tail, t_dominates};
 use crate::{CoreError, PoDomain};
+use skyline::{Kernel, LANES};
+
+/// Widest TO stride the id-gather lane kernels transpose through their
+/// stack scratch (matches the `PointBlock` limit); wider stores take the
+/// scalar path.
+const LANE_MAX_DIMS: usize = 16;
 
 /// Index of a tuple in a [`PointStore`] — the currency engines trade in.
 pub type RecordId = u32;
@@ -54,6 +68,7 @@ pub struct PointStore {
     po_dims: usize,
     to: Vec<u32>,
     po: Vec<u32>,
+    kernel: Kernel,
 }
 
 impl PointStore {
@@ -65,7 +80,28 @@ impl PointStore {
             po_dims,
             to: Vec::new(),
             po: Vec::new(),
+            kernel: Kernel::default(),
         }
+    }
+
+    /// The dominance-kernel variant the batched kernels dispatch to
+    /// (inherited by engine-internal [`skyline::PointBlock`]s built from
+    /// this store).
+    #[inline]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Returns the store with the given kernel variant forced (tests and
+    /// the bench harness's in-process scalar-vs-lanes cross-checks).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Forces the kernel variant in place.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
     }
 
     /// Wraps pre-generated flattened matrices (e.g. from `datagen`) without
@@ -105,6 +141,7 @@ impl PointStore {
             po_dims,
             to,
             po,
+            kernel: Kernel::default(),
         })
     }
 
@@ -179,6 +216,14 @@ impl PointStore {
         &self.po
     }
 
+    /// One bounds check per TO row instead of two: split the flat matrix
+    /// at the row start, then take the stride window off the tail.
+    #[inline]
+    fn to_window(&self, id: RecordId) -> &[u32] {
+        let (_, tail) = self.to.split_at(id as usize * self.to_dims);
+        &tail[..self.to_dims]
+    }
+
     /// Validates every PO value id against per-dimension domain sizes.
     pub fn check_domains(&self, sizes: &[u32]) -> Result<(), CoreError> {
         if sizes.len() != self.po_dims {
@@ -219,10 +264,85 @@ impl PointStore {
     ) -> (bool, u64) {
         debug_assert_eq!(cand_to.len(), self.to_dims);
         debug_assert_eq!(cand_po.len(), self.po_dims);
+        match self.kernel {
+            Kernel::Scalar => self.t_dominated_by_any_scalar(domains, cand_to, cand_po, ids),
+            Kernel::Lanes => self.t_dominated_by_any_lanes(domains, cand_to, cand_po, ids),
+        }
+    }
+
+    fn t_dominated_by_any_scalar(
+        &self,
+        domains: &[PoDomain],
+        cand_to: &[u32],
+        cand_po: &[u32],
+        ids: &[RecordId],
+    ) -> (bool, u64) {
         let mut examined = 0u64;
         for &id in ids {
             examined += 1;
-            if t_dominates(domains, self.to(id), self.po(id), cand_to, cand_po) {
+            if t_dominates(domains, self.to_window(id), self.po(id), cand_to, cand_po) {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+
+    /// Lane-chunked t-dominance: each group of [`LANES`] listed records
+    /// transposes its TO rows into a stack scratch and resolves the TO
+    /// `le`/`lt` masks vectorially; a lane whose TO part survives finishes
+    /// through the exact scalar [`po_tail`] in record order, so results and
+    /// examined-pair counts match the scalar walk bit for bit (pairs are
+    /// counted per record, with or without a PO evaluation — exactly as
+    /// [`t_dominates`] early-outs on a failed TO part).
+    fn t_dominated_by_any_lanes(
+        &self,
+        domains: &[PoDomain],
+        cand_to: &[u32],
+        cand_po: &[u32],
+        ids: &[RecordId],
+    ) -> (bool, u64) {
+        let dims = self.to_dims;
+        if dims > LANE_MAX_DIMS {
+            return self.t_dominated_by_any_scalar(domains, cand_to, cand_po, ids);
+        }
+        let mut scratch = [0u32; LANES * LANE_MAX_DIMS];
+        let mut examined = 0u64;
+        let groups = ids.chunks_exact(LANES);
+        let tail = groups.remainder();
+        for group in groups {
+            for (l, &id) in group.iter().enumerate() {
+                let row = self.to_window(id);
+                for d in 0..dims {
+                    scratch[d * LANES + l] = row[d];
+                }
+            }
+            let mut le = [1u32; LANES];
+            let mut lt = [0u32; LANES];
+            for (col, &cd) in scratch[..dims * LANES]
+                .chunks_exact(LANES)
+                .zip(cand_to.iter())
+            {
+                for l in 0..LANES {
+                    le[l] &= (col[l] <= cd) as u32;
+                    lt[l] |= (col[l] < cd) as u32;
+                }
+                if dims > 4 && le.iter().fold(0u32, |a, &x| a | x) == 0 {
+                    break;
+                }
+            }
+            let any_le = le.iter().fold(0u32, |a, &x| a | x);
+            if any_le != 0 {
+                for (l, &id) in group.iter().enumerate() {
+                    if le[l] != 0 && po_tail(domains, self.po(id), cand_po, lt[l] != 0) {
+                        return (true, examined + l as u64 + 1);
+                    }
+                }
+            }
+            examined += LANES as u64;
+        }
+        for &id in tail {
+            examined += 1;
+            if t_dominates(domains, self.to_window(id), self.po(id), cand_to, cand_po) {
                 return (true, examined);
             }
         }
@@ -243,13 +363,92 @@ impl PointStore {
         cand_to: &[u32],
     ) -> (bool, u64) {
         debug_assert_eq!(cand_to.len(), self.to_dims);
+        match self.kernel {
+            Kernel::Scalar => self.to_dominated_with_strictness_scalar(entries, cand_to),
+            Kernel::Lanes => self.to_dominated_with_strictness_lanes(entries, cand_to),
+        }
+    }
+
+    fn to_dominated_with_strictness_scalar(
+        &self,
+        entries: &[(RecordId, bool)],
+        cand_to: &[u32],
+    ) -> (bool, u64) {
         let mut examined = 0u64;
         for &(id, po_strict) in entries {
             examined += 1;
-            let row = self.to(id);
             let mut le = true;
             let mut lt = false;
-            for (&a, &b) in row.iter().zip(cand_to.iter()) {
+            for (&a, &b) in self.to_window(id).iter().zip(cand_to.iter()) {
+                le &= a <= b;
+                lt |= a < b;
+            }
+            if le && (po_strict || lt) {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+
+    /// Lane-chunked strictness kernel: gathered TO rows resolve their
+    /// `le`/`lt` masks per lane; a lane dominates iff `le` holds and
+    /// either its PO part was strict group-wide or some TO coordinate is
+    /// strictly smaller. Any-lane early exit, first-set-lane resolution in
+    /// record order, scalar sub-[`LANES`] tail.
+    fn to_dominated_with_strictness_lanes(
+        &self,
+        entries: &[(RecordId, bool)],
+        cand_to: &[u32],
+    ) -> (bool, u64) {
+        let dims = self.to_dims;
+        if dims > LANE_MAX_DIMS {
+            return self.to_dominated_with_strictness_scalar(entries, cand_to);
+        }
+        let mut scratch = [0u32; LANES * LANE_MAX_DIMS];
+        let mut examined = 0u64;
+        let groups = entries.chunks_exact(LANES);
+        let tail = groups.remainder();
+        for group in groups {
+            let mut strict = [0u32; LANES];
+            for (l, &(id, s)) in group.iter().enumerate() {
+                strict[l] = s as u32;
+                let row = self.to_window(id);
+                for d in 0..dims {
+                    scratch[d * LANES + l] = row[d];
+                }
+            }
+            let mut le = [1u32; LANES];
+            let mut lt = [0u32; LANES];
+            for (col, &cd) in scratch[..dims * LANES]
+                .chunks_exact(LANES)
+                .zip(cand_to.iter())
+            {
+                for l in 0..LANES {
+                    le[l] &= (col[l] <= cd) as u32;
+                    lt[l] |= (col[l] < cd) as u32;
+                }
+                if dims > 4 && le.iter().fold(0u32, |a, &x| a | x) == 0 {
+                    break;
+                }
+            }
+            let mut any = 0u32;
+            for l in 0..LANES {
+                any |= le[l] & (strict[l] | lt[l]);
+            }
+            if any != 0 {
+                for l in 0..LANES {
+                    if le[l] & (strict[l] | lt[l]) != 0 {
+                        return (true, examined + l as u64 + 1);
+                    }
+                }
+            }
+            examined += LANES as u64;
+        }
+        for &(id, po_strict) in tail {
+            examined += 1;
+            let mut le = true;
+            let mut lt = false;
+            for (&a, &b) in self.to_window(id).iter().zip(cand_to.iter()) {
                 le &= a <= b;
                 lt |= a < b;
             }
@@ -425,6 +624,7 @@ impl<'a> ShardView<'a> {
             po_dims: self.store.po_dims,
             to: self.to_block().to_vec(),
             po: self.po_block().to_vec(),
+            kernel: self.store.kernel,
         }
     }
 }
@@ -497,29 +697,54 @@ mod tests {
     #[test]
     fn batched_kernel_counts_and_early_exits() {
         let doms = vec![PoDomain::new(Dag::paper_example())];
-        let mut t = PointStore::new(1, 1);
-        t.push(&[9], &[8]); // dominates nothing relevant
-        t.push(&[2], &[2]); // c at cost 2: dominates (3, f)
-        t.push(&[0], &[0]); // never reached once a dominator is found
-        let (hit, examined) = t.t_dominated_by_any(&doms, &[3], &[5], &[0, 1, 2]);
-        assert!(hit);
-        assert_eq!(examined, 2, "early exit after the second record");
-        let (miss, examined) = t.t_dominated_by_any(&doms, &[0], &[0], &[0, 1, 2]);
-        assert!(!miss, "duplicates of record 2 are not dominated");
-        assert_eq!(examined, 3);
+        for kernel in [Kernel::Scalar, Kernel::Lanes] {
+            let mut t = PointStore::new(1, 1).with_kernel(kernel);
+            t.push(&[9], &[8]); // dominates nothing relevant
+            t.push(&[2], &[2]); // c at cost 2: dominates (3, f)
+            t.push(&[0], &[0]); // never reached once a dominator is found
+            let (hit, examined) = t.t_dominated_by_any(&doms, &[3], &[5], &[0, 1, 2]);
+            assert!(hit, "{kernel:?}");
+            assert_eq!(examined, 2, "{kernel:?}: early exit after record two");
+            let (miss, examined) = t.t_dominated_by_any(&doms, &[0], &[0], &[0, 1, 2]);
+            assert!(!miss, "{kernel:?}: duplicates of record 2 not dominated");
+            assert_eq!(examined, 3, "{kernel:?}");
+        }
     }
 
     #[test]
     fn strictness_kernel_handles_equal_rows() {
-        let mut t = PointStore::new(2, 1);
-        t.push(&[5, 5], &[0]);
-        // Equal TO rows dominate only when the PO part was strictly better.
-        assert!(!t.to_dominated_with_strictness(&[(0, false)], &[5, 5]).0);
-        assert!(t.to_dominated_with_strictness(&[(0, true)], &[5, 5]).0);
-        // Strictly better TO needs no PO strictness.
-        assert!(t.to_dominated_with_strictness(&[(0, false)], &[6, 5]).0);
-        // Worse TO never dominates.
-        assert!(!t.to_dominated_with_strictness(&[(0, true)], &[4, 9]).0);
+        for kernel in [Kernel::Scalar, Kernel::Lanes] {
+            let mut t = PointStore::new(2, 1).with_kernel(kernel);
+            t.push(&[5, 5], &[0]);
+            // Equal TO rows dominate only when the PO part was strictly
+            // better.
+            assert!(!t.to_dominated_with_strictness(&[(0, false)], &[5, 5]).0);
+            assert!(t.to_dominated_with_strictness(&[(0, true)], &[5, 5]).0);
+            // Strictly better TO needs no PO strictness.
+            assert!(t.to_dominated_with_strictness(&[(0, false)], &[6, 5]).0);
+            // Worse TO never dominates.
+            assert!(!t.to_dominated_with_strictness(&[(0, true)], &[4, 9]).0);
+        }
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_past_the_chunk_boundary() {
+        // Enough records that the lane path processes whole chunks plus a
+        // ragged tail, with a dominator planted inside a middle chunk so the
+        // early-exit pair count crosses kernel variants exactly.
+        let doms = vec![PoDomain::new(Dag::paper_example())];
+        let mut scalar = PointStore::new(2, 1).with_kernel(Kernel::Scalar);
+        for i in 0..21u32 {
+            let po = if i == 11 { 0 } else { 7 }; // record 11 holds `a`
+            scalar.push(&[i % 4 + 1, 3], &[po]);
+        }
+        let lanes = scalar.clone().with_kernel(Kernel::Lanes);
+        let ids: Vec<RecordId> = (0..21).collect();
+        for cand in [([1u32, 3], 2u32), ([0, 0], 0), ([4, 3], 7)] {
+            let s = scalar.t_dominated_by_any(&doms, &cand.0, &[cand.1], &ids);
+            let l = lanes.t_dominated_by_any(&doms, &cand.0, &[cand.1], &ids);
+            assert_eq!(s, l, "cand {cand:?}");
+        }
     }
 
     #[test]
@@ -643,22 +868,45 @@ mod tests {
                 (cand_to, vec![cand_po])
             };
             let ids: Vec<RecordId> = (0..store.len() as u32).collect();
-            // Pairwise agreement (singleton batches).
-            for &id in &ids {
+            let mut whole_list = Vec::new();
+            for kernel in [Kernel::Scalar, Kernel::Lanes] {
+                let store = store.clone().with_kernel(kernel);
+                // Pairwise agreement (singleton batches).
+                for &id in &ids {
+                    let (got, examined) =
+                        store.t_dominated_by_any(&doms, &cand_to, &cand_po, &[id]);
+                    prop_assert_eq!(examined, 1);
+                    prop_assert_eq!(
+                        got,
+                        oracle.dominates_oracle(store.to(id), store.po(id), &cand_to, &cand_po)
+                    );
+                }
+                // Whole-list agreement.
                 let (got, examined) =
-                    store.t_dominated_by_any(&doms, &cand_to, &cand_po, &[id]);
-                prop_assert_eq!(examined, 1);
-                prop_assert_eq!(
-                    got,
+                    store.t_dominated_by_any(&doms, &cand_to, &cand_po, &ids);
+                let expect = ids.iter().any(|&id| {
                     oracle.dominates_oracle(store.to(id), store.po(id), &cand_to, &cand_po)
-                );
+                });
+                prop_assert_eq!(got, expect);
+                whole_list.push((got, examined));
+                // Strictness kernel agrees with a scalar re-derivation.
+                let flagged: Vec<(RecordId, bool)> =
+                    ids.iter().map(|&id| (id, id % 3 == 0)).collect();
+                let got = store.to_dominated_with_strictness(&flagged, &cand_to);
+                let expect_hit = flagged.iter().position(|&(id, strict)| {
+                    let row = store.to(id);
+                    let le = row.iter().zip(&cand_to).all(|(a, b)| a <= b);
+                    let lt = row.iter().zip(&cand_to).any(|(a, b)| a < b);
+                    le && (strict || lt)
+                });
+                let expect = match expect_hit {
+                    Some(i) => (true, i as u64 + 1),
+                    None => (false, flagged.len() as u64),
+                };
+                prop_assert_eq!(got, expect, "strictness under {:?}", kernel);
             }
-            // Whole-list agreement.
-            let (got, _) = store.t_dominated_by_any(&doms, &cand_to, &cand_po, &ids);
-            let expect = ids.iter().any(|&id| {
-                oracle.dominates_oracle(store.to(id), store.po(id), &cand_to, &cand_po)
-            });
-            prop_assert_eq!(got, expect);
+            // Kernel variants agree on the answer AND the examined count.
+            prop_assert_eq!(whole_list[0], whole_list[1]);
         }
     }
 }

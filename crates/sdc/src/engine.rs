@@ -53,10 +53,10 @@ struct EntryList {
 }
 
 impl EntryList {
-    fn new(dims: usize) -> Self {
+    fn new(dims: usize, kernel: skyline::Kernel) -> Self {
         EntryList {
             ids: Vec::new(),
-            tcoords: PointBlock::new(dims),
+            tcoords: PointBlock::new(dims).with_kernel(kernel),
         }
     }
 
@@ -123,7 +123,7 @@ impl<'a> SdcCursor<'a> {
             // lint:allow(time-source): Metrics.cpu timing site — cursor wall clock
             start: Instant::now(),
             m: Metrics::default(),
-            global: EntryList::new(index.ctx.transformed_dims()),
+            global: EntryList::new(index.ctx.transformed_dims(), index.table.kernel()),
             stratum_ix: 0,
             buffer: VecDeque::new(),
             per_stratum: Vec::new(),
@@ -178,7 +178,7 @@ impl<'a> SdcCursor<'a> {
         };
 
         stratum.tree.reset_io();
-        let mut local = EntryList::new(index.ctx.transformed_dims());
+        let mut local = EntryList::new(index.ctx.transformed_dims(), index.table.kernel());
         let mut bf = stratum.tree.best_first();
         // Record ids confirmed within the current batch's apply phase —
         // the only entries the frozen screens cannot have seen.
@@ -309,7 +309,7 @@ impl<'a> SdcCursor<'a> {
         };
 
         stratum.tree.reset_io();
-        let mut local = EntryList::new(index.ctx.transformed_dims());
+        let mut local = EntryList::new(index.ctx.transformed_dims(), index.table.kernel());
         let mut bf = stratum.tree.best_first();
         while let Some(popped) = bf.pop() {
             m.heap_pops += 1;

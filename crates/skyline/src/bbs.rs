@@ -58,11 +58,18 @@ pub struct BbsCursor<'a> {
 impl<'a> BbsCursor<'a> {
     /// Starts a fresh traversal (resets the tree's IO counter).
     pub fn new(tree: &'a RTree) -> Self {
+        Self::with_kernel(tree, crate::Kernel::default())
+    }
+
+    /// [`new`](Self::new) with an explicit dominance-kernel variant for the
+    /// confirmed-skyline window (callers embedding BBS propagate their own
+    /// store's kernel here so one run never mixes variants).
+    pub fn with_kernel(tree: &'a RTree, kernel: crate::Kernel) -> Self {
         tree.reset_io();
         BbsCursor {
             tree,
             bf: tree.best_first(),
-            skyline_pts: PointBlock::new(tree.dims()),
+            skyline_pts: PointBlock::new(tree.dims()).with_kernel(kernel),
             stats: Stats::default(),
         }
     }

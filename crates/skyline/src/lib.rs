@@ -23,7 +23,12 @@
 //! candidates with the block's batched, branch-free dominance kernels
 //! instead of per-point `Vec<u32>` rows. Build one with
 //! [`PointBlock::from_flat`] (zero-copy over an existing row-major matrix)
-//! or [`PointBlock::from_rows`].
+//! or [`PointBlock::from_rows`]. Alongside the row-major matrix the block
+//! maintains a dimension-major (structure-of-arrays) mirror in
+//! [`LANES`]-wide chunks, which the lane-chunked kernel variant
+//! ([`Kernel::Lanes`]) scans with autovectorizable `[u32; LANES]` mask
+//! ops — byte-identical results and examined-pair counts to the scalar
+//! oracle path (`TSS_KERNEL=scalar`).
 //!
 //! # Semantics
 //!
@@ -64,5 +69,5 @@ pub use brute::brute_force;
 pub use index::index_skyline;
 pub use salsa::{salsa, SalsaCursor};
 pub use sfs::{sfs, SfsCursor};
-pub use store::PointBlock;
+pub use store::{Kernel, PointBlock, LANES};
 pub use types::{dominates, dominates_or_equal, monotone_sum, Stats};

@@ -9,21 +9,116 @@
 //! kernels below test one candidate against a whole block of points with a
 //! branch-free inner comparison and early exit across rows.
 //!
+//! # Lane-chunked kernels and the SoA mirror
+//!
+//! Each batched kernel exists in two variants behind one signature,
+//! selected by [`Kernel`]:
+//!
+//! * **scalar** — the seed row-major loop, kept as the oracle path;
+//! * **lanes** — compares [`LANES`] rows per iteration against the
+//!   candidate with `[u32; LANES]` accumulator masks (`le`/`lt` per lane)
+//!   that stable rustc autovectorizes, a movemask-style any-lane test for
+//!   early exit at chunk granularity, and first-set-lane resolution in
+//!   record order so the hit row — and therefore the examined-pair count —
+//!   is exactly the scalar loop's.
+//!
+//! The full-block scans read a **dimension-major (structure-of-arrays)
+//! mirror** maintained alongside the row-major matrix:
+//! `soa[(chunk * dims + d) * LANES + lane]` holds dimension `d` of point
+//! `chunk * LANES + lane`, so one chunk's per-dimension column is
+//! contiguous. Tail lanes past `len` are padded with `u32::MAX`, which can
+//! tie a candidate on every dimension but never beat it strictly — a pad
+//! lane's `lt` mask is always zero, so pads can never report dominance.
+//! The id-gather kernels transpose each group of [`LANES`] listed rows
+//! into a stack scratch instead (ids are arbitrary, so no mirror window
+//! applies).
+//!
 //! Counting convention: every kernel returns `(answer, pairs_examined)`.
 //! One *examined pair* is exactly one scalar dominance check of the seed
 //! implementation — early exit means the batched count is never larger
-//! than the scalar loop's on the same inputs. Callers fold the pair count
-//! into `dominance_checks` and bump `dominance_batch_calls` once per kernel
-//! invocation (see [`Stats::batch`](crate::Stats::batch)).
+//! than the scalar loop's, and the two kernel variants count identically
+//! on every input. Callers fold the pair count into `dominance_checks`
+//! and bump `dominance_batch_calls` once per kernel invocation (see
+//! [`Stats::batch`](crate::Stats::batch)).
+
+use std::sync::OnceLock;
+
+/// Rows compared per lane-chunked kernel iteration. Eight `u32` lanes fill
+/// one 256-bit vector register (AVX2) and two 128-bit ones (SSE/NEON), the
+/// widths stable rustc reliably autovectorizes the accumulator loops to.
+pub const LANES: usize = 8;
+
+/// Widest stride the id-gather lane kernels transpose through their stack
+/// scratch; wider blocks take the scalar path (the workloads in this repo
+/// top out at 16 attributes).
+const LANE_MAX_DIMS: usize = 16;
+
+/// Which dominance-kernel variant a [`PointBlock`] (or
+/// `tss_core::PointStore`) dispatches to. Both variants are byte-identical
+/// in results *and* examined-pair counts; `Scalar` is the oracle path,
+/// `Lanes` the autovectorized one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// The seed row-major scalar loops.
+    Scalar,
+    /// [`LANES`]-wide chunked compares over the SoA mirror / gathered
+    /// groups.
+    Lanes,
+}
+
+impl Kernel {
+    /// The process-wide default variant: `TSS_KERNEL=scalar` forces the
+    /// oracle path, anything else (including unset) selects `Lanes`. Read
+    /// once per process; per-instance overrides go through
+    /// [`PointBlock::with_kernel`].
+    pub fn active() -> Kernel {
+        static ACTIVE: OnceLock<Kernel> = OnceLock::new();
+        *ACTIVE.get_or_init(|| match std::env::var("TSS_KERNEL") {
+            Ok(v) if v.eq_ignore_ascii_case("scalar") => Kernel::Scalar,
+            _ => Kernel::Lanes,
+        })
+    }
+
+    /// Stable lowercase name (`"scalar"` / `"lanes"`), as spelled in
+    /// `TSS_KERNEL` and bench-row JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Lanes => "lanes",
+        }
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::active()
+    }
+}
 
 /// A flat, fixed-stride block of points: `data[i*dims .. (i+1)*dims]` are
 /// the coordinates of point `i`. Zero per-point allocations; `O(1)` slice
-/// access by record id.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// access by record id. Alongside the row-major matrix the block maintains
+/// the dimension-major mirror the lane-chunked kernels scan (see the
+/// module docs); equality compares the logical contents only (`dims` +
+/// row-major data), not the mirror or the configured [`Kernel`].
+#[derive(Debug, Clone, Default)]
 pub struct PointBlock {
     dims: usize,
     data: Vec<u32>,
+    /// Dimension-major mirror: `soa[(chunk*dims + d)*LANES + lane]` =
+    /// coordinate `d` of point `chunk*LANES + lane`; tail lanes hold
+    /// `u32::MAX` pads.
+    soa: Vec<u32>,
+    kernel: Kernel,
 }
+
+impl PartialEq for PointBlock {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims == other.dims && self.data == other.data
+    }
+}
+
+impl Eq for PointBlock {}
 
 /// Branch-free pair check: `row` dominates `cand` iff `row <= cand`
 /// everywhere and `row < cand` somewhere. Both flags accumulate without
@@ -40,22 +135,14 @@ pub(crate) fn row_dominates(row: &[u32], cand: &[u32]) -> bool {
     le & lt
 }
 
-/// Branch-free weak pair check: `row <= cand` on every dimension.
-#[inline]
-pub(crate) fn row_dominates_or_equal(row: &[u32], cand: &[u32]) -> bool {
-    let mut le = true;
-    for (&a, &b) in row.iter().zip(cand.iter()) {
-        le &= a <= b;
-    }
-    le
-}
-
 impl PointBlock {
     /// An empty block of `dims`-dimensional points.
     pub fn new(dims: usize) -> Self {
         PointBlock {
             dims,
             data: Vec::new(),
+            soa: Vec::new(),
+            kernel: Kernel::default(),
         }
     }
 
@@ -64,6 +151,8 @@ impl PointBlock {
         PointBlock {
             dims,
             data: Vec::with_capacity(dims * points),
+            soa: Vec::with_capacity(points.div_ceil(LANES) * LANES * dims),
+            kernel: Kernel::default(),
         }
     }
 
@@ -72,7 +161,14 @@ impl PointBlock {
     pub fn from_flat(dims: usize, data: Vec<u32>) -> Self {
         assert!(dims > 0, "points need at least one dimension");
         assert_eq!(data.len() % dims, 0, "flat data must be a whole matrix");
-        PointBlock { dims, data }
+        let mut b = PointBlock {
+            dims,
+            data,
+            soa: Vec::new(),
+            kernel: Kernel::default(),
+        };
+        b.rebuild_soa();
+        b
     }
 
     /// Copies per-point rows into a fresh block (test and ingestion
@@ -84,6 +180,24 @@ impl PointBlock {
             b.push(r);
         }
         b
+    }
+
+    /// The dominance-kernel variant this block dispatches to.
+    #[inline]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Returns the block with the given kernel variant forced (tests and
+    /// the bench harness's in-process scalar-vs-lanes cross-checks).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Forces the kernel variant in place.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
     }
 
     /// Number of points.
@@ -116,22 +230,46 @@ impl PointBlock {
         self.data[i * self.dims + d]
     }
 
+    /// One bounds check per row instead of two: split the flat matrix at
+    /// the row start, then take the stride window off the tail.
+    #[inline]
+    fn row(&self, id: u32) -> &[u32] {
+        let (_, tail) = self.data.split_at(id as usize * self.dims);
+        &tail[..self.dims]
+    }
+
     /// Appends one point.
     #[inline]
     pub fn push(&mut self, coords: &[u32]) {
         assert_eq!(coords.len(), self.dims, "point width");
         self.data.extend_from_slice(coords);
+        if self.dims == 0 {
+            return;
+        }
+        let i = self.len() - 1;
+        let (chunk, lane) = (i / LANES, i % LANES);
+        if lane == 0 {
+            // New chunk: open it fully padded, then fill lane 0.
+            self.soa
+                .resize(self.soa.len() + self.dims * LANES, u32::MAX);
+        }
+        for (d, &c) in coords.iter().enumerate() {
+            self.soa[(chunk * self.dims + d) * LANES + lane] = c;
+        }
     }
 
-    /// Removes all points, keeping the allocation.
+    /// Removes all points, keeping the allocations.
     pub fn clear(&mut self) {
         self.data.clear();
+        self.soa.clear();
     }
 
     /// Moves all points of `other` (same stride) to the end of this block.
     pub fn append(&mut self, other: &mut PointBlock) {
         assert_eq!(self.dims, other.dims, "stride mismatch");
         self.data.append(&mut other.data);
+        other.soa.clear();
+        self.rebuild_soa();
     }
 
     /// Iterates over the points in record order.
@@ -169,6 +307,26 @@ impl PointBlock {
         }
         ids.truncate(write);
         self.data.truncate(write * dims);
+        self.rebuild_soa();
+    }
+
+    /// Re-derives the dimension-major mirror from the row-major matrix
+    /// (bulk mutations; `push` maintains it incrementally).
+    fn rebuild_soa(&mut self) {
+        let dims = self.dims;
+        if dims == 0 {
+            self.soa.clear();
+            return;
+        }
+        let n = self.len();
+        self.soa.clear();
+        self.soa.resize(n.div_ceil(LANES) * dims * LANES, u32::MAX);
+        for (i, row) in self.data.chunks_exact(dims).enumerate() {
+            let (chunk, lane) = (i / LANES, i % LANES);
+            for (d, &c) in row.iter().enumerate() {
+                self.soa[(chunk * dims + d) * LANES + lane] = c;
+            }
+        }
     }
 
     // --- Batched dominance kernels --------------------------------------
@@ -179,6 +337,13 @@ impl PointBlock {
     #[inline]
     pub fn dominated(&self, cand: &[u32]) -> (bool, u64) {
         debug_assert_eq!(cand.len(), self.dims);
+        match self.kernel {
+            Kernel::Scalar => self.dominated_scalar(cand),
+            Kernel::Lanes => self.dominated_lanes(cand),
+        }
+    }
+
+    fn dominated_scalar(&self, cand: &[u32]) -> (bool, u64) {
         let mut examined = 0u64;
         for row in self.data.chunks_exact(self.dims) {
             examined += 1;
@@ -189,17 +354,115 @@ impl PointBlock {
         (false, examined)
     }
 
+    /// Full-block lane scan over the SoA mirror: one contiguous
+    /// per-dimension column load per chunk, `le`/`lt` masks across
+    /// [`LANES`] rows, any-lane early exit, first-set-lane resolution in
+    /// record order. Pad lanes (`u32::MAX` everywhere) can never set `lt`,
+    /// so they never report dominance. Past 4 dimensions the column loop
+    /// bails once every lane's `le` is dead — dead `le` can never revive,
+    /// so the skip is invisible to both the result and the counters, and
+    /// it keeps the wide-row case competitive with the scalar kernel's
+    /// per-row early exit.
+    fn dominated_lanes(&self, cand: &[u32]) -> (bool, u64) {
+        let dims = self.dims;
+        let mut base = 0u64;
+        for chunk in self.soa.chunks_exact(dims * LANES) {
+            let mut le = [1u32; LANES];
+            let mut lt = [0u32; LANES];
+            for (col, &cd) in chunk.chunks_exact(LANES).zip(cand.iter()) {
+                for l in 0..LANES {
+                    le[l] &= (col[l] <= cd) as u32;
+                    lt[l] |= (col[l] < cd) as u32;
+                }
+                if dims > 4 && le.iter().fold(0u32, |a, &x| a | x) == 0 {
+                    break;
+                }
+            }
+            let mut any = 0u32;
+            for l in 0..LANES {
+                any |= le[l] & lt[l];
+            }
+            if any != 0 {
+                for l in 0..LANES {
+                    if le[l] & lt[l] != 0 {
+                        return (true, base + l as u64 + 1);
+                    }
+                }
+            }
+            base += LANES as u64;
+        }
+        (false, self.len() as u64)
+    }
+
     /// Does any of the listed points strictly dominate `cand`? `ids` index
     /// into this block. Returns `(dominated, pairs_examined)`.
     #[inline]
     pub fn dominated_by(&self, ids: &[u32], cand: &[u32]) -> (bool, u64) {
         debug_assert_eq!(cand.len(), self.dims);
-        let dims = self.dims;
+        match self.kernel {
+            Kernel::Scalar => self.dominated_by_scalar(ids, cand),
+            Kernel::Lanes => self.dominated_by_lanes(ids, cand),
+        }
+    }
+
+    fn dominated_by_scalar(&self, ids: &[u32], cand: &[u32]) -> (bool, u64) {
         let mut examined = 0u64;
         for &id in ids {
             examined += 1;
-            let base = id as usize * dims;
-            if row_dominates(&self.data[base..base + dims], cand) {
+            if row_dominates(self.row(id), cand) {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+
+    /// Id-gather lane kernel: each group of [`LANES`] listed rows is
+    /// transposed into a dimension-major stack scratch (one row slice per
+    /// id), then compared with the same mask loop as the full-block scan;
+    /// the sub-[`LANES`] tail runs scalar.
+    fn dominated_by_lanes(&self, ids: &[u32], cand: &[u32]) -> (bool, u64) {
+        let dims = self.dims;
+        if dims > LANE_MAX_DIMS {
+            return self.dominated_by_scalar(ids, cand);
+        }
+        let mut scratch = [0u32; LANES * LANE_MAX_DIMS];
+        let mut examined = 0u64;
+        let groups = ids.chunks_exact(LANES);
+        let tail = groups.remainder();
+        for group in groups {
+            for (l, &id) in group.iter().enumerate() {
+                let row = self.row(id);
+                for d in 0..dims {
+                    scratch[d * LANES + l] = row[d];
+                }
+            }
+            let mut le = [1u32; LANES];
+            let mut lt = [0u32; LANES];
+            for (col, &cd) in scratch[..dims * LANES].chunks_exact(LANES).zip(cand.iter()) {
+                for l in 0..LANES {
+                    le[l] &= (col[l] <= cd) as u32;
+                    lt[l] |= (col[l] < cd) as u32;
+                }
+                if dims > 4 && le.iter().fold(0u32, |a, &x| a | x) == 0 {
+                    break;
+                }
+            }
+            let mut any = 0u32;
+            for l in 0..LANES {
+                any |= le[l] & lt[l];
+            }
+            if any != 0 {
+                for l in 0..LANES {
+                    if le[l] & lt[l] != 0 {
+                        return (true, examined + l as u64 + 1);
+                    }
+                }
+            }
+            examined += LANES as u64;
+        }
+        for &id in tail {
+            examined += 1;
+            if row_dominates(self.row(id), cand) {
                 return (true, examined);
             }
         }
@@ -209,17 +472,14 @@ impl PointBlock {
     /// Corner pruning: is some point `<=` the MBB corner on every dimension
     /// *and* different from it? (The strict-corner rule that keeps exact
     /// duplicates of skyline points alive — see `bbs.rs`.) Scans all rows.
+    ///
+    /// Single fused pass: given `row <= corner` everywhere, `row != corner`
+    /// holds exactly when `row < corner` somewhere — so the corner rule *is*
+    /// strict dominance of the corner, and the old second equality walk
+    /// over the row is gone.
     #[inline]
     pub fn corner_pruned(&self, corner: &[u32]) -> (bool, u64) {
-        debug_assert_eq!(corner.len(), self.dims);
-        let mut examined = 0u64;
-        for row in self.data.chunks_exact(self.dims) {
-            examined += 1;
-            if row_dominates_or_equal(row, corner) && row != corner {
-                return (true, examined);
-            }
-        }
-        (false, examined)
+        self.dominated(corner)
     }
 
     /// The strictness-precomputed variant for same-key groups: each entry
@@ -228,17 +488,93 @@ impl PointBlock {
     /// dimension *outside* this block (e.g. a partially ordered attribute
     /// shared group-wide). The entry then dominates iff its coordinates are
     /// `<=` the candidate everywhere and, when not strict elsewhere, differ
-    /// from it somewhere.
+    /// from it somewhere — and "differs under `<=` everywhere" is "strictly
+    /// smaller somewhere", so one fused `le`/`lt` pass decides each pair.
     #[inline]
     pub fn dominated_with_strictness(&self, entries: &[(u32, bool)], cand: &[u32]) -> (bool, u64) {
         debug_assert_eq!(cand.len(), self.dims);
-        let dims = self.dims;
+        match self.kernel {
+            Kernel::Scalar => self.dominated_with_strictness_scalar(entries, cand),
+            Kernel::Lanes => self.dominated_with_strictness_lanes(entries, cand),
+        }
+    }
+
+    fn dominated_with_strictness_scalar(
+        &self,
+        entries: &[(u32, bool)],
+        cand: &[u32],
+    ) -> (bool, u64) {
         let mut examined = 0u64;
         for &(id, strict) in entries {
             examined += 1;
-            let base = id as usize * dims;
-            let row = &self.data[base..base + dims];
-            if row_dominates_or_equal(row, cand) && (strict || row != cand) {
+            let mut le = true;
+            let mut lt = false;
+            for (&a, &b) in self.row(id).iter().zip(cand.iter()) {
+                le &= a <= b;
+                lt |= a < b;
+            }
+            if le && (strict || lt) {
+                return (true, examined);
+            }
+        }
+        (false, examined)
+    }
+
+    fn dominated_with_strictness_lanes(
+        &self,
+        entries: &[(u32, bool)],
+        cand: &[u32],
+    ) -> (bool, u64) {
+        let dims = self.dims;
+        if dims > LANE_MAX_DIMS {
+            return self.dominated_with_strictness_scalar(entries, cand);
+        }
+        let mut scratch = [0u32; LANES * LANE_MAX_DIMS];
+        let mut examined = 0u64;
+        let groups = entries.chunks_exact(LANES);
+        let tail = groups.remainder();
+        for group in groups {
+            let mut strict = [0u32; LANES];
+            for (l, &(id, s)) in group.iter().enumerate() {
+                strict[l] = s as u32;
+                let row = self.row(id);
+                for d in 0..dims {
+                    scratch[d * LANES + l] = row[d];
+                }
+            }
+            let mut le = [1u32; LANES];
+            let mut lt = [0u32; LANES];
+            for (col, &cd) in scratch[..dims * LANES].chunks_exact(LANES).zip(cand.iter()) {
+                for l in 0..LANES {
+                    le[l] &= (col[l] <= cd) as u32;
+                    lt[l] |= (col[l] < cd) as u32;
+                }
+                if dims > 4 && le.iter().fold(0u32, |a, &x| a | x) == 0 {
+                    break;
+                }
+            }
+            let mut any = 0u32;
+            for l in 0..LANES {
+                any |= le[l] & (strict[l] | lt[l]);
+            }
+            if any != 0 {
+                for l in 0..LANES {
+                    if le[l] & (strict[l] | lt[l]) != 0 {
+                        return (true, examined + l as u64 + 1);
+                    }
+                }
+            }
+            examined += LANES as u64;
+        }
+        for &(id, strict) in tail {
+            examined += 1;
+            let mut le = true;
+            let mut lt = false;
+            for (&a, &b) in self.row(id).iter().zip(cand.iter()) {
+                le &= a <= b;
+                lt |= a < b;
+            }
+            if le && (strict || lt) {
                 return (true, examined);
             }
         }
@@ -274,37 +610,83 @@ mod tests {
     }
 
     #[test]
+    fn soa_mirror_tracks_every_mutation() {
+        // Interleave pushes, retain and append across a chunk boundary and
+        // check the mirror against a from-scratch rebuild each time.
+        let dims = 3;
+        let mut b = PointBlock::new(dims);
+        let check = |b: &PointBlock| {
+            let expect = PointBlock::from_flat(dims, b.flat().to_vec());
+            assert_eq!(b.soa, expect.soa, "mirror out of sync: {:?}", b.flat());
+            assert_eq!(b.soa.len(), b.len().div_ceil(LANES) * dims * LANES);
+        };
+        for i in 0..19u32 {
+            b.push(&[i, 50 - i, i % 4]);
+            check(&b);
+        }
+        let mut ids: Vec<u32> = (0..19).collect();
+        b.retain_with_ids(&mut ids, |id, _| id % 3 != 0);
+        check(&b);
+        let mut other = PointBlock::from_rows(&[vec![9, 9, 9], vec![8, 8, 8]]);
+        b.append(&mut other);
+        check(&b);
+        assert!(other.is_empty());
+        check(&other);
+        b.clear();
+        check(&b);
+    }
+
+    #[test]
     fn kernels_agree_with_scalar_checks() {
-        let b = PointBlock::from_rows(&[vec![2, 2], vec![5, 1], vec![3, 3]]);
-        // (3,3) is dominated by (2,2) — found after one examined pair.
-        assert_eq!(b.dominated(&[3, 3]), (true, 1));
-        // (1,1) is dominated by nobody; all three rows examined.
-        assert_eq!(b.dominated(&[1, 1]), (false, 3));
-        // Duplicates never dominate.
-        assert!(!b.dominated(&[2, 2]).0);
-        // id-restricted scan skips unlisted dominators.
-        assert!(!b.dominated_by(&[1], &[3, 3]).0);
-        assert_eq!(b.dominated_by(&[1, 0], &[3, 3]), (true, 2));
+        for kernel in [Kernel::Scalar, Kernel::Lanes] {
+            let b =
+                PointBlock::from_rows(&[vec![2, 2], vec![5, 1], vec![3, 3]]).with_kernel(kernel);
+            // (3,3) is dominated by (2,2) — found after one examined pair.
+            assert_eq!(b.dominated(&[3, 3]), (true, 1));
+            // (1,1) is dominated by nobody; all three rows examined.
+            assert_eq!(b.dominated(&[1, 1]), (false, 3));
+            // Duplicates never dominate.
+            assert!(!b.dominated(&[2, 2]).0);
+            // id-restricted scan skips unlisted dominators.
+            assert!(!b.dominated_by(&[1], &[3, 3]).0);
+            assert_eq!(b.dominated_by(&[1, 0], &[3, 3]), (true, 2));
+        }
     }
 
     #[test]
     fn corner_rule_spares_exact_duplicates() {
-        let b = PointBlock::from_rows(&[vec![2, 2]]);
-        assert!(b.corner_pruned(&[3, 3]).0);
-        assert!(!b.corner_pruned(&[2, 2]).0, "equal corner must survive");
-        assert!(!b.corner_pruned(&[1, 4]).0);
+        for kernel in [Kernel::Scalar, Kernel::Lanes] {
+            let b = PointBlock::from_rows(&[vec![2, 2]]).with_kernel(kernel);
+            assert!(b.corner_pruned(&[3, 3]).0);
+            assert!(!b.corner_pruned(&[2, 2]).0, "equal corner must survive");
+            assert!(!b.corner_pruned(&[1, 4]).0);
+        }
     }
 
     #[test]
     fn strictness_variant_matches_semantics() {
-        let b = PointBlock::from_rows(&[vec![2, 2], vec![4, 4]]);
-        // Equal coordinates dominate only when strict elsewhere.
-        assert!(!b.dominated_with_strictness(&[(0, false)], &[2, 2]).0);
-        assert!(b.dominated_with_strictness(&[(0, true)], &[2, 2]).0);
-        // Strictly better coordinates dominate either way.
-        assert!(b.dominated_with_strictness(&[(0, false)], &[3, 3]).0);
-        // Worse coordinates never do.
-        assert!(!b.dominated_with_strictness(&[(1, true)], &[3, 3]).0);
+        for kernel in [Kernel::Scalar, Kernel::Lanes] {
+            let b = PointBlock::from_rows(&[vec![2, 2], vec![4, 4]]).with_kernel(kernel);
+            // Equal coordinates dominate only when strict elsewhere.
+            assert!(!b.dominated_with_strictness(&[(0, false)], &[2, 2]).0);
+            assert!(b.dominated_with_strictness(&[(0, true)], &[2, 2]).0);
+            // Strictly better coordinates dominate either way.
+            assert!(b.dominated_with_strictness(&[(0, false)], &[3, 3]).0);
+            // Worse coordinates never do.
+            assert!(!b.dominated_with_strictness(&[(1, true)], &[3, 3]).0);
+        }
+    }
+
+    #[test]
+    fn pad_lanes_never_dominate_a_max_candidate() {
+        // A candidate at u32::MAX everywhere ties the tail pads on every
+        // dimension; the pads must still not count as dominators (le
+        // without lt), while a real row beats it.
+        let mut b = PointBlock::new(2).with_kernel(Kernel::Lanes);
+        b.push(&[u32::MAX, u32::MAX]);
+        assert_eq!(b.dominated(&[u32::MAX, u32::MAX]), (false, 1));
+        b.push(&[0, 0]);
+        assert_eq!(b.dominated(&[u32::MAX, u32::MAX]), (true, 2));
     }
 
     #[test]
@@ -319,8 +701,9 @@ mod tests {
     }
 
     proptest! {
-        /// The batched kernel agrees with the scalar `dominates` loop and
-        /// never examines more pairs than the scalar early-exit scan.
+        /// The batched kernel (both variants) agrees with the scalar
+        /// `dominates` loop and never examines more pairs than the scalar
+        /// early-exit scan.
         #[test]
         fn batched_equals_scalar_loop(
             rows in proptest::collection::vec(
@@ -328,15 +711,66 @@ mod tests {
             cand in proptest::collection::vec(0u32..6, 3),
         ) {
             let b = PointBlock::from_rows(&rows);
-            let (got, examined) = b.dominated(&cand);
             let mut scalar = 0u64;
             let mut expect = false;
             for r in &rows {
                 scalar += 1;
                 if dominates(r, &cand) { expect = true; break; }
             }
-            prop_assert_eq!(got, expect);
-            prop_assert_eq!(examined, scalar);
+            for kernel in [Kernel::Scalar, Kernel::Lanes] {
+                let b = b.clone().with_kernel(kernel);
+                let (got, examined) = b.dominated(&cand);
+                prop_assert_eq!(got, expect);
+                prop_assert_eq!(examined, scalar);
+            }
+        }
+
+        /// Lane-chunked ≡ scalar ≡ oracle across every kernel, on ragged
+        /// sizes (n % LANES ≠ 0 included by construction), duplicate rows
+        /// and dims 1..=16 — results *and* exact examined-pair counts.
+        #[test]
+        fn lanes_equal_scalar_on_every_kernel(
+            dims in 1usize..=16,
+            n in 1usize..40,
+            seed in 0u64..1024,
+            dup in proptest::bool::ANY,
+        ) {
+            // Deterministic pseudo-random fill from the seed (tight value
+            // range forces le/lt/equality collisions).
+            let mut s = seed;
+            let mut next = move || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (s >> 33) as u32 % 5 };
+            let mut rows: Vec<Vec<u32>> = (0..n).map(|_| (0..dims).map(|_| next()).collect()).collect();
+            if dup && n >= 2 {
+                let half = n / 2;
+                let copy = rows[0].clone();
+                rows[half] = copy; // duplicate across a likely chunk split
+            }
+            let cand: Vec<u32> = if dup { rows[0].clone() } else { (0..dims).map(|_| next()).collect() };
+            let scalar = PointBlock::from_rows(&rows).with_kernel(Kernel::Scalar);
+            let lanes = scalar.clone().with_kernel(Kernel::Lanes);
+
+            // dominated ≡ and oracle-checked.
+            let expect_hit = rows.iter().any(|r| dominates(r, &cand));
+            let (s_hit, s_ex) = scalar.dominated(&cand);
+            prop_assert_eq!(s_hit, expect_hit);
+            prop_assert_eq!(lanes.dominated(&cand), (s_hit, s_ex));
+
+            // corner_pruned ≡ (and ≡ dominated by the fused identity).
+            prop_assert_eq!(lanes.corner_pruned(&cand), scalar.corner_pruned(&cand));
+            prop_assert_eq!(scalar.corner_pruned(&cand), (s_hit, s_ex));
+
+            // dominated_by over a permuted id list.
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            ids.rotate_left(seed as usize % n);
+            prop_assert_eq!(lanes.dominated_by(&ids, &cand), scalar.dominated_by(&ids, &cand));
+
+            // dominated_with_strictness with mixed strict flags.
+            let entries: Vec<(u32, bool)> =
+                ids.iter().map(|&id| (id, id % 3 == 0)).collect();
+            prop_assert_eq!(
+                lanes.dominated_with_strictness(&entries, &cand),
+                scalar.dominated_with_strictness(&entries, &cand)
+            );
         }
     }
 }

@@ -9,6 +9,10 @@ pub struct Stats {
     /// Invocations of a batched dominance kernel (each kernel call examines
     /// zero or more pairs, all counted in `dominance_checks`).
     pub dominance_batch_calls: u64,
+    /// [`LANES`](crate::LANES)-wide chunk iterations the examined pairs
+    /// amount to (`Σ ⌈examined/LANES⌉` per batch call). Derived from the
+    /// pair counts alone, so it is identical across kernel variants.
+    pub kernel_chunks: u64,
 }
 
 impl Stats {
@@ -18,6 +22,7 @@ impl Stats {
             dominance_checks: self.dominance_checks + other.dominance_checks,
             io_reads: self.io_reads + other.io_reads,
             dominance_batch_calls: self.dominance_batch_calls + other.dominance_batch_calls,
+            kernel_chunks: self.kernel_chunks + other.kernel_chunks,
         }
     }
 
@@ -27,6 +32,7 @@ impl Stats {
     pub fn batch(&mut self, examined: u64) {
         self.dominance_checks += examined;
         self.dominance_batch_calls += 1;
+        self.kernel_chunks += examined.div_ceil(crate::LANES as u64);
     }
 }
 
@@ -100,11 +106,13 @@ mod tests {
             dominance_checks: 3,
             io_reads: 1,
             dominance_batch_calls: 2,
+            kernel_chunks: 1,
         };
         let b = Stats {
             dominance_checks: 4,
             io_reads: 2,
             dominance_batch_calls: 1,
+            kernel_chunks: 1,
         };
         assert_eq!(
             a.merge(b),
@@ -112,16 +120,20 @@ mod tests {
                 dominance_checks: 7,
                 io_reads: 3,
                 dominance_batch_calls: 3,
+                kernel_chunks: 2,
             }
         );
     }
 
     #[test]
-    fn batch_accounts_pairs_and_calls() {
+    fn batch_accounts_pairs_calls_and_chunks() {
         let mut s = Stats::default();
         s.batch(5);
         s.batch(0);
         assert_eq!(s.dominance_checks, 5);
         assert_eq!(s.dominance_batch_calls, 2);
+        assert_eq!(s.kernel_chunks, 1, "5 pairs fit one 8-lane chunk");
+        s.batch(9);
+        assert_eq!(s.kernel_chunks, 3, "9 pairs span two chunks");
     }
 }

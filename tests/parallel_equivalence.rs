@@ -295,12 +295,14 @@ fn anti_correlated_merge_does_less_pair_work() {
         assert!(new_m.merge_strata > 0);
     }
 
-    // The planner sees the skyline-heavy sample and shrinks the partition.
-    let plan = ShardPlan::adaptive(&table, &domains, 8);
+    // The cost model sees the skyline-heavy sample (merge cost ~ s·(s-1)·k̂²
+    // dwarfs the ⌈s/w⌉ run saving) and shrinks the partition.
+    let plan = ShardPlan::adaptive(&table, &domains, 8, 4);
     assert!(plan.adaptive);
     assert!(
         plan.shards < 8,
         "anti-correlated data must plan fewer shards, got {}",
         plan.shards
     );
+    assert!(plan.est_merge_checks > 0 && plan.workers == 4);
 }
