@@ -224,6 +224,9 @@ fn dynamic_point(p: &ExperimentParams) -> (bench::runner::AlgoResult, bench::run
         label_cache_misses: m.label_cache_misses / seeds.len() as u64,
         merge_pair_checks: m.merge_pair_checks / seeds.len() as u64,
         merge_strata: m.merge_strata / seeds.len() as u64,
+        shard_retries: m.shard_retries / seeds.len() as u64,
+        shard_fallbacks: m.shard_fallbacks / seeds.len() as u64,
+        faults_injected: m.faults_injected / seeds.len() as u64,
         cpu: m.cpu / seeds.len() as u32,
     };
     (

@@ -14,12 +14,12 @@
 //! can do the same in seconds.
 
 use crate::runner::{
-    generate, pair_check_picos, run_dtss, run_dtss_sharded, run_dynamic_sdc,
+    bench_budget, generate, pair_check_picos, run_dtss, run_dtss_sharded, run_dynamic_sdc,
     run_dynamic_sdc_sharded, run_sdc_plus, run_sdc_plus_sharded, run_stss, run_stss_sharded,
     AlgoResult, Workload, BENCH_SHARDS,
 };
 use datagen::{Distribution, ExperimentParams};
-use tss_core::{DtssConfig, Kernel, Metrics, ShardSpec, StssConfig};
+use tss_core::{DtssConfig, FaultPlan, Kernel, Metrics, ShardSpec, StssConfig};
 
 /// Worker threads the measuring machine can actually run — recorded in
 /// every row so single-core artifacts (like the committed `BENCH_PR4.json`)
@@ -70,6 +70,16 @@ pub struct BenchRow {
     /// Wall-clock nanoseconds of the measured run phase (index build
     /// excluded, as in the paper's query-time experiments).
     pub wall_ns: u128,
+    /// Seed of the session's deterministic [`FaultPlan`] (`TSS_FAULTS`),
+    /// `None` when fault injection is off. Reporting metadata: every
+    /// non-fault counter in the row is fault-invariant by the recovery
+    /// contract, so CI diffs fault-injected grids against fault-free ones.
+    pub fault_seed: Option<u64>,
+    /// Injection probability of the active [`FaultPlan`] (0.0 when off).
+    pub fault_rate: f64,
+    /// Pair-check allowance the sharded rows ran under (`TSS_BUDGET`),
+    /// `None` for unlimited.
+    pub budget_limit: Option<u64>,
     /// Full execution metrics of the run.
     pub metrics: Metrics,
     /// Skyline cardinality (cross-run sanity anchor).
@@ -78,6 +88,7 @@ pub struct BenchRow {
 
 impl BenchRow {
     fn of(algo: &'static str, workload: String, threads: usize, r: &AlgoResult) -> Self {
+        let faults = FaultPlan::active();
         BenchRow {
             algo,
             workload,
@@ -91,9 +102,85 @@ impl BenchRow {
             est_merge_checks: r.plan.map_or(0, |p| p.est_merge_checks),
             available_parallelism: available_parallelism(),
             wall_ns: r.metrics.cpu.as_nanos(),
+            fault_seed: faults.map(|f| f.seed),
+            fault_rate: faults.map_or(0.0, |f| f.rate()),
+            budget_limit: bench_budget().limit(),
             metrics: r.metrics,
             skyline: r.skyline,
         }
+    }
+}
+
+/// Panics with a diagnostic diff — first divergent index, both values,
+/// both lengths — when two skyline record-id vectors differ. The bench
+/// grid's equivalence checks are hard assertions; when one trips in CI
+/// the first divergent row is the fact that localizes the bug, so every
+/// checker reports it instead of a bare `assertion failed`.
+fn assert_records_identical(label: &str, a: &Option<Vec<u32>>, b: &Option<Vec<u32>>) {
+    let (a, b) = match (a, b) {
+        (Some(a), Some(b)) => (a, b),
+        (a, b) => panic!(
+            "{label}: a runner dropped its record vector (left: {}, right: {})",
+            a.is_some(),
+            b.is_some()
+        ),
+    };
+    if a == b {
+        return;
+    }
+    match a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+        Some(i) => panic!(
+            "{label}: record-id vectors diverge at index {i}: {} vs {} \
+             (lengths {} vs {})",
+            a[i],
+            b[i],
+            a.len(),
+            b.len()
+        ),
+        None => panic!(
+            "{label}: record-id vectors agree on the common prefix but \
+             lengths differ: {} vs {}",
+            a.len(),
+            b.len()
+        ),
+    }
+}
+
+/// Panics naming the first divergent *column* and both values when two
+/// counter sets differ — the counter-side counterpart of
+/// [`assert_records_identical`]. Compares every count the determinism
+/// contract covers; wall clock (`cpu`) is deliberately absent.
+fn assert_counters_identical(label: &str, a: &Metrics, b: &Metrics) {
+    let columns = [
+        ("dominance_checks", a.dominance_checks, b.dominance_checks),
+        (
+            "dominance_batch_calls",
+            a.dominance_batch_calls,
+            b.dominance_batch_calls,
+        ),
+        ("kernel_chunks", a.kernel_chunks, b.kernel_chunks),
+        ("io_reads", a.io_reads, b.io_reads),
+        ("io_writes", a.io_writes, b.io_writes),
+        ("heap_pops", a.heap_pops, b.heap_pops),
+        ("results", a.results, b.results),
+        ("label_cache_hits", a.label_cache_hits, b.label_cache_hits),
+        (
+            "label_cache_misses",
+            a.label_cache_misses,
+            b.label_cache_misses,
+        ),
+        (
+            "merge_pair_checks",
+            a.merge_pair_checks,
+            b.merge_pair_checks,
+        ),
+        ("merge_strata", a.merge_strata, b.merge_strata),
+        ("shard_retries", a.shard_retries, b.shard_retries),
+        ("shard_fallbacks", a.shard_fallbacks, b.shard_fallbacks),
+        ("faults_injected", a.faults_injected, b.faults_injected),
+    ];
+    for (column, x, y) in columns {
+        assert_eq!(x, y, "{label}: column {column} diverges: {x} vs {y}");
     }
 }
 
@@ -102,38 +189,13 @@ impl BenchRow {
 /// record-id vectors and identical work counters — only the wall clock
 /// may differ.
 fn assert_invariant(a: &BenchRow, ra: &AlgoResult, b: &BenchRow, rb: &AlgoResult) {
-    assert_eq!(a.skyline, b.skyline, "{}/{}", a.algo, a.workload);
-    assert!(
-        ra.records.is_some() && ra.records == rb.records,
-        "{}/{}: skyline record-id vectors must be byte-identical across \
-         worker counts",
-        a.algo,
-        a.workload
+    let label = format!(
+        "{}/{} (threads {} vs {})",
+        a.algo, a.workload, a.threads, b.threads
     );
-    let (ma, mb) = (&a.metrics, &b.metrics);
-    assert_eq!(
-        ma.dominance_checks, mb.dominance_checks,
-        "{}/{}: dominance_checks must not depend on the worker count",
-        a.algo, a.workload
-    );
-    assert_eq!(ma.dominance_batch_calls, mb.dominance_batch_calls);
-    assert_eq!(ma.kernel_chunks, mb.kernel_chunks);
-    assert_eq!(ma.io_reads, mb.io_reads);
-    assert_eq!(ma.io_writes, mb.io_writes);
-    assert_eq!(ma.heap_pops, mb.heap_pops);
-    assert_eq!(ma.results, mb.results);
-    assert_eq!(
-        ma.label_cache_hits, mb.label_cache_hits,
-        "{}/{}: session-cache behavior must not depend on the worker count",
-        a.algo, a.workload
-    );
-    assert_eq!(ma.label_cache_misses, mb.label_cache_misses);
-    assert_eq!(
-        ma.merge_pair_checks, mb.merge_pair_checks,
-        "{}/{}: the sorted merge's pair work must not depend on the worker count",
-        a.algo, a.workload
-    );
-    assert_eq!(ma.merge_strata, mb.merge_strata);
+    assert_eq!(a.skyline, b.skyline, "{label}");
+    assert_records_identical(&label, &ra.records, &rb.records);
+    assert_counters_identical(&label, &a.metrics, &b.metrics);
     assert_eq!(a.shards, b.shards, "plans are deterministic per workload");
     assert_eq!(a.adaptive, b.adaptive);
     assert_eq!(
@@ -166,19 +228,9 @@ fn assert_kernel_equivalence(w: &Workload, dynamic: bool) {
             run_stss(&forced(Kernel::Lanes), StssConfig::default()),
         )
     };
-    assert!(
-        scalar.records.is_some() && scalar.records == lanes.records,
-        "kernel variants must emit byte-identical skylines"
-    );
-    let strip = |mut m: Metrics| {
-        m.cpu = std::time::Duration::ZERO;
-        m
-    };
-    assert_eq!(
-        strip(scalar.metrics),
-        strip(lanes.metrics),
-        "kernel variants must report identical counters"
-    );
+    let label = format!("{}/kernel-equivalence", scalar.name);
+    assert_records_identical(&label, &scalar.records, &lanes.records);
+    assert_counters_identical(&label, &scalar.metrics, &lanes.metrics);
 }
 
 /// Runs one workload point through the serial engines and, per requested
@@ -197,6 +249,12 @@ fn emit_point(
     serial: [(&'static str, AlgoResult); 2],
     mut sharded: impl FnMut(usize, ShardSpec) -> [(&'static str, AlgoResult); 2],
 ) {
+    // An active `TSS_BUDGET` degrades the sharded runs to sound prefixes,
+    // so equality against the unbudgeted serial engines (and across shard
+    // plans, whose pair-check spend differs) weakens to soundness; the
+    // cross-thread byte-identity below still holds exactly — budgets are
+    // deterministic and thread-invariant.
+    let budgeted = bench_budget().limit().is_some();
     let [(algo_a, a), (algo_b, b)] = serial;
     assert_eq!(a.skyline, b.skyline, "engines must agree on {workload}");
     let serial_set: Option<Vec<u32>> = a.records.clone().map(|mut r| {
@@ -209,44 +267,60 @@ fn emit_point(
     for &t in threads_axis {
         assert!(t >= 1, "threads axis entries are worker counts (>= 1)");
         let [(algo_a, a), (algo_b, b)] = sharded(t, spec);
-        assert_eq!(a.skyline, b.skyline, "engines must agree on {workload}");
+        if !budgeted {
+            assert_eq!(a.skyline, b.skyline, "engines must agree on {workload}");
+        }
         // The sharded executors must produce the serial engines' skyline
         // (emission order differs — score order vs engine order — so
         // compare as record-id sets).
         if let (Some(serial_set), Some(records)) = (&serial_set, &a.records) {
-            let mut sharded_set = records.clone();
-            sharded_set.sort_unstable();
-            assert_eq!(
-                &sharded_set, serial_set,
-                "sharded and serial skylines must be the same record set on {workload}"
-            );
+            if budgeted {
+                for r in records {
+                    assert!(
+                        serial_set.binary_search(r).is_ok(),
+                        "{algo_a}/{workload}: budgeted run emitted non-skyline record {r}"
+                    );
+                }
+            } else {
+                let mut sharded_set = records.clone();
+                sharded_set.sort_unstable();
+                assert_records_identical(
+                    &format!("{algo_a}/{workload} (sharded vs serial, as sorted sets)"),
+                    &Some(sharded_set),
+                    &Some(serial_set.clone()),
+                );
+            }
         }
         let ra = BenchRow::of(algo_a, workload.to_string(), t, &a);
         let rb = BenchRow::of(algo_b, workload.to_string(), t, &b);
         match &first {
             None => {
-                let other = match spec {
-                    ShardSpec::Fixed(_) => ShardSpec::Adaptive {
-                        max: BENCH_SHARDS,
-                        workers: t,
-                    },
-                    ShardSpec::Adaptive { .. } => ShardSpec::Fixed(BENCH_SHARDS),
-                };
-                let [(_, oa), (_, ob)] = sharded(t, other);
-                assert!(
-                    a.records.is_some() && a.records == oa.records,
-                    "{algo_a}/{workload}: merged record-id vectors must be \
-                     byte-identical across shard plans ({:?} vs {:?})",
-                    a.plan,
-                    oa.plan
-                );
-                assert!(
-                    b.records.is_some() && b.records == ob.records,
-                    "{algo_b}/{workload}: merged record-id vectors must be \
-                     byte-identical across shard plans ({:?} vs {:?})",
-                    b.plan,
-                    ob.plan
-                );
+                if !budgeted {
+                    let other = match spec {
+                        ShardSpec::Fixed(_) => ShardSpec::Adaptive {
+                            max: BENCH_SHARDS,
+                            workers: t,
+                        },
+                        ShardSpec::Adaptive { .. } => ShardSpec::Fixed(BENCH_SHARDS),
+                    };
+                    let [(_, oa), (_, ob)] = sharded(t, other);
+                    assert_records_identical(
+                        &format!(
+                            "{algo_a}/{workload} (across shard plans {:?} vs {:?})",
+                            a.plan, oa.plan
+                        ),
+                        &a.records,
+                        &oa.records,
+                    );
+                    assert_records_identical(
+                        &format!(
+                            "{algo_b}/{workload} (across shard plans {:?} vs {:?})",
+                            b.plan, ob.plan
+                        ),
+                        &b.records,
+                        &ob.records,
+                    );
+                }
                 first = Some([(ra.clone(), a), (rb.clone(), b)]);
             }
             Some([(fa, fra), (fb, frb)]) => {
@@ -373,6 +447,9 @@ pub fn grid(smoke: bool, threads_axis: &[usize], spec: ShardSpec) -> Vec<BenchRo
 /// Renders the rows as a JSON array (hand-rolled: the workspace builds
 /// offline, so no serde). All strings are plain ASCII grid keys.
 pub fn to_json(rows: &[BenchRow]) -> String {
+    fn opt(v: Option<u64>) -> String {
+        v.map_or_else(|| "null".to_string(), |v| v.to_string())
+    }
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         let m = &r.metrics;
@@ -381,12 +458,14 @@ pub fn to_json(rows: &[BenchRow]) -> String {
              \"adaptive\": {}, \"kernel\": \"{}\", \"pair_check_picos\": {}, \
              \"plan_workers\": {}, \"est_run_checks\": {}, \"est_merge_checks\": {}, \
              \"available_parallelism\": {}, \
-             \"wall_ns\": {}, \"metrics\": \
+             \"wall_ns\": {}, \"fault_seed\": {}, \"fault_rate\": {}, \
+             \"budget_limit\": {}, \"metrics\": \
              {{\"dominance_checks\": {}, \"dominance_batch_calls\": {}, \
              \"kernel_chunks\": {}, \"io_reads\": {}, \
              \"io_writes\": {}, \"heap_pops\": {}, \"label_cache_hits\": {}, \
              \"label_cache_misses\": {}, \"merge_pair_checks\": {}, \
-             \"merge_strata\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
+             \"merge_strata\": {}, \"shard_retries\": {}, \"shard_fallbacks\": {}, \
+             \"faults_injected\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
             r.algo,
             r.workload,
             r.threads,
@@ -399,6 +478,9 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             r.est_merge_checks,
             r.available_parallelism,
             r.wall_ns,
+            opt(r.fault_seed),
+            r.fault_rate,
+            opt(r.budget_limit),
             m.dominance_checks,
             m.dominance_batch_calls,
             m.kernel_chunks,
@@ -409,6 +491,9 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             m.label_cache_misses,
             m.merge_pair_checks,
             m.merge_strata,
+            m.shard_retries,
+            m.shard_fallbacks,
+            m.faults_injected,
             m.results,
             r.skyline,
             if i + 1 == rows.len() { "" } else { "," }
@@ -438,6 +523,9 @@ mod tests {
             est_merge_checks: 60,
             available_parallelism: 4,
             wall_ns: 123,
+            fault_seed: Some(7),
+            fault_rate: 0.25,
+            budget_limit: None,
             metrics: Metrics {
                 dominance_checks: 7,
                 kernel_chunks: 6,
@@ -446,6 +534,9 @@ mod tests {
                 io_reads: 3,
                 label_cache_hits: 9,
                 label_cache_misses: 4,
+                shard_retries: 12,
+                shard_fallbacks: 1,
+                faults_injected: 13,
                 cpu: Duration::from_nanos(123),
                 ..Default::default()
             },
@@ -472,6 +563,14 @@ mod tests {
         // lint pins these two to the row shape for good.
         assert!(s.contains("\"label_cache_hits\": 9"));
         assert!(s.contains("\"label_cache_misses\": 4"));
+        // Fault-tolerance observability: injection config and recovery
+        // counters are part of the row shape (unset config emits null).
+        assert!(s.contains("\"fault_seed\": 7"));
+        assert!(s.contains("\"fault_rate\": 0.25"));
+        assert!(s.contains("\"budget_limit\": null"));
+        assert!(s.contains("\"shard_retries\": 12"));
+        assert!(s.contains("\"shard_fallbacks\": 1"));
+        assert!(s.contains("\"faults_injected\": 13"));
         assert!(s.trim_end().ends_with(']'));
     }
 

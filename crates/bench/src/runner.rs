@@ -7,11 +7,13 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sdc::{DynamicSdc, SdcConfig, SdcIndex, Variant};
+use std::sync::Mutex;
 use std::time::Instant;
-use tss_core::parallel::merge_jobs;
+use tss_core::parallel::merge_jobs_exec;
 use tss_core::{
-    CostModel, Dtss, DtssConfig, Metrics, PoDomain, PoQuery, ProgressSample, ShardPlan, ShardSpec,
-    SkylineCursor, Stss, StssConfig, Table,
+    Budget, CostModel, Dtss, DtssConfig, Kernel, Metrics, PoDomain, PoQuery, ProgressSample,
+    ShardJob, ShardPlan, ShardSpec, ShardView, SkylineCursor, Stss, StssConfig, Table,
+    ThreadShardExecutor,
 };
 
 /// A generated workload: the table plus its PO domains.
@@ -176,37 +178,88 @@ pub fn pair_check_picos() -> u64 {
     })
 }
 
+/// The bench grid's pair-check [`Budget`], from the `TSS_BUDGET`
+/// environment variable (an allowance in `dominance_checks` units; unset
+/// → unlimited). Read per call, like `BENCH_SHARDS`, so tests can probe
+/// the mapping without mutating the process environment.
+pub fn bench_budget() -> Budget {
+    budget_from(std::env::var("TSS_BUDGET").ok().as_deref())
+}
+
+/// The pure mapping behind [`bench_budget`].
+fn budget_from(var: Option<&str>) -> Budget {
+    match var {
+        Some(v) => Budget::pair_checks(
+            v.trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("TSS_BUDGET must be a pair-check allowance, got {v:?}")),
+        ),
+        None => Budget::UNLIMITED,
+    }
+}
+
 /// Shared body of the sharded runners: resolves the shard plan and builds
 /// one engine per shard *untimed* (both systems index offline, and the
 /// planner's prefix sample is part of planning, not the query), then
-/// executes the shards on up to `threads` scoped workers, folds the local
-/// skylines with the sorted parallel merge, and reports the *wall clock*
-/// of the timed phase as `metrics.cpu`. All counts are the exact sum of
-/// the per-shard metrics plus the merge phase.
+/// executes the shards on up to `threads` scoped workers behind the
+/// fault-tolerant [`ThreadShardExecutor`], folds the local skylines with
+/// the sorted parallel merge under the [`bench_budget`] allowance, and
+/// reports the *wall clock* of the timed phase as `metrics.cpu`. All
+/// counts are the exact sum of the per-shard metrics plus the merge
+/// phase.
+///
+/// Each prebuilt engine serves attempt 0 of its shard; recovery attempts
+/// (retries after an injected or genuine panic, and the scalar-oracle
+/// fallback of last resort) rebuild the shard's engine inside the timed
+/// phase at [`ShardCtx::kernel`](tss_core::ShardCtx::kernel) — recovery
+/// work is genuinely part of the run. Kernel equivalence (bit-identical
+/// results and counters across kernels) keeps the recovered rows
+/// byte-comparable with fault-free ones.
 fn run_sharded<E: Send>(
     name: &'static str,
     table: &Table,
     domains: &[PoDomain],
     plan: ShardPlan,
     threads: usize,
-    build: impl Fn(&tss_core::ShardView<'_>) -> E,
-    run: impl Fn(E) -> (Vec<u32>, Metrics) + Sync,
+    build: impl Fn(&ShardView<'_>, Kernel) -> E + Sync,
+    run: impl Fn(&E) -> (Vec<u32>, Metrics) + Sync,
 ) -> AlgoResult {
     let views = table.shards(plan.shards);
-    let engines: Vec<(E, u32)> = views.iter().map(|v| (build(v), v.start())).collect();
+    let base_kernel = table.kernel();
+    let engines: Vec<Mutex<Option<E>>> = views
+        .iter()
+        .map(|v| Mutex::new(Some(build(v, base_kernel))))
+        .collect();
     let t0 = Instant::now();
-    let run = &run;
-    let jobs: Vec<_> = engines
-        .into_iter()
-        .map(|(engine, start)| {
-            move || {
-                let (local, m) = run(engine);
-                let global: Vec<u32> = local.into_iter().map(|r| r + start).collect();
+    let (build, run, engines) = (&build, &run, &engines);
+    let jobs: Vec<ShardJob<'_>> = views
+        .iter()
+        .map(|&view| {
+            ShardJob::new(view.range(), move |ctx| {
+                // The prebuilt engine is taken (not borrowed): a panicking
+                // attempt drops it mid-unwind, so retries never observe an
+                // engine whose interior IO counters were left mid-run.
+                let prebuilt = if ctx.kernel == base_kernel {
+                    engines[ctx.shard]
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .take()
+                } else {
+                    None
+                };
+                let engine = prebuilt.unwrap_or_else(|| build(&view, ctx.kernel));
+                let (local, m) = run(&engine);
+                let global: Vec<u32> = local.into_iter().map(|r| r + view.start()).collect();
                 (global, m)
-            }
+            })
         })
         .collect();
-    let parallel = merge_jobs(table, domains, threads, jobs);
+    let executor = ThreadShardExecutor::new(threads);
+    let parallel = merge_jobs_exec(table, domains, &executor, threads, bench_budget(), jobs)
+        .unwrap_or_else(|e| {
+            // lint:allow(panic-path): a shard that fails its retries AND the scalar-oracle fallback has no recovery left — the bench run is unreportable and must abort loudly
+            panic!("{name}: unrecoverable shard failure: {e}")
+        });
     let wall = t0.elapsed();
     let mut metrics = parallel.metrics();
     metrics.cpu = wall;
@@ -236,7 +289,9 @@ pub fn run_stss_sharded(
         &domains,
         plan,
         threads,
-        |v| Stss::build(v.to_store(), w.dags.clone(), cfg).expect("valid workload"),
+        |v, k| {
+            Stss::build(v.to_store().with_kernel(k), w.dags.clone(), cfg).expect("valid workload")
+        },
         |e| {
             let r = e.run();
             (r.skyline_records(), r.metrics)
@@ -258,9 +313,9 @@ pub fn run_sdc_plus_sharded(
         &domains,
         plan,
         threads,
-        |v| {
+        |v, k| {
             SdcIndex::build(
-                v.to_store(),
+                v.to_store().with_kernel(k),
                 w.dags.clone(),
                 Variant::SdcPlus,
                 SdcConfig::default(),
@@ -269,7 +324,7 @@ pub fn run_sdc_plus_sharded(
         },
         |e| {
             let r = e.run();
-            (r.skyline, r.metrics)
+            (r.skyline.clone(), r.metrics)
         },
     )
 }
@@ -300,7 +355,9 @@ pub fn run_dtss_sharded(
         &domains,
         plan,
         threads,
-        |v| Dtss::build(v.to_store(), sizes.clone(), cfg).expect("valid workload"),
+        |v, k| {
+            Dtss::build(v.to_store().with_kernel(k), sizes.clone(), cfg).expect("valid workload")
+        },
         |e| {
             let r = e.query(&query).expect("valid query");
             (r.skyline_records(), r.metrics)
@@ -329,10 +386,10 @@ pub fn run_dynamic_sdc_sharded(
         &domains,
         plan,
         threads,
-        |v| DynamicSdc::new(v.to_store(), SdcConfig::default()),
+        |v, k| DynamicSdc::new(v.to_store().with_kernel(k), SdcConfig::default()),
         |e| {
             let r = e.query(&query).expect("valid query");
-            (r.skyline, r.metrics)
+            (r.skyline.clone(), r.metrics)
         },
     )
 }

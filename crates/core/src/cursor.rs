@@ -42,6 +42,7 @@
 //! assert_eq!(&all[..2], &top2[..]);
 //! ```
 
+use crate::budget::{Budget, BudgetOutcome, BudgetedCursor};
 use crate::stss::SkylinePoint;
 use crate::{Metrics, ProgressSample};
 
@@ -113,6 +114,14 @@ pub trait SkylineEngine {
         let pts = c.take_k(usize::MAX);
         let m = c.metrics();
         (pts, m)
+    }
+
+    /// Convenience: runs a fresh cursor under a pair-check [`Budget`] —
+    /// the complete skyline when it fits the allowance, otherwise a
+    /// *sound confirmed prefix* of it (the anytime guarantee; see
+    /// [`BudgetedCursor`]).
+    fn collect_budgeted(&self, budget: Budget) -> BudgetOutcome {
+        BudgetedCursor::run(self.open(), budget)
     }
 }
 

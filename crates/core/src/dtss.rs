@@ -279,6 +279,18 @@ impl Dtss {
         self.cursor_inner(q, None, None)
     }
 
+    /// Budgeted query: drives [`query_cursor`](Self::query_cursor) under
+    /// a pair-check allowance — the full dynamic skyline when it fits,
+    /// otherwise a *sound confirmed prefix* of it (see
+    /// [`BudgetedCursor`](crate::BudgetedCursor)).
+    pub fn query_budgeted(
+        &self,
+        q: &PoQuery,
+        budget: crate::Budget,
+    ) -> Result<crate::BudgetOutcome, CoreError> {
+        Ok(crate::BudgetedCursor::run(self.query_cursor(q)?, budget))
+    }
+
     /// Cursor variant of [`Dtss::query_fully_dynamic`].
     pub fn query_cursor_fully_dynamic(
         &self,

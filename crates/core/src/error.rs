@@ -58,3 +58,70 @@ impl fmt::Display for CoreError {
 }
 
 impl std::error::Error for CoreError {}
+
+/// Failures surfaced by the fault-tolerant shard executor
+/// ([`ShardExecutor`](crate::parallel::ShardExecutor)): what went wrong on
+/// the shard's **final** attempt, after the bounded retry ladder and the
+/// scalar-oracle fallback of last resort were both exhausted.
+///
+/// A `ShardError` escaping [`sharded_skyline`](crate::sharded_skyline)
+/// therefore means the shard failed deterministically on every path — a
+/// real engine bug, not a transient fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The shard job panicked; `message` is the rendered panic payload of
+    /// the failing attempt.
+    Panicked {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Zero-based attempt the failure was observed on (the fallback
+        /// attempt is `retries + 1`).
+        attempt: u32,
+        /// Rendered panic payload (`"<non-string panic payload>"` when the
+        /// payload is not a string).
+        message: String,
+    },
+    /// The shard's local skyline failed the merge-side minimality
+    /// validation: `offender` is dominated by another local member, so the
+    /// local result cannot be a skyline.
+    Corrupted {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Zero-based attempt the corruption was detected on.
+        attempt: u32,
+        /// The dominated record id that proves the corruption.
+        offender: u32,
+    },
+}
+
+impl ShardError {
+    /// The shard the error originated on.
+    pub fn shard(&self) -> usize {
+        match self {
+            ShardError::Panicked { shard, .. } | ShardError::Corrupted { shard, .. } => *shard,
+        }
+    }
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Panicked {
+                shard,
+                attempt,
+                message,
+            } => write!(f, "shard {shard} panicked on attempt {attempt}: {message}"),
+            ShardError::Corrupted {
+                shard,
+                attempt,
+                offender,
+            } => write!(
+                f,
+                "shard {shard} produced a corrupt local skyline on attempt {attempt}: \
+                 record {offender} is dominated by another local member"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}

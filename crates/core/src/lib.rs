@@ -55,11 +55,13 @@
 
 #![forbid(unsafe_code)]
 
+mod budget;
 mod classic;
 mod cursor;
 mod dominance;
 mod dtss;
 mod error;
+mod executor;
 mod fastcheck;
 mod mapping;
 mod metrics;
@@ -69,17 +71,19 @@ mod session;
 mod store;
 mod stss;
 
+pub use budget::{Budget, BudgetOutcome, BudgetedCursor};
 pub use classic::{ClassicAlgo, ClassicEngine};
 pub use cursor::{CursorIter, SkylineCursor, SkylineEngine};
 pub use dominance::{brute_force_po_skyline, t_dominates, t_dominates_weak_printed, Dominance};
 pub use dtss::{Dtss, DtssConfig, DtssCursor, DtssQueryEngine, DtssRun, PoQuery};
-pub use error::CoreError;
+pub use error::{CoreError, ShardError};
 pub use fastcheck::VirtualPointIndex;
 pub use mapping::PoDomain;
 pub use metrics::{CostModel, Metrics};
 pub use parallel::{
-    parallel_classic_skyline, sharded_skyline, sharded_skyline_with, ParallelRun, ShardPlan,
-    ShardSpec,
+    parallel_classic_skyline, sharded_skyline, sharded_skyline_exec, sharded_skyline_with,
+    ExecPolicy, FaultKind, FaultPlan, ParallelRun, ShardCtx, ShardExecutor, ShardJob, ShardOutcome,
+    ShardPlan, ShardSpec, ThreadShardExecutor,
 };
 pub use progressive::{ProgressLog, ProgressSample};
 pub use session::{QuerySession, SessionStats};

@@ -36,6 +36,19 @@ pub struct Metrics {
     /// Equal-score strata processed by the sorted merge (the units of its
     /// frozen-prefix parallelism).
     pub merge_strata: u64,
+    /// Failed shard attempts the fault-tolerant executor retried (each
+    /// regular-path attempt that panicked or failed validation counts
+    /// once). Deterministic under a seeded
+    /// [`FaultPlan`](crate::parallel::FaultPlan), so thread-count
+    /// invariant like every other counter.
+    pub shard_retries: u64,
+    /// Shards recomputed on the scalar-oracle kernel path after exhausting
+    /// their regular retry budget — the recovery ladder's last resort.
+    pub shard_fallbacks: u64,
+    /// Faults the active [`FaultPlan`](crate::parallel::FaultPlan)
+    /// actually fired (injected panics + injected corruptions, across all
+    /// attempts). Zero on fault-free runs.
+    pub faults_injected: u64,
     /// Measured CPU time (single-threaded wall clock of the run).
     pub cpu: Duration,
 }
@@ -60,6 +73,9 @@ impl Metrics {
             label_cache_misses: self.label_cache_misses + other.label_cache_misses,
             merge_pair_checks: self.merge_pair_checks + other.merge_pair_checks,
             merge_strata: self.merge_strata + other.merge_strata,
+            shard_retries: self.shard_retries + other.shard_retries,
+            shard_fallbacks: self.shard_fallbacks + other.shard_fallbacks,
+            faults_injected: self.faults_injected + other.faults_injected,
             cpu: self.cpu + other.cpu,
         }
     }
@@ -125,6 +141,9 @@ mod tests {
             label_cache_misses: 7,
             merge_pair_checks: 9,
             merge_strata: 10,
+            shard_retries: 11,
+            shard_fallbacks: 12,
+            faults_injected: 13,
             cpu: Duration::from_millis(10),
         };
         let b = a;
@@ -137,6 +156,9 @@ mod tests {
         assert_eq!(m.label_cache_misses, 14);
         assert_eq!(m.merge_pair_checks, 18);
         assert_eq!(m.merge_strata, 20);
+        assert_eq!(m.shard_retries, 22);
+        assert_eq!(m.shard_fallbacks, 24);
+        assert_eq!(m.faults_injected, 26);
         assert_eq!(m.cpu, Duration::from_millis(20));
     }
 

@@ -75,6 +75,22 @@
 //!   quadratic in the shard count) lands on one or two shards; dominance-
 //!   heavy data fans out to the worker count.
 //!
+//! # Fault tolerance
+//!
+//! Shard jobs run behind the [`ShardExecutor`] seam: every attempt is
+//! panic-isolated (`catch_unwind` lives in the executor module alone),
+//! failed shards are retried a bounded number of times and then
+//! recomputed on the scalar-oracle kernel path, and a seeded
+//! [`FaultPlan`] (`TSS_FAULTS=seed:rate`) can deterministically inject
+//! panics and corrupted local skylines to prove the recovery ladder
+//! keeps every byte-identity invariant — see the
+//! [`executor` docs](ShardExecutor). The sharded fronts therefore return
+//! `Result<ParallelRun, ShardError>`: an `Err` means a shard failed on
+//! *every* path, including the oracle — a real bug, not a transient
+//! fault. A [`Budget`] (pair-check units) can bound the
+//! total work; an exhausted run reports
+//! [`ParallelRun::exhausted`] with a sound confirmed prefix.
+//!
 //! ```
 //! use skyline::PointBlock;
 //! use tss_core::parallel::parallel_classic_skyline;
@@ -84,24 +100,32 @@
 //! for (a, b) in [(5, 1), (1, 5), (3, 3), (4, 4), (2, 6), (6, 2)] {
 //!     t.push(&[a, b], &[]);
 //! }
-//! let run = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 3, 2);
+//! let run = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 3, 2).unwrap();
 //! let mut got = run.records.clone();
 //! got.sort_unstable();
 //! assert_eq!(got, vec![0, 1, 2]);
 //! // The same shards at one worker produce the identical result and
 //! // counts — threads only change the wall clock.
-//! let serial = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 3, 1);
+//! let serial = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 3, 1).unwrap();
 //! assert_eq!(serial.records, run.records);
 //! assert_eq!(serial.metrics().dominance_checks, run.metrics().dominance_checks);
 //! ```
 
+use crate::budget::Budget;
 use crate::classic::{ClassicAlgo, ClassicEngine};
 use crate::cursor::SkylineEngine;
+use crate::error::ShardError;
+use crate::executor::panic_message;
 use crate::store::{PointStore, RecordId, ShardView};
 use crate::{Metrics, PoDomain};
 use skyline::PointBlock;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub use crate::executor::{
+    ExecPolicy, FaultKind, FaultPlan, ShardCtx, ShardExecutor, ShardJob, ShardOutcome,
+    ThreadShardExecutor,
+};
 
 /// Componentwise sum of a set of [`Metrics`] (exact, via
 /// [`Metrics::merge`]).
@@ -116,42 +140,81 @@ pub fn sum_metrics<'a>(metrics: impl IntoIterator<Item = &'a Metrics>) -> Metric
 /// cursor), so uneven jobs balance; results are slotted by index, so the
 /// output — unlike the schedule — is deterministic. `threads <= 1` (or a
 /// single job) runs inline on the caller's thread.
-pub fn run_jobs<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+///
+/// A job that panics on a worker is reported as
+/// [`ShardError::Panicked`] (with the job's index as the shard) instead
+/// of tearing the process down; jobs a dead worker never claimed are
+/// recomputed inline on the caller's thread, so one failure never loses
+/// the others' results. Executors that want retries and fallbacks
+/// instead of an error run their jobs through
+/// [`ThreadShardExecutor`].
+pub fn run_jobs<T, F>(threads: usize, jobs: Vec<F>) -> Result<Vec<T>, ShardError>
 where
     F: FnOnce() -> T + Send,
     T: Send,
 {
     let n = jobs.len();
     if threads <= 1 || n <= 1 {
-        return jobs.into_iter().map(|f| f()).collect();
+        return Ok(jobs.into_iter().map(|f| f()).collect());
     }
     let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let mut panic_msgs: Vec<String> = Vec::new();
     std::thread::scope(|s| {
-        for _ in 0..threads.min(n) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let job = slots[i]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("each job runs exactly once");
-                *results[i].lock().expect("result slot poisoned") = Some(job());
-            });
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Locks are claimed uncontended (the atomic cursor
+                    // hands each index to exactly one worker); a poisoned
+                    // lock still owns its data, so poisoning — only
+                    // possible if a job panicked mid-slot-write — never
+                    // cascades.
+                    let job = slots[i].lock().unwrap_or_else(|p| p.into_inner()).take();
+                    if let Some(job) = job {
+                        let value = job();
+                        *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            // Joining explicitly consumes a worker's panic payload, so the
+            // scope does not resume unwinding on the caller; the payload
+            // becomes the structured error below.
+            if let Err(payload) = h.join() {
+                panic_msgs.push(panic_message(payload.as_ref()));
+            }
         }
     });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job completed")
-        })
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    let mut panics = panic_msgs.into_iter();
+    for (i, (slot, result)) in slots.into_iter().zip(results).enumerate() {
+        match result.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some(v) => out.push(v),
+            // Unclaimed (its would-be workers died first): run inline. A
+            // deterministic panic in the job itself resurfaces on the
+            // caller's thread, which is the job's own failure, not ours.
+            None => match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+                Some(job) => out.push(job()),
+                // Claimed but never finished: this job panicked.
+                None => {
+                    return Err(ShardError::Panicked {
+                        shard: i,
+                        attempt: 0,
+                        message: panics
+                            .next()
+                            .unwrap_or_else(|| "worker panicked".to_string()),
+                    })
+                }
+            },
+        }
+    }
+    Ok(out)
 }
 
 /// Minimum items per worker before [`map_slice`] bothers spawning.
@@ -178,11 +241,18 @@ where
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|c| s.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .map(|c| (c, s.spawn(|| c.iter().map(&f).collect::<Vec<R>>())))
             .collect();
         let mut out = Vec::with_capacity(items.len());
-        for h in handles {
-            out.extend(h.join().expect("map_slice worker panicked"));
+        for (c, h) in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                // A panicked worker loses nothing: its chunk is recomputed
+                // inline, in order. A deterministic panic in `f` then
+                // resurfaces on the caller's thread — `f`'s own failure —
+                // while every other chunk's results survive.
+                Err(_) => out.extend(c.iter().map(&f)),
+            }
         }
         out
     })
@@ -407,6 +477,12 @@ pub struct ParallelRun {
     pub merge_metrics: Metrics,
     /// The shard-count decision this run executed under.
     pub plan: ShardPlan,
+    /// True iff a [`Budget`] ran out before the merge
+    /// finished: [`records`](Self::records) then holds a *sound confirmed
+    /// prefix* of the exact merged skyline (every record is truly
+    /// skyline; the vector is a prefix of what the unbudgeted run emits).
+    /// Always `false` under [`Budget::UNLIMITED`](crate::Budget).
+    pub exhausted: bool,
 }
 
 impl ParallelRun {
@@ -511,7 +587,35 @@ pub fn merge_shard_skylines(
     locals: &[Vec<RecordId>],
     threads: usize,
 ) -> (Vec<RecordId>, Metrics) {
+    let (records, m, _) =
+        merge_shard_skylines_budgeted(store, domains, locals, threads, Budget::UNLIMITED);
+    (records, m)
+}
+
+/// [`merge_shard_skylines`] under a [`Budget`] of merge
+/// pair checks: the merge stops at the first **stratum boundary** where
+/// the accumulated merge `dominance_checks` meet the allowance (the last
+/// stratum may overshoot — strata are the indivisible unit of the frozen-
+/// prefix parallelism). Returns `(records, metrics, exhausted)`.
+///
+/// Stopping early is *sound*: any dominator of a candidate scores
+/// strictly lower, so it sits in an earlier stratum — either confirmed
+/// (and checked against) or itself dominated by a confirmed record that
+/// was checked by transitivity. Every emitted record is therefore
+/// globally skyline no matter how many later strata were skipped, and
+/// the emitted vector is a true prefix of the unbudgeted emission — the
+/// anytime guarantee [`ParallelRun::exhausted`] advertises. The stop
+/// point depends only on counts, never on threads or clocks, so budgeted
+/// runs stay deterministic.
+pub fn merge_shard_skylines_budgeted(
+    store: &PointStore,
+    domains: &[PoDomain],
+    locals: &[Vec<RecordId>],
+    threads: usize,
+    budget: Budget,
+) -> (Vec<RecordId>, Metrics, bool) {
     let mut m = Metrics::default();
+    let mut exhausted = false;
     let shard_count = locals.len();
     // (score, id, shard) per candidate, sorted by (score, id).
     let mut cands: Vec<(u64, RecordId, u32)> = Vec::new();
@@ -528,6 +632,10 @@ pub fn merge_shard_skylines(
     let mut confirmed: Vec<Vec<RecordId>> = vec![Vec::new(); shard_count];
     let mut start = 0;
     while start < cands.len() {
+        if budget.exhausted_by(m.dominance_checks) {
+            exhausted = true;
+            break;
+        }
         let score = cands[start].0;
         let mut end = start + 1;
         while end < cands.len() && cands[end].0 == score {
@@ -567,59 +675,96 @@ pub fn merge_shard_skylines(
         start = end;
     }
     m.results = records.len() as u64;
-    (records, m)
+    (records, m, exhausted)
 }
 
-/// The lower-level sharded executor: runs prepared per-shard jobs — each
+/// The lower-level sharded front: runs prepared [`ShardJob`]s — each
 /// already yielding its local skyline as **global** record ids plus its
-/// metrics — on up to `threads` workers, then folds the locals with the
-/// sorted [`merge_shard_skylines`] on the same worker budget.
-/// [`sharded_skyline`] and the bench runners are thin fronts over this;
-/// the returned plan is the implied fixed one — callers that planned
-/// adaptively overwrite [`ParallelRun::plan`].
-pub fn merge_jobs<F>(
+/// metrics — through a [`ShardExecutor`], then folds the recovered locals
+/// with the sorted [`merge_shard_skylines_budgeted`] on `threads`
+/// workers. [`sharded_skyline`] and the bench runners are thin fronts
+/// over this; the returned plan is the implied fixed one — callers that
+/// planned adaptively overwrite [`ParallelRun::plan`].
+///
+/// The budget is charged against **total** pair work: whatever the shard
+/// phase spent is subtracted from the allowance before the merge runs,
+/// so an allowance smaller than the shard work yields an (empty but
+/// sound) confirmed prefix.
+pub fn merge_jobs_exec<E>(
     store: &PointStore,
     domains: &[PoDomain],
+    executor: &E,
     threads: usize,
-    jobs: Vec<F>,
-) -> ParallelRun
+    budget: Budget,
+    jobs: Vec<ShardJob<'_>>,
+) -> Result<ParallelRun, ShardError>
 where
-    F: FnOnce() -> (Vec<RecordId>, Metrics) + Send,
+    E: ShardExecutor + ?Sized,
 {
     let plan = ShardPlan::fixed(jobs.len());
-    let results = run_jobs(threads, jobs);
-    let (locals, shard_metrics): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-    let (records, merge_metrics) = merge_shard_skylines(store, domains, &locals, threads);
-    ParallelRun {
+    let outcomes = executor.execute(store, domains, &jobs);
+    let mut locals = Vec::with_capacity(jobs.len());
+    let mut shard_metrics = Vec::with_capacity(jobs.len());
+    for outcome in outcomes {
+        let outcome = outcome?;
+        locals.push(outcome.records);
+        shard_metrics.push(outcome.metrics);
+    }
+    let shard_spent: u64 = shard_metrics.iter().map(|m| m.dominance_checks).sum();
+    let remaining = match budget.limit() {
+        Some(limit) => Budget::pair_checks(limit.saturating_sub(shard_spent)),
+        None => Budget::UNLIMITED,
+    };
+    let (records, merge_metrics, exhausted) =
+        merge_shard_skylines_budgeted(store, domains, &locals, threads, remaining);
+    Ok(ParallelRun {
         records,
         locals,
         shard_metrics,
         merge_metrics,
         plan,
-    }
+        exhausted,
+    })
 }
 
-/// Runs one exact skyline engine per shard on up to `threads` scoped
-/// threads and merges the local skylines — the generic sharded executor
-/// every engine-specific runner builds on.
+/// [`merge_jobs_exec`] on the default in-process executor
+/// ([`ThreadShardExecutor::new`], i.e. the environment's
+/// [`ExecPolicy`]) with no budget.
+pub fn merge_jobs(
+    store: &PointStore,
+    domains: &[PoDomain],
+    threads: usize,
+    jobs: Vec<ShardJob<'_>>,
+) -> Result<ParallelRun, ShardError> {
+    let executor = ThreadShardExecutor::new(threads);
+    merge_jobs_exec(store, domains, &executor, threads, Budget::UNLIMITED, jobs)
+}
+
+/// Runs one exact skyline engine per shard behind the fault-tolerant
+/// [`ThreadShardExecutor`] and merges the local skylines — the generic
+/// sharded front every engine-specific runner builds on.
 ///
-/// `run_shard(i, view)` evaluates shard `i` and returns its local skyline
-/// as **shard-local** record ids (`0..view.len()`, e.g. from an engine
-/// built over [`ShardView::to_store`]) plus that run's metrics; ids are
-/// translated back to global ones here. The shard partition is fixed by
+/// `run_shard(ctx, view)` evaluates shard [`ctx.shard`](ShardCtx::shard)
+/// and returns its local skyline as **shard-local** record ids
+/// (`0..view.len()`, e.g. from an engine built over
+/// [`ShardView::to_store`]) plus that run's metrics; ids are translated
+/// back to global ones here. The closure may be invoked several times
+/// per shard — once per recovery attempt — and should honor
+/// [`ctx.kernel`](ShardCtx::kernel) so the final-resort fallback really
+/// recomputes on the scalar oracle. The shard partition is fixed by
 /// `shards`, so the result is identical for every `threads` value — see
 /// the module docs for the full determinism contract. For a
-/// planner-chosen shard count use [`sharded_skyline_with`] and
-/// [`ShardSpec::Adaptive`].
+/// planner-chosen shard count use [`sharded_skyline_with`]; for explicit
+/// fault/budget control use [`sharded_skyline_exec`].
 pub fn sharded_skyline<F>(
     store: &PointStore,
     domains: &[PoDomain],
     shards: usize,
     threads: usize,
     run_shard: F,
-) -> ParallelRun
+) -> Result<ParallelRun, ShardError>
 where
-    F: Fn(usize, &ShardView<'_>) -> (Vec<RecordId>, Metrics) + Sync,
+    F: Fn(ShardCtx, &ShardView<'_>) -> (Vec<RecordId>, Metrics) + Sync,
 {
     sharded_skyline_with(store, domains, ShardSpec::Fixed(shards), threads, run_shard)
 }
@@ -635,49 +780,79 @@ pub fn sharded_skyline_with<F>(
     spec: ShardSpec,
     threads: usize,
     run_shard: F,
-) -> ParallelRun
+) -> Result<ParallelRun, ShardError>
 where
-    F: Fn(usize, &ShardView<'_>) -> (Vec<RecordId>, Metrics) + Sync,
+    F: Fn(ShardCtx, &ShardView<'_>) -> (Vec<RecordId>, Metrics) + Sync,
+{
+    sharded_skyline_exec(
+        store,
+        domains,
+        spec,
+        threads,
+        ExecPolicy::default(),
+        Budget::UNLIMITED,
+        run_shard,
+    )
+}
+
+/// The fully explicit sharded front: shard spec, worker count, retry /
+/// fault-injection [`ExecPolicy`] and a pair-check
+/// [`Budget`], all caller-controlled (the fault-tolerance
+/// proptests and the bench harness drive this directly; the simpler
+/// fronts fill in environment defaults).
+pub fn sharded_skyline_exec<F>(
+    store: &PointStore,
+    domains: &[PoDomain],
+    spec: ShardSpec,
+    threads: usize,
+    policy: ExecPolicy,
+    budget: Budget,
+    run_shard: F,
+) -> Result<ParallelRun, ShardError>
+where
+    F: Fn(ShardCtx, &ShardView<'_>) -> (Vec<RecordId>, Metrics) + Sync,
 {
     let plan = spec.resolve(store, domains);
     let views = store.shards(plan.shards);
     let run_shard = &run_shard;
-    let jobs: Vec<_> = views
+    let jobs: Vec<ShardJob<'_>> = views
         .iter()
-        .enumerate()
-        .map(|(i, &view)| {
-            move || {
-                let (local, metrics) = run_shard(i, &view);
+        .map(|&view| {
+            ShardJob::new(view.range(), move |ctx| {
+                let (local, metrics) = run_shard(ctx, &view);
                 let global: Vec<RecordId> = local.into_iter().map(|r| r + view.start()).collect();
                 (global, metrics)
-            }
+            })
         })
         .collect();
-    let mut run = merge_jobs(store, domains, threads, jobs);
+    let executor = ThreadShardExecutor::with_policy(threads, policy);
+    let mut run = merge_jobs_exec(store, domains, &executor, threads, budget, jobs)?;
     run.plan = plan;
-    run
+    Ok(run)
 }
 
 /// Sharded parallel run of a classic totally ordered algorithm
 /// (brute/BNL/SFS/SaLSa/BBS/…): each shard's window of the flat TO block
 /// becomes one [`PointBlock`], a [`ClassicEngine`] computes its local
 /// skyline, and the locals are merged with the TO-only dominance kernels.
-/// The store must be TO-only (`po_dims == 0`).
+/// The store must be TO-only (`po_dims == 0`). Each attempt honors the
+/// executor's [`ShardCtx::kernel`], so fallback recomputes really run on
+/// the scalar oracle.
 pub fn parallel_classic_skyline(
     store: &PointStore,
     algo: ClassicAlgo,
     shards: usize,
     threads: usize,
-) -> ParallelRun {
+) -> Result<ParallelRun, ShardError> {
     assert_eq!(
         store.po_dims(),
         0,
         "classic algorithms are totally ordered; use sharded_skyline with \
          a PO-aware engine for mixed stores"
     );
-    sharded_skyline(store, &[], shards, threads, |_, view| {
+    sharded_skyline(store, &[], shards, threads, |ctx, view| {
         let block = PointBlock::from_flat(store.to_dims(), view.to_block().to_vec())
-            .with_kernel(store.kernel());
+            .with_kernel(ctx.kernel);
         let engine = ClassicEngine::new(block, algo);
         let (points, metrics) = engine.collect_skyline();
         (points.into_iter().map(|p| p.record).collect(), metrics)
@@ -704,12 +879,31 @@ mod tests {
         for threads in [1usize, 2, 4, 9] {
             let jobs: Vec<_> = (0..7u32).map(|i| move || i * i).collect();
             assert_eq!(
-                run_jobs(threads, jobs),
+                run_jobs(threads, jobs).unwrap(),
                 vec![0, 1, 4, 9, 16, 25, 36],
                 "threads={threads}"
             );
         }
-        assert!(run_jobs::<u32, fn() -> u32>(4, vec![]).is_empty());
+        assert!(run_jobs::<u32, fn() -> u32>(4, vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_jobs_reports_a_panicking_job_as_a_shard_error() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..6u32)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 3, "job 3 exploded");
+                    i * 10
+                }) as Box<dyn FnOnce() -> u32 + Send>
+            })
+            .collect();
+        match run_jobs(3, jobs) {
+            Err(ShardError::Panicked { shard, message, .. }) => {
+                assert_eq!(shard, 3);
+                assert!(message.contains("job 3 exploded"), "{message}");
+            }
+            other => unreachable!("expected a structured panic report, got {other:?}"),
+        }
     }
 
     #[test]
@@ -740,7 +934,7 @@ mod tests {
             ClassicAlgo::Bbs { node_capacity: 8 },
         ] {
             for shards in [1usize, 2, 3, 8] {
-                let run = parallel_classic_skyline(&t, algo, shards, 2);
+                let run = parallel_classic_skyline(&t, algo, shards, 2).unwrap();
                 let mut got = run.records.clone();
                 got.sort_unstable();
                 assert_eq!(got, expect, "{algo:?} shards={shards}");
@@ -752,9 +946,9 @@ mod tests {
     #[test]
     fn thread_count_never_changes_results_or_counts() {
         let t = to_only_table(200);
-        let baseline = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 5, 1);
+        let baseline = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 5, 1).unwrap();
         for threads in [2usize, 3, 4, 8] {
-            let run = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 5, threads);
+            let run = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 5, threads).unwrap();
             assert_eq!(run.records, baseline.records, "threads={threads}");
             assert_eq!(run.locals, baseline.locals);
             let (a, b) = (run.metrics(), baseline.metrics());
@@ -769,7 +963,7 @@ mod tests {
     #[test]
     fn total_metrics_are_the_exact_shard_sum() {
         let t = to_only_table(90);
-        let run = parallel_classic_skyline(&t, ClassicAlgo::Salsa, 4, 3);
+        let run = parallel_classic_skyline(&t, ClassicAlgo::Salsa, 4, 3).unwrap();
         let total = run.metrics();
         let mut by_hand = run
             .shard_metrics
@@ -794,7 +988,7 @@ mod tests {
             t.push(&[1, 1], &[]); // skyline, duplicated across shards
             t.push(&[3, 3], &[]); // dominated
         }
-        let run = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 4, 2);
+        let run = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 4, 2).unwrap();
         let mut got = run.records.clone();
         got.sort_unstable();
         assert_eq!(got, vec![0, 2, 4, 6]);
@@ -962,19 +1156,20 @@ mod tests {
     #[test]
     fn adaptive_executor_matches_fixed_byte_for_byte() {
         let t = to_only_table(200);
-        let fixed = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 5, 2);
+        let fixed = parallel_classic_skyline(&t, ClassicAlgo::Sfs, 5, 2).unwrap();
         let adaptive = sharded_skyline_with(
             &t,
             &[],
             ShardSpec::Adaptive { max: 8, workers: 2 },
             2,
-            |_, view: &ShardView<'_>| {
+            |_ctx, view: &ShardView<'_>| {
                 let block = PointBlock::from_flat(t.to_dims(), view.to_block().to_vec());
                 let engine = ClassicEngine::new(block, ClassicAlgo::Sfs);
                 let (points, metrics) = engine.collect_skyline();
                 (points.into_iter().map(|p| p.record).collect(), metrics)
             },
-        );
+        )
+        .unwrap();
         assert!(adaptive.plan.adaptive);
         assert!(!fixed.plan.adaptive);
         assert_eq!(fixed.plan.shards, 5);
@@ -995,12 +1190,13 @@ mod tests {
         let domains = vec![PoDomain::new(dag.clone())];
         let mut expect = brute_force_po_skyline(&domains, &t);
         expect.sort_unstable();
-        let run = sharded_skyline(&t, &domains, 4, 2, |_, view| {
+        let run = sharded_skyline(&t, &domains, 4, 2, |_ctx, view| {
             let stss = Stss::build(view.to_store(), vec![dag.clone()], StssConfig::default())
                 .expect("shard build");
             let r = stss.run();
             (r.skyline_records(), r.metrics)
-        });
+        })
+        .unwrap();
         let mut got = run.records.clone();
         got.sort_unstable();
         assert_eq!(got, expect);

@@ -270,6 +270,24 @@ impl PointStore {
         }
     }
 
+    /// [`t_dominated_by_any`](Self::t_dominated_by_any) forced onto the
+    /// scalar oracle path, ignoring the store's configured kernel — the
+    /// reference check the fault-tolerant executor's merge-side validation
+    /// uses, so corruption detection never depends on the kernel variant
+    /// under suspicion. Returns `(dominated, pairs_examined)`; callers that
+    /// must stay counter-identical to a validation-free run deliberately
+    /// do **not** feed the pair count into their [`Metrics`](crate::Metrics).
+    #[inline]
+    pub fn t_dominated_by_any_oracle(
+        &self,
+        domains: &[PoDomain],
+        cand_to: &[u32],
+        cand_po: &[u32],
+        ids: &[RecordId],
+    ) -> (bool, u64) {
+        self.t_dominated_by_any_scalar(domains, cand_to, cand_po, ids)
+    }
+
     fn t_dominated_by_any_scalar(
         &self,
         domains: &[PoDomain],

@@ -251,6 +251,14 @@ impl Stss {
         }
     }
 
+    /// Budgeted run: confirms points until the skyline completes or the
+    /// pair-check allowance runs out — the remaining allowance always
+    /// buys a *sound confirmed prefix* of the exact skyline (see
+    /// [`BudgetedCursor`](crate::BudgetedCursor)).
+    pub fn run_budgeted(&self, budget: crate::Budget) -> crate::BudgetOutcome {
+        crate::BudgetedCursor::run(self.cursor(), budget)
+    }
+
     /// Full run that also records the emission timeline for progressiveness
     /// studies (Fig. 11).
     pub fn run_progressive(&self) -> (StssRun, ProgressLog) {

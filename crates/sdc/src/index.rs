@@ -183,6 +183,14 @@ impl SdcIndex {
     pub fn cursor(&self) -> SdcCursor<'_> {
         SdcCursor::new(self)
     }
+
+    /// Budgeted run: confirms points until the skyline completes or the
+    /// pair-check allowance runs out — an exhausted outcome is always a
+    /// *sound confirmed prefix* of the exact emission order (see
+    /// [`tss_core::BudgetedCursor`]).
+    pub fn run_budgeted(&self, budget: tss_core::Budget) -> tss_core::BudgetOutcome {
+        tss_core::BudgetedCursor::run(self.cursor(), budget)
+    }
 }
 
 impl SkylineEngine for SdcIndex {

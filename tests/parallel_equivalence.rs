@@ -93,16 +93,16 @@ proptest! {
         let mut expect = brute_force_po_skyline(&domains, &t);
         expect.sort_unstable();
 
-        type ShardRunner<'a> = Box<dyn Fn(usize, &tss::core::ShardView<'_>) -> (Vec<u32>, Metrics) + Sync + 'a>;
+        type ShardRunner<'a> = Box<dyn Fn(tss::core::ShardCtx, &tss::core::ShardView<'_>) -> (Vec<u32>, Metrics) + Sync + 'a>;
         let query = PoQuery::new(vec![dag.clone()]);
         let engines: Vec<(&str, ShardRunner<'_>)> = vec![
-            ("sTSS", Box::new(|_, view: &tss::core::ShardView<'_>| {
+            ("sTSS", Box::new(|_ctx, view: &tss::core::ShardView<'_>| {
                 let stss = Stss::build(view.to_store(), vec![dag.clone()], StssConfig::default())
                     .expect("shard build");
                 let r = stss.run();
                 (r.skyline_records(), r.metrics)
             })),
-            ("SDC+", Box::new(|_, view: &tss::core::ShardView<'_>| {
+            ("SDC+", Box::new(|_ctx, view: &tss::core::ShardView<'_>| {
                 let idx = SdcIndex::build(
                     view.to_store(),
                     vec![dag.clone()],
@@ -113,7 +113,7 @@ proptest! {
                 let r = idx.run();
                 (r.skyline, r.metrics)
             })),
-            ("dTSS", Box::new(|_, view: &tss::core::ShardView<'_>| {
+            ("dTSS", Box::new(|_ctx, view: &tss::core::ShardView<'_>| {
                 let dtss = Dtss::build(view.to_store(), vec![5], DtssConfig::default())
                     .expect("shard build");
                 let r = dtss.query(&query).expect("valid query");
@@ -121,8 +121,10 @@ proptest! {
             })),
         ];
         for (name, run_shard) in &engines {
-            let single = sharded_skyline(&t, &domains, shards, 1, run_shard);
-            let multi = sharded_skyline(&t, &domains, shards, threads, run_shard);
+            let single = sharded_skyline(&t, &domains, shards, 1, run_shard)
+                .expect("no faults active in this test");
+            let multi = sharded_skyline(&t, &domains, shards, threads, run_shard)
+                .expect("no faults active in this test");
             // Parallel set == single-thread set == oracle.
             prop_assert_eq!(&multi.records, &single.records, "{}", name);
             prop_assert_eq!(&multi.locals, &single.locals, "{}", name);
@@ -169,8 +171,10 @@ proptest! {
             .collect();
         expect.sort_unstable();
 
-        let single = parallel_classic_skyline(&t, algo, shards, 1);
-        let multi = parallel_classic_skyline(&t, algo, shards, threads);
+        let single = parallel_classic_skyline(&t, algo, shards, 1)
+            .expect("no faults active in this test");
+        let multi = parallel_classic_skyline(&t, algo, shards, threads)
+            .expect("no faults active in this test");
         prop_assert_eq!(&multi.records, &single.records);
         let mut got = multi.records.clone();
         got.sort_unstable();

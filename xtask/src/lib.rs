@@ -1,6 +1,6 @@
 //! In-repo static analysis for the TSS workspace.
 //!
-//! `cargo run -p xtask -- lint` runs four rule families that turn the
+//! `cargo run -p xtask -- lint` runs six rule families that turn the
 //! repo's doc-comment contracts into red builds:
 //!
 //! | rule          | contract it guards                                          |
@@ -10,6 +10,7 @@
 //! | `metrics`     | every `Metrics` field reaches merge + JSON rows + reports   |
 //! | `panic-path`  | per-crate unwrap/expect/panic! counts only ratchet down     |
 //! | `time-source` | wall clocks only in `bench` and waived Metrics.cpu sites    |
+//! | `unwind`      | `catch_unwind` only inside the shard executor module        |
 //!
 //! Waiver syntax (line comment on the finding's line or the line above,
 //! reason mandatory): `// lint:allow(<rule>): <why>`.
@@ -23,6 +24,7 @@ pub mod rules {
     pub mod metrics;
     pub mod panics;
     pub mod timesrc;
+    pub mod unwind;
 }
 
 use findings::Finding;
@@ -35,6 +37,7 @@ pub const ALL_RULES: &[&str] = &[
     "metrics",
     "panic-path",
     "time-source",
+    "unwind",
 ];
 
 /// Runs the requested rule families (`None` = all) over the workspace at
@@ -58,6 +61,9 @@ pub fn lint(root: &Path, only: Option<&str>) -> Vec<Finding> {
         }
         if run("time-source") {
             rules::timesrc::check(&rel, &lexed, &mut out);
+        }
+        if run("unwind") {
+            rules::unwind::check(&rel, &lexed, &mut out);
         }
     }
     if run("metrics") {

@@ -1,0 +1,84 @@
+//! Rule family 6 — unwind fencing.
+//!
+//! Panic isolation is the shard executor's job, and *only* its job:
+//! `crates/core/src/executor.rs` wraps each shard attempt in
+//! `std::panic::catch_unwind` and owns the retry/fallback ladder that
+//! makes a caught panic recoverable. A `catch_unwind` anywhere else
+//! would silently swallow a bug instead of surfacing it through the
+//! executor's `ShardError` channel (or the panic ratchet), so the token
+//! is banned outside that one module. A genuinely new isolation
+//! boundary carries `// lint:allow(unwind): <why>`.
+
+use crate::findings::{Finding, Waivers};
+use crate::lexer::Lexed;
+use std::path::Path;
+
+/// The one module allowed to catch panics: the shard executor.
+const ALLOWED_FILES: &[&str] = &["crates/core/src/executor.rs"];
+
+pub fn allowed(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    ALLOWED_FILES.iter().any(|f| s == *f)
+}
+
+pub fn check(rel: &Path, lexed: &Lexed, out: &mut Vec<Finding>) {
+    if allowed(rel) {
+        return;
+    }
+    let waivers = Waivers::parse(&lexed.comments);
+    for tok in &lexed.toks {
+        if !tok.is_ident("catch_unwind") {
+            continue;
+        }
+        if waivers.covers("unwind", tok.line) {
+            continue;
+        }
+        out.push(Finding {
+            path: rel.to_path_buf(),
+            line: tok.line,
+            rule: "unwind",
+            msg: "`catch_unwind` outside the shard executor — panic isolation \
+                  lives in crates/core/src/executor.rs so recovery stays on one \
+                  audited ladder; a genuinely new isolation boundary carries \
+                  `// lint:allow(unwind): <why>`"
+                .to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    #[test]
+    fn flags_catch_unwind_outside_the_executor() {
+        let l = lex("let r = std::panic::catch_unwind(|| job());");
+        let mut out = Vec::new();
+        check(&PathBuf::from("crates/core/src/parallel.rs"), &l, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unwind");
+    }
+
+    #[test]
+    fn the_executor_and_waivers_pass() {
+        let l = lex("let r = std::panic::catch_unwind(|| job());");
+        let mut out = Vec::new();
+        check(&PathBuf::from("crates/core/src/executor.rs"), &l, &mut out);
+        assert!(out.is_empty());
+
+        let l = lex("// lint:allow(unwind): ffi boundary must not unwind\n\
+             let r = std::panic::catch_unwind(|| job());");
+        check(&PathBuf::from("crates/core/src/stss.rs"), &l, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mentions_in_strings_and_comments_are_fine() {
+        let l = lex("// catch_unwind is banned here\nlet s = \"catch_unwind\";");
+        let mut out = Vec::new();
+        check(&PathBuf::from("crates/core/src/stss.rs"), &l, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -110,6 +110,20 @@ fn time_source_waiver_passes() {
     assert!(f.is_empty(), "{f:#?}");
 }
 
+#[test]
+fn catch_unwind_banned_outside_the_executor() {
+    let f = lint("unwind_violation", "unwind");
+    assert_eq!(f.len(), 1, "lib.rs flagged, executor.rs exempt: {f:#?}");
+    assert!(f[0].path.ends_with("crates/core/src/lib.rs"));
+    assert!(f[0].msg.contains("executor"));
+}
+
+#[test]
+fn catch_unwind_waiver_passes() {
+    let f = lint("unwind_waived", "unwind");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
 /// The CLI contract CI relies on: exit 0 on clean, 1 on findings, and the
 /// findings on stdout as `path:line: [rule] msg`.
 #[test]

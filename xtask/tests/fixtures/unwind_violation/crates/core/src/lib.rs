@@ -1,0 +1,3 @@
+pub fn swallow(job: impl FnOnce() + std::panic::UnwindSafe) {
+    let _ = std::panic::catch_unwind(job);
+}

@@ -1,0 +1,4 @@
+pub fn boundary(job: impl FnOnce() + std::panic::UnwindSafe) {
+    // lint:allow(unwind): fixture — an isolation boundary outside the executor
+    let _ = std::panic::catch_unwind(job);
+}
