@@ -227,6 +227,10 @@ fn dynamic_point(p: &ExperimentParams) -> (bench::runner::AlgoResult, bench::run
         shard_retries: m.shard_retries / seeds.len() as u64,
         shard_fallbacks: m.shard_fallbacks / seeds.len() as u64,
         faults_injected: m.faults_injected / seeds.len() as u64,
+        stream_inserts: m.stream_inserts / seeds.len() as u64,
+        stream_expirations: m.stream_expirations / seeds.len() as u64,
+        stream_repairs: m.stream_repairs / seeds.len() as u64,
+        repair_candidates: m.repair_candidates / seeds.len() as u64,
         cpu: m.cpu / seeds.len() as u32,
     };
     (
@@ -417,9 +421,16 @@ fn smoke() {
     println!("smoke OK");
 }
 
-/// `harness bench --json [--smoke] [--threads N[,N…]] [--out FILE]`: the
-/// fixed perf-trajectory grid (see [`bench::jsonbench`]), written as JSON
-/// rows to stdout or `FILE`. `--threads` re-runs every grid point through
+/// `harness bench --json [--smoke] [--stream] [--threads N[,N…]]
+/// [--out FILE]`: the fixed perf-trajectory grid (see
+/// [`bench::jsonbench`]), written as JSON rows to stdout or `FILE`.
+/// `--stream` switches to the streaming-maintenance grid (see
+/// [`bench::streambench`]): sliding-window maintained skylines measured
+/// while a snapshot cursor serves reads, with updates/sec, time-to-repair
+/// percentiles and the maintained-vs-recompute check columns per row; the
+/// committed `BENCH_PR9.json` is a full-scale `--stream --threads 1,2`
+/// run of this subcommand (its wall-clock columns carry the same
+/// `available_parallelism: 1` caveat as the earlier artifacts). `--threads` re-runs every grid point through
 /// the sharded parallel executors once per listed worker count (one shard
 /// plan per workload, so all rows but `wall_ns` are asserted identical
 /// across counts). The shard plan comes from the `BENCH_SHARDS`
@@ -436,6 +447,7 @@ fn smoke() {
 /// `pair_check_picos` pins the measuring CPU's kernel speed).
 fn bench_json(args: &[String]) {
     let mut smoke = false;
+    let mut stream = false;
     let mut out: Option<String> = None;
     let mut threads: Vec<usize> = Vec::new();
     let mut it = args.iter();
@@ -443,6 +455,7 @@ fn bench_json(args: &[String]) {
         match a.as_str() {
             "--json" => {} // the only supported format; accepted for clarity
             "--smoke" => smoke = true,
+            "--stream" => stream = true,
             "--threads" => {
                 let list = it.next().unwrap_or_else(|| {
                     eprintln!("--threads requires N or a comma list like 1,2,4");
@@ -475,19 +488,24 @@ fn bench_json(args: &[String]) {
             }
             other => {
                 eprintln!(
-                    "unknown bench flag {other:?}; expected --json, --smoke, --threads LIST, \
-                     --out FILE"
+                    "unknown bench flag {other:?}; expected --json, --smoke, --stream, \
+                     --threads LIST, --out FILE"
                 );
                 std::process::exit(2);
             }
         }
     }
-    let rows = bench::jsonbench::grid(smoke, &threads, bench::runner::bench_shard_spec());
-    let json = bench::jsonbench::to_json(&rows);
+    let (json, rows) = if stream {
+        let rows = bench::streambench::stream_grid(smoke, &threads);
+        (bench::streambench::stream_to_json(&rows), rows.len())
+    } else {
+        let rows = bench::jsonbench::grid(smoke, &threads, bench::runner::bench_shard_spec());
+        (bench::jsonbench::to_json(&rows), rows.len())
+    };
     match out {
         Some(path) => {
             std::fs::write(&path, json).expect("writable --out path");
-            eprintln!("[bench grid written to {path} ({} rows)]", rows.len());
+            eprintln!("[bench grid written to {path} ({rows} rows)]");
         }
         None => print!("{json}"),
     }

@@ -178,6 +178,18 @@ fn assert_counters_identical(label: &str, a: &Metrics, b: &Metrics) {
         ("shard_retries", a.shard_retries, b.shard_retries),
         ("shard_fallbacks", a.shard_fallbacks, b.shard_fallbacks),
         ("faults_injected", a.faults_injected, b.faults_injected),
+        ("stream_inserts", a.stream_inserts, b.stream_inserts),
+        (
+            "stream_expirations",
+            a.stream_expirations,
+            b.stream_expirations,
+        ),
+        ("stream_repairs", a.stream_repairs, b.stream_repairs),
+        (
+            "repair_candidates",
+            a.repair_candidates,
+            b.repair_candidates,
+        ),
     ];
     for (column, x, y) in columns {
         assert_eq!(x, y, "{label}: column {column} diverges: {x} vs {y}");
@@ -465,7 +477,9 @@ pub fn to_json(rows: &[BenchRow]) -> String {
              \"io_writes\": {}, \"heap_pops\": {}, \"label_cache_hits\": {}, \
              \"label_cache_misses\": {}, \"merge_pair_checks\": {}, \
              \"merge_strata\": {}, \"shard_retries\": {}, \"shard_fallbacks\": {}, \
-             \"faults_injected\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
+             \"faults_injected\": {}, \"stream_inserts\": {}, \
+             \"stream_expirations\": {}, \"stream_repairs\": {}, \
+             \"repair_candidates\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
             r.algo,
             r.workload,
             r.threads,
@@ -494,6 +508,10 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             m.shard_retries,
             m.shard_fallbacks,
             m.faults_injected,
+            m.stream_inserts,
+            m.stream_expirations,
+            m.stream_repairs,
+            m.repair_candidates,
             m.results,
             r.skyline,
             if i + 1 == rows.len() { "" } else { "," }
@@ -537,6 +555,10 @@ mod tests {
                 shard_retries: 12,
                 shard_fallbacks: 1,
                 faults_injected: 13,
+                stream_inserts: 21,
+                stream_expirations: 22,
+                stream_repairs: 23,
+                repair_candidates: 24,
                 cpu: Duration::from_nanos(123),
                 ..Default::default()
             },
@@ -571,6 +593,12 @@ mod tests {
         assert!(s.contains("\"shard_retries\": 12"));
         assert!(s.contains("\"shard_fallbacks\": 1"));
         assert!(s.contains("\"faults_injected\": 13"));
+        // Streaming-maintenance observability (PR 9): the stream counters
+        // are part of the row shape, on static and dynamic rows alike.
+        assert!(s.contains("\"stream_inserts\": 21"));
+        assert!(s.contains("\"stream_expirations\": 22"));
+        assert!(s.contains("\"stream_repairs\": 23"));
+        assert!(s.contains("\"repair_candidates\": 24"));
         assert!(s.trim_end().ends_with(']'));
     }
 

@@ -18,3 +18,4 @@ pub mod jsonbench;
 pub mod params;
 pub mod report;
 pub mod runner;
+pub mod streambench;

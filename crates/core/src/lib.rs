@@ -69,6 +69,7 @@ pub mod parallel;
 mod progressive;
 mod session;
 mod store;
+mod streaming;
 mod stss;
 
 pub use budget::{Budget, BudgetOutcome, BudgetedCursor};
@@ -89,6 +90,7 @@ pub use progressive::{ProgressLog, ProgressSample};
 pub use session::{QuerySession, SessionStats};
 pub use skyline::{Kernel, LANES};
 pub use store::{PointStore, RecordId, ShardView};
+pub use streaming::{StreamingConfig, StreamingCursor, StreamingSkyline, WindowPolicy};
 pub use stss::{RangeStrategy, SkylinePoint, Stss, StssConfig, StssCursor, StssRun};
 
 /// The facade name of the columnar [`PointStore`]: the paper-facing API

@@ -49,6 +49,21 @@ pub struct Metrics {
     /// actually fired (injected panics + injected corruptions, across all
     /// attempts). Zero on fault-free runs.
     pub faults_injected: u64,
+    /// Tuples appended through
+    /// [`StreamingSkyline::insert`](crate::StreamingSkyline::insert).
+    pub stream_inserts: u64,
+    /// Tuples retired from the live window — explicit
+    /// [`expire`](crate::StreamingSkyline::expire) calls plus automatic
+    /// sliding-window evictions.
+    pub stream_expirations: u64,
+    /// Expirations that removed a skyline member and therefore triggered a
+    /// delta repair (promotion search) instead of a no-op retirement.
+    pub stream_repairs: u64,
+    /// Candidates examined by repair promotion searches — the live,
+    /// non-skyline records inside the expired member's dominance region
+    /// that a repair had to screen. The delta-maintenance win is this
+    /// staying far below a from-scratch recompute's `dominance_checks`.
+    pub repair_candidates: u64,
     /// Measured CPU time (single-threaded wall clock of the run).
     pub cpu: Duration,
 }
@@ -76,6 +91,10 @@ impl Metrics {
             shard_retries: self.shard_retries + other.shard_retries,
             shard_fallbacks: self.shard_fallbacks + other.shard_fallbacks,
             faults_injected: self.faults_injected + other.faults_injected,
+            stream_inserts: self.stream_inserts + other.stream_inserts,
+            stream_expirations: self.stream_expirations + other.stream_expirations,
+            stream_repairs: self.stream_repairs + other.stream_repairs,
+            repair_candidates: self.repair_candidates + other.repair_candidates,
             cpu: self.cpu + other.cpu,
         }
     }
@@ -144,6 +163,10 @@ mod tests {
             shard_retries: 11,
             shard_fallbacks: 12,
             faults_injected: 13,
+            stream_inserts: 14,
+            stream_expirations: 15,
+            stream_repairs: 16,
+            repair_candidates: 17,
             cpu: Duration::from_millis(10),
         };
         let b = a;
@@ -159,6 +182,10 @@ mod tests {
         assert_eq!(m.shard_retries, 22);
         assert_eq!(m.shard_fallbacks, 24);
         assert_eq!(m.faults_injected, 26);
+        assert_eq!(m.stream_inserts, 28);
+        assert_eq!(m.stream_expirations, 30);
+        assert_eq!(m.stream_repairs, 32);
+        assert_eq!(m.repair_candidates, 34);
         assert_eq!(m.cpu, Duration::from_millis(20));
     }
 

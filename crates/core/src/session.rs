@@ -70,22 +70,54 @@ pub struct QuerySession<'a> {
     labelings: HashMap<u64, PoDomain>,
     hits: u64,
     misses: u64,
+    /// The data epoch ([`PointStore::generation`](crate::PointStore::generation))
+    /// this session's caches were stamped under.
+    data_generation: u64,
 }
 
 impl<'a> QuerySession<'a> {
-    /// Opens a session over `dtss` with an empty labeling cache.
+    /// Opens a session over `dtss` with an empty labeling cache, stamped
+    /// with the operator table's current epoch.
     pub fn new(dtss: &'a Dtss) -> Self {
         QuerySession {
             dtss,
             labelings: HashMap::new(),
             hits: 0,
             misses: 0,
+            data_generation: dtss.table().generation(),
         }
     }
 
     /// The underlying operator.
     pub fn dtss(&self) -> &'a Dtss {
         self.dtss
+    }
+
+    /// The data epoch the session's caches are stamped under.
+    pub fn data_generation(&self) -> u64 {
+        self.data_generation
+    }
+
+    /// Re-stamps the session onto a new data epoch, dropping every
+    /// epoch-scoped cache entry if the epoch actually moved. Returns
+    /// `true` iff caches were invalidated.
+    ///
+    /// Streaming deployments rebuild their [`Dtss`] operator periodically
+    /// from a [`StreamingSkyline`](crate::StreamingSkyline)'s mutable
+    /// store; the session outlives those rebuilds, so the rebuilding
+    /// caller hands the new store's generation here. The contract is that
+    /// no cached entry outlives the data epoch it was stamped under —
+    /// today the labeling cache is data-independent (DAG labelings depend
+    /// only on the DAG), making the clear purely conservative, but any
+    /// future data-dependent session cache (result digests, selectivity
+    /// summaries) inherits the invalidation for free.
+    pub fn sync_to_generation(&mut self, generation: u64) -> bool {
+        if generation == self.data_generation {
+            return false;
+        }
+        self.labelings.clear();
+        self.data_generation = generation;
+        true
     }
 
     /// Session-lifetime cache statistics.
@@ -316,6 +348,22 @@ mod tests {
         // ...so the same query misses again rather than ever serving it.
         let again = s.query(&q).unwrap();
         assert_eq!(again.metrics.label_cache_misses, 1);
+    }
+
+    #[test]
+    fn generation_sync_invalidates_epoch_scoped_caches() {
+        let dtss = Dtss::build(fig5_table(), vec![3], DtssConfig::default()).unwrap();
+        let mut s = QuerySession::new(&dtss);
+        assert_eq!(s.data_generation(), dtss.table().generation());
+        let q = PoQuery::new(vec![order_b_over_c()]);
+        s.query(&q).unwrap();
+        // Same epoch: nothing is dropped, the cache stays warm.
+        assert!(!s.sync_to_generation(s.data_generation()));
+        assert_eq!(s.query(&q).unwrap().metrics.label_cache_hits, 1);
+        // A new epoch drops every cached labeling and re-stamps.
+        assert!(s.sync_to_generation(s.data_generation() + 1));
+        assert_eq!(s.stats().entries, 0);
+        assert_eq!(s.query(&q).unwrap().metrics.label_cache_misses, 1);
     }
 
     #[test]

@@ -61,6 +61,22 @@ pub(crate) fn row_hash(to: &[u32], po: &[u32]) -> u64 {
 /// integer attributes (smaller is better) and `po_dims` partially ordered
 /// attributes stored as value ids into their domain DAGs, both held as
 /// flat row-major blocks.
+/// # Epoch-versioned mutation
+///
+/// The store doubles as the mutable substrate of
+/// [`StreamingSkyline`](crate::StreamingSkyline): [`insert`](Self::insert)
+/// appends to the flat blocks (record ids are append-only, never reused),
+/// [`expire`](Self::expire) retires a record into a tombstone bitmap
+/// without moving a byte, and [`compact`](Self::compact) rewrites the
+/// blocks densely when the tombstone fraction warrants it. Every mutation
+/// bumps a [`generation`](Self::generation) counter, so readers can
+/// snapshot a generation and detect staleness instead of observing torn
+/// state. All index-addressed accessors ([`to`](Self::to),
+/// [`po`](Self::po), the batched kernels, [`shards`](Self::shards)) keep
+/// operating on *physical* rows — tombstoned rows stay addressable until
+/// compaction — and the streaming layer passes explicitly live id lists,
+/// so `RecordId` windows, lane kernels and [`ShardView`]s work unchanged
+/// on live data.
 #[derive(Debug, Clone, Default)]
 pub struct PointStore {
     n: usize,
@@ -69,6 +85,13 @@ pub struct PointStore {
     to: Vec<u32>,
     po: Vec<u32>,
     kernel: Kernel,
+    /// Tombstone bitmap, one bit per physical row; may be shorter than
+    /// `n.div_ceil(64)` words — missing bits mean live.
+    tombstones: Vec<u64>,
+    /// Tombstoned rows (`n - dead` rows are live).
+    dead: usize,
+    /// Epoch counter: bumped by every mutation (insert, expire, compact).
+    generation: u64,
 }
 
 impl PointStore {
@@ -81,6 +104,9 @@ impl PointStore {
             to: Vec::new(),
             po: Vec::new(),
             kernel: Kernel::default(),
+            tombstones: Vec::new(),
+            dead: 0,
+            generation: 0,
         }
     }
 
@@ -142,6 +168,9 @@ impl PointStore {
             to,
             po,
             kernel: Kernel::default(),
+            tombstones: Vec::new(),
+            dead: 0,
+            generation: 0,
         })
     }
 
@@ -563,6 +592,106 @@ impl PointStore {
         }
         views
     }
+
+    // --- Epoch-versioned mutation ---------------------------------------
+
+    /// Word index and mask of one record's tombstone bit.
+    #[inline]
+    fn tomb_bit(id: RecordId) -> (usize, u64) {
+        ((id as usize) / 64, 1u64 << ((id as usize) % 64))
+    }
+
+    /// The epoch counter: bumped by every [`insert`](Self::insert),
+    /// successful [`expire`](Self::expire) and [`compact`](Self::compact).
+    /// Readers snapshot it to detect staleness — equal generations imply
+    /// byte-identical store contents.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True iff physical record `id` has not been tombstoned.
+    #[inline]
+    pub fn is_live(&self, id: RecordId) -> bool {
+        debug_assert!((id as usize) < self.n);
+        let (w, m) = Self::tomb_bit(id);
+        self.tombstones.get(w).is_none_or(|&x| x & m == 0)
+    }
+
+    /// Number of live (non-tombstoned) records; [`len`](Self::len) keeps
+    /// counting physical rows until [`compact`](Self::compact).
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.n - self.dead
+    }
+
+    /// True iff any record has been tombstoned since the last compaction.
+    #[inline]
+    pub fn has_tombstones(&self) -> bool {
+        self.dead > 0
+    }
+
+    /// Iterates the live record ids in ascending physical order.
+    pub fn live_ids(&self) -> impl Iterator<Item = RecordId> + '_ {
+        (0..self.n as RecordId).filter(|&id| self.is_live(id))
+    }
+
+    /// Appends one tuple as a new epoch: [`push`](Self::push) plus a
+    /// generation bump. Returns the new record's id — append-only, never
+    /// a reused tombstone slot, so ids handed out earlier stay valid.
+    pub fn insert(&mut self, to_row: &[u32], po_row: &[u32]) -> RecordId {
+        let id = self.n as RecordId;
+        self.push(to_row, po_row);
+        self.generation += 1;
+        id
+    }
+
+    /// Retires record `id` into the tombstone bitmap without moving any
+    /// coordinate data. Returns `true` (and bumps the generation) iff the
+    /// record was live; expiring a tombstone is a no-op reporting `false`.
+    pub fn expire(&mut self, id: RecordId) -> bool {
+        assert!((id as usize) < self.n, "expire: record {id} out of range");
+        let (w, m) = Self::tomb_bit(id);
+        if self.tombstones.len() <= w {
+            self.tombstones.resize(w + 1, 0);
+        }
+        if self.tombstones[w] & m != 0 {
+            return false;
+        }
+        self.tombstones[w] |= m;
+        self.dead += 1;
+        self.generation += 1;
+        true
+    }
+
+    /// Rewrites the flat blocks densely, dropping tombstoned rows and
+    /// renumbering the survivors `0..live_len()`. Returns the surviving
+    /// *old* ids in ascending order — survivor `i` of the result is the
+    /// new record `i`, so callers translate any ids they kept. Bumps the
+    /// generation (compaction invalidates every outstanding id window).
+    pub fn compact(&mut self) -> Vec<RecordId> {
+        let mut survivors = Vec::with_capacity(self.live_len());
+        let (td, pd) = (self.to_dims, self.po_dims);
+        let mut w = 0usize;
+        for r in 0..self.n {
+            if !self.is_live(r as RecordId) {
+                continue;
+            }
+            if w != r {
+                self.to.copy_within(r * td..(r + 1) * td, w * td);
+                self.po.copy_within(r * pd..(r + 1) * pd, w * pd);
+            }
+            survivors.push(r as RecordId);
+            w += 1;
+        }
+        self.to.truncate(w * td);
+        self.po.truncate(w * pd);
+        self.n = w;
+        self.dead = 0;
+        self.tombstones.clear();
+        self.generation += 1;
+        survivors
+    }
 }
 
 /// A zero-copy window over a contiguous record-id range of a
@@ -643,6 +772,11 @@ impl<'a> ShardView<'a> {
             to: self.to_block().to_vec(),
             po: self.po_block().to_vec(),
             kernel: self.store.kernel,
+            // The copy is a fresh epoch over the shard's physical rows:
+            // tombstones do not travel (shard runs are snapshot-level).
+            tombstones: Vec::new(),
+            dead: 0,
+            generation: 0,
         }
     }
 }
@@ -848,6 +982,55 @@ mod tests {
             crate::dominance::brute_force_po_skyline(&doms, &head).len()
         );
         assert_eq!(PointStore::new(1, 0).prefix_skyline_sample(&[], 64), (0, 0));
+    }
+
+    #[test]
+    fn epoch_mutation_tracks_generations_and_tombstones() {
+        let mut t = PointStore::new(1, 1);
+        assert_eq!(t.generation(), 0);
+        let a = t.insert(&[1], &[0]);
+        let b = t.insert(&[2], &[1]);
+        let c = t.insert(&[3], &[2]);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(t.generation(), 3);
+        assert_eq!((t.len(), t.live_len()), (3, 3));
+        assert!(!t.has_tombstones());
+
+        assert!(t.expire(b), "first expiry succeeds");
+        assert!(!t.expire(b), "double expiry is a no-op");
+        assert_eq!(t.generation(), 4, "the no-op did not bump the epoch");
+        assert_eq!((t.len(), t.live_len()), (3, 2));
+        assert!(t.has_tombstones());
+        assert!(t.is_live(a) && !t.is_live(b) && t.is_live(c));
+        assert_eq!(t.live_ids().collect::<Vec<_>>(), vec![0, 2]);
+        // Physical accessors still address the tombstoned row.
+        assert_eq!(t.to(b), &[2]);
+
+        let survivors = t.compact();
+        assert_eq!(survivors, vec![0, 2]);
+        assert_eq!(t.generation(), 5);
+        assert_eq!((t.len(), t.live_len()), (2, 2));
+        assert!(!t.has_tombstones());
+        assert_eq!(t.to_block(), &[1, 3]);
+        assert_eq!(t.po_block(), &[0, 2]);
+    }
+
+    #[test]
+    fn expire_past_word_boundaries() {
+        let mut t = PointStore::new(1, 0);
+        for i in 0..130u32 {
+            t.insert(&[i], &[]);
+        }
+        for id in [0u32, 63, 64, 127, 128, 129] {
+            assert!(t.expire(id));
+        }
+        assert_eq!(t.live_len(), 124);
+        assert!(!t.is_live(129) && t.is_live(65));
+        let survivors = t.compact();
+        assert_eq!(survivors.len(), 124);
+        assert!(!survivors.contains(&64));
+        // New id 0 is old id 1 after compaction.
+        assert_eq!(t.to(0), &[1]);
     }
 
     #[test]

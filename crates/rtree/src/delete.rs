@@ -1,0 +1,268 @@
+//! Guttman-style deletion with condense-tree reinsertion — the streaming
+//! counterpart of [`insert`](crate::RTree::insert), so the incrementally
+//! grown main-memory tree `Tm` can retire expired skyline points instead
+//! of being rebuilt.
+//!
+//! `delete` removes one `(point, record)` entry, then *condenses*: any node
+//! on the path that drops below the minimum fill is unlinked from its
+//! parent and every leaf entry beneath it is reinserted through the normal
+//! insertion path (Guttman's CondenseTree). A root left with a single
+//! child collapses into that child, shrinking the height; deleting the
+//! last entry returns the tree to the empty state. Like insertion,
+//! deletion is not IO-charged — `Tm` is a main-memory structure in the
+//! paper's cost model.
+//!
+//! Unlinked arena slots are **not** reclaimed ([`node_count`]
+//! (crate::RTree::node_count) keeps counting them until a rebuild);
+//! [`validate`](crate::RTree::validate) only walks reachable nodes, so a
+//! long delete/reinsert session stays structurally valid while the arena
+//! carries some garbage — the same append-only trade every other arena in
+//! this workspace makes for deterministic ids.
+
+use crate::node::{LeafEntry, NodeId, NodeKind};
+use crate::RTree;
+
+impl RTree {
+    /// Removes one entry matching `(point, record)` exactly. Returns
+    /// `true` iff an entry was found and removed; duplicate coordinates
+    /// are disambiguated by the record id, and only one entry is removed
+    /// even if the same `(point, record)` pair was inserted twice.
+    pub fn delete(&mut self, point: &[u32], record: u32) -> bool {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        let Some(root) = self.root else {
+            return false;
+        };
+        let mut orphans: Vec<LeafEntry> = Vec::new();
+        if !self.delete_rec(root, point, record, &mut orphans) {
+            return false;
+        }
+        self.len -= 1;
+        if self.nodes[root.idx()].entry_count() == 0 {
+            // The last reachable entry left through the root (directly or
+            // via orphaning its only child): the tree is empty.
+            self.root = None;
+            self.height = 0;
+        } else {
+            let mbb = self.recompute_mbb(root);
+            self.nodes[root.idx()].mbb = mbb;
+            // Root shrink: an inner root with a single child collapses
+            // into it (cascading), reversing insert's root-split growth.
+            let mut top = root;
+            while let NodeKind::Inner(children) = &self.nodes[top.idx()].kind {
+                if children.len() != 1 {
+                    break;
+                }
+                top = children[0];
+                self.height -= 1;
+            }
+            self.root = Some(top);
+        }
+        // CondenseTree phase 2: reinsert every leaf entry stranded by an
+        // underfull node, through the regular insertion path. `insert`
+        // counts each as new, so pre-decrement — the entries never left
+        // the logical set.
+        for e in orphans {
+            self.len -= 1;
+            self.insert(&e.point, e.record);
+        }
+        true
+    }
+
+    /// Recursive remove; returns `true` iff the entry was found (and
+    /// removed) beneath `id`. On the way back up, underfull children are
+    /// unlinked into `orphans` and surviving MBBs are recomputed tight.
+    fn delete_rec(
+        &mut self,
+        id: NodeId,
+        point: &[u32],
+        record: u32,
+        orphans: &mut Vec<LeafEntry>,
+    ) -> bool {
+        match &self.nodes[id.idx()].kind {
+            NodeKind::Leaf(entries) => {
+                let Some(pos) = entries
+                    .iter()
+                    .position(|e| e.record == record && &*e.point == point)
+                else {
+                    return false;
+                };
+                let NodeKind::Leaf(entries) = &mut self.nodes[id.idx()].kind else {
+                    // lint:allow(panic-path): re-borrow of the arm just matched immutably
+                    unreachable!()
+                };
+                entries.remove(pos);
+                true
+            }
+            NodeKind::Inner(children) => {
+                // The entry may sit under any child whose MBB covers the
+                // point (duplicates make several candidates possible).
+                let candidates: Vec<NodeId> = children
+                    .iter()
+                    .copied()
+                    .filter(|c| self.nodes[c.idx()].mbb.contains_point(point))
+                    .collect();
+                for c in candidates {
+                    if !self.delete_rec(c, point, record, orphans) {
+                        continue;
+                    }
+                    if self.nodes[c.idx()].entry_count() < self.min_fill {
+                        let NodeKind::Inner(children) = &mut self.nodes[id.idx()].kind else {
+                            // lint:allow(panic-path): re-borrow of the arm just matched immutably
+                            unreachable!()
+                        };
+                        children.retain(|&x| x != c);
+                        self.collect_entries(c, orphans);
+                    } else {
+                        let mbb = self.recompute_mbb(c);
+                        self.nodes[c.idx()].mbb = mbb;
+                    }
+                    if self.nodes[id.idx()].entry_count() > 0 {
+                        let mbb = self.recompute_mbb(id);
+                        self.nodes[id.idx()].mbb = mbb;
+                    }
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    /// Moves every leaf entry beneath `id` into `out` (depth-first, left
+    /// to right — deterministic reinsertion order), leaving the unlinked
+    /// slots empty.
+    fn collect_entries(&mut self, id: NodeId, out: &mut Vec<LeafEntry>) {
+        let kind = std::mem::replace(&mut self.nodes[id.idx()].kind, NodeKind::Leaf(Vec::new()));
+        match kind {
+            NodeKind::Leaf(entries) => out.extend(entries),
+            NodeKind::Inner(children) => {
+                for c in children {
+                    self.collect_entries(c, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BuildNode;
+
+    fn records_sorted(t: &RTree) -> Vec<u32> {
+        let mut r: Vec<u32> = t.iter_records().iter().map(|&(_, r)| r).collect();
+        r.sort_unstable();
+        r
+    }
+
+    #[test]
+    fn delete_missing_is_a_clean_miss() {
+        let mut t = RTree::new(2, 4);
+        assert!(!t.delete(&[1, 1], 0), "empty tree");
+        t.insert(&[1, 1], 0);
+        assert!(!t.delete(&[1, 1], 7), "same point, wrong record");
+        assert!(!t.delete(&[2, 2], 0), "right record, wrong point");
+        assert_eq!(t.len(), 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_to_empty_and_grow_again() {
+        let mut t = RTree::new(2, 3);
+        t.insert(&[4, 4], 9);
+        assert!(t.delete(&[4, 4], 9));
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.root().is_none());
+        t.validate().unwrap();
+        // The emptied tree accepts fresh inserts.
+        t.insert(&[1, 2], 1);
+        assert_eq!((t.len(), t.height()), (1, 1));
+        t.validate().unwrap();
+    }
+
+    /// Satellite: delete-then-reinsert of duplicate coordinates. Only the
+    /// record-id-matched entry may go; its duplicates survive, and
+    /// reinserting the same pair round-trips.
+    #[test]
+    fn duplicate_coordinates_delete_by_record_and_reinsert() {
+        let mut t = RTree::new(2, 3);
+        for i in 0..12u32 {
+            t.insert(&[5, 5], i);
+        }
+        assert!(t.delete(&[5, 5], 7));
+        assert_eq!(t.len(), 11);
+        t.validate().unwrap();
+        assert!(!records_sorted(&t).contains(&7));
+        assert!(!t.delete(&[5, 5], 7), "already gone");
+        t.insert(&[5, 5], 7);
+        t.validate().unwrap();
+        assert_eq!(records_sorted(&t), (0..12).collect::<Vec<_>>());
+        // Drain every duplicate one by one, validating throughout.
+        for i in 0..12u32 {
+            assert!(t.delete(&[5, 5], i), "record {i}");
+            t.validate()
+                .unwrap_or_else(|e| panic!("after delete {i}: {e}"));
+        }
+        assert!(t.is_empty());
+    }
+
+    /// Satellite: root shrink. Deleting enough records collapses
+    /// single-child roots and walks the height back down.
+    #[test]
+    fn root_shrinks_as_the_tree_drains() {
+        let mut t = RTree::new(2, 3);
+        for i in 0..60u32 {
+            t.insert(&[i * 7 % 23, i * 13 % 19], i);
+        }
+        let peak = t.height();
+        assert!(peak >= 3, "need a tall tree to shrink (got {peak})");
+        for i in 0..60u32 {
+            assert!(t.delete(&[i * 7 % 23, i * 13 % 19], i), "record {i}");
+            t.validate()
+                .unwrap_or_else(|e| panic!("after delete {i}: {e}"));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes_stay_valid() {
+        // A sliding-window-shaped workload: insert at the head, delete at
+        // the tail, window of 25, with coordinate collisions by design.
+        let mut t = RTree::new(2, 4);
+        let coords = |i: u32| [i % 11, i % 7];
+        for i in 0..120u32 {
+            t.insert(&coords(i), i);
+            if i >= 25 {
+                let old = i - 25;
+                assert!(t.delete(&coords(old), old), "expire {old}");
+            }
+            t.validate().unwrap_or_else(|e| panic!("at step {i}: {e}"));
+        }
+        assert_eq!(t.len(), 25);
+        assert_eq!(records_sorted(&t), (95..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn condense_reinserts_from_a_hand_built_tree() {
+        // A root with two leaves of 2 (min_fill of cap=4 is 1, so build
+        // with cap 5 -> min_fill 2): deleting from a 2-entry leaf leaves 1
+        // < min_fill, orphaning the survivor into the sibling leaf and
+        // collapsing the root.
+        let t = RTree::from_structure(
+            1,
+            5,
+            BuildNode::Inner(vec![
+                BuildNode::Leaf(vec![(vec![1], 1), (vec![2], 2)]),
+                BuildNode::Leaf(vec![(vec![8], 8), (vec![9], 9)]),
+            ]),
+        );
+        assert_eq!(t.height(), 2);
+        let mut t = t;
+        assert!(t.delete(&[2], 2));
+        t.validate().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(records_sorted(&t), vec![1, 8, 9]);
+        assert_eq!(t.height(), 1, "condense + root shrink flattened the tree");
+    }
+}

@@ -4,7 +4,9 @@
 //! * **STR bulk loading** (`Sort-Tile-Recursive`) for the static disk-style
 //!   indexes the paper's algorithms traverse,
 //! * **Guttman-style insertion** with quadratic splits for the incremental
-//!   main-memory tree `Tm` of §IV-B / §V-A,
+//!   main-memory tree `Tm` of §IV-B / §V-A, and **deletion** with
+//!   condense-tree reinsertion and root shrink so streaming maintenance
+//!   can retire expired entries in place,
 //! * **best-first traversal** ([`BestFirst`]) — the caller-driven heap walk
 //!   underlying BBS and all of its descendants (entries are popped in
 //!   ascending L1 *mindist* to the origin, the "most preferable point"),
@@ -24,6 +26,7 @@
 
 mod buffer;
 mod bulk;
+mod delete;
 mod geom;
 mod insert;
 mod node;

@@ -124,6 +124,25 @@ fn catch_unwind_waiver_passes() {
     assert!(f.is_empty(), "{f:#?}");
 }
 
+/// The streaming repair path must not grow its own panic isolation: a
+/// `catch_unwind` in `streaming.rs` is flagged while the executor module
+/// next to it stays exempt — delta repair rides the one audited ladder.
+#[test]
+fn streaming_module_cannot_catch_its_own_panics() {
+    let f = lint("unwind_streaming_violation", "unwind");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(f[0].path.ends_with("crates/core/src/streaming.rs"));
+    assert!(f[0].msg.contains("executor"));
+}
+
+/// Streaming-style promote code with reasoned waivers keeps the crate at
+/// its baseline: the ratchet admits the new module without loosening.
+#[test]
+fn streaming_module_waivers_hold_the_panic_baseline() {
+    let f = lint("panic_streaming_waived", "panic-path");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
 /// The CLI contract CI relies on: exit 0 on clean, 1 on findings, and the
 /// findings on stdout as `path:line: [rule] msg`.
 #[test]

