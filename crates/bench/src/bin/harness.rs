@@ -22,6 +22,17 @@ use tss_core::{CostModel, DtssConfig, RangeStrategy, StssConfig};
 
 fn main() {
     let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    // Hidden worker entry: under `TSS_EXECUTOR=subprocess` the sharded
+    // runners re-exec this binary with `tss-worker` and speak the frame
+    // protocol over stdin/stdout. Handled before anything that could
+    // write to stdout, which belongs to the supervisor.
+    if cmd == "tss-worker" {
+        if let Err(e) = bench::ipcbench::serve_worker() {
+            eprintln!("tss-worker: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let t0 = std::time::Instant::now();
     match cmd.as_str() {
         "fig7" => fig7(),
@@ -231,6 +242,10 @@ fn dynamic_point(p: &ExperimentParams) -> (bench::runner::AlgoResult, bench::run
         stream_expirations: m.stream_expirations / seeds.len() as u64,
         stream_repairs: m.stream_repairs / seeds.len() as u64,
         repair_candidates: m.repair_candidates / seeds.len() as u64,
+        worker_crashes: m.worker_crashes / seeds.len() as u64,
+        worker_timeouts: m.worker_timeouts / seeds.len() as u64,
+        frames_corrupted: m.frames_corrupted / seeds.len() as u64,
+        ipc_bytes: m.ipc_bytes / seeds.len() as u64,
         cpu: m.cpu / seeds.len() as u32,
     };
     (

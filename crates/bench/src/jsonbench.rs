@@ -13,6 +13,7 @@
 //! enforced at measurement time. `--smoke` shrinks every cardinality so CI
 //! can do the same in seconds.
 
+use crate::ipcbench::{bench_executor, ExecutorChoice};
 use crate::runner::{
     bench_budget, generate, pair_check_picos, run_dtss, run_dtss_sharded, run_dynamic_sdc,
     run_dynamic_sdc_sharded, run_sdc_plus, run_sdc_plus_sharded, run_stss, run_stss_sharded,
@@ -63,6 +64,16 @@ pub struct BenchRow {
     /// Planner estimate of serial merge pair checks (0 for serial and
     /// fixed-plan rows).
     pub est_merge_checks: u64,
+    /// Executor the sharded run evaluated its shards through:
+    /// `"inproc"` (scoped threads) or `"subprocess"` (the supervised
+    /// worker-process pool behind `TSS_EXECUTOR=subprocess`). Serial rows
+    /// always read `"inproc"`. Reporting metadata: every non-wall,
+    /// non-IPC column is executor-invariant by the byte-identity
+    /// contract, which is what the CI subprocess smoke diff checks.
+    pub executor: &'static str,
+    /// Worker-process pool size of a subprocess run (0 for in-process
+    /// and serial rows).
+    pub workers: usize,
     /// `std::thread::available_parallelism()` of the measuring machine —
     /// wall-clock columns from rows with `available_parallelism: 1` prove
     /// determinism, not speedup.
@@ -89,6 +100,13 @@ pub struct BenchRow {
 impl BenchRow {
     fn of(algo: &'static str, workload: String, threads: usize, r: &AlgoResult) -> Self {
         let faults = FaultPlan::active();
+        // Serial rows (threads == 0) never touch the executor seam, so
+        // they are in-process whatever `TSS_EXECUTOR` says.
+        let choice = if threads == 0 {
+            ExecutorChoice::InProc
+        } else {
+            bench_executor()
+        };
         BenchRow {
             algo,
             workload,
@@ -100,6 +118,11 @@ impl BenchRow {
             plan_workers: r.plan.map_or(0, |p| p.workers),
             est_run_checks: r.plan.map_or(0, |p| p.est_run_checks),
             est_merge_checks: r.plan.map_or(0, |p| p.est_merge_checks),
+            executor: choice.name(),
+            workers: match choice {
+                ExecutorChoice::Subprocess => threads,
+                ExecutorChoice::InProc => 0,
+            },
             available_parallelism: available_parallelism(),
             wall_ns: r.metrics.cpu.as_nanos(),
             fault_seed: faults.map(|f| f.seed),
@@ -190,6 +213,14 @@ fn assert_counters_identical(label: &str, a: &Metrics, b: &Metrics) {
             a.repair_candidates,
             b.repair_candidates,
         ),
+        // The IPC counters are pool-size-invariant too: the supervisor
+        // instructs process faults by (shard, attempt), never by worker
+        // slot, so retries — and therefore frames and bytes — don't
+        // depend on how many workers drained the queue.
+        ("worker_crashes", a.worker_crashes, b.worker_crashes),
+        ("worker_timeouts", a.worker_timeouts, b.worker_timeouts),
+        ("frames_corrupted", a.frames_corrupted, b.frames_corrupted),
+        ("ipc_bytes", a.ipc_bytes, b.ipc_bytes),
     ];
     for (column, x, y) in columns {
         assert_eq!(x, y, "{label}: column {column} diverges: {x} vs {y}");
@@ -469,6 +500,7 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             "  {{\"algo\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \"shards\": {}, \
              \"adaptive\": {}, \"kernel\": \"{}\", \"pair_check_picos\": {}, \
              \"plan_workers\": {}, \"est_run_checks\": {}, \"est_merge_checks\": {}, \
+             \"executor\": \"{}\", \"workers\": {}, \
              \"available_parallelism\": {}, \
              \"wall_ns\": {}, \"fault_seed\": {}, \"fault_rate\": {}, \
              \"budget_limit\": {}, \"metrics\": \
@@ -479,7 +511,9 @@ pub fn to_json(rows: &[BenchRow]) -> String {
              \"merge_strata\": {}, \"shard_retries\": {}, \"shard_fallbacks\": {}, \
              \"faults_injected\": {}, \"stream_inserts\": {}, \
              \"stream_expirations\": {}, \"stream_repairs\": {}, \
-             \"repair_candidates\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
+             \"repair_candidates\": {}, \"worker_crashes\": {}, \
+             \"worker_timeouts\": {}, \"frames_corrupted\": {}, \
+             \"ipc_bytes\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
             r.algo,
             r.workload,
             r.threads,
@@ -490,6 +524,8 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             r.plan_workers,
             r.est_run_checks,
             r.est_merge_checks,
+            r.executor,
+            r.workers,
             r.available_parallelism,
             r.wall_ns,
             opt(r.fault_seed),
@@ -512,6 +548,10 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             m.stream_expirations,
             m.stream_repairs,
             m.repair_candidates,
+            m.worker_crashes,
+            m.worker_timeouts,
+            m.frames_corrupted,
+            m.ipc_bytes,
             m.results,
             r.skyline,
             if i + 1 == rows.len() { "" } else { "," }
@@ -539,6 +579,8 @@ mod tests {
             plan_workers: 2,
             est_run_checks: 900,
             est_merge_checks: 60,
+            executor: "subprocess",
+            workers: 2,
             available_parallelism: 4,
             wall_ns: 123,
             fault_seed: Some(7),
@@ -559,6 +601,10 @@ mod tests {
                 stream_expirations: 22,
                 stream_repairs: 23,
                 repair_candidates: 24,
+                worker_crashes: 31,
+                worker_timeouts: 32,
+                frames_corrupted: 33,
+                ipc_bytes: 34,
                 cpu: Duration::from_nanos(123),
                 ..Default::default()
             },
@@ -599,6 +645,14 @@ mod tests {
         assert!(s.contains("\"stream_expirations\": 22"));
         assert!(s.contains("\"stream_repairs\": 23"));
         assert!(s.contains("\"repair_candidates\": 24"));
+        // Out-of-process observability (PR 10): the executor axis and the
+        // IPC counters are part of the row shape.
+        assert!(s.contains("\"executor\": \"subprocess\""));
+        assert!(s.contains("\"workers\": 2"));
+        assert!(s.contains("\"worker_crashes\": 31"));
+        assert!(s.contains("\"worker_timeouts\": 32"));
+        assert!(s.contains("\"frames_corrupted\": 33"));
+        assert!(s.contains("\"ipc_bytes\": 34"));
         assert!(s.trim_end().ends_with(']'));
     }
 

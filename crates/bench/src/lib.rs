@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ipcbench;
 pub mod jsonbench;
 pub mod params;
 pub mod report;

@@ -1,6 +1,10 @@
 //! Workload construction and algorithm runners shared by the harness binary
 //! and the Criterion benches.
 
+use crate::ipcbench::{
+    bench_deadline, bench_executor, encode_engine_task, ExecutorChoice, TASK_DTSS,
+    TASK_DYNAMIC_SDC, TASK_SDC_PLUS, TASK_STSS,
+};
 use datagen::ExperimentParams;
 use poset::Dag;
 use rand::rngs::StdRng;
@@ -11,9 +15,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 use tss_core::parallel::merge_jobs_exec;
 use tss_core::{
-    Budget, CostModel, Dtss, DtssConfig, Kernel, Metrics, PoDomain, PoQuery, ProgressSample,
-    ShardJob, ShardPlan, ShardSpec, ShardView, SkylineCursor, Stss, StssConfig, Table,
-    ThreadShardExecutor,
+    Budget, CostModel, Dtss, DtssConfig, ExecPolicy, Kernel, Metrics, PoDomain, PoQuery,
+    ProgressSample, ShardJob, ShardPlan, ShardSpec, ShardView, SkylineCursor, Stss, StssConfig,
+    SubprocessExecutor, Table, ThreadShardExecutor, WorkerSpec,
 };
 
 /// A generated workload: the table plus its PO domains.
@@ -215,6 +219,14 @@ fn budget_from(var: Option<&str>) -> Budget {
 /// work is genuinely part of the run. Kernel equivalence (bit-identical
 /// results and counters across kernels) keeps the recovered rows
 /// byte-comparable with fault-free ones.
+///
+/// Every job also carries its wire payload (`wire`, one of the
+/// [`crate::ipcbench`] engine codecs): under `TSS_EXECUTOR=subprocess`
+/// the shards run in a supervised pool of re-exec'd worker processes
+/// ([`SubprocessExecutor`]) instead of scoped threads, with byte-identical
+/// records and non-wall counters — worker processes rebuild the same
+/// engine from the shipped window and run the same deterministic code.
+#[allow(clippy::too_many_arguments)]
 fn run_sharded<E: Send>(
     name: &'static str,
     table: &Table,
@@ -223,6 +235,7 @@ fn run_sharded<E: Send>(
     threads: usize,
     build: impl Fn(&ShardView<'_>, Kernel) -> E + Sync,
     run: impl Fn(&E) -> (Vec<u32>, Metrics) + Sync,
+    wire: impl Fn(&ShardView<'_>) -> Vec<u8> + Send + Sync,
 ) -> AlgoResult {
     let views = table.shards(plan.shards);
     let base_kernel = table.kernel();
@@ -231,7 +244,7 @@ fn run_sharded<E: Send>(
         .map(|v| Mutex::new(Some(build(v, base_kernel))))
         .collect();
     let t0 = Instant::now();
-    let (build, run, engines) = (&build, &run, &engines);
+    let (build, run, engines, wire) = (&build, &run, &engines, &wire);
     let jobs: Vec<ShardJob<'_>> = views
         .iter()
         .map(|&view| {
@@ -252,14 +265,34 @@ fn run_sharded<E: Send>(
                 let global: Vec<u32> = local.into_iter().map(|r| r + view.start()).collect();
                 (global, m)
             })
+            .with_wire(move || wire(&view))
         })
         .collect();
-    let executor = ThreadShardExecutor::new(threads);
-    let parallel = merge_jobs_exec(table, domains, &executor, threads, bench_budget(), jobs)
-        .unwrap_or_else(|e| {
-            // lint:allow(panic-path): a shard that fails its retries AND the scalar-oracle fallback has no recovery left — the bench run is unreportable and must abort loudly
-            panic!("{name}: unrecoverable shard failure: {e}")
-        });
+    let parallel = match bench_executor() {
+        ExecutorChoice::InProc => {
+            let executor = ThreadShardExecutor::new(threads);
+            merge_jobs_exec(table, domains, &executor, threads, bench_budget(), jobs)
+        }
+        ExecutorChoice::Subprocess => {
+            // Re-exec this binary behind the harness's hidden `tss-worker`
+            // subcommand. If the executable path cannot be resolved the
+            // empty program fails to spawn and the supervisor degrades the
+            // whole batch to the in-process ladder — same records, same
+            // counters, `ipc_bytes: 0`.
+            let spec = WorkerSpec::current_exe(["tss-worker"])
+                .unwrap_or_else(|_| WorkerSpec::new(std::path::PathBuf::new(), ["tss-worker"]));
+            let mut policy = ExecPolicy::default();
+            if let Some(deadline) = bench_deadline() {
+                policy = policy.with_deadline(deadline);
+            }
+            let executor = SubprocessExecutor::with_policy(spec, threads, policy);
+            merge_jobs_exec(table, domains, &executor, threads, bench_budget(), jobs)
+        }
+    }
+    .unwrap_or_else(|e| {
+        // lint:allow(panic-path): a shard that fails its retries AND the scalar-oracle fallback has no recovery left — the bench run is unreportable and must abort loudly
+        panic!("{name}: unrecoverable shard failure: {e}")
+    });
     let wall = t0.elapsed();
     let mut metrics = parallel.metrics();
     metrics.cpu = wall;
@@ -296,6 +329,7 @@ pub fn run_stss_sharded(
             let r = e.run();
             (r.skyline_records(), r.metrics)
         },
+        |v| encode_engine_task(TASK_STSS, v, &w.dags, None),
     )
 }
 
@@ -326,6 +360,7 @@ pub fn run_sdc_plus_sharded(
             let r = e.run();
             (r.skyline.clone(), r.metrics)
         },
+        |v| encode_engine_task(TASK_SDC_PLUS, v, &w.dags, None),
     )
 }
 
@@ -362,6 +397,7 @@ pub fn run_dtss_sharded(
             let r = e.query(&query).expect("valid query");
             (r.skyline_records(), r.metrics)
         },
+        |v| encode_engine_task(TASK_DTSS, v, &w.dags, Some(query_seed)),
     )
 }
 
@@ -391,6 +427,7 @@ pub fn run_dynamic_sdc_sharded(
             let r = e.query(&query).expect("valid query");
             (r.skyline.clone(), r.metrics)
         },
+        |v| encode_engine_task(TASK_DYNAMIC_SDC, v, &w.dags, Some(query_seed)),
     )
 }
 

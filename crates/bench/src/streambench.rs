@@ -316,7 +316,9 @@ pub fn stream_to_json(rows: &[StreamBenchRow]) -> String {
              \"merge_pair_checks\": {}, \"merge_strata\": {}, \"shard_retries\": {}, \
              \"shard_fallbacks\": {}, \"faults_injected\": {}, \"stream_inserts\": {}, \
              \"stream_expirations\": {}, \"stream_repairs\": {}, \
-             \"repair_candidates\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
+             \"repair_candidates\": {}, \"worker_crashes\": {}, \
+             \"worker_timeouts\": {}, \"frames_corrupted\": {}, \
+             \"ipc_bytes\": {}, \"results\": {}, \"skyline\": {}}}}}{}\n",
             r.algo,
             r.workload,
             r.threads,
@@ -351,6 +353,10 @@ pub fn stream_to_json(rows: &[StreamBenchRow]) -> String {
             m.stream_expirations,
             m.stream_repairs,
             m.repair_candidates,
+            m.worker_crashes,
+            m.worker_timeouts,
+            m.frames_corrupted,
+            m.ipc_bytes,
             m.results,
             r.skyline,
             if i + 1 == rows.len() { "" } else { "," }

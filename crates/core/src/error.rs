@@ -59,69 +59,183 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
-/// Failures surfaced by the fault-tolerant shard executor
+/// What went wrong on a shard attempt — the variant half of a
+/// [`ShardError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardErrorKind {
+    /// The shard job panicked; the payload is the rendered panic message
+    /// (`"<non-string panic payload>"` when it is not a string).
+    Panicked(String),
+    /// The shard's local skyline failed the merge-side minimality
+    /// validation: the carried record id is dominated by another local
+    /// member, so the local result cannot be a skyline.
+    Corrupted(u32),
+    /// An out-of-process worker died mid-attempt (nonzero exit, EOF on its
+    /// pipe, a truncated frame, or a failed spawn/write); the payload
+    /// names the observation.
+    WorkerDied(String),
+    /// An out-of-process worker blew its attempt deadline and was killed
+    /// by the supervisor.
+    WorkerTimeout,
+    /// A response frame arrived but could not be trusted: checksum
+    /// mismatch, undecodable payload, or a decoded record outside the
+    /// shard's range; the payload names the defect.
+    FrameCorrupted(String),
+}
+
+impl ShardErrorKind {
+    /// Stable variant name for logs and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardErrorKind::Panicked(_) => "panicked",
+            ShardErrorKind::Corrupted(_) => "corrupted",
+            ShardErrorKind::WorkerDied(_) => "worker-died",
+            ShardErrorKind::WorkerTimeout => "worker-timeout",
+            ShardErrorKind::FrameCorrupted(_) => "frame-corrupted",
+        }
+    }
+}
+
+/// Failures surfaced by the fault-tolerant shard executors
 /// ([`ShardExecutor`](crate::parallel::ShardExecutor)): what went wrong on
 /// the shard's **final** attempt, after the bounded retry ladder and the
 /// scalar-oracle fallback of last resort were both exhausted.
 ///
 /// A `ShardError` escaping [`sharded_skyline`](crate::sharded_skyline)
 /// therefore means the shard failed deterministically on every path — a
-/// real engine bug, not a transient fault.
+/// real engine bug, not a transient fault (or crashed worker process).
+/// The error is structured — variant, shard index, the shard's global
+/// record-id range, attempt — so supervisor logs and test diagnostics
+/// name the failing shard instead of a debug blob.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ShardError {
-    /// The shard job panicked; `message` is the rendered panic payload of
-    /// the failing attempt.
-    Panicked {
-        /// Index of the failing shard.
-        shard: usize,
-        /// Zero-based attempt the failure was observed on (the fallback
-        /// attempt is `retries + 1`).
-        attempt: u32,
-        /// Rendered panic payload (`"<non-string panic payload>"` when the
-        /// payload is not a string).
-        message: String,
-    },
-    /// The shard's local skyline failed the merge-side minimality
-    /// validation: `offender` is dominated by another local member, so the
-    /// local result cannot be a skyline.
-    Corrupted {
-        /// Index of the failing shard.
-        shard: usize,
-        /// Zero-based attempt the corruption was detected on.
-        attempt: u32,
-        /// The dominated record id that proves the corruption.
-        offender: u32,
-    },
+pub struct ShardError {
+    shard: usize,
+    attempt: u32,
+    range: std::ops::Range<u32>,
+    kind: ShardErrorKind,
 }
 
 impl ShardError {
+    /// An error of arbitrary kind. The range defaults to empty (unknown);
+    /// executors that know the shard's record span attach it with
+    /// [`with_range`](Self::with_range).
+    pub fn new(shard: usize, attempt: u32, kind: ShardErrorKind) -> ShardError {
+        ShardError {
+            shard,
+            attempt,
+            range: 0..0,
+            kind,
+        }
+    }
+
+    /// A panicked attempt with the rendered panic payload.
+    pub fn panicked(shard: usize, attempt: u32, message: impl Into<String>) -> ShardError {
+        ShardError::new(shard, attempt, ShardErrorKind::Panicked(message.into()))
+    }
+
+    /// A corrupted local skyline, proven by the dominated `offender`.
+    pub fn corrupted(shard: usize, attempt: u32, offender: u32) -> ShardError {
+        ShardError::new(shard, attempt, ShardErrorKind::Corrupted(offender))
+    }
+
+    /// A dead worker process, with the observation that revealed it.
+    pub fn worker_died(shard: usize, attempt: u32, detail: impl Into<String>) -> ShardError {
+        ShardError::new(shard, attempt, ShardErrorKind::WorkerDied(detail.into()))
+    }
+
+    /// A worker killed for blowing its attempt deadline.
+    pub fn worker_timeout(shard: usize, attempt: u32) -> ShardError {
+        ShardError::new(shard, attempt, ShardErrorKind::WorkerTimeout)
+    }
+
+    /// An untrustworthy response frame, with the defect that condemned it.
+    pub fn frame_corrupted(shard: usize, attempt: u32, detail: impl Into<String>) -> ShardError {
+        ShardError::new(
+            shard,
+            attempt,
+            ShardErrorKind::FrameCorrupted(detail.into()),
+        )
+    }
+
+    /// Attaches the shard's global record-id range.
+    pub fn with_range(mut self, range: std::ops::Range<u32>) -> ShardError {
+        self.range = range;
+        self
+    }
+
     /// The shard the error originated on.
     pub fn shard(&self) -> usize {
-        match self {
-            ShardError::Panicked { shard, .. } | ShardError::Corrupted { shard, .. } => *shard,
-        }
+        self.shard
+    }
+
+    /// Zero-based attempt the failure was observed on (the scalar-oracle
+    /// fallback attempt is `retries + 1`).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The global record-id range the shard covers (empty when the
+    /// reporting executor did not know it).
+    pub fn range(&self) -> std::ops::Range<u32> {
+        self.range.clone()
+    }
+
+    /// The failure variant.
+    pub fn kind(&self) -> &ShardErrorKind {
+        &self.kind
     }
 }
 
 impl fmt::Display for ShardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ShardError::Panicked {
-                shard,
-                attempt,
-                message,
-            } => write!(f, "shard {shard} panicked on attempt {attempt}: {message}"),
-            ShardError::Corrupted {
-                shard,
-                attempt,
-                offender,
-            } => write!(
+        write!(f, "shard {}", self.shard)?;
+        if !self.range.is_empty() {
+            write!(f, " [{}..{})", self.range.start, self.range.end)?;
+        }
+        write!(f, " attempt {}: {}", self.attempt, self.kind.name())?;
+        match &self.kind {
+            ShardErrorKind::Panicked(msg) => write!(f, ": {msg}"),
+            ShardErrorKind::Corrupted(offender) => write!(
                 f,
-                "shard {shard} produced a corrupt local skyline on attempt {attempt}: \
-                 record {offender} is dominated by another local member"
+                ": record {offender} is dominated by another local member"
             ),
+            ShardErrorKind::WorkerDied(detail) => write!(f, ": {detail}"),
+            ShardErrorKind::WorkerTimeout => Ok(()),
+            ShardErrorKind::FrameCorrupted(detail) => write!(f, ": {detail}"),
         }
     }
 }
 
 impl std::error::Error for ShardError {}
+
+#[cfg(test)]
+mod shard_error_tests {
+    use super::*;
+
+    #[test]
+    fn display_names_variant_range_and_attempt() {
+        let e = ShardError::panicked(3, 2, "boom").with_range(30..60);
+        let s = e.to_string();
+        assert!(s.contains("shard 3"), "{s}");
+        assert!(s.contains("[30..60)"), "{s}");
+        assert!(s.contains("attempt 2"), "{s}");
+        assert!(s.contains("panicked"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+    }
+
+    #[test]
+    fn empty_range_is_omitted() {
+        let e = ShardError::worker_timeout(1, 0);
+        let s = e.to_string();
+        assert_eq!(s, "shard 1 attempt 0: worker-timeout");
+        assert!(ShardError::worker_died(0, 4, "EOF")
+            .to_string()
+            .contains("worker-died: EOF"));
+        assert!(ShardError::frame_corrupted(0, 1, "checksum mismatch")
+            .to_string()
+            .contains("frame-corrupted: checksum mismatch"));
+        assert!(ShardError::corrupted(2, 1, 17)
+            .to_string()
+            .contains("record 17"));
+    }
+}

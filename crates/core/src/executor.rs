@@ -60,6 +60,7 @@ use std::hash::Hasher;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
 
 /// What a planned fault does to its attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,7 +129,7 @@ impl FaultPlan {
     }
 
     /// The pinned site hash: FNV-1a over `(seed, shard, attempt, salt)`.
-    fn site_hash(&self, shard: usize, attempt: u32, salt: u64) -> u64 {
+    pub(crate) fn site_hash(&self, shard: usize, attempt: u32, salt: u64) -> u64 {
         let mut h = poset::Fnv64::new();
         h.write_u64(self.seed);
         h.write_u64(shard as u64);
@@ -151,6 +152,45 @@ impl FaultPlan {
             FaultKind::Corrupt
         })
     }
+
+    /// Whether this plan sabotages the **remote** execution of
+    /// `(shard, attempt)`, and how. Process-level sites hash with their
+    /// own salt, independent of the in-process [`injects`](Self::injects)
+    /// sites, so the same `TSS_FAULTS` plan exercises both ladders; the
+    /// kind cycles through all three process failure modes. Only the
+    /// out-of-process executor's remote attempts consult this — in-process
+    /// attempts (including its degraded mode and fallback) see the
+    /// in-process sites, keeping degraded runs byte-identical to
+    /// [`ThreadShardExecutor`](crate::ThreadShardExecutor) ones.
+    pub fn injects_process(&self, shard: usize, attempt: u32) -> Option<ProcessFaultKind> {
+        let h = self.site_hash(shard, attempt, 2);
+        if (h % 1_000_000) as u32 >= self.rate_ppm {
+            return None;
+        }
+        Some(match (h >> 32) % 3 {
+            0 => ProcessFaultKind::Kill,
+            1 => ProcessFaultKind::Stall,
+            _ => ProcessFaultKind::CorruptFrame,
+        })
+    }
+}
+
+/// What a planned **process-level** fault makes a worker subprocess do to
+/// its attempt (the out-of-process counterpart of [`FaultKind`]). The
+/// supervisor computes the site deterministically and instructs the worker
+/// over the request frame, so injection is invariant to pool size and
+/// scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessFaultKind {
+    /// The worker exits without replying — exercises crash detection
+    /// (EOF) and the respawn path.
+    Kill,
+    /// The worker parks forever — exercises the attempt deadline and
+    /// kill-on-timeout.
+    Stall,
+    /// The worker flips one byte of its response payload while keeping
+    /// the stale checksum — exercises frame-corruption detection.
+    CorruptFrame,
 }
 
 /// Everything a shard job may condition on: which shard it is, which
@@ -186,8 +226,16 @@ pub struct ShardOutcome {
 /// may be invoked several times, once per attempt, with different
 /// [`ShardCtx`]s) plus the global record-id range the shard covers — the
 /// scope fault injection corrupts within and validation checks against.
+///
+/// A job may additionally carry a **wire payload** — a lazy encoder of
+/// self-contained task bytes a worker *process* can recompute the same
+/// `(records, metrics)` from (see [`crate::ipc`]). Closures cannot cross
+/// process boundaries, so the payload is what the out-of-process executor
+/// ships; the closure stays as the in-process path every executor falls
+/// back to (fallback attempts, degraded mode, jobs without a payload).
 pub struct ShardJob<'a> {
     run: Box<dyn Fn(ShardCtx) -> (Vec<RecordId>, Metrics) + Send + Sync + 'a>,
+    wire: Option<Box<dyn Fn() -> Vec<u8> + Send + Sync + 'a>>,
     range: Range<RecordId>,
 }
 
@@ -200,8 +248,24 @@ impl<'a> ShardJob<'a> {
     ) -> Self {
         ShardJob {
             run: Box::new(run),
+            wire: None,
             range,
         }
+    }
+
+    /// Attaches a lazy wire-payload encoder. The bytes must describe a
+    /// task whose worker-side evaluation (see [`crate::ipc::worker`])
+    /// returns byte-identical records and metrics to the closure at the
+    /// same [`ShardCtx`] — that equivalence is what the subprocess
+    /// equivalence proptests pin.
+    pub fn with_wire(mut self, encode: impl Fn() -> Vec<u8> + Send + Sync + 'a) -> Self {
+        self.wire = Some(Box::new(encode));
+        self
+    }
+
+    /// Encodes the wire payload, if the job carries one.
+    pub fn wire_bytes(&self) -> Option<Vec<u8>> {
+        self.wire.as_ref().map(|encode| encode())
     }
 
     /// The global record-id range this shard covers.
@@ -223,6 +287,14 @@ pub struct ExecPolicy {
     /// otherwise go unnoticed); off by default on fault-free runs, where
     /// it would only add oracle pair work.
     pub validate: bool,
+    /// Per-attempt deadline of the out-of-process executor: a remote
+    /// attempt that has not answered within it is killed and retried
+    /// (counted in [`Metrics::worker_timeouts`]). `None` uses the
+    /// supervisor's generous default. The deadline must never influence
+    /// results or counters — only *which recovery path ran* — which is
+    /// why in-process executors ignore it entirely and the supervisor's
+    /// clock is confined to its own module.
+    pub deadline: Option<Duration>,
 }
 
 impl ExecPolicy {
@@ -236,7 +308,14 @@ impl ExecPolicy {
             retries: Self::DEFAULT_RETRIES,
             faults,
             validate: faults.is_some(),
+            deadline: None,
         }
+    }
+
+    /// The same policy with an explicit per-attempt deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> ExecPolicy {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The policy with no injection and no validation — what fault-free
@@ -311,37 +390,49 @@ impl ThreadShardExecutor {
         shard: usize,
         job: &ShardJob<'_>,
     ) -> Result<ShardOutcome, ShardError> {
-        let policy = &self.policy;
-        let mut retries = 0u64;
-        let mut injected = 0u64;
-        for attempt in 0..=policy.retries {
-            let ctx = ShardCtx {
-                shard,
-                attempt,
-                kernel: store.kernel(),
-            };
-            let fault = policy
-                .faults
-                .as_ref()
-                .and_then(|p| p.injects(shard, attempt));
-            match attempt_shard(store, domains, policy, job, ctx, fault, &mut injected) {
-                Ok((records, metrics)) => {
-                    return Ok(outcome(records, metrics, retries, 0, injected))
-                }
-                Err(_) => retries += 1,
-            }
-        }
-        // Last resort: one recompute on the scalar oracle kernel, never
-        // injected — a fault-injected run always terminates exactly.
+        run_ladder(&self.policy, store, domains, shard, job)
+    }
+}
+
+/// The full in-process per-shard recovery ladder — `retries + 1` regular
+/// attempts on the store's kernel, then one scalar-oracle fallback; never
+/// panics, never loses the shard silently. Shared by
+/// [`ThreadShardExecutor`] and the out-of-process executor's degraded
+/// mode, which is what keeps degraded runs byte-identical to in-process
+/// ones (same attempts, same fault sites, same counters).
+pub(crate) fn run_ladder(
+    policy: &ExecPolicy,
+    store: &PointStore,
+    domains: &[PoDomain],
+    shard: usize,
+    job: &ShardJob<'_>,
+) -> Result<ShardOutcome, ShardError> {
+    let mut retries = 0u64;
+    let mut injected = 0u64;
+    for attempt in 0..=policy.retries {
         let ctx = ShardCtx {
             shard,
-            attempt: policy.retries + 1,
-            kernel: Kernel::Scalar,
+            attempt,
+            kernel: store.kernel(),
         };
-        let (records, metrics) =
-            attempt_shard(store, domains, policy, job, ctx, None, &mut injected)?;
-        Ok(outcome(records, metrics, retries, 1, injected))
+        let fault = policy
+            .faults
+            .as_ref()
+            .and_then(|p| p.injects(shard, attempt));
+        match attempt_shard(store, domains, policy, job, ctx, fault, &mut injected) {
+            Ok((records, metrics)) => return Ok(outcome(records, metrics, retries, 0, injected)),
+            Err(_) => retries += 1,
+        }
     }
+    // Last resort: one recompute on the scalar oracle kernel, never
+    // injected — a fault-injected run always terminates exactly.
+    let ctx = ShardCtx {
+        shard,
+        attempt: policy.retries + 1,
+        kernel: Kernel::Scalar,
+    };
+    let (records, metrics) = attempt_shard(store, domains, policy, job, ctx, None, &mut injected)?;
+    Ok(outcome(records, metrics, retries, 1, injected))
 }
 
 impl ShardExecutor for ThreadShardExecutor {
@@ -400,7 +491,7 @@ impl ShardExecutor for ThreadShardExecutor {
 
 /// Folds the ladder's recovery bookkeeping into the successful attempt's
 /// metrics.
-fn outcome(
+pub(crate) fn outcome(
     records: Vec<RecordId>,
     mut metrics: Metrics,
     retries: u64,
@@ -416,7 +507,7 @@ fn outcome(
 /// One attempt of one shard: inject the planned fault (if any), run the
 /// job under `catch_unwind`, then validate the local skyline when the
 /// policy asks for it.
-fn attempt_shard(
+pub(crate) fn attempt_shard(
     store: &PointStore,
     domains: &[PoDomain],
     policy: &ExecPolicy,
@@ -454,20 +545,15 @@ fn attempt_shard(
     let (records, metrics) = match run {
         Ok(out) => out,
         Err(payload) => {
-            return Err(ShardError::Panicked {
-                shard,
-                attempt,
-                message: panic_message(payload.as_ref()),
-            })
+            return Err(
+                ShardError::panicked(shard, attempt, panic_message(payload.as_ref()))
+                    .with_range(job.range()),
+            )
         }
     };
     if policy.validate {
         if let Some(offender) = validate_minimal(store, domains, &records) {
-            return Err(ShardError::Corrupted {
-                shard,
-                attempt,
-                offender,
-            });
+            return Err(ShardError::corrupted(shard, attempt, offender).with_range(job.range()));
         }
     }
     Ok((records, metrics))
@@ -524,7 +610,7 @@ fn corruption_target(
 /// the full list is a valid reference set). Returns the first dominated
 /// member found. The oracle pair work is deliberately uncounted — see the
 /// module docs.
-fn validate_minimal(
+pub(crate) fn validate_minimal(
     store: &PointStore,
     domains: &[PoDomain],
     records: &[RecordId],
@@ -745,20 +831,22 @@ mod tests {
         let results = exec.execute(&t, &[], &jobs);
         assert!(results[0].is_ok());
         match &results[1] {
-            Err(ShardError::Panicked {
-                shard,
-                attempt,
-                message,
-            }) => {
-                assert_eq!(*shard, 1);
+            Err(e) => {
+                assert_eq!(e.shard(), 1);
                 assert_eq!(
-                    *attempt,
+                    e.attempt(),
                     ExecPolicy::DEFAULT_RETRIES + 1,
                     "failed the fallback too"
                 );
-                assert!(message.contains("broken on every kernel"));
+                assert_eq!(e.range(), jobs[1].range(), "the error names the shard span");
+                match e.kind() {
+                    crate::error::ShardErrorKind::Panicked(message) => {
+                        assert!(message.contains("broken on every kernel"))
+                    }
+                    other => unreachable!("expected Panicked, got {other:?}"),
+                }
             }
-            other => unreachable!("expected Panicked, got {other:?}"),
+            other => unreachable!("expected Err, got {other:?}"),
         }
     }
 

@@ -1,0 +1,613 @@
+//! **Supervisor side** of the out-of-process executor:
+//! [`SubprocessExecutor`], a supervised pool of worker subprocesses
+//! behind the [`ShardExecutor`] trait.
+//!
+//! # Supervision ladder
+//!
+//! Each shard walks the same ladder shape as the in-process executor —
+//! `retries + 1` regular attempts, then one never-injected fallback —
+//! but the regular attempts run **remotely**: the supervisor ships the
+//! job's wire payload to a worker process and maps everything that can
+//! go wrong onto [`ShardError`]s, so worker crashes ride the exact
+//! recovery machinery PR 8 built for injected panics:
+//!
+//! * **worker death** (nonzero exit, EOF, truncated frame, failed
+//!   spawn/write) → [`WorkerDied`](ShardErrorKind::WorkerDied), counted
+//!   in [`Metrics::worker_crashes`], worker respawned, attempt retried;
+//! * **deadline blown** (no response within [`ExecPolicy::deadline`],
+//!   default [`DEFAULT_DEADLINE`]) →
+//!   [`WorkerTimeout`](ShardErrorKind::WorkerTimeout), counted in
+//!   [`Metrics::worker_timeouts`], worker killed, attempt retried;
+//! * **untrusted frame** (checksum mismatch, undecodable payload,
+//!   records outside the shard range) →
+//!   [`FrameCorrupted`](ShardErrorKind::FrameCorrupted), counted in
+//!   [`Metrics::frames_corrupted`], worker killed, attempt retried;
+//! * **exhausted retries** → one in-process scalar-oracle fallback
+//!   attempt ([`Metrics::shard_fallbacks`]), which cannot involve a
+//!   worker at all.
+//!
+//! # Degradation order
+//!
+//! A job without a wire payload, or a pool whose very first spawn fails,
+//! degrades to the in-process ladder (`run_ladder`) — same attempts,
+//! same (salt-0) fault sites, same counters as
+//! [`ThreadShardExecutor`](crate::ThreadShardExecutor) — so a query
+//! issued with zero spawnable workers still completes byte-identically,
+//! with all four IPC counters zero.
+//!
+//! # Determinism
+//!
+//! Process faults are injected by *instruction*: the supervisor computes
+//! [`FaultPlan::injects_process`](crate::FaultPlan::injects_process) per
+//! `(shard, attempt)` — salt-2 sites, independent of the in-process
+//! salt-0 sites — and tells the worker what to do, so injections,
+//! retries and all IPC counters are pure functions of the jobs and the
+//! plan: invariant across pool sizes, thread schedules and reruns.
+//! `ipc_bytes` counts complete frames only (requests written, responses
+//! fully read — including complete-but-corrupt ones), which keeps it a
+//! pure function too. The deadline never influences results or counters
+//! — only which recovery path ran — and this module is the only place
+//! in `tss_core` allowed to read the clock (`cargo run -p xtask -- lint`
+//! fences it).
+
+use super::protocol::{
+    decode_response, encode_frame, encode_request, read_frame, FrameError, Response, FRAME_OVERHEAD,
+};
+use crate::error::{ShardError, ShardErrorKind};
+use crate::executor::{
+    attempt_shard, outcome, run_ladder, validate_minimal, ExecPolicy, ProcessFaultKind, ShardCtx,
+    ShardExecutor, ShardJob, ShardOutcome,
+};
+use crate::store::{PointStore, RecordId};
+use crate::{Metrics, PoDomain};
+use skyline::Kernel;
+use std::io::Write;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-attempt deadline when [`ExecPolicy::deadline`] is `None` —
+/// generous on purpose: a production shard attempt is milliseconds, so
+/// only a genuinely wedged worker ever trips it.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// How to launch one worker process: a program plus its arguments. The
+/// process must speak the frame protocol on stdin/stdout (see
+/// [`worker`](super::worker)).
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    program: PathBuf,
+    args: Vec<String>,
+}
+
+impl WorkerSpec {
+    /// A spec launching `program` with `args`.
+    pub fn new(
+        program: impl Into<PathBuf>,
+        args: impl IntoIterator<Item = impl Into<String>>,
+    ) -> WorkerSpec {
+        WorkerSpec {
+            program: program.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// A spec re-executing the current binary with `args` — the usual
+    /// shape: the host binary hides a worker entry behind a sentinel
+    /// first argument (the harness's `tss-worker` subcommand, the
+    /// facade's `tss-worker` bin).
+    pub fn current_exe(
+        args: impl IntoIterator<Item = impl Into<String>>,
+    ) -> std::io::Result<WorkerSpec> {
+        Ok(WorkerSpec::new(std::env::current_exe()?, args))
+    }
+
+    /// The program the spec launches.
+    pub fn program(&self) -> &Path {
+        &self.program
+    }
+
+    /// The arguments the program is launched with.
+    pub fn args(&self) -> &[String] {
+        &self.args
+    }
+}
+
+/// One live worker: the child process, its request pipe, and the
+/// receiving end of a detached reader thread that turns the response
+/// pipe into frames (`recv_timeout` is what gives the supervisor a
+/// deadline over a blocking pipe read). Respawns build a fresh
+/// `Worker`, so a stale frame from a killed process can never be
+/// attributed to a later attempt.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    frames: Receiver<Result<Vec<u8>, FrameError>>,
+}
+
+impl Worker {
+    fn spawn(spec: &WorkerSpec) -> Result<Worker, String> {
+        let mut child = Command::new(&spec.program)
+            .args(&spec.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", spec.program.display()))?;
+        let Some(stdin) = child.stdin.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("worker stdin pipe missing".to_string());
+        };
+        let Some(mut stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("worker stdout pipe missing".to_string());
+        };
+        let (tx, frames) = std::sync::mpsc::channel();
+        // Detached on purpose: the thread ends at the first read error
+        // (EOF included) or when the receiver is dropped with its
+        // Worker; either way it holds no locks and owns only the pipe.
+        std::thread::spawn(move || loop {
+            let r = read_frame(&mut stdout);
+            let done = r.is_err();
+            if tx.send(r).is_err() || done {
+                break;
+            }
+        });
+        Ok(Worker {
+            child,
+            stdin,
+            frames,
+        })
+    }
+
+    /// Kills (a healthy worker sees EOF first and exits on its own; a
+    /// wedged one is killed) and reaps the process.
+    fn shutdown(self) {
+        let Worker {
+            mut child,
+            stdin,
+            frames,
+        } = self;
+        drop(stdin);
+        let _ = child.kill();
+        let _ = child.wait();
+        drop(frames);
+    }
+}
+
+/// Retires the slot's worker, if any.
+fn retire(slot: &mut Option<Worker>) {
+    if let Some(w) = slot.take() {
+        w.shutdown();
+    }
+}
+
+/// Everything one remote attempt needs besides the worker.
+struct RemoteCall<'a> {
+    shard: usize,
+    attempt: u32,
+    fault: Option<ProcessFaultKind>,
+    wire: &'a [u8],
+    range: Range<RecordId>,
+    deadline: Duration,
+}
+
+/// The out-of-process [`ShardExecutor`]: a supervised pool of worker
+/// subprocesses launched from a [`WorkerSpec`], scheduling shards over
+/// an atomic cursor exactly like the in-process executor, under the
+/// byte-identity contract — identical records and non-fault, non-IPC
+/// [`Metrics`] columns as
+/// [`ThreadShardExecutor`](crate::ThreadShardExecutor) at any worker
+/// count. See the module docs for the supervision ladder and the
+/// degradation order.
+pub struct SubprocessExecutor {
+    spec: WorkerSpec,
+    workers: usize,
+    policy: ExecPolicy,
+}
+
+impl SubprocessExecutor {
+    /// A pool of up to `workers` processes under the environment policy
+    /// ([`ExecPolicy::default`]).
+    pub fn new(spec: WorkerSpec, workers: usize) -> SubprocessExecutor {
+        SubprocessExecutor::with_policy(spec, workers, ExecPolicy::default())
+    }
+
+    /// A pool with an explicit policy.
+    pub fn with_policy(spec: WorkerSpec, workers: usize, policy: ExecPolicy) -> SubprocessExecutor {
+        SubprocessExecutor {
+            spec,
+            workers: workers.max(1),
+            policy,
+        }
+    }
+
+    /// The policy shards run under.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// The worker-pool size cap.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The per-shard supervision ladder: remote attempts with
+    /// crash/timeout/corruption recovery, then the in-process
+    /// scalar-oracle fallback. Jobs without a wire payload run the
+    /// plain in-process ladder.
+    fn remote_ladder(
+        &self,
+        slot: &mut Option<Worker>,
+        store: &PointStore,
+        domains: &[PoDomain],
+        shard: usize,
+        job: &ShardJob<'_>,
+    ) -> Result<ShardOutcome, ShardError> {
+        let Some(wire) = job.wire_bytes() else {
+            return run_ladder(&self.policy, store, domains, shard, job);
+        };
+        let deadline = self.policy.deadline.unwrap_or(DEFAULT_DEADLINE);
+        let mut retries = 0u64;
+        let mut injected = 0u64;
+        let mut crashes = 0u64;
+        let mut timeouts = 0u64;
+        let mut corrupted = 0u64;
+        let mut bytes = 0u64;
+        fn deliver(
+            mut o: ShardOutcome,
+            crashes: u64,
+            timeouts: u64,
+            corrupted: u64,
+            bytes: u64,
+        ) -> ShardOutcome {
+            o.metrics.worker_crashes += crashes;
+            o.metrics.worker_timeouts += timeouts;
+            o.metrics.frames_corrupted += corrupted;
+            o.metrics.ipc_bytes += bytes;
+            o
+        }
+        for attempt in 0..=self.policy.retries {
+            let fault = self
+                .policy
+                .faults
+                .as_ref()
+                .and_then(|p| p.injects_process(shard, attempt));
+            if fault.is_some() {
+                injected += 1;
+            }
+            let call = RemoteCall {
+                shard,
+                attempt,
+                fault,
+                wire: &wire,
+                range: job.range(),
+                deadline,
+            };
+            match self.remote_attempt(slot, store, domains, &call, &mut bytes) {
+                Ok((records, metrics)) => {
+                    return Ok(deliver(
+                        outcome(records, metrics, retries, 0, injected),
+                        crashes,
+                        timeouts,
+                        corrupted,
+                        bytes,
+                    ))
+                }
+                Err(e) => {
+                    match e.kind() {
+                        ShardErrorKind::WorkerDied(_) => crashes += 1,
+                        ShardErrorKind::WorkerTimeout => timeouts += 1,
+                        ShardErrorKind::FrameCorrupted(_) => corrupted += 1,
+                        ShardErrorKind::Panicked(_) | ShardErrorKind::Corrupted(_) => {}
+                    }
+                    retries += 1;
+                }
+            }
+        }
+        // Last resort, like the in-process ladder: one scalar-oracle
+        // recompute, never injected, no worker involved.
+        let ctx = ShardCtx {
+            shard,
+            attempt: self.policy.retries + 1,
+            kernel: Kernel::Scalar,
+        };
+        let mut fallback_injected = 0u64;
+        let (records, metrics) = attempt_shard(
+            store,
+            domains,
+            &self.policy,
+            job,
+            ctx,
+            None,
+            &mut fallback_injected,
+        )?;
+        Ok(deliver(
+            outcome(records, metrics, retries, 1, injected),
+            crashes,
+            timeouts,
+            corrupted,
+            bytes,
+        ))
+    }
+
+    /// One remote attempt: ship the request, await the response within
+    /// the deadline, distrust everything.
+    fn remote_attempt(
+        &self,
+        slot: &mut Option<Worker>,
+        store: &PointStore,
+        domains: &[PoDomain],
+        call: &RemoteCall<'_>,
+        bytes: &mut u64,
+    ) -> Result<(Vec<RecordId>, Metrics), ShardError> {
+        let RemoteCall { shard, attempt, .. } = *call;
+        let started = Instant::now();
+        let worker = match slot {
+            Some(w) => w,
+            None => match Worker::spawn(&self.spec) {
+                Ok(w) => slot.insert(w),
+                Err(e) => {
+                    return Err(
+                        ShardError::worker_died(shard, attempt, e).with_range(call.range.clone())
+                    )
+                }
+            },
+        };
+        let frame = encode_frame(&encode_request(
+            shard,
+            attempt,
+            store.kernel(),
+            call.fault,
+            call.wire,
+        ));
+        if let Err(e) = worker
+            .stdin
+            .write_all(&frame)
+            .and_then(|()| worker.stdin.flush())
+        {
+            retire(slot);
+            return Err(ShardError::worker_died(
+                shard,
+                attempt,
+                format!("request write failed: {e}"),
+            )
+            .with_range(call.range.clone()));
+        }
+        *bytes += frame.len() as u64;
+        let left = call.deadline.saturating_sub(started.elapsed());
+        let received = worker.frames.recv_timeout(left);
+        let err = |e: ShardError| Err(e.with_range(call.range.clone()));
+        match received {
+            Ok(Ok(payload)) => {
+                *bytes += payload.len() as u64 + FRAME_OVERHEAD;
+                match decode_response(&payload) {
+                    Ok(Response::Ok(records, metrics)) => {
+                        if let Some(&out) = records.iter().find(|r| !call.range.contains(r)) {
+                            retire(slot);
+                            return err(ShardError::frame_corrupted(
+                                shard,
+                                attempt,
+                                format!("record {out} outside the shard range"),
+                            ));
+                        }
+                        if self.policy.validate {
+                            if let Some(offender) = validate_minimal(store, domains, &records) {
+                                return err(ShardError::corrupted(shard, attempt, offender));
+                            }
+                        }
+                        Ok((records, metrics))
+                    }
+                    Ok(Response::Err(msg)) => {
+                        // The worker is healthy but refused the task
+                        // (undecodable payload, unknown codec) — retries
+                        // will exhaust into the in-process fallback.
+                        err(ShardError::panicked(
+                            shard,
+                            attempt,
+                            format!("worker reported: {msg}"),
+                        ))
+                    }
+                    Err(defect) => {
+                        retire(slot);
+                        err(ShardError::frame_corrupted(
+                            shard,
+                            attempt,
+                            format!("undecodable response: {defect}"),
+                        ))
+                    }
+                }
+            }
+            Ok(Err(FrameError::BadChecksum { frame_bytes })) => {
+                // The frame was read completely — it still counts as
+                // exchanged bytes — but its payload cannot be trusted.
+                *bytes += frame_bytes;
+                retire(slot);
+                err(ShardError::frame_corrupted(
+                    shard,
+                    attempt,
+                    "response checksum mismatch",
+                ))
+            }
+            Ok(Err(e)) => {
+                retire(slot);
+                err(ShardError::worker_died(
+                    shard,
+                    attempt,
+                    format!("response stream: {e}"),
+                ))
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                retire(slot);
+                err(ShardError::worker_timeout(shard, attempt))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                retire(slot);
+                err(ShardError::worker_died(
+                    shard,
+                    attempt,
+                    "response reader ended",
+                ))
+            }
+        }
+    }
+}
+
+impl ShardExecutor for SubprocessExecutor {
+    fn execute(
+        &self,
+        store: &PointStore,
+        domains: &[PoDomain],
+        jobs: &[ShardJob<'_>],
+    ) -> Vec<Result<ShardOutcome, ShardError>> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Probe spawn. A pool that cannot start at all degrades the
+        // whole batch to the in-process ladder — byte-identical to
+        // ThreadShardExecutor, IPC counters all zero.
+        let probe = match Worker::spawn(&self.spec) {
+            Ok(w) => w,
+            Err(_) => {
+                return jobs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, job)| run_ladder(&self.policy, store, domains, i, job))
+                    .collect();
+            }
+        };
+        let pool = self.workers.min(n);
+        if pool <= 1 {
+            let mut slot = Some(probe);
+            let out = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| self.remote_ladder(&mut slot, store, domains, i, job))
+                .collect();
+            retire(&mut slot);
+            return out;
+        }
+        let results: Vec<Mutex<Option<Result<ShardOutcome, ShardError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let probe_slot = Mutex::new(Some(probe));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..pool)
+                .map(|_| {
+                    s.spawn(|| {
+                        // Each pool thread owns one worker process; the
+                        // probe is handed to whichever thread gets there
+                        // first, the rest spawn on demand.
+                        let mut slot: Option<Worker> =
+                            probe_slot.lock().unwrap_or_else(|p| p.into_inner()).take();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let r = self.remote_ladder(&mut slot, store, domains, i, &jobs[i]);
+                            *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+                        }
+                        retire(&mut slot);
+                    })
+                })
+                .collect();
+            for h in handles {
+                // The ladder is panic-free; an (impossible) abandoned
+                // shard is recomputed inline below.
+                let _ = h.join();
+            }
+        });
+        retire(&mut probe_slot.lock().unwrap_or_else(|p| p.into_inner()));
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                m.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .unwrap_or_else(|| run_ladder(&self.policy, store, domains, i, &jobs[i]))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipc::tasks::local_skyline_job;
+    use crate::{Table, ThreadShardExecutor};
+
+    fn table(n: u32) -> Table {
+        let mut t = Table::new(2, 0);
+        for i in 0..n {
+            t.push(&[(i * 17) % 50, (i * 31) % 50], &[]);
+        }
+        t
+    }
+
+    #[test]
+    fn unspawnable_pools_degrade_to_in_process_byte_identity() {
+        let t = table(100);
+        let jobs: Vec<ShardJob<'_>> = t
+            .shards(4)
+            .into_iter()
+            .map(|v| local_skyline_job(v, &[]))
+            .collect();
+        let spec = WorkerSpec::new(
+            "/nonexistent/tss-worker-definitely-not-here",
+            Vec::<String>::new(),
+        );
+        let policy = ExecPolicy::with_faults(Some(crate::FaultPlan::new(77, 0.6)));
+        let sub = SubprocessExecutor::with_policy(spec, 3, policy);
+        let inproc = ThreadShardExecutor::with_policy(1, policy);
+        let got = sub.execute(&t, &[], &jobs);
+        let want = inproc.execute(&t, &[], &jobs);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            let (g, w) = (g.as_ref().expect("recovers"), w.as_ref().expect("recovers"));
+            assert_eq!(g.records, w.records);
+            assert_eq!(g.metrics, w.metrics, "degraded mode replays salt-0 sites");
+            assert_eq!(g.metrics.worker_crashes, 0);
+            assert_eq!(g.metrics.ipc_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn jobs_without_wire_payloads_run_in_process() {
+        let t = table(40);
+        // Plain closure jobs (no wire): even with a live-looking spec
+        // the executor must not need it — but use an unspawnable one so
+        // this test cannot accidentally depend on a real binary.
+        let jobs: Vec<ShardJob<'_>> = t
+            .shards(2)
+            .into_iter()
+            .map(|v| {
+                ShardJob::new(v.range(), move |_ctx| {
+                    (v.record_ids().collect(), Metrics::default())
+                })
+            })
+            .collect();
+        let spec = WorkerSpec::new("/nonexistent/worker", Vec::<String>::new());
+        let sub = SubprocessExecutor::with_policy(spec, 2, ExecPolicy::fault_free());
+        for (i, r) in sub.execute(&t, &[], &jobs).into_iter().enumerate() {
+            let o = r.expect("in-process path");
+            assert_eq!(o.records, jobs[i].range().collect::<Vec<_>>());
+            assert_eq!(o.metrics.ipc_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn worker_spec_exposes_its_launch_shape() {
+        let spec = WorkerSpec::new("/bin/echo", ["tss-worker"]);
+        assert_eq!(spec.program(), Path::new("/bin/echo"));
+        assert_eq!(spec.args(), ["tss-worker".to_string()]);
+        let exe = WorkerSpec::current_exe(["tss-worker"]).expect("current exe resolves");
+        assert!(exe.program().is_absolute());
+    }
+}

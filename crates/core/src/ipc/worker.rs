@@ -1,0 +1,174 @@
+//! **Worker side** of the out-of-process executor: a blocking
+//! frame-serve loop over stdin/stdout.
+//!
+//! A worker process is deliberately dumb — read a request frame, act out
+//! any injected fault instruction, compute, reply, repeat until stdin
+//! closes. All supervision (deadlines, respawns, retry ladders, metrics)
+//! lives on the other side of the pipe: a worker that panics simply dies
+//! with the default abortive exit, which the supervisor observes as EOF
+//! and maps onto the recovery ladder. That keeps `catch_unwind` fenced
+//! to the in-process executor and makes worker crashes *real* crashes —
+//! the whole point of the out-of-process robustness surface.
+//!
+//! Fault instructions arrive on the request frame (the supervisor
+//! computes the deterministic site; the worker only obeys):
+//!
+//! * [`Kill`](ProcessFaultKind::Kill) — exit immediately with status 2,
+//!   before computing anything.
+//! * [`Stall`](ProcessFaultKind::Stall) — park forever; the supervisor's
+//!   attempt deadline fires and kills the process.
+//! * [`CorruptFrame`](ProcessFaultKind::CorruptFrame) — compute
+//!   honestly, then reply with one payload byte flipped under the stale
+//!   checksum ([`encode_frame_corrupted`]).
+
+use super::protocol::{
+    decode_request, encode_err, encode_frame, encode_frame_corrupted, encode_ok, read_frame,
+    FrameError,
+};
+use super::tasks::dispatch_builtin;
+use crate::executor::{ProcessFaultKind, ShardCtx};
+use crate::store::RecordId;
+use crate::Metrics;
+use std::io::Write;
+
+/// How a worker interprets the opaque task bytes of a request: returns
+/// the records and metrics of the attempt, or a message the serve loop
+/// reports as a `RESP_ERR` frame. Panics are *not* caught — a panicking
+/// dispatch kills the process, which is exactly the crash signal the
+/// supervisor recovers from.
+pub type TaskDispatch = fn(&[u8], ShardCtx) -> Result<(Vec<RecordId>, Metrics), String>;
+
+/// Serves frames from `input` to `output` until `input` reaches a clean
+/// end-of-stream (the supervisor dropping the pipe is the shutdown
+/// signal). Returns `Err` on a malformed input stream or a broken output
+/// pipe — worker `main`s turn that into a nonzero exit.
+pub fn serve_io(
+    input: &mut impl std::io::Read,
+    output: &mut impl Write,
+    dispatch: TaskDispatch,
+) -> std::io::Result<()> {
+    loop {
+        let payload = match read_frame(input) {
+            Ok(p) => p,
+            Err(FrameError::Eof) => return Ok(()),
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("request stream: {e}"),
+                ))
+            }
+        };
+        let frame = match decode_request(&payload) {
+            Ok(req) => {
+                match req.fault {
+                    Some(ProcessFaultKind::Kill) => std::process::exit(2),
+                    Some(ProcessFaultKind::Stall) => loop {
+                        // Park forever (spurious unparks just re-park):
+                        // the supervisor's deadline kills the process.
+                        std::thread::park();
+                    },
+                    Some(ProcessFaultKind::CorruptFrame) | None => {}
+                }
+                let ctx = ShardCtx {
+                    shard: req.shard,
+                    attempt: req.attempt,
+                    kernel: req.kernel,
+                };
+                let resp = match dispatch(req.task, ctx) {
+                    Ok((records, metrics)) => encode_ok(&records, &metrics),
+                    Err(msg) => encode_err(&msg),
+                };
+                if req.fault == Some(ProcessFaultKind::CorruptFrame) {
+                    encode_frame_corrupted(&resp)
+                } else {
+                    encode_frame(&resp)
+                }
+            }
+            Err(e) => encode_frame(&encode_err(&format!("bad request: {e}"))),
+        };
+        output.write_all(&frame)?;
+        output.flush()?;
+    }
+}
+
+/// Serves the builtin task codecs over the process's stdin/stdout — the
+/// body of every `tss-worker` entry point. Bench binaries that add their
+/// own codecs call [`serve_io`] with a composed dispatch instead.
+pub fn serve_builtin() -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_io(&mut stdin.lock(), &mut stdout.lock(), dispatch_builtin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipc::protocol::{decode_response, encode_request, Response};
+    use crate::ipc::tasks::encode_local_skyline;
+    use crate::Table;
+    use skyline::Kernel;
+
+    fn request(fault: Option<ProcessFaultKind>) -> Vec<u8> {
+        let mut t = Table::new(2, 0);
+        for i in 0..20u32 {
+            t.push(&[i % 7, (i * 3) % 7], &[]);
+        }
+        let task = encode_local_skyline(&t.shards(1)[0], &[]);
+        encode_frame(&encode_request(0, 0, Kernel::Scalar, fault, &task))
+    }
+
+    #[test]
+    fn serves_requests_until_eof() {
+        let input = [request(None), request(None)].concat();
+        let mut output = Vec::new();
+        serve_io(&mut &input[..], &mut output, dispatch_builtin).expect("clean serve");
+        let mut cursor = &output[..];
+        for _ in 0..2 {
+            let payload = read_frame(&mut cursor).expect("response frame");
+            match decode_response(&payload).expect("decodes") {
+                Response::Ok(records, m) => {
+                    assert!(!records.is_empty());
+                    assert_eq!(m.results, records.len() as u64);
+                }
+                Response::Err(e) => unreachable!("{e}"),
+            }
+        }
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::Eof));
+    }
+
+    #[test]
+    fn corrupt_frame_instruction_breaks_the_checksum() {
+        let input = request(Some(ProcessFaultKind::CorruptFrame));
+        let mut output = Vec::new();
+        serve_io(&mut &input[..], &mut output, dispatch_builtin).expect("clean serve");
+        let mut cursor = &output[..];
+        assert!(
+            matches!(read_frame(&mut cursor), Err(FrameError::BadChecksum { .. })),
+            "the corrupted response must fail its checksum"
+        );
+    }
+
+    #[test]
+    fn undecodable_tasks_become_error_responses() {
+        let input = encode_frame(&encode_request(0, 0, Kernel::Scalar, None, &[99, 1, 2]));
+        let mut output = Vec::new();
+        serve_io(&mut &input[..], &mut output, dispatch_builtin).expect("clean serve");
+        let payload = read_frame(&mut &output[..]).expect("response frame");
+        match decode_response(&payload).expect("decodes") {
+            Response::Err(e) => assert!(e.contains("unknown builtin task codec"), "{e}"),
+            Response::Ok(..) => unreachable!("garbage task must not succeed"),
+        }
+    }
+
+    #[test]
+    fn torn_request_streams_error_out() {
+        let input = request(None);
+        let mut output = Vec::new();
+        let r = serve_io(
+            &mut &input[..input.len() - 2],
+            &mut output,
+            dispatch_builtin,
+        );
+        assert!(r.is_err(), "mid-frame EOF is not a clean shutdown");
+    }
+}

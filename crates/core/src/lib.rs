@@ -63,6 +63,7 @@ mod dtss;
 mod error;
 mod executor;
 mod fastcheck;
+pub mod ipc;
 mod mapping;
 mod metrics;
 pub mod parallel;
@@ -77,14 +78,15 @@ pub use classic::{ClassicAlgo, ClassicEngine};
 pub use cursor::{CursorIter, SkylineCursor, SkylineEngine};
 pub use dominance::{brute_force_po_skyline, t_dominates, t_dominates_weak_printed, Dominance};
 pub use dtss::{Dtss, DtssConfig, DtssCursor, DtssQueryEngine, DtssRun, PoQuery};
-pub use error::{CoreError, ShardError};
+pub use error::{CoreError, ShardError, ShardErrorKind};
 pub use fastcheck::VirtualPointIndex;
+pub use ipc::{SubprocessExecutor, WorkerSpec};
 pub use mapping::PoDomain;
 pub use metrics::{CostModel, Metrics};
 pub use parallel::{
     parallel_classic_skyline, sharded_skyline, sharded_skyline_exec, sharded_skyline_with,
-    ExecPolicy, FaultKind, FaultPlan, ParallelRun, ShardCtx, ShardExecutor, ShardJob, ShardOutcome,
-    ShardPlan, ShardSpec, ThreadShardExecutor,
+    ExecPolicy, FaultKind, FaultPlan, ParallelRun, ProcessFaultKind, ShardCtx, ShardExecutor,
+    ShardJob, ShardOutcome, ShardPlan, ShardSpec, ThreadShardExecutor,
 };
 pub use progressive::{ProgressLog, ProgressSample};
 pub use session::{QuerySession, SessionStats};

@@ -64,6 +64,24 @@ pub struct Metrics {
     /// that a repair had to screen. The delta-maintenance win is this
     /// staying far below a from-scratch recompute's `dominance_checks`.
     pub repair_candidates: u64,
+    /// Worker processes the out-of-process executor observed dying
+    /// mid-attempt (nonzero exit, EOF, truncated frame) — each death
+    /// counts once and triggers a respawn plus a retry. Deterministic
+    /// under a seeded process-fault plan, so invariant across thread
+    /// counts *and* worker-pool sizes; always zero in-process.
+    pub worker_crashes: u64,
+    /// Workers killed by the supervisor for blowing the
+    /// [`ExecPolicy`](crate::ExecPolicy) attempt deadline. The deadline
+    /// only selects the recovery path — results never depend on it.
+    pub worker_timeouts: u64,
+    /// Response frames rejected as untrustworthy: checksum mismatch,
+    /// undecodable payload, or decoded records outside the shard range.
+    pub frames_corrupted: u64,
+    /// Bytes of complete IPC frames exchanged with worker processes
+    /// (requests written + responses fully read, across all attempts).
+    /// A pure function of the jobs and the fault plan — pool-size- and
+    /// thread-invariant like every other counter.
+    pub ipc_bytes: u64,
     /// Measured CPU time (single-threaded wall clock of the run).
     pub cpu: Duration,
 }
@@ -95,6 +113,10 @@ impl Metrics {
             stream_expirations: self.stream_expirations + other.stream_expirations,
             stream_repairs: self.stream_repairs + other.stream_repairs,
             repair_candidates: self.repair_candidates + other.repair_candidates,
+            worker_crashes: self.worker_crashes + other.worker_crashes,
+            worker_timeouts: self.worker_timeouts + other.worker_timeouts,
+            frames_corrupted: self.frames_corrupted + other.frames_corrupted,
+            ipc_bytes: self.ipc_bytes + other.ipc_bytes,
             cpu: self.cpu + other.cpu,
         }
     }
@@ -167,6 +189,10 @@ mod tests {
             stream_expirations: 15,
             stream_repairs: 16,
             repair_candidates: 17,
+            worker_crashes: 18,
+            worker_timeouts: 19,
+            frames_corrupted: 20,
+            ipc_bytes: 21,
             cpu: Duration::from_millis(10),
         };
         let b = a;
@@ -186,6 +212,10 @@ mod tests {
         assert_eq!(m.stream_expirations, 30);
         assert_eq!(m.stream_repairs, 32);
         assert_eq!(m.repair_candidates, 34);
+        assert_eq!(m.worker_crashes, 36);
+        assert_eq!(m.worker_timeouts, 38);
+        assert_eq!(m.frames_corrupted, 40);
+        assert_eq!(m.ipc_bytes, 42);
         assert_eq!(m.cpu, Duration::from_millis(20));
     }
 

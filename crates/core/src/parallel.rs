@@ -123,8 +123,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub use crate::executor::{
-    ExecPolicy, FaultKind, FaultPlan, ShardCtx, ShardExecutor, ShardJob, ShardOutcome,
-    ThreadShardExecutor,
+    ExecPolicy, FaultKind, FaultPlan, ProcessFaultKind, ShardCtx, ShardExecutor, ShardJob,
+    ShardOutcome, ThreadShardExecutor,
 };
 
 /// Componentwise sum of a set of [`Metrics`] (exact, via
@@ -142,7 +142,8 @@ pub fn sum_metrics<'a>(metrics: impl IntoIterator<Item = &'a Metrics>) -> Metric
 /// single job) runs inline on the caller's thread.
 ///
 /// A job that panics on a worker is reported as
-/// [`ShardError::Panicked`] (with the job's index as the shard) instead
+/// [`ShardErrorKind::Panicked`](crate::ShardErrorKind::Panicked) (with
+/// the job's index as the shard) instead
 /// of tearing the process down; jobs a dead worker never claimed are
 /// recomputed inline on the caller's thread, so one failure never loses
 /// the others' results. Executors that want retries and fallbacks
@@ -201,15 +202,17 @@ where
             // caller's thread, which is the job's own failure, not ours.
             None => match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
                 Some(job) => out.push(job()),
-                // Claimed but never finished: this job panicked.
+                // Claimed but never finished: this job panicked. `run_jobs`
+                // has no record-range context, so the error's range stays
+                // empty (and Display omits it).
                 None => {
-                    return Err(ShardError::Panicked {
-                        shard: i,
-                        attempt: 0,
-                        message: panics
+                    return Err(ShardError::panicked(
+                        i,
+                        0,
+                        panics
                             .next()
                             .unwrap_or_else(|| "worker panicked".to_string()),
-                    })
+                    ))
                 }
             },
         }
@@ -898,9 +901,11 @@ mod tests {
             })
             .collect();
         match run_jobs(3, jobs) {
-            Err(ShardError::Panicked { shard, message, .. }) => {
-                assert_eq!(shard, 3);
-                assert!(message.contains("job 3 exploded"), "{message}");
+            Err(e) => {
+                assert_eq!(e.shard(), 3);
+                let rendered = e.to_string();
+                assert!(rendered.contains("job 3 exploded"), "{rendered}");
+                assert!(rendered.contains("panicked"), "{rendered}");
             }
             other => unreachable!("expected a structured panic report, got {other:?}"),
         }

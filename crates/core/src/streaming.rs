@@ -92,10 +92,12 @@ use crate::budget::Budget;
 use crate::cursor::{SkylineCursor, SkylineEngine};
 use crate::dominance::t_dominates;
 use crate::executor::{ExecPolicy, ShardExecutor, ShardJob, ThreadShardExecutor};
+use crate::ipc::tasks::{encode_screen, screen_part};
 use crate::store::{PointStore, RecordId};
 use crate::stss::SkylinePoint;
 use crate::{Metrics, PoDomain, ProgressSample};
 use skyline::Kernel;
+use std::sync::Arc;
 
 /// When the maintained window retires tuples automatically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +183,10 @@ pub struct StreamingSkyline {
     /// append-only).
     oldest: RecordId,
     config: StreamingConfig,
+    /// Repair jobs run through this executor when set (e.g. a
+    /// [`SubprocessExecutor`](crate::SubprocessExecutor)); the built-in
+    /// [`ThreadShardExecutor`] pool otherwise.
+    executor: Option<Arc<dyn ShardExecutor + Send + Sync>>,
     metrics: Metrics,
     exhausted: bool,
 }
@@ -203,9 +209,24 @@ impl StreamingSkyline {
             scores: Vec::new(),
             oldest: 0,
             config,
+            executor: None,
             metrics: Metrics::default(),
             exhausted: false,
         }
+    }
+
+    /// Routes repair shard jobs through `executor` instead of the
+    /// built-in in-process pool — how streaming maintenance rides the
+    /// out-of-process backend. The jobs carry candidate-screen wire
+    /// payloads (see [`crate::ipc::tasks`]), so any executor honoring
+    /// the [`ShardExecutor`] contract yields byte-identical skylines and
+    /// counters. The executor's own policy applies; it should have
+    /// minimality validation **off** (repair results are promotion
+    /// candidates, not local skylines — the built-in path disables it
+    /// the same way) — repairs bring their own merge-side verification.
+    pub fn with_executor(mut self, executor: Arc<dyn ShardExecutor + Send + Sync>) -> Self {
+        self.executor = Some(executor);
+        self
     }
 
     /// Forces the dominance-kernel variant (results and counters are
@@ -400,32 +421,21 @@ impl StreamingSkyline {
         let shards = self.config.repair_shards.clamp(1, cands.len());
         let parts: Vec<&[RecordId]> = cands.chunks(cands.len().div_ceil(shards)).collect();
         let (store, domains, skyline) = (&self.store, &self.domains, &self.skyline);
-        let screen = |part: &[RecordId], kernel: Kernel| {
-            let mut m = Metrics::default();
-            let mut alive = Vec::new();
-            for &p in part {
-                // Honor the attempt's kernel: the fallback runs the scalar
-                // oracle path, regular attempts the store's variant —
-                // kernel equivalence keeps records and counters identical.
-                let (hit, ex) = if kernel == Kernel::Scalar {
-                    store.t_dominated_by_any_oracle(domains, store.to(p), store.po(p), skyline)
-                } else {
-                    store.t_dominated_by_any(domains, store.to(p), store.po(p), skyline)
-                };
-                m.batch(ex);
-                if !hit {
-                    alive.push(p);
-                }
-            }
-            (alive, m)
-        };
         let jobs: Vec<ShardJob<'_>> = parts
             .iter()
             .map(|&part| {
                 // The id span is the scope fault injection corrupts within.
                 let lo = part.iter().copied().min().unwrap_or(0);
                 let hi = part.iter().copied().max().unwrap_or(0);
-                ShardJob::new(lo..hi + 1, move |ctx| screen(part, ctx.kernel))
+                // The closure honors the attempt's kernel (the fallback
+                // runs the scalar oracle path; kernel equivalence keeps
+                // records and counters identical); the wire payload ships
+                // the same screen to a worker process — both sides call
+                // `screen_one` on the same rows, in the same order.
+                ShardJob::new(lo..hi + 1, move |ctx| {
+                    screen_part(store, domains, ctx.kernel, skyline, part)
+                })
+                .with_wire(move || encode_screen(store, domains, skyline, part))
             })
             .collect();
         // Repairs bring their own merge-side verification (below), so the
@@ -436,7 +446,11 @@ impl StreamingSkyline {
             ..self.config.exec
         };
         let faults_active = policy.faults.is_some();
-        let exec = ThreadShardExecutor::with_policy(self.config.threads, policy);
+        let pool = ThreadShardExecutor::with_policy(self.config.threads, policy);
+        let exec: &dyn ShardExecutor = match self.executor.as_deref() {
+            Some(e) => e,
+            None => &pool,
+        };
         let results = exec.execute(&self.store, &self.domains, &jobs);
         drop(jobs);
         let mut survivors: Vec<RecordId> = Vec::new();
@@ -450,10 +464,10 @@ impl StreamingSkyline {
                 Err(_) => {
                     // Unreachable with the in-process executor (the
                     // uninjected scalar fallback of a panic-free job always
-                    // succeeds), but a future remote executor may lose a
-                    // worker: recompute the chunk inline so no repair is
-                    // ever dropped.
-                    let (alive, m) = screen(part, Kernel::Scalar);
+                    // succeeds), but a remote executor may lose a worker:
+                    // recompute the chunk inline so no repair is ever
+                    // dropped.
+                    let (alive, m) = screen_part(store, domains, Kernel::Scalar, skyline, part);
                     gathered = gathered.merge(&m);
                     survivors.extend(alive);
                 }

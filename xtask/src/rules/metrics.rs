@@ -13,7 +13,10 @@
 //!    `cpu` is emitted under its row name `wall_ns`;
 //! 3. the bench report aggregation (`fn dynamic_point`,
 //!    `crates/bench/src/bin/harness.rs`) — the seed-averaging fold behind
-//!    the dynamic figures.
+//!    the dynamic figures;
+//! 4. the IPC wire codec (`fn put_metrics`,
+//!    `crates/core/src/ipc/protocol.rs`) — a field missing there would
+//!    silently zero on every subprocess-executor row.
 //!
 //! Not waivable: a counter that genuinely should skip a sink still has to
 //! be listed there (emit it, or a compile-visible comment token won't do —
@@ -48,6 +51,13 @@ const SINKS: &[Sink] = &[
     Sink {
         file: "crates/bench/src/bin/harness.rs",
         func: "dynamic_point",
+        aliases: &[],
+    },
+    // The IPC wire codec: a field missing here would silently zero on
+    // every subprocess-executor row (the PR 10 motivating drift).
+    Sink {
+        file: "crates/core/src/ipc/protocol.rs",
+        func: "put_metrics",
         aliases: &[],
     },
 ];

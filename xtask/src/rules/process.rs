@@ -1,0 +1,125 @@
+//! Rule family 7 — process fencing.
+//!
+//! Spawning, killing and exiting processes is the out-of-process
+//! executor's job, and *only* its job: `crates/core/src/ipc/supervisor.rs`
+//! owns `Command`/`Child` (worker pool lifecycle, kill-on-timeout) and
+//! `crates/core/src/ipc/worker.rs` owns the fault-instructed
+//! `process::exit` of a worker serving a seeded kill. A process API call
+//! anywhere else would create an unsupervised child (no deadline, no
+//! crash accounting, no ShardError mapping) or skip destructors behind
+//! the executor's back, so the tokens are banned outside those modules
+//! and the worker entry points (the harness binary's `tss-worker`
+//! subcommand and the facade's `tss-worker` bin — which also exit on CLI
+//! errors). A genuinely new process-management site carries
+//! `// lint:allow(process): <why>`.
+
+use crate::findings::{Finding, Waivers};
+use crate::lexer::Lexed;
+use std::path::Path;
+
+/// Modules allowed to manage processes: the supervisor, the worker loop,
+/// and the two worker entry binaries.
+const ALLOWED_FILES: &[&str] = &[
+    "crates/core/src/ipc/supervisor.rs",
+    "crates/core/src/ipc/worker.rs",
+    "crates/bench/src/bin/harness.rs",
+    "src/bin/tss-worker.rs",
+];
+
+/// Process-lifecycle type idents that mark a spawn site.
+const SPAWN_TYPES: &[&str] = &["Command", "Child", "ChildStdin", "ChildStdout", "Stdio"];
+
+pub fn allowed(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    ALLOWED_FILES.iter().any(|f| s == *f)
+}
+
+pub fn check(rel: &Path, lexed: &Lexed, out: &mut Vec<Finding>) {
+    if allowed(rel) {
+        return;
+    }
+    let toks = &lexed.toks;
+    let waivers = Waivers::parse(&lexed.comments);
+    let mut flag = |line: u32, what: &str| {
+        if waivers.covers("process", line) {
+            return;
+        }
+        out.push(Finding {
+            path: rel.to_path_buf(),
+            line,
+            rule: "process",
+            msg: format!(
+                "`{what}` outside the supervised executor — process management \
+                 lives in crates/core/src/ipc/ and the tss-worker entry points \
+                 so every child has a deadline, crash accounting and a \
+                 ShardError mapping; a genuinely new site carries \
+                 `// lint:allow(process): <why>`"
+            ),
+        });
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if SPAWN_TYPES.iter().any(|ty| t.is_ident(ty)) {
+            flag(t.line, t.text.as_str());
+            continue;
+        }
+        // `process::exit` (however qualified) skips destructors and kills
+        // the process; `ExitCode` returns from main normally and is fine.
+        if t.is_ident("process")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("exit")
+        {
+            flag(toks[i + 3].line, "process::exit");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    #[test]
+    fn flags_spawn_types_and_exit_outside_the_executor() {
+        let l = lex("let c = Command::new(\"worker\").stdin(Stdio::piped());\n\
+             std::process::exit(3);");
+        let mut out = Vec::new();
+        check(&PathBuf::from("crates/core/src/parallel.rs"), &l, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|f| f.rule == "process"));
+    }
+
+    #[test]
+    fn the_ipc_modules_and_entry_points_pass() {
+        let l = lex("let mut child = Command::new(p).stdout(Stdio::piped()).spawn()?;");
+        let mut out = Vec::new();
+        for file in ALLOWED_FILES {
+            check(&PathBuf::from(file), &l, &mut out);
+        }
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn waivers_and_exit_code_pass() {
+        let l = lex("// lint:allow(process): CLI usage error must abort\n\
+             std::process::exit(2);");
+        let mut out = Vec::new();
+        check(&PathBuf::from("crates/datagen/src/lib.rs"), &l, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        let l = lex("use std::process::ExitCode;\nfn main() -> ExitCode { ExitCode::SUCCESS }");
+        check(&PathBuf::from("xtask/src/main.rs"), &l, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn mentions_in_strings_and_comments_are_fine() {
+        let l = lex("// Command is banned here\nlet s = \"std::process::exit\";");
+        let mut out = Vec::new();
+        check(&PathBuf::from("crates/core/src/stss.rs"), &l, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -13,7 +13,16 @@ use crate::lexer::Lexed;
 use std::path::Path;
 
 /// Workspace-relative path prefixes where the clock is the whole point.
-const ALLOWED_PREFIXES: &[&str] = &["crates/bench/", "xtask/"];
+/// The IPC supervisor is the one core module with a clock: per-attempt
+/// deadlines over worker processes. Its contract keeps the clock away
+/// from results — a deadline decides *which recovery path ran*, never
+/// what a shard returns — so the counters stay wall-clock-free even
+/// though the module times.
+const ALLOWED_PREFIXES: &[&str] = &[
+    "crates/bench/",
+    "xtask/",
+    "crates/core/src/ipc/supervisor.rs",
+];
 
 pub fn allowed(rel: &Path) -> bool {
     let s = rel.to_string_lossy().replace('\\', "/");

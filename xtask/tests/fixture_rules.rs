@@ -97,6 +97,25 @@ fn panic_waiver_keeps_the_count_at_baseline() {
     assert!(f.is_empty(), "{f:#?}");
 }
 
+/// The process fence: rogue lib code spawning (`Command` + `Stdio`) and
+/// exiting is flagged site by site, while the IPC supervisor module next
+/// to it uses the same APIs exempt.
+#[test]
+fn process_api_banned_outside_the_ipc_modules() {
+    let f = lint("process_violation", "process");
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert!(f.iter().all(|x| x.rule == "process"));
+    assert!(f.iter().all(|x| x.path.ends_with("crates/core/src/lib.rs")));
+    assert!(f.iter().any(|x| x.msg.contains("`Command`")));
+    assert!(f.iter().any(|x| x.msg.contains("`process::exit`")));
+}
+
+#[test]
+fn process_waiver_passes() {
+    let f = lint("process_waived", "process");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
 #[test]
 fn time_source_banned_outside_bench() {
     let f = lint("time_violation", "time-source");

@@ -1,0 +1,5 @@
+pub fn put_metrics(buf: &mut Vec<u8>, m: &Metrics) {
+    put_u64(buf, m.dominance_checks);
+    put_u64(buf, m.io_reads);
+    put_u64(buf, m.cpu.as_nanos() as u64);
+}

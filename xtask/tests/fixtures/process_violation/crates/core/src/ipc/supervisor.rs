@@ -1,0 +1,8 @@
+use std::process::{Child, Command, Stdio};
+
+pub fn spawn(program: &str) -> std::io::Result<Child> {
+    Command::new(program)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+}

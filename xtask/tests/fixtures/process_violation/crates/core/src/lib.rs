@@ -1,0 +1,6 @@
+pub fn rogue_spawn() {
+    let _ = std::process::Command::new("worker")
+        .stdin(std::process::Stdio::piped())
+        .spawn();
+    std::process::exit(3);
+}

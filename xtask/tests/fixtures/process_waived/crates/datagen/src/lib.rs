@@ -1,0 +1,5 @@
+pub fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    // lint:allow(process): CLI usage errors must abort before any output
+    std::process::exit(2)
+}
